@@ -1,0 +1,122 @@
+// Command graphene-bench regenerates the paper's evaluation (§6): every
+// table and figure, printed with the paper's reference values alongside.
+//
+//	graphene-bench [-quick] [experiment...]
+//
+// Experiments: table4, fig4, table5, table6, table7, fig5, table8,
+// security, all (default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"graphene/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced iteration counts for a fast pass")
+	flag.Parse()
+	which := flag.Args()
+	if len(which) == 0 {
+		which = []string{"all"}
+	}
+	want := make(map[string]bool)
+	for _, w := range which {
+		want[w] = true
+	}
+	all := want["all"]
+
+	start := time.Now()
+	run := func(name string, fn func() error) {
+		if !all && !want[name] {
+			return
+		}
+		fmt.Printf("=== %s ===\n", name)
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(t0).Seconds())
+	}
+
+	iters := 10
+	t6Iters, t6Scale := 3, 1.0
+	t7N, t7Iters := 500, 3
+	fig5Counts := []int{2, 4, 8, 12, 16, 24, 32}
+	fig5Msgs := 10000
+	t5 := bench.DefaultTable5Scale()
+	if *quick {
+		iters = 3
+		t6Iters, t6Scale = 1, 0.2
+		t7N, t7Iters = 200, 1
+		fig5Counts = []int{2, 4, 8}
+		fig5Msgs = 2000
+		t5 = bench.Table5Scale{Iters: 1, CompileKLoC: 2, HTTPReqs: 100, ShellIters: 3}
+	}
+
+	run("table4", func() error {
+		rows, err := bench.Table4(iters)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderTable4(rows))
+		return nil
+	})
+	run("fig4", func() error {
+		rows, err := bench.Fig4()
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderFig4(rows))
+		return nil
+	})
+	run("table5", func() error {
+		rows, err := bench.Table5(t5)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderTable5(rows))
+		return nil
+	})
+	run("table6", func() error {
+		rows, err := bench.Table6(t6Iters, t6Scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderTable6(rows))
+		return nil
+	})
+	run("table7", func() error {
+		rows, err := bench.Table7(t7N, t7Iters)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderTable7(rows))
+		return nil
+	})
+	run("fig5", func() error {
+		points, err := bench.Fig5(fig5Counts, fig5Msgs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderFig5(points))
+		return nil
+	})
+	run("table8", func() error {
+		fmt.Print(bench.RenderTable8())
+		return nil
+	})
+	run("security", func() error {
+		out, err := bench.RenderSecurity()
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	})
+	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
+}

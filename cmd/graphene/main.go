@@ -1,0 +1,209 @@
+// Command graphene launches an application inside a Graphene sandbox, the
+// way the paper's reference monitor launches picoprocesses:
+//
+//	graphene [-manifest FILE] [-personality graphene|native|kvm]
+//	         [-checkpoint FILE -after DURATION] PROGRAM [ARGS...]
+//	graphene -resume FILE PROGRAM
+//
+// The simulated host is constructed fresh, the application suite
+// (sh, coreutils, lighttpd, apache, make, unixbench, ...) is installed
+// under /bin, and PROGRAM runs with its output mirrored to stdout.
+//
+// Examples:
+//
+//	graphene /bin/sh -c "echo hello | wc"
+//	graphene -personality native /bin/unixbench spawn 100
+//	graphene -manifest my.manifest /bin/lighttpd 127.0.0.1:8080 4 /www
+//
+// Migration (§6.1): checkpoint a running program to a file on the real
+// host, then resume it — typically on another invocation ("machine"):
+//
+//	graphene -checkpoint /tmp/ck -after 100ms /bin/lighttpd 127.0.0.1:80 4 /www
+//	graphene -resume /tmp/ck /bin/lighttpd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"graphene/internal/apps"
+	"graphene/internal/baseline/kvm"
+	"graphene/internal/baseline/native"
+	"graphene/internal/host"
+	"graphene/internal/liblinux"
+	"graphene/internal/monitor"
+)
+
+const defaultManifest = `
+# Default manifest: full view of the simulated host FS.
+mount / /
+allow_read /
+allow_write /
+net_listen *:*
+net_connect *:*
+`
+
+func main() {
+	manifestPath := flag.String("manifest", "", "manifest file (Graphene personality only)")
+	personality := flag.String("personality", "graphene", "graphene, native, or kvm")
+	checkpointTo := flag.String("checkpoint", "", "checkpoint the program to FILE instead of waiting for exit")
+	after := flag.Duration("after", 100*time.Millisecond, "how long to run before -checkpoint")
+	resumeFrom := flag.String("resume", "", "resume a checkpoint FILE (the program must still be named, to resolve its code)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		fmt.Fprintln(os.Stderr, "usage: graphene [-manifest FILE] [-personality P] PROGRAM [ARGS...]")
+		os.Exit(2)
+	}
+	program := args[0]
+	if !strings.HasPrefix(program, "/") {
+		program = "/bin/" + program
+	}
+	argv := append([]string{program}, args[1:]...)
+
+	var code int
+	var err error
+	switch {
+	case *resumeFrom != "":
+		code, err = resume(*manifestPath, *resumeFrom)
+	case *checkpointTo != "":
+		err = checkpoint(*manifestPath, program, argv, *checkpointTo, *after)
+	default:
+		code, err = run(*personality, *manifestPath, program, argv)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphene:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+// grapheneHost boots a Graphene installation with the app suite.
+func grapheneHost(manifestPath string) (*host.Kernel, *liblinux.Runtime, *monitor.Manifest, error) {
+	k := host.NewKernel()
+	k.ConsoleOf().SetMirror(os.Stdout)
+	m := monitor.New(k)
+	rt := liblinux.NewRuntime(k, m)
+	if err := apps.RegisterAll(rt.RegisterProgram); err != nil {
+		return nil, nil, nil, err
+	}
+	text := defaultManifest
+	if manifestPath != "" {
+		data, err := os.ReadFile(manifestPath)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		text = string(data)
+	}
+	man, err := monitor.ParseManifest(manifestPath, text)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return k, rt, man, nil
+}
+
+// checkpoint runs the program for the given duration, then writes its
+// migration image to a real host file (§6.1's checkpoint side).
+func checkpoint(manifestPath, program string, argv []string, outPath string, after time.Duration) error {
+	_, rt, man, err := grapheneHost(manifestPath)
+	if err != nil {
+		return err
+	}
+	res, err := rt.Launch(man, program, argv)
+	if err != nil {
+		return err
+	}
+	select {
+	case <-res.Done:
+		return fmt.Errorf("program exited (code %d) before the checkpoint at %v", res.ExitCode(), after)
+	case <-time.After(after):
+	}
+	blob, err := res.Process.CheckpointToBytes()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, blob, 0600); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "graphene: checkpointed %d KB to %s\n", len(blob)/1024, outPath)
+	return nil
+}
+
+// resume restores a checkpoint file on a freshly booted "machine".
+func resume(manifestPath, inPath string) (int, error) {
+	blob, err := os.ReadFile(inPath)
+	if err != nil {
+		return 0, err
+	}
+	_, rt, man, err := grapheneHost(manifestPath)
+	if err != nil {
+		return 0, err
+	}
+	res, err := rt.ResumeFromBytes(man, blob)
+	if err != nil {
+		return 0, err
+	}
+	<-res.Done
+	return res.ExitCode(), nil
+}
+
+func run(personality, manifestPath, program string, argv []string) (int, error) {
+	switch personality {
+	case "graphene":
+		k := host.NewKernel()
+		k.ConsoleOf().SetMirror(os.Stdout)
+		m := monitor.New(k)
+		rt := liblinux.NewRuntime(k, m)
+		if err := apps.RegisterAll(rt.RegisterProgram); err != nil {
+			return 0, err
+		}
+		text := defaultManifest
+		if manifestPath != "" {
+			data, err := os.ReadFile(manifestPath)
+			if err != nil {
+				return 0, err
+			}
+			text = string(data)
+		}
+		man, err := monitor.ParseManifest(manifestPath, text)
+		if err != nil {
+			return 0, err
+		}
+		res, err := rt.Launch(man, program, argv)
+		if err != nil {
+			return 0, err
+		}
+		<-res.Done
+		return res.ExitCode(), nil
+
+	case "native":
+		k := native.NewKernel()
+		if err := apps.RegisterAll(k.RegisterProgram); err != nil {
+			return 0, err
+		}
+		res, err := k.Launch(program, argv)
+		if err != nil {
+			return 0, err
+		}
+		<-res.Done
+		return res.ExitCode(), nil
+
+	case "kvm":
+		vm := kvm.StartVM()
+		if err := apps.RegisterAll(vm.RegisterProgram); err != nil {
+			return 0, err
+		}
+		res, err := vm.Launch(program, argv)
+		if err != nil {
+			return 0, err
+		}
+		<-res.Done
+		return res.ExitCode(), nil
+
+	default:
+		return 0, fmt.Errorf("unknown personality %q", personality)
+	}
+}

@@ -1,0 +1,117 @@
+// Shellpipeline: a producer/consumer application built on System V
+// message queues across fork — the distributed SysV implementation of
+// §4.2 with leader-managed key mapping, asynchronous remote sends, and
+// ownership migration to the consumer.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"graphene/internal/api"
+	"graphene/internal/apps"
+	"graphene/internal/host"
+	"graphene/internal/liblinux"
+	"graphene/internal/monitor"
+)
+
+const (
+	queueKey = 0xBEEF
+	rounds   = 200
+)
+
+func pipelineMain(p api.OS, argv []string) int {
+	qid, err := p.Msgget(queueKey, api.IPCCreat)
+	if err != nil {
+		return 1
+	}
+
+	// Producer child: sends `rounds` work items, then a type-2 stop
+	// message. Remote sends are asynchronous (§4.3).
+	producer, err := p.Fork(func(c api.OS) {
+		cq, err := c.Msgget(queueKey, 0)
+		if err != nil {
+			c.Exit(1)
+		}
+		for i := 0; i < rounds; i++ {
+			item := []byte(fmt.Sprintf("work-item-%d", i))
+			if err := c.Msgsnd(cq, 1, item, 0); err != nil {
+				c.Exit(2)
+			}
+		}
+		if err := c.Msgsnd(cq, 2, []byte("stop"), 0); err != nil {
+			c.Exit(3)
+		}
+		c.Exit(0)
+	})
+	if err != nil {
+		return 2
+	}
+
+	// Consumer child: drains the queue. After a few receives the queue
+	// migrates to this process, turning RPC receives into local calls.
+	consumer, err := p.Fork(func(c api.OS) {
+		cq, err := c.Msgget(queueKey, 0)
+		if err != nil {
+			c.Exit(1)
+		}
+		count := 0
+		for {
+			mtype, _, err := c.Msgrcv(cq, 0, nil, 0)
+			if err != nil {
+				c.Exit(2)
+			}
+			if mtype == 2 {
+				break
+			}
+			count++
+		}
+		c.Write(1, []byte(fmt.Sprintf("consumer drained %d items\n", count)))
+		if count != rounds {
+			c.Exit(3)
+		}
+		c.Exit(0)
+	})
+	if err != nil {
+		return 3
+	}
+
+	for _, pid := range []int{producer, consumer} {
+		res, err := p.Wait(pid)
+		if err != nil || res.ExitCode != 0 {
+			return 100 + res.ExitCode
+		}
+	}
+	if err := p.MsgctlRmid(qid); err != nil {
+		p.Write(1, []byte("rmid error: "+err.Error()+"\n"))
+		return 4
+	}
+	return 0
+}
+
+func main() {
+	kernel := host.NewKernel()
+	kernel.ConsoleOf().SetMirror(os.Stdout)
+	mon := monitor.New(kernel)
+	rt := liblinux.NewRuntime(kernel, mon)
+	if err := apps.RegisterAll(rt.RegisterProgram); err != nil {
+		panic(err)
+	}
+	if err := rt.RegisterProgram("/bin/pipeline", pipelineMain); err != nil {
+		panic(err)
+	}
+	man, err := monitor.ParseManifest("pipeline", "mount / /\nallow_read /\nallow_write /\n")
+	if err != nil {
+		panic(err)
+	}
+	res, err := rt.Launch(man, "/bin/pipeline", []string{"/bin/pipeline"})
+	if err != nil {
+		panic(err)
+	}
+	<-res.Done
+	if res.ExitCode() != 0 {
+		fmt.Printf("pipeline failed: %d\n", res.ExitCode())
+		os.Exit(1)
+	}
+	fmt.Println("producer/consumer over distributed System V IPC: OK")
+}

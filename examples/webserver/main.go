@@ -1,0 +1,97 @@
+// Webserver: the paper's mod_auth_basic experiment (§6.6, "New
+// Opportunities"). A preforked server authenticates a user, and the
+// worker handling that user's requests calls sandbox_create to drop into
+// a sandbox restricted to that user's data: even a fully compromised
+// worker cannot read other users' files or coordinate with its former
+// sandbox-mates.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"graphene/internal/api"
+	"graphene/internal/apps"
+	"graphene/internal/host"
+	"graphene/internal/liblinux"
+	"graphene/internal/monitor"
+)
+
+func main() {
+	kernel := host.NewKernel()
+	kernel.ConsoleOf().SetMirror(os.Stdout)
+	mon := monitor.New(kernel)
+	rt := liblinux.NewRuntime(kernel, mon)
+	if err := apps.RegisterAll(rt.RegisterProgram); err != nil {
+		panic(err)
+	}
+
+	// Two users' private data on the host.
+	kernel.FS.MkdirAll("/users/alice", 0755)
+	kernel.FS.MkdirAll("/users/bob", 0755)
+	kernel.FS.WriteFile("/users/alice/inbox", []byte("alice: meet at noon\n"), 0600)
+	kernel.FS.WriteFile("/users/bob/inbox", []byte("bob: launch codes\n"), 0600)
+
+	// The server program: authenticate, fork a worker per user, sandbox
+	// the worker to that user, then serve (here: read the user's inbox
+	// and demonstrate bob's is unreachable).
+	server := func(p api.OS, argv []string) int {
+		user := argv[1]
+		workerPID, err := p.Fork(func(w api.OS) {
+			// --- inside the per-user worker ---
+			sc := w.(api.SandboxCreator)
+			if err := sc.SandboxCreate([]string{"/users/" + user, "/bin"}); err != nil {
+				w.Exit(1)
+			}
+			fd, err := w.Open("/users/"+user+"/inbox", api.ORdOnly, 0)
+			if err != nil {
+				w.Exit(2)
+			}
+			buf := make([]byte, 256)
+			n, _ := w.Read(fd, buf)
+			w.Write(1, []byte("worker("+user+") read own inbox: "+string(buf[:n])))
+
+			// The attack: a compromised worker tries bob's inbox.
+			if _, err := w.Open("/users/bob/inbox", api.ORdOnly, 0); api.ToErrno(err) == api.EACCES {
+				w.Write(1, []byte("worker("+user+") denied bob's inbox: EACCES (isolated!)\n"))
+				w.Exit(0)
+			}
+			w.Write(1, []byte("worker("+user+") READ BOB'S INBOX — isolation failed\n"))
+			w.Exit(3)
+		})
+		if err != nil {
+			return 1
+		}
+		res, err := p.Wait(workerPID)
+		if err != nil {
+			return 1
+		}
+		return res.ExitCode
+	}
+	if err := rt.RegisterProgram("/bin/authserver", server); err != nil {
+		panic(err)
+	}
+
+	manifest, err := monitor.ParseManifest("httpd", `
+mount / /
+allow_read /bin
+allow_read /users
+allow_write /users
+net_listen 127.0.0.1:*
+`)
+	if err != nil {
+		panic(err)
+	}
+
+	res, err := rt.Launch(manifest, "/bin/authserver", []string{"/bin/authserver", "alice"})
+	if err != nil {
+		panic(err)
+	}
+	<-res.Done
+	if res.ExitCode() == 0 {
+		fmt.Println("\nper-user worker sandboxing: OK")
+	} else {
+		fmt.Printf("\nFAILED with code %d\n", res.ExitCode())
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module graphene
+
+go 1.22

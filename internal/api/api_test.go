@@ -1,0 +1,91 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestErrnoError(t *testing.T) {
+	if got := ENOENT.Error(); got != "ENOENT: no such file or directory" {
+		t.Fatalf("ENOENT = %q", got)
+	}
+	if got := Errno(9999).Error(); got != "errno 9999" {
+		t.Fatalf("unknown errno = %q", got)
+	}
+}
+
+func TestIs(t *testing.T) {
+	if !Is(ENOENT, ENOENT) {
+		t.Fatal("Is(ENOENT, ENOENT) = false")
+	}
+	if Is(ENOENT, EACCES) {
+		t.Fatal("Is(ENOENT, EACCES) = true")
+	}
+	wrapped := fmt.Errorf("open failed: %w", EACCES)
+	if !Is(wrapped, EACCES) {
+		t.Fatal("Is of wrapped errno = false")
+	}
+	if Is(errors.New("plain"), ENOENT) {
+		t.Fatal("Is of foreign error = true")
+	}
+	if Is(nil, ENOENT) {
+		t.Fatal("Is(nil) = true")
+	}
+}
+
+func TestToErrno(t *testing.T) {
+	if ToErrno(nil) != 0 {
+		t.Fatal("ToErrno(nil) != 0")
+	}
+	if ToErrno(EPIPE) != EPIPE {
+		t.Fatal("ToErrno(EPIPE) != EPIPE")
+	}
+	if ToErrno(fmt.Errorf("x: %w", EIDRM)) != EIDRM {
+		t.Fatal("ToErrno of wrapped != EIDRM")
+	}
+	if ToErrno(errors.New("foreign")) != EINVAL {
+		t.Fatal("ToErrno of foreign != EINVAL")
+	}
+}
+
+func TestSignalString(t *testing.T) {
+	if SIGKILL.String() != "SIGKILL" {
+		t.Fatalf("SIGKILL = %q", SIGKILL.String())
+	}
+	if Signal(29).String() != "SIG#29" {
+		t.Fatalf("unknown = %q", Signal(29).String())
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 7: "7", -3: "-3", 12345: "12345", -9876: "-9876"}
+	for in, want := range cases {
+		if got := itoa(in); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Property: every defined errno has a symbolic message (not "errno N"),
+// and Error never panics for arbitrary values.
+func TestPropertyErrnoMessages(t *testing.T) {
+	for e := range errnoNames {
+		if e == 0 {
+			t.Fatal("errno 0 must not be named")
+		}
+		msg := e.Error()
+		if len(msg) < 3 || msg[0] == 'e' {
+			t.Errorf("errno %d: suspicious message %q", int(e), msg)
+		}
+	}
+	f := func(v int32) bool {
+		_ = Errno(v).Error()
+		_ = Signal(v).String()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

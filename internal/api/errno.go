@@ -1,0 +1,151 @@
+// Package api defines the POSIX-like surface that applications program
+// against, shared by every personality in this repository: the Graphene
+// library OS (internal/liblinux), the native-Linux baseline
+// (internal/baseline/native), and the KVM baseline (internal/baseline/kvm).
+//
+// It mirrors the role of the Linux system call ABI in the paper: unmodified
+// applications (internal/apps) are written once against api.OS and run on
+// all three systems.
+package api
+
+import "fmt"
+
+// Errno is a Unix-style error number. The zero value means "no error" and
+// must never be returned as an error.
+type Errno int
+
+// Errno values used throughout the repository. Numeric values follow
+// Linux/x86-64 so that error reporting looks familiar.
+const (
+	EPERM        Errno = 1
+	ENOENT       Errno = 2
+	ESRCH        Errno = 3
+	EINTR        Errno = 4
+	EIO          Errno = 5
+	E2BIG        Errno = 7
+	ENOEXEC      Errno = 8
+	EBADF        Errno = 9
+	ECHILD       Errno = 10
+	EAGAIN       Errno = 11
+	ENOMEM       Errno = 12
+	EACCES       Errno = 13
+	EFAULT       Errno = 14
+	EBUSY        Errno = 16
+	EEXIST       Errno = 17
+	EXDEV        Errno = 18
+	ENODEV       Errno = 19
+	ENOTDIR      Errno = 20
+	EISDIR       Errno = 21
+	EINVAL       Errno = 22
+	ENFILE       Errno = 23
+	EMFILE       Errno = 24
+	ENOTTY       Errno = 25
+	EFBIG        Errno = 27
+	ENOSPC       Errno = 28
+	ESPIPE       Errno = 29
+	EROFS        Errno = 30
+	EMLINK       Errno = 31
+	EPIPE        Errno = 32
+	ERANGE       Errno = 34
+	EDEADLK      Errno = 35
+	ENAMETOOLONG Errno = 36
+	ENOSYS       Errno = 38
+	ENOTEMPTY    Errno = 39
+	ENOMSG       Errno = 42
+	EIDRM        Errno = 43
+	ENOTSOCK     Errno = 88
+	EADDRINUSE   Errno = 98
+	ENETUNREACH  Errno = 101
+	ECONNRESET   Errno = 104
+	EISCONN      Errno = 106
+	ENOTCONN     Errno = 107
+	ETIMEDOUT    Errno = 110
+	ECONNREFUSED Errno = 111
+)
+
+var errnoNames = map[Errno]string{
+	EPERM:        "EPERM: operation not permitted",
+	ENOENT:       "ENOENT: no such file or directory",
+	ESRCH:        "ESRCH: no such process",
+	EINTR:        "EINTR: interrupted system call",
+	EIO:          "EIO: input/output error",
+	E2BIG:        "E2BIG: argument list too long",
+	ENOEXEC:      "ENOEXEC: exec format error",
+	EBADF:        "EBADF: bad file descriptor",
+	ECHILD:       "ECHILD: no child processes",
+	EAGAIN:       "EAGAIN: resource temporarily unavailable",
+	ENOMEM:       "ENOMEM: cannot allocate memory",
+	EACCES:       "EACCES: permission denied",
+	EFAULT:       "EFAULT: bad address",
+	EBUSY:        "EBUSY: device or resource busy",
+	EEXIST:       "EEXIST: file exists",
+	EXDEV:        "EXDEV: invalid cross-device link",
+	ENODEV:       "ENODEV: no such device",
+	ENOTDIR:      "ENOTDIR: not a directory",
+	EISDIR:       "EISDIR: is a directory",
+	EINVAL:       "EINVAL: invalid argument",
+	ENFILE:       "ENFILE: too many open files in system",
+	EMFILE:       "EMFILE: too many open files",
+	ENOTTY:       "ENOTTY: inappropriate ioctl for device",
+	EFBIG:        "EFBIG: file too large",
+	ENOSPC:       "ENOSPC: no space left on device",
+	ESPIPE:       "ESPIPE: illegal seek",
+	EROFS:        "EROFS: read-only file system",
+	EMLINK:       "EMLINK: too many links",
+	EPIPE:        "EPIPE: broken pipe",
+	ERANGE:       "ERANGE: result out of range",
+	EDEADLK:      "EDEADLK: resource deadlock avoided",
+	ENAMETOOLONG: "ENAMETOOLONG: file name too long",
+	ENOSYS:       "ENOSYS: function not implemented",
+	ENOTEMPTY:    "ENOTEMPTY: directory not empty",
+	ENOMSG:       "ENOMSG: no message of desired type",
+	EIDRM:        "EIDRM: identifier removed",
+	ENOTSOCK:     "ENOTSOCK: socket operation on non-socket",
+	EADDRINUSE:   "EADDRINUSE: address already in use",
+	ENETUNREACH:  "ENETUNREACH: network is unreachable",
+	ECONNRESET:   "ECONNRESET: connection reset by peer",
+	EISCONN:      "EISCONN: socket is already connected",
+	ENOTCONN:     "ENOTCONN: socket is not connected",
+	ETIMEDOUT:    "ETIMEDOUT: connection timed out",
+	ECONNREFUSED: "ECONNREFUSED: connection refused",
+}
+
+func (e Errno) Error() string {
+	if s, ok := errnoNames[e]; ok {
+		return s
+	}
+	return fmt.Sprintf("errno %d", int(e))
+}
+
+// Is reports whether err is (or wraps) the given errno.
+func Is(err error, e Errno) bool {
+	for err != nil {
+		if got, ok := err.(Errno); ok {
+			return got == e
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// ToErrno extracts an Errno from err, returning EINVAL for foreign errors
+// and 0 for nil, mirroring how a kernel boundary flattens error detail.
+func ToErrno(err error) Errno {
+	if err == nil {
+		return 0
+	}
+	for {
+		if e, ok := err.(Errno); ok {
+			return e
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return EINVAL
+		}
+		err = u.Unwrap()
+	}
+}

@@ -1,0 +1,148 @@
+package api
+
+// Signal is a POSIX signal number. Numeric values follow Linux/x86-64.
+type Signal int
+
+// Signals implemented by libLinux and the baseline personalities.
+const (
+	SIGHUP  Signal = 1
+	SIGINT  Signal = 2
+	SIGQUIT Signal = 3
+	SIGILL  Signal = 4
+	SIGABRT Signal = 6
+	SIGFPE  Signal = 8
+	SIGKILL Signal = 9
+	SIGUSR1 Signal = 10
+	SIGSEGV Signal = 11
+	SIGUSR2 Signal = 12
+	SIGPIPE Signal = 13
+	SIGALRM Signal = 14
+	SIGTERM Signal = 15
+	SIGCHLD Signal = 17
+	SIGCONT Signal = 18
+	SIGSTOP Signal = 19
+	SIGSYS  Signal = 31
+
+	// NumSignals bounds signal numbering; valid signals are 1..NumSignals-1.
+	NumSignals = 32
+)
+
+var signalNames = map[Signal]string{
+	SIGHUP: "SIGHUP", SIGINT: "SIGINT", SIGQUIT: "SIGQUIT", SIGILL: "SIGILL",
+	SIGABRT: "SIGABRT", SIGFPE: "SIGFPE", SIGKILL: "SIGKILL", SIGUSR1: "SIGUSR1",
+	SIGSEGV: "SIGSEGV", SIGUSR2: "SIGUSR2", SIGPIPE: "SIGPIPE", SIGALRM: "SIGALRM",
+	SIGTERM: "SIGTERM", SIGCHLD: "SIGCHLD", SIGCONT: "SIGCONT", SIGSTOP: "SIGSTOP",
+	SIGSYS: "SIGSYS",
+}
+
+func (s Signal) String() string {
+	if n, ok := signalNames[s]; ok {
+		return n
+	}
+	return "SIG#" + itoa(int(s))
+}
+
+// SigHandler is an application signal handler. It runs in the context of the
+// signaled process, as Linux runs handlers on return to user mode.
+type SigHandler func(sig Signal)
+
+// Special sigaction dispositions.
+const (
+	// SigDfl requests the default disposition (termination for most signals).
+	SigDfl = "default"
+	// SigIgn requests the signal be discarded.
+	SigIgn = "ignore"
+)
+
+// Open flags, mirroring Linux fcntl.h.
+const (
+	ORdOnly = 0x0
+	OWrOnly = 0x1
+	ORdWr   = 0x2
+	OCreate = 0x40
+	OExcl   = 0x80
+	OTrunc  = 0x200
+	OAppend = 0x400
+)
+
+// Seek whence values.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// Memory protection bits for Mmap/Mprotect.
+const (
+	ProtNone  = 0x0
+	ProtRead  = 0x1
+	ProtWrite = 0x2
+	ProtExec  = 0x4
+)
+
+// System V IPC flags (ipc.h / msg.h / sem.h).
+const (
+	IPCCreat   = 0x200
+	IPCExcl    = 0x400
+	IPCNoWait  = 0x800
+	IPCRmid    = 0
+	IPCStat    = 2
+	IPCPrivate = 0
+)
+
+// WaitResult describes a reaped child, the payload of wait4/waitpid.
+type WaitResult struct {
+	PID      int
+	ExitCode int
+	// Signaled is non-zero if the child was terminated by a signal.
+	Signaled Signal
+}
+
+// Stat describes a file, the payload of stat(2).
+type Stat struct {
+	Name  string
+	Size  int64
+	Mode  FileMode
+	IsDir bool
+}
+
+// FileMode carries Unix permission bits.
+type FileMode uint32
+
+// DirEnt is a directory entry returned by ReadDir.
+type DirEnt struct {
+	Name  string
+	IsDir bool
+}
+
+// SemBuf is one sembuf operation for Semop.
+type SemBuf struct {
+	Num int   // semaphore index within the set
+	Op  int16 // <0 acquire, >0 release, 0 wait-for-zero
+	Flg int16 // IPCNoWait supported
+}
+
+// SockAddr is a simplified TCP/IP endpoint ("host:port") for the socket API.
+type SockAddr string
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,198 @@
+package apps
+
+import (
+	"strconv"
+	"strings"
+
+	"graphene/internal/api"
+)
+
+// Coreutils returns the small Unix utilities the shell composes — the six
+// commands of the paper's "Unix utils" benchmark (cp, rm, ls, cat, date,
+// echo) plus a few the scripts need.
+func Coreutils() map[string]api.Program {
+	return map[string]api.Program{
+		"/bin/echo":  echoMain,
+		"/bin/cat":   catMain,
+		"/bin/cp":    cpMain,
+		"/bin/rm":    rmMain,
+		"/bin/ls":    lsMain,
+		"/bin/date":  dateMain,
+		"/bin/true":  func(api.OS, []string) int { return 0 },
+		"/bin/false": func(api.OS, []string) int { return 1 },
+		"/bin/wc":    wcMain,
+		"/bin/seq":   seqMain,
+		"/bin/touch": touchMain,
+		"/bin/mkdir": mkdirMain,
+		"/bin/grep":  grepMain,
+	}
+}
+
+func echoMain(p api.OS, argv []string) int {
+	printf(p, strings.Join(argv[1:], " ")+"\n")
+	return 0
+}
+
+func catMain(p api.OS, argv []string) int {
+	if len(argv) == 1 {
+		data, _ := readAll(p, 0)
+		_ = writeAll(p, 1, data)
+		return 0
+	}
+	for _, path := range argv[1:] {
+		data, err := readFile(p, path)
+		if err != nil {
+			printf(p, "cat: "+path+": "+err.Error()+"\n")
+			return 1
+		}
+		_ = writeAll(p, 1, data)
+	}
+	return 0
+}
+
+func cpMain(p api.OS, argv []string) int {
+	if len(argv) != 3 {
+		printf(p, "usage: cp SRC DST\n")
+		return 1
+	}
+	data, err := readFile(p, argv[1])
+	if err != nil {
+		printf(p, "cp: "+err.Error()+"\n")
+		return 1
+	}
+	if err := writeFile(p, argv[2], data); err != nil {
+		printf(p, "cp: "+err.Error()+"\n")
+		return 1
+	}
+	return 0
+}
+
+func rmMain(p api.OS, argv []string) int {
+	status := 0
+	for _, path := range argv[1:] {
+		if err := p.Unlink(path); err != nil {
+			printf(p, "rm: "+path+": "+err.Error()+"\n")
+			status = 1
+		}
+	}
+	return status
+}
+
+func lsMain(p api.OS, argv []string) int {
+	dir := "."
+	if len(argv) > 1 {
+		dir = argv[1]
+	}
+	ents, err := p.ReadDir(dir)
+	if err != nil {
+		printf(p, "ls: "+err.Error()+"\n")
+		return 1
+	}
+	var sb strings.Builder
+	for _, e := range ents {
+		sb.WriteString(e.Name)
+		if e.IsDir {
+			sb.WriteByte('/')
+		}
+		sb.WriteByte('\n')
+	}
+	printf(p, sb.String())
+	return 0
+}
+
+func dateMain(p api.OS, argv []string) int {
+	us, err := p.Gettimeofday()
+	if err != nil {
+		return 1
+	}
+	printf(p, strconv.FormatInt(us, 10)+"\n")
+	return 0
+}
+
+func wcMain(p api.OS, argv []string) int {
+	var data []byte
+	var err error
+	if len(argv) > 1 {
+		data, err = readFile(p, argv[1])
+		if err != nil {
+			printf(p, "wc: "+err.Error()+"\n")
+			return 1
+		}
+	} else {
+		data, _ = readAll(p, 0)
+	}
+	lines := 0
+	for _, b := range data {
+		if b == '\n' {
+			lines++
+		}
+	}
+	printf(p, strconv.Itoa(lines)+" "+strconv.Itoa(len(data))+"\n")
+	return 0
+}
+
+func seqMain(p api.OS, argv []string) int {
+	if len(argv) != 2 {
+		printf(p, "usage: seq N\n")
+		return 1
+	}
+	n := atoiOr(argv[1], 0)
+	var sb strings.Builder
+	for i := 1; i <= n; i++ {
+		sb.WriteString(strconv.Itoa(i))
+		sb.WriteByte('\n')
+	}
+	printf(p, sb.String())
+	return 0
+}
+
+func touchMain(p api.OS, argv []string) int {
+	for _, path := range argv[1:] {
+		fd, err := p.Open(path, api.OCreate|api.OWrOnly, 0644)
+		if err != nil {
+			printf(p, "touch: "+err.Error()+"\n")
+			return 1
+		}
+		p.Close(fd)
+	}
+	return 0
+}
+
+func mkdirMain(p api.OS, argv []string) int {
+	for _, path := range argv[1:] {
+		if err := p.Mkdir(path, 0755); err != nil {
+			printf(p, "mkdir: "+err.Error()+"\n")
+			return 1
+		}
+	}
+	return 0
+}
+
+func grepMain(p api.OS, argv []string) int {
+	if len(argv) < 2 {
+		printf(p, "usage: grep PATTERN [FILE]\n")
+		return 2
+	}
+	pat := argv[1]
+	var data []byte
+	if len(argv) > 2 {
+		var err error
+		data, err = readFile(p, argv[2])
+		if err != nil {
+			return 2
+		}
+	} else {
+		data, _ = readAll(p, 0)
+	}
+	found := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, pat) {
+			printf(p, line+"\n")
+			found = true
+		}
+	}
+	if found {
+		return 0
+	}
+	return 1
+}

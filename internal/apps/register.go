@@ -1,0 +1,26 @@
+package apps
+
+import (
+	"graphene/internal/api"
+)
+
+// RegisterAll installs every application binary through the given
+// personality's program registrar, so the same suite is available on
+// Graphene, native, and KVM.
+func RegisterAll(register func(path string, prog api.Program) error) error {
+	programs := Coreutils()
+	programs["/bin/sh"] = ShellMain
+	programs["/bin/lighttpd"] = LighttpdMain
+	programs["/bin/apache"] = ApacheMain
+	programs["/bin/ab"] = ABMain
+	programs["/bin/cc1"] = CC1Main
+	programs["/bin/ld"] = LDMain
+	programs["/bin/make"] = MakeMain
+	programs["/bin/unixbench"] = UnixbenchMain
+	for path, prog := range programs {
+		if err := register(path, prog); err != nil {
+			return err
+		}
+	}
+	return nil
+}

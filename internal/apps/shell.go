@@ -1,0 +1,290 @@
+package apps
+
+import (
+	"strings"
+
+	"graphene/internal/api"
+)
+
+// ShellMain is /bin/sh: a POSIX-flavored shell supporting pipelines,
+// redirection, background jobs, `;` sequencing, and the builtins cd, wait,
+// and exit — enough to run the paper's shell-script benchmarks (§6.3).
+//
+// Usage: sh -c "script"  |  sh /path/to/script
+func ShellMain(p api.OS, argv []string) int {
+	var script string
+	switch {
+	case len(argv) >= 3 && argv[1] == "-c":
+		script = strings.Join(argv[2:], " ")
+	case len(argv) >= 2:
+		data, err := readFile(p, argv[1])
+		if err != nil {
+			printf(p, "sh: "+argv[1]+": "+err.Error()+"\n")
+			return 127
+		}
+		script = string(data)
+	default:
+		printf(p, "usage: sh -c CMD | sh SCRIPT\n")
+		return 2
+	}
+	// The shell's own dirty heap: parser state and variables (~256 KB of
+	// private pages; the rest of bash's ~1 MB image is shared text).
+	touchHeap(p, 256<<10)
+	return runScript(p, script)
+}
+
+// shellState carries background-job bookkeeping across commands.
+type shellState struct {
+	bgPIDs []int
+	status int
+}
+
+func runScript(p api.OS, script string) int {
+	st := &shellState{}
+	for _, rawLine := range strings.Split(script, "\n") {
+		for _, cmd := range splitTop(rawLine, ';') {
+			cmd = strings.TrimSpace(cmd)
+			if cmd == "" || strings.HasPrefix(cmd, "#") {
+				continue
+			}
+			if code, stop := runCommand(p, st, cmd); stop {
+				return code
+			}
+		}
+	}
+	// An implicit wait reaps stragglers, so scripts ending with & jobs
+	// behave deterministically.
+	waitAllBackground(p, st)
+	return st.status
+}
+
+// splitTop splits s on sep, respecting double quotes.
+func splitTop(s string, sep byte) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case sep:
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// tokenize splits a command into words, honoring double quotes.
+func tokenize(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			inQuote = !inQuote
+		case (c == ' ' || c == '\t') && !inQuote:
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return out
+}
+
+// stage is one pipeline element after parsing.
+type stage struct {
+	argv     []string
+	redirOut string
+	redirIn  string
+	appendTo bool
+}
+
+func parseStage(words []string) (stage, bool) {
+	var st stage
+	for i := 0; i < len(words); i++ {
+		switch words[i] {
+		case ">", ">>":
+			if i+1 >= len(words) {
+				return st, false
+			}
+			st.redirOut = words[i+1]
+			st.appendTo = words[i] == ">>"
+			i++
+		case "<":
+			if i+1 >= len(words) {
+				return st, false
+			}
+			st.redirIn = words[i+1]
+			i++
+		default:
+			st.argv = append(st.argv, words[i])
+		}
+	}
+	return st, len(st.argv) > 0
+}
+
+// resolveBinary applies the implicit /bin PATH.
+func resolveBinary(name string) string {
+	if strings.HasPrefix(name, "/") {
+		return name
+	}
+	return "/bin/" + name
+}
+
+// runCommand executes one command or pipeline. stop is true for `exit`.
+func runCommand(p api.OS, st *shellState, cmd string) (code int, stop bool) {
+	background := false
+	cmd = strings.TrimSpace(cmd)
+	if strings.HasSuffix(cmd, "&") {
+		background = true
+		cmd = strings.TrimSpace(strings.TrimSuffix(cmd, "&"))
+	}
+	segments := splitTop(cmd, '|')
+
+	// Builtins (only meaningful outside pipelines).
+	if len(segments) == 1 {
+		words := tokenize(segments[0])
+		if len(words) == 0 {
+			return 0, false
+		}
+		switch words[0] {
+		case "cd":
+			dir := "/"
+			if len(words) > 1 {
+				dir = words[1]
+			}
+			if err := p.Chdir(dir); err != nil {
+				printf(p, "cd: "+dir+": "+err.Error()+"\n")
+				st.status = 1
+			} else {
+				st.status = 0
+			}
+			return 0, false
+		case "wait":
+			waitAllBackground(p, st)
+			return 0, false
+		case "exit":
+			n := 0
+			if len(words) > 1 {
+				n = atoiOr(words[1], 0)
+			}
+			return n, true
+		}
+	}
+
+	// Parse every stage before forking anything.
+	stages := make([]stage, 0, len(segments))
+	for _, seg := range segments {
+		s, ok := parseStage(tokenize(seg))
+		if !ok {
+			printf(p, "sh: syntax error near "+seg+"\n")
+			st.status = 2
+			return 0, false
+		}
+		stages = append(stages, s)
+	}
+
+	// Create the N-1 connecting pipes up front.
+	type pipePair struct{ r, w int }
+	pipes := make([]pipePair, len(stages)-1)
+	for i := range pipes {
+		r, w, err := p.Pipe()
+		if err != nil {
+			printf(p, "sh: pipe: "+err.Error()+"\n")
+			st.status = 1
+			return 0, false
+		}
+		pipes[i] = pipePair{r, w}
+	}
+
+	var pids []int
+	for i, s := range stages {
+		s := s
+		i := i
+		pid, err := p.Fork(func(c api.OS) {
+			// Wire stdin/stdout, close every pipe descriptor we copied.
+			if i > 0 {
+				c.Dup2(pipes[i-1].r, 0)
+			}
+			if i < len(pipes) {
+				c.Dup2(pipes[i].w, 1)
+			}
+			for _, pp := range pipes {
+				c.Close(pp.r)
+				c.Close(pp.w)
+			}
+			if s.redirIn != "" {
+				fd, err := c.Open(s.redirIn, api.ORdOnly, 0)
+				if err != nil {
+					c.Exit(1)
+				}
+				c.Dup2(fd, 0)
+				c.Close(fd)
+			}
+			if s.redirOut != "" {
+				flags := api.OCreate | api.OWrOnly
+				if s.appendTo {
+					flags |= api.OAppend
+				} else {
+					flags |= api.OTrunc
+				}
+				fd, err := c.Open(s.redirOut, flags, 0644)
+				if err != nil {
+					c.Exit(1)
+				}
+				c.Dup2(fd, 1)
+				c.Close(fd)
+			}
+			if err := c.Exec(resolveBinary(s.argv[0]), s.argv); err != nil {
+				c.Exit(127)
+			}
+		})
+		if err != nil {
+			printf(p, "sh: fork: "+err.Error()+"\n")
+			st.status = 1
+			break
+		}
+		pids = append(pids, pid)
+	}
+	// The parent closes its copies of the pipe descriptors so EOF
+	// propagates down the pipeline.
+	for _, pp := range pipes {
+		p.Close(pp.r)
+		p.Close(pp.w)
+	}
+
+	if background {
+		st.bgPIDs = append(st.bgPIDs, pids...)
+		st.status = 0
+		return 0, false
+	}
+	for _, pid := range pids {
+		res, err := p.Wait(pid)
+		if err == nil {
+			st.status = res.ExitCode
+		}
+	}
+	return 0, false
+}
+
+func waitAllBackground(p api.OS, st *shellState) {
+	for _, pid := range st.bgPIDs {
+		if res, err := p.Wait(pid); err == nil {
+			st.status = res.ExitCode
+		}
+	}
+	st.bgPIDs = nil
+}

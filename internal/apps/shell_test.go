@@ -1,0 +1,80 @@
+package apps
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"echo hello world", []string{"echo", "hello", "world"}},
+		{`echo "two words" three`, []string{"echo", "two words", "three"}},
+		{"  spaced \t out  ", []string{"spaced", "out"}},
+		{`grep "a b" file`, []string{"grep", "a b", "file"}},
+		{"", nil},
+		{`""`, nil}, // empty quoted string contributes no token
+	}
+	for _, c := range cases {
+		if got := tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSplitTopRespectsQuotes(t *testing.T) {
+	got := splitTop(`echo "a;b"; echo c`, ';')
+	if len(got) != 2 {
+		t.Fatalf("splitTop = %v", got)
+	}
+	if got[0] != `echo "a;b"` || got[1] != " echo c" {
+		t.Fatalf("splitTop parts = %q", got)
+	}
+	// Pipes inside quotes are literal too.
+	got = splitTop(`grep "a|b" | wc`, '|')
+	if len(got) != 2 {
+		t.Fatalf("pipe split = %v", got)
+	}
+}
+
+func TestParseStage(t *testing.T) {
+	st, ok := parseStage([]string{"sort", "<", "in.txt", ">", "out.txt"})
+	if !ok || st.redirIn != "in.txt" || st.redirOut != "out.txt" || st.appendTo {
+		t.Fatalf("parseStage = %+v ok=%v", st, ok)
+	}
+	if len(st.argv) != 1 || st.argv[0] != "sort" {
+		t.Fatalf("argv = %v", st.argv)
+	}
+	st, ok = parseStage([]string{"echo", "x", ">>", "log"})
+	if !ok || !st.appendTo || st.redirOut != "log" {
+		t.Fatalf("append stage = %+v", st)
+	}
+	// Dangling redirection is a syntax error.
+	if _, ok := parseStage([]string{"echo", ">"}); ok {
+		t.Fatal("dangling > accepted")
+	}
+	// Empty command is invalid.
+	if _, ok := parseStage(nil); ok {
+		t.Fatal("empty stage accepted")
+	}
+}
+
+func TestResolveBinary(t *testing.T) {
+	if got := resolveBinary("ls"); got != "/bin/ls" {
+		t.Fatalf("ls -> %q", got)
+	}
+	if got := resolveBinary("/usr/bin/x"); got != "/usr/bin/x" {
+		t.Fatalf("abs -> %q", got)
+	}
+}
+
+func TestCoreutilsRegistryComplete(t *testing.T) {
+	utils := Coreutils()
+	for _, name := range []string{"cp", "rm", "ls", "cat", "date", "echo"} {
+		if utils["/bin/"+name] == nil {
+			t.Errorf("paper's six-utility benchmark needs /bin/%s", name)
+		}
+	}
+}

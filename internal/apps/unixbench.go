@@ -1,0 +1,174 @@
+package apps
+
+import (
+	"graphene/internal/api"
+)
+
+// UnixbenchMain is /bin/unixbench: the Unixbench-style stress programs of
+// §6.2–6.3. Subcommands:
+//
+//	unixbench spawn N    — N rounds of fork+exit
+//	unixbench execl N    — N rounds of fork+exec /bin/true
+//	unixbench pipe N     — N one-byte ping-pongs through a pipe
+//	unixbench shell N    — N background shell invocations of the six
+//	                       Unix utils (the multi.sh analogue: all jobs
+//	                       spawned up front, then awaited — the pattern
+//	                       that inflates Graphene's sampled footprint)
+//	unixbench fstime N   — N rounds of 64 KB file write+read+unlink
+//	unixbench syscall N  — N rounds of the null-syscall loop
+func UnixbenchMain(p api.OS, argv []string) int {
+	if len(argv) < 3 {
+		printf(p, "usage: unixbench {spawn|execl|pipe|shell} N\n")
+		return 2
+	}
+	n := atoiOr(argv[2], 1)
+	switch argv[1] {
+	case "spawn":
+		return ubSpawn(p, n)
+	case "execl":
+		return ubExecl(p, n)
+	case "pipe":
+		return ubPipe(p, n)
+	case "shell":
+		return ubShell(p, n)
+	case "fstime":
+		return ubFstime(p, n)
+	case "syscall":
+		return ubSyscall(p, n)
+	default:
+		printf(p, "unixbench: unknown test "+argv[1]+"\n")
+		return 2
+	}
+}
+
+func ubSpawn(p api.OS, n int) int {
+	for i := 0; i < n; i++ {
+		pid, err := p.Fork(func(c api.OS) { c.Exit(0) })
+		if err != nil {
+			return 1
+		}
+		if _, err := p.Wait(pid); err != nil {
+			return 1
+		}
+	}
+	return 0
+}
+
+func ubExecl(p api.OS, n int) int {
+	for i := 0; i < n; i++ {
+		pid, err := p.Spawn("/bin/true", []string{"/bin/true"})
+		if err != nil {
+			return 1
+		}
+		if res, err := p.Wait(pid); err != nil || res.ExitCode != 0 {
+			return 1
+		}
+	}
+	return 0
+}
+
+func ubPipe(p api.OS, n int) int {
+	r, w, err := p.Pipe()
+	if err != nil {
+		return 1
+	}
+	buf := []byte{0}
+	for i := 0; i < n; i++ {
+		if _, err := p.Write(w, buf); err != nil {
+			return 1
+		}
+		if _, err := p.Read(r, buf); err != nil {
+			return 1
+		}
+	}
+	return 0
+}
+
+func ubFstime(p api.OS, n int) int {
+	block := make([]byte, 4096)
+	for i := range block {
+		block[i] = byte(i)
+	}
+	for i := 0; i < n; i++ {
+		fd, err := p.Open("/tmp/ub-fstime", api.OCreate|api.OTrunc|api.ORdWr, 0644)
+		if err != nil {
+			if err := p.Mkdir("/tmp", 0755); err != nil && api.ToErrno(err) != api.EEXIST {
+				return 1
+			}
+			fd, err = p.Open("/tmp/ub-fstime", api.OCreate|api.OTrunc|api.ORdWr, 0644)
+			if err != nil {
+				return 1
+			}
+		}
+		for j := 0; j < 16; j++ { // 64 KB in 4 KB blocks
+			if _, err := p.Write(fd, block); err != nil {
+				return 1
+			}
+		}
+		if _, err := p.Lseek(fd, 0, api.SeekSet); err != nil {
+			return 1
+		}
+		total := 0
+		buf := make([]byte, 4096)
+		for {
+			m, err := p.Read(fd, buf)
+			if err != nil || m == 0 {
+				break
+			}
+			total += m
+		}
+		if total != 16*4096 {
+			return 1
+		}
+		if err := p.Close(fd); err != nil {
+			return 1
+		}
+		if err := p.Unlink("/tmp/ub-fstime"); err != nil {
+			return 1
+		}
+	}
+	return 0
+}
+
+func ubSyscall(p api.OS, n int) int {
+	for i := 0; i < n; i++ {
+		if p.Getpid() <= 0 {
+			return 1
+		}
+	}
+	return 0
+}
+
+// ubShell runs the six-utility script n times: every iteration launches
+// the utilities in the background and only then waits, matching how
+// Unixbench's multi.sh spawns all tasks up front (§6.2).
+func ubShell(p api.OS, n int) int {
+	if err := writeFile(p, "/tmp/ub-src", []byte("unixbench input file\n")); err != nil {
+		if err := p.Mkdir("/tmp", 0755); err != nil && api.ToErrno(err) != api.EEXIST {
+			return 1
+		}
+		if err := writeFile(p, "/tmp/ub-src", []byte("unixbench input file\n")); err != nil {
+			return 1
+		}
+	}
+	const script = `
+cp /tmp/ub-src /tmp/ub-copy &
+cat /tmp/ub-src > /tmp/ub-cat &
+ls /tmp &
+date > /tmp/ub-date &
+echo unixbench round &
+true &
+wait
+rm /tmp/ub-copy /tmp/ub-cat /tmp/ub-date
+`
+	for i := 0; i < n; i++ {
+		pid, err := p.Spawn("/bin/sh", []string{"/bin/sh", "-c", script})
+		if err != nil {
+			return 1
+		}
+		if res, err := p.Wait(pid); err != nil || res.ExitCode != 0 {
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,112 @@
+package kvm
+
+import (
+	"testing"
+	"time"
+
+	"graphene/internal/api"
+)
+
+func TestVMBootAndRun(t *testing.T) {
+	vm := StartVM()
+	if err := vm.RegisterProgram("/bin/hello", func(p api.OS, argv []string) int {
+		fd, err := p.Open("/out", api.OCreate|api.OWrOnly, 0644)
+		if err != nil {
+			return 1
+		}
+		if _, err := p.Write(fd, []byte("in the guest")); err != nil {
+			return 2
+		}
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Launch("/bin/hello", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-res.Done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("guest hung")
+	}
+	if res.ExitCode() != 0 {
+		t.Fatalf("exit = %d", res.ExitCode())
+	}
+	data, err := vm.Guest().FS.ReadFile("/out")
+	if err != nil || string(data) != "in the guest" {
+		t.Fatalf("guest FS: %q, %v", data, err)
+	}
+}
+
+func TestVMFootprintDwarfsProcesses(t *testing.T) {
+	vm := StartVM()
+	got := vm.ResidentBytes()
+	// Figure 4: KVM workloads sit near 150 MB; at minimum the guest
+	// kernel resident + qemu overhead.
+	if got < 100<<20 || got > 200<<20 {
+		t.Fatalf("VM resident = %d MB, want ~128 MB", got>>20)
+	}
+}
+
+func TestVMCheckpointIsWholeRAM(t *testing.T) {
+	vm := StartVM()
+	blob := vm.Checkpoint()
+	// Table 4: a KVM checkpoint is on the order of guest RAM (105 MB in
+	// the paper); ours must be within the guest-resident order.
+	if len(blob) < 64<<20 {
+		t.Fatalf("checkpoint = %d MB, want >= 64 MB", len(blob)>>20)
+	}
+	// Resume restores the RAM image.
+	vm2 := Resume(blob)
+	if got := vm2.GuestRAM.ResidentBytes(); got < 64<<20 {
+		t.Fatalf("resumed resident = %d MB", got>>20)
+	}
+}
+
+func TestGuestForkKeepsDeviceModel(t *testing.T) {
+	vm := StartVM()
+	if err := vm.RegisterProgram("/bin/forker", func(p api.OS, argv []string) int {
+		// The forked child must also be a *kvm.Process (device model
+		// attached), observable through the wrap: I/O still works and the
+		// types match behavioral expectations.
+		if _, ok := p.(*Process); !ok {
+			return 1
+		}
+		inner := make(chan bool, 1)
+		pid, err := p.Fork(func(c api.OS) {
+			_, ok := c.(*Process)
+			inner <- ok
+			c.Exit(0)
+		})
+		if err != nil {
+			return 2
+		}
+		if ok := <-inner; !ok {
+			return 3
+		}
+		p.Wait(pid)
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.Launch("/bin/forker", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-res.Done
+	if res.ExitCode() != 0 {
+		t.Fatalf("exit = %d", res.ExitCode())
+	}
+}
+
+func TestTwoVMsAreIsolated(t *testing.T) {
+	vm1 := StartVM()
+	vm2 := StartVM()
+	if err := vm1.Guest().FS.WriteFile("/only-in-vm1", []byte("x"), 0644); err != nil {
+		t.Fatal(err)
+	}
+	if vm2.Guest().FS.Exists("/only-in-vm1") {
+		t.Fatal("file leaked across VMs")
+	}
+}

@@ -1,0 +1,943 @@
+package native
+
+import (
+	"crypto/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphene/internal/api"
+	"graphene/internal/host"
+)
+
+// fdesc is a native open file description (refcounted across fork/dup).
+type fdesc struct {
+	kind int // 0 file, 1 pipe, 2 socket, 3 listener, 4 tty, 5 proc
+	file *host.OpenFile
+	str  *host.Stream
+	lst  *listenerState
+	path string
+	data []byte
+
+	mu   sync.Mutex
+	pos  int64
+	refs int32
+}
+
+const (
+	fdFile = iota
+	fdPipe
+	fdSocket
+	fdListener
+	fdTTY
+	fdProc
+)
+
+func (d *fdesc) ref() { atomic.AddInt32(&d.refs, 1) }
+
+func (d *fdesc) unref() bool { return atomic.AddInt32(&d.refs, -1) <= 0 }
+
+// childState tracks a forked child for wait().
+type childState struct {
+	pid    int
+	exited bool
+	status int
+	sig    api.Signal
+}
+
+// Process is one native Linux process. All state lives in (or is reachable
+// from) the shared kernel; system calls cross into it directly.
+type Process struct {
+	kernel *Kernel
+	pid    int
+	ppid   int
+
+	as          *host.AddressSpace
+	programPath string
+
+	mu       sync.Mutex
+	pgid     int
+	cwd      string
+	env      map[string]string
+	fds      map[int]*fdesc
+	brk      uint64
+	brkEnd   uint64
+	children map[int]*childState
+	childCV  *sync.Cond
+
+	handlers map[api.Signal]api.SigHandler
+	disp     map[api.Signal]string
+	pending  []api.Signal
+
+	exitOnce      sync.Once
+	exitCode      int
+	exitRequested int
+	dead          bool
+}
+
+var _ api.OS = (*Process)(nil)
+
+// runProgram mirrors liblinux's exec chain.
+func (p *Process) runProgram(prog api.Program, path string, argv []string) int {
+	for {
+		code, execReq := p.runOnce(prog, argv)
+		if execReq == nil {
+			return code
+		}
+		next, ok := p.kernel.lookupProgram(execReq.path)
+		if !ok {
+			return 127
+		}
+		p.mu.Lock()
+		p.programPath = execReq.path
+		p.handlers = make(map[api.Signal]api.SigHandler)
+		p.disp = make(map[api.Signal]string)
+		p.mu.Unlock()
+		prog, path, argv = next, execReq.path, execReq.argv
+		_ = path
+	}
+}
+
+func (p *Process) runOnce(prog api.Program, argv []string) (code int, exec *execRequest) {
+	defer func() {
+		if r := recover(); r != nil {
+			if req, ok := r.(execRequest); ok {
+				exec = &req
+				return
+			}
+			if _, ok := r.(processExited); ok {
+				p.mu.Lock()
+				code = p.exitRequested
+				p.mu.Unlock()
+				return
+			}
+			panic(r)
+		}
+	}()
+	return prog(p.kernel.wrapped(p), argv), nil
+}
+
+// --- identity & misc ---
+
+// Getpid returns the PID after a kernel crossing (getpid is a real syscall
+// on Linux; Graphene services it from library state, hence Table 6's
+// negative overhead).
+func (p *Process) Getpid() int {
+	kernelEntry()
+	return p.pid
+}
+
+// Getppid returns the parent PID.
+func (p *Process) Getppid() int {
+	kernelEntry()
+	return p.ppid
+}
+
+// Getenv reads the process environment (no kernel crossing; libc state).
+func (p *Process) Getenv(key string) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.env[key]
+}
+
+// Setenv writes the process environment.
+func (p *Process) Setenv(key, value string) {
+	p.mu.Lock()
+	p.env[key] = value
+	p.mu.Unlock()
+}
+
+// Gettimeofday returns wall-clock microseconds.
+func (p *Process) Gettimeofday() (int64, error) {
+	kernelEntry()
+	return time.Now().UnixMicro(), nil
+}
+
+// GetRandom fills buf from the kernel RNG.
+func (p *Process) GetRandom(buf []byte) (int, error) {
+	kernelEntry()
+	return rand.Read(buf)
+}
+
+// ProcSelfRoot identifies this personality's /proc prefix.
+func (p *Process) ProcSelfRoot() string { return "/proc" }
+
+// --- process management ---
+
+// Fork clones the process in-kernel: COW address space, shared file
+// descriptions — no serialization, which is why it is ~6x faster than
+// Graphene's checkpoint-based fork (Table 6).
+func (p *Process) Fork(childFn func(api.OS)) (int, error) {
+	kernelEntry()
+	kernelWork(forkWork)
+	child := p.kernel.newProcess(p)
+	cs := &childState{pid: child.pid}
+	p.mu.Lock()
+	p.children[child.pid] = cs
+	p.mu.Unlock()
+	go func() {
+		code := func() (code int) {
+			defer func() {
+				if r := recover(); r != nil {
+					switch v := r.(type) {
+					case processExited:
+						child.mu.Lock()
+						code = child.exitRequested
+						child.mu.Unlock()
+					case execRequest:
+						// fork-then-exec: the child replaces its image.
+						next, ok := child.kernel.lookupProgram(v.path)
+						if !ok {
+							code = 127
+							return
+						}
+						child.mu.Lock()
+						child.programPath = v.path
+						child.mu.Unlock()
+						code = child.runProgram(next, v.path, v.argv)
+					default:
+						panic(r)
+					}
+				}
+			}()
+			childFn(p.kernel.wrapped(child))
+			return 0
+		}()
+		child.doExit(code, 0)
+	}()
+	return child.pid, nil
+}
+
+// Spawn is fork+exec.
+func (p *Process) Spawn(path string, argv []string) (int, error) {
+	prog, ok := p.kernel.lookupProgram(path)
+	if !ok {
+		return 0, api.ENOENT
+	}
+	kernelEntry()
+	kernelWork(forkWork + execWork)
+	child := p.kernel.newProcess(p)
+	cs := &childState{pid: child.pid}
+	p.mu.Lock()
+	p.children[child.pid] = cs
+	p.mu.Unlock()
+	go func() {
+		child.mu.Lock()
+		child.programPath = path
+		child.mu.Unlock()
+		code := child.runProgram(prog, path, argv)
+		child.doExit(code, 0)
+	}()
+	return child.pid, nil
+}
+
+// Exec replaces the program image.
+func (p *Process) Exec(path string, argv []string) error {
+	kernelEntry()
+	if _, ok := p.kernel.lookupProgram(path); !ok {
+		return api.ENOENT
+	}
+	kernelWork(execWork)
+	panic(execRequest{path: path, argv: argv})
+}
+
+// Wait reaps a child.
+func (p *Process) Wait(pid int) (api.WaitResult, error) {
+	kernelEntry()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		var ready *childState
+		any := false
+		for _, c := range p.children {
+			if pid > 0 && c.pid != pid {
+				continue
+			}
+			any = true
+			if c.exited {
+				ready = c
+				break
+			}
+		}
+		if ready != nil {
+			delete(p.children, ready.pid)
+			return api.WaitResult{PID: ready.pid, ExitCode: ready.status, Signaled: ready.sig}, nil
+		}
+		if !any {
+			return api.WaitResult{}, api.ECHILD
+		}
+		p.childCV.Wait()
+	}
+}
+
+// Exit terminates the process.
+func (p *Process) Exit(code int) {
+	p.mu.Lock()
+	p.exitRequested = code
+	p.mu.Unlock()
+	panic(processExited{})
+}
+
+func (p *Process) doExit(code int, killedBy api.Signal) {
+	p.exitOnce.Do(func() {
+		p.mu.Lock()
+		p.dead = true
+		p.exitCode = code
+		fds := p.fds
+		p.fds = make(map[int]*fdesc)
+		ppid := p.ppid
+		p.mu.Unlock()
+		seen := make(map[*fdesc]bool)
+		for _, d := range fds {
+			if !seen[d] {
+				seen[d] = true
+				p.releaseDesc(d)
+			}
+		}
+		p.as.Release()
+		p.kernel.removeProcess(p.pid)
+		if parent := p.kernel.process(ppid); parent != nil {
+			parent.mu.Lock()
+			if cs, ok := parent.children[p.pid]; ok && !cs.exited {
+				cs.exited = true
+				cs.status = code
+				cs.sig = killedBy
+				parent.childCV.Broadcast()
+			}
+			parent.mu.Unlock()
+			parent.deliverSignal(api.SIGCHLD)
+		}
+	})
+}
+
+// --- signals ---
+
+// Kill delivers sig to pid through the kernel's process table, or to
+// every member of process group -pid when pid is negative.
+func (p *Process) Kill(pid int, sig api.Signal) error {
+	kernelEntry()
+	if sig <= 0 || sig >= api.NumSignals {
+		return api.EINVAL
+	}
+	if pid < 0 {
+		members := p.kernel.groupMembers(-pid)
+		if len(members) == 0 {
+			return api.ESRCH
+		}
+		for _, t := range members {
+			t.deliverSignal(sig)
+		}
+		return nil
+	}
+	target := p.kernel.process(pid)
+	if target == nil {
+		return api.ESRCH
+	}
+	target.deliverSignal(sig)
+	return nil
+}
+
+// Setpgid moves the caller into process group pgid (0 = own PID).
+func (p *Process) Setpgid(pid, pgid int) error {
+	kernelEntry()
+	if pid != 0 && pid != p.pid {
+		return api.ESRCH
+	}
+	if pgid == 0 {
+		pgid = p.pid
+	}
+	p.mu.Lock()
+	p.pgid = pgid
+	p.mu.Unlock()
+	return nil
+}
+
+// Getpgid returns the caller's process group ID.
+func (p *Process) Getpgid() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pgid
+}
+
+func (p *Process) deliverSignal(sig api.Signal) {
+	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		return
+	}
+	if sig != api.SIGKILL {
+		switch p.disp[sig] {
+		case "handler":
+			p.pending = append(p.pending, sig)
+			p.mu.Unlock()
+			return
+		case api.SigIgn:
+			p.mu.Unlock()
+			return
+		}
+	}
+	fatal := sig != api.SIGCHLD && sig != api.SIGCONT && sig != api.SIGSTOP
+	p.mu.Unlock()
+	if fatal {
+		go p.doExit(128+int(sig), sig)
+	}
+}
+
+// Sigaction installs a handler or disposition.
+func (p *Process) Sigaction(sig api.Signal, handler api.SigHandler, disposition string) error {
+	kernelEntry()
+	if sig <= 0 || sig >= api.NumSignals || sig == api.SIGKILL || sig == api.SIGSTOP {
+		return api.EINVAL
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch disposition {
+	case api.SigIgn:
+		delete(p.handlers, sig)
+		p.disp[sig] = api.SigIgn
+	case api.SigDfl, "":
+		if handler != nil {
+			p.handlers[sig] = handler
+			p.disp[sig] = "handler"
+		} else {
+			delete(p.handlers, sig)
+			delete(p.disp, sig)
+		}
+	default:
+		return api.EINVAL
+	}
+	return nil
+}
+
+// SignalsDrain runs pending handlers.
+func (p *Process) SignalsDrain() {
+	for {
+		p.mu.Lock()
+		if len(p.pending) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		sig := p.pending[0]
+		p.pending = p.pending[1:]
+		h := p.handlers[sig]
+		p.mu.Unlock()
+		if h != nil {
+			h(sig)
+		}
+	}
+}
+
+// --- files ---
+
+func (p *Process) resolve(path string) string {
+	if strings.HasPrefix(path, "/") {
+		return host.CleanPath(path)
+	}
+	p.mu.Lock()
+	cwd := p.cwd
+	p.mu.Unlock()
+	return host.CleanPath(cwd + "/" + path)
+}
+
+func (p *Process) installFD(d *fdesc) int {
+	d.refs = 1
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for fd := 0; ; fd++ {
+		if _, used := p.fds[fd]; !used {
+			p.fds[fd] = d
+			return fd
+		}
+	}
+}
+
+func (p *Process) getFD(fd int) (*fdesc, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d, ok := p.fds[fd]
+	return d, ok
+}
+
+// Open opens path (including the host-kernel-backed /proc).
+func (p *Process) Open(path string, flags int, mode api.FileMode) (int, error) {
+	kernelEntry()
+	gp := p.resolve(path)
+	if strings.HasPrefix(gp, "/proc") {
+		data, err := p.procRead(gp)
+		if err != nil {
+			return 0, err
+		}
+		return p.installFD(&fdesc{kind: fdProc, path: gp, data: data}), nil
+	}
+	f, err := p.kernel.FS.OpenFileHandle(gp, flags, mode)
+	if err != nil {
+		return 0, err
+	}
+	d := &fdesc{kind: fdFile, file: f, path: gp}
+	if flags&api.OAppend != 0 {
+		if st, err := p.kernel.FS.Stat(gp); err == nil {
+			d.pos = st.Size
+		}
+	}
+	return p.installFD(d), nil
+}
+
+// Close releases a descriptor.
+func (p *Process) Close(fd int) error {
+	kernelEntry()
+	p.mu.Lock()
+	d, ok := p.fds[fd]
+	delete(p.fds, fd)
+	p.mu.Unlock()
+	if !ok {
+		return api.EBADF
+	}
+	p.releaseDesc(d)
+	return nil
+}
+
+func (p *Process) releaseDesc(d *fdesc) {
+	if !d.unref() {
+		return
+	}
+	if d.str != nil {
+		d.str.Close()
+	}
+}
+
+// Read reads from a descriptor.
+func (p *Process) Read(fd int, buf []byte) (int, error) {
+	kernelEntry()
+	d, ok := p.getFD(fd)
+	if !ok {
+		return 0, api.EBADF
+	}
+	defer p.SignalsDrain()
+	switch d.kind {
+	case fdFile:
+		d.mu.Lock()
+		n, err := d.file.ReadAt(buf, d.pos)
+		d.pos += int64(n)
+		d.mu.Unlock()
+		return n, err
+	case fdProc:
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if d.pos >= int64(len(d.data)) {
+			return 0, nil
+		}
+		n := copy(buf, d.data[d.pos:])
+		d.pos += int64(n)
+		return n, nil
+	case fdPipe, fdSocket:
+		return d.str.Read(buf)
+	default:
+		return 0, nil
+	}
+}
+
+// Write writes to a descriptor.
+func (p *Process) Write(fd int, buf []byte) (int, error) {
+	kernelEntry()
+	d, ok := p.getFD(fd)
+	if !ok {
+		return 0, api.EBADF
+	}
+	defer p.SignalsDrain()
+	switch d.kind {
+	case fdFile:
+		d.mu.Lock()
+		n, err := d.file.WriteAt(buf, d.pos)
+		d.pos += int64(n)
+		d.mu.Unlock()
+		return n, err
+	case fdPipe, fdSocket:
+		n, err := d.str.Write(buf)
+		if err == api.EPIPE {
+			p.deliverSignal(api.SIGPIPE)
+		}
+		return n, err
+	case fdTTY:
+		return len(buf), nil
+	default:
+		return 0, api.EACCES
+	}
+}
+
+// Lseek moves a descriptor's cursor.
+func (p *Process) Lseek(fd int, offset int64, whence int) (int64, error) {
+	kernelEntry()
+	d, ok := p.getFD(fd)
+	if !ok {
+		return 0, api.EBADF
+	}
+	if d.kind != fdFile && d.kind != fdProc {
+		return 0, api.ESPIPE
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var base int64
+	switch whence {
+	case api.SeekSet:
+	case api.SeekCur:
+		base = d.pos
+	case api.SeekEnd:
+		if d.kind == fdProc {
+			base = int64(len(d.data))
+		} else {
+			st, err := p.kernel.FS.Stat(d.path)
+			if err != nil {
+				return 0, err
+			}
+			base = st.Size
+		}
+	default:
+		return 0, api.EINVAL
+	}
+	n := base + offset
+	if n < 0 {
+		return 0, api.EINVAL
+	}
+	d.pos = n
+	return n, nil
+}
+
+// Stat stats a path.
+func (p *Process) Stat(path string) (api.Stat, error) {
+	kernelEntry()
+	gp := p.resolve(path)
+	if strings.HasPrefix(gp, "/proc") {
+		data, err := p.procRead(gp)
+		if err != nil {
+			return api.Stat{}, err
+		}
+		return api.Stat{Name: gp, Size: int64(len(data)), Mode: 0444}, nil
+	}
+	return p.kernel.FS.Stat(gp)
+}
+
+// Fstat stats a descriptor.
+func (p *Process) Fstat(fd int) (api.Stat, error) {
+	kernelEntry()
+	d, ok := p.getFD(fd)
+	if !ok {
+		return api.Stat{}, api.EBADF
+	}
+	if d.kind == fdFile {
+		return p.kernel.FS.Stat(d.path)
+	}
+	return api.Stat{Name: d.path, Mode: 0600}, nil
+}
+
+// Unlink removes a file.
+func (p *Process) Unlink(path string) error {
+	kernelEntry()
+	return p.kernel.FS.Unlink(p.resolve(path))
+}
+
+// Mkdir creates a directory.
+func (p *Process) Mkdir(path string, mode api.FileMode) error {
+	kernelEntry()
+	return p.kernel.FS.Mkdir(p.resolve(path), mode)
+}
+
+// ReadDir lists a directory.
+func (p *Process) ReadDir(path string) ([]api.DirEnt, error) {
+	kernelEntry()
+	ents, err := p.kernel.FS.ReadDir(p.resolve(path))
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].Name < ents[j].Name })
+	return ents, nil
+}
+
+// Rename moves a file.
+func (p *Process) Rename(oldPath, newPath string) error {
+	kernelEntry()
+	return p.kernel.FS.Rename(p.resolve(oldPath), p.resolve(newPath))
+}
+
+// Chdir changes directory.
+func (p *Process) Chdir(path string) error {
+	kernelEntry()
+	gp := p.resolve(path)
+	st, err := p.kernel.FS.Stat(gp)
+	if err != nil {
+		return err
+	}
+	if !st.IsDir {
+		return api.ENOTDIR
+	}
+	p.mu.Lock()
+	p.cwd = gp
+	p.mu.Unlock()
+	return nil
+}
+
+// Getcwd returns the working directory.
+func (p *Process) Getcwd() (string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cwd, nil
+}
+
+// Dup2 duplicates a descriptor.
+func (p *Process) Dup2(oldFD, newFD int) (int, error) {
+	kernelEntry()
+	p.mu.Lock()
+	d, ok := p.fds[oldFD]
+	if !ok {
+		p.mu.Unlock()
+		return 0, api.EBADF
+	}
+	if oldFD == newFD {
+		p.mu.Unlock()
+		return newFD, nil
+	}
+	old := p.fds[newFD]
+	p.fds[newFD] = d
+	d.ref()
+	p.mu.Unlock()
+	if old != nil {
+		p.releaseDesc(old)
+	}
+	return newFD, nil
+}
+
+// Pipe creates a kernel pipe.
+func (p *Process) Pipe() (int, int, error) {
+	kernelEntry()
+	a, b := host.NewStreamPair("nativepipe", p.pid, p.pid)
+	rfd := p.installFD(&fdesc{kind: fdPipe, str: a, path: "pipe"})
+	wfd := p.installFD(&fdesc{kind: fdPipe, str: b, path: "pipe"})
+	return rfd, wfd, nil
+}
+
+// --- memory ---
+
+// Brk adjusts the data segment.
+func (p *Process) Brk(addr uint64) (uint64, error) {
+	kernelEntry()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if addr == 0 {
+		return p.brk, nil
+	}
+	if addr < brkBase {
+		return p.brk, api.ENOMEM
+	}
+	newEnd := (addr + host.PageSize - 1) &^ (host.PageSize - 1)
+	switch {
+	case newEnd > p.brkEnd:
+		if _, err := p.as.Alloc(p.brkEnd, newEnd-p.brkEnd, api.ProtRead|api.ProtWrite); err != nil {
+			return p.brk, err
+		}
+		p.brkEnd = newEnd
+	case newEnd < p.brkEnd:
+		if err := p.as.Free(newEnd, p.brkEnd-newEnd); err != nil {
+			return p.brk, err
+		}
+		p.brkEnd = newEnd
+	}
+	p.brk = addr
+	return p.brk, nil
+}
+
+// Mmap maps anonymous memory.
+func (p *Process) Mmap(addr uint64, length uint64, prot int) (uint64, error) {
+	kernelEntry()
+	return p.as.Alloc(addr, length, prot)
+}
+
+// Munmap unmaps memory.
+func (p *Process) Munmap(addr uint64, length uint64) error {
+	kernelEntry()
+	return p.as.Free(addr, length)
+}
+
+// MemWrite stores to process memory (no kernel crossing: a plain store).
+func (p *Process) MemWrite(addr uint64, data []byte) error {
+	return p.as.Write(addr, data)
+}
+
+// MemRead loads from process memory.
+func (p *Process) MemRead(addr uint64, buf []byte) error {
+	return p.as.Read(addr, buf)
+}
+
+// --- sockets ---
+
+// Listen binds a kernel TCP listener.
+func (p *Process) Listen(addr api.SockAddr) (int, error) {
+	kernelEntry()
+	k := p.kernel
+	k.mu.Lock()
+	if _, used := k.listeners[addr]; used {
+		k.mu.Unlock()
+		return 0, api.EADDRINUSE
+	}
+	l := &listenerState{backlog: make(chan *host.Stream, 128)}
+	k.listeners[addr] = l
+	k.mu.Unlock()
+	return p.installFD(&fdesc{kind: fdListener, lst: l, path: string(addr)}), nil
+}
+
+// Accept takes a connection from the backlog.
+func (p *Process) Accept(fd int) (int, error) {
+	kernelEntry()
+	d, ok := p.getFD(fd)
+	if !ok || d.kind != fdListener {
+		return 0, api.EBADF
+	}
+	s, ok := <-d.lst.backlog
+	if !ok {
+		return 0, api.EBADF
+	}
+	return p.installFD(&fdesc{kind: fdSocket, str: s, path: d.path}), nil
+}
+
+// Connect dials a kernel TCP listener.
+func (p *Process) Connect(addr api.SockAddr) (int, error) {
+	kernelEntry()
+	k := p.kernel
+	k.mu.Lock()
+	l := k.listeners[addr]
+	k.mu.Unlock()
+	if l == nil {
+		return 0, api.ECONNREFUSED
+	}
+	client, server := host.NewStreamPair("nativetcp:"+string(addr), p.pid, 0)
+	select {
+	case l.backlog <- server:
+	default:
+		client.Close()
+		server.Close()
+		return 0, api.EAGAIN
+	}
+	return p.installFD(&fdesc{kind: fdSocket, str: client, path: string(addr)}), nil
+}
+
+// Poll waits for readability on one of the descriptors.
+func (p *Process) Poll(fds []int, timeoutMicros int64) (int, error) {
+	kernelEntry()
+	objs := make([]host.Waitable, 0, len(fds))
+	for _, fd := range fds {
+		d, ok := p.getFD(fd)
+		if !ok || d.str == nil {
+			return -1, api.EBADF
+		}
+		objs = append(objs, d.str)
+	}
+	return host.WaitAny(objs, time.Duration(timeoutMicros)*time.Microsecond)
+}
+
+// SpawnThread runs fn as another thread of this process.
+func (p *Process) SpawnThread(fn func()) error {
+	kernelEntry()
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(processExited); ok {
+					p.mu.Lock()
+					code := p.exitRequested
+					p.mu.Unlock()
+					p.doExit(code, 0)
+					return
+				}
+				panic(r)
+			}
+		}()
+		fn()
+	}()
+	return nil
+}
+
+// PassConnection and ReceiveConnection mirror liblinux's handle-passing
+// extension so preforked servers run unmodified on both personalities.
+func (p *Process) PassConnection(overFD, connFD int) error {
+	kernelEntry()
+	over, ok := p.getFD(overFD)
+	if !ok || over.str == nil {
+		return api.EBADF
+	}
+	conn, ok := p.getFD(connFD)
+	if !ok || conn.str == nil {
+		return api.EBADF
+	}
+	return over.str.SendHandle(&host.Handle{Kind: host.HandleStream, Stream: conn.str})
+}
+
+// ReceiveConnection receives a passed connection.
+func (p *Process) ReceiveConnection(overFD int) (int, error) {
+	kernelEntry()
+	over, ok := p.getFD(overFD)
+	if !ok || over.str == nil {
+		return 0, api.EBADF
+	}
+	h, err := over.str.ReceiveHandle()
+	if err != nil {
+		return 0, err
+	}
+	// The sender transferred a reference with the handle.
+	return p.installFD(&fdesc{kind: fdSocket, str: h.Stream, path: h.Stream.Name}), nil
+}
+
+// --- /proc (host kernel implementation: globally visible!) ---
+
+// procRead serves /proc from the shared kernel. Unlike Graphene, a native
+// process can read any other process's metadata — the side channel §6.6
+// measures Graphene against.
+func (p *Process) procRead(path string) ([]byte, error) {
+	rest := strings.TrimPrefix(path, "/proc")
+	rest = strings.TrimPrefix(rest, "/")
+	if rest == "" {
+		// Native /proc lists every process on the host.
+		p.kernel.mu.Lock()
+		pids := make([]int, 0, len(p.kernel.procs))
+		for pid := range p.kernel.procs {
+			pids = append(pids, pid)
+		}
+		p.kernel.mu.Unlock()
+		sort.Ints(pids)
+		var sb strings.Builder
+		for _, pid := range pids {
+			sb.WriteString(itoa(pid))
+			sb.WriteByte('\n')
+		}
+		return []byte(sb.String()), nil
+	}
+	parts := strings.SplitN(rest, "/", 2)
+	who := parts[0]
+	field := "status"
+	if len(parts) == 2 {
+		field = parts[1]
+	}
+	var target *Process
+	if who == "self" {
+		target = p
+	} else {
+		pid := 0
+		for _, ch := range who {
+			if ch < '0' || ch > '9' {
+				return nil, api.ENOENT
+			}
+			pid = pid*10 + int(ch-'0')
+		}
+		target = p.kernel.process(pid)
+	}
+	if target == nil {
+		return nil, api.ENOENT
+	}
+	switch field {
+	case "comm":
+		return []byte(target.programPath + "\n"), nil
+	case "status":
+		return []byte("Name:\t" + target.programPath + "\nPid:\t" + itoa(target.pid) +
+			"\nPPid:\t" + itoa(target.ppid) + "\n"), nil
+	default:
+		return nil, api.ENOENT
+	}
+}

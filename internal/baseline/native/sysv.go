@@ -1,0 +1,289 @@
+package native
+
+import (
+	"sync"
+
+	"graphene/internal/api"
+)
+
+// sysvTables holds the kernel-resident System V IPC state: queues and
+// semaphore sets live in kernel memory and survive their creators —
+// which is why the paper has no native "persistent" column in Table 7.
+type sysvTables struct {
+	mu      sync.Mutex
+	nextID  int
+	msgKeys map[int]int
+	queues  map[int]*kQueue
+	semKeys map[int]int
+	semSets map[int]*kSemSet
+}
+
+func newSysvTables() *sysvTables {
+	return &sysvTables{
+		msgKeys: make(map[int]int),
+		queues:  make(map[int]*kQueue),
+		semKeys: make(map[int]int),
+		semSets: make(map[int]*kSemSet),
+	}
+}
+
+type kMsg struct {
+	mtype int64
+	data  []byte
+}
+
+type kQueue struct {
+	mu      sync.Mutex
+	cv      *sync.Cond
+	msgs    []kMsg
+	removed bool
+}
+
+func newKQueue() *kQueue {
+	q := &kQueue{}
+	q.cv = sync.NewCond(&q.mu)
+	return q
+}
+
+type kSemSet struct {
+	mu      sync.Mutex
+	cv      *sync.Cond
+	vals    []int
+	removed bool
+}
+
+func newKSemSet(n int) *kSemSet {
+	s := &kSemSet{vals: make([]int, n)}
+	s.cv = sync.NewCond(&s.mu)
+	return s
+}
+
+// Msgget maps a key to a queue ID in the kernel tables.
+func (p *Process) Msgget(key int, flags int) (int, error) {
+	kernelEntry()
+	t := p.kernel.sysv
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if key != api.IPCPrivate {
+		if id, ok := t.msgKeys[key]; ok {
+			if flags&api.IPCCreat != 0 && flags&api.IPCExcl != 0 {
+				return 0, api.EEXIST
+			}
+			return id, nil
+		}
+		if flags&api.IPCCreat == 0 {
+			return 0, api.ENOENT
+		}
+	}
+	t.nextID++
+	id := t.nextID
+	t.queues[id] = newKQueue()
+	if key != api.IPCPrivate {
+		t.msgKeys[key] = id
+	}
+	return id, nil
+}
+
+func (t *sysvTables) queue(id int) *kQueue {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.queues[id]
+}
+
+// Msgsnd appends to a kernel queue.
+func (p *Process) Msgsnd(id int, mtype int64, data []byte, flags int) error {
+	kernelEntry()
+	if mtype <= 0 {
+		return api.EINVAL
+	}
+	q := p.kernel.sysv.queue(id)
+	if q == nil {
+		return api.EIDRM
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.removed {
+		return api.EIDRM
+	}
+	q.msgs = append(q.msgs, kMsg{mtype: mtype, data: append([]byte(nil), data...)})
+	q.cv.Broadcast()
+	return nil
+}
+
+func kMatches(m kMsg, mtype int64) bool {
+	switch {
+	case mtype == 0:
+		return true
+	case mtype > 0:
+		return m.mtype == mtype
+	default:
+		return m.mtype <= -mtype
+	}
+}
+
+// Msgrcv pops the first matching message, blocking unless IPCNoWait.
+func (p *Process) Msgrcv(id int, mtype int64, buf []byte, flags int) (int64, []byte, error) {
+	kernelEntry()
+	q := p.kernel.sysv.queue(id)
+	if q == nil {
+		return 0, nil, api.EIDRM
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.removed {
+			return 0, nil, api.EIDRM
+		}
+		for i, m := range q.msgs {
+			if kMatches(m, mtype) {
+				q.msgs = append(q.msgs[:i], q.msgs[i+1:]...)
+				if buf != nil && len(m.data) > len(buf) {
+					return 0, nil, api.E2BIG
+				}
+				return m.mtype, m.data, nil
+			}
+		}
+		if flags&api.IPCNoWait != 0 {
+			return 0, nil, api.ENOMSG
+		}
+		q.cv.Wait()
+	}
+}
+
+// MsgctlRmid destroys a queue.
+func (p *Process) MsgctlRmid(id int) error {
+	kernelEntry()
+	t := p.kernel.sysv
+	t.mu.Lock()
+	q := t.queues[id]
+	delete(t.queues, id)
+	for k, v := range t.msgKeys {
+		if v == id {
+			delete(t.msgKeys, k)
+		}
+	}
+	t.mu.Unlock()
+	if q == nil {
+		return api.EIDRM
+	}
+	q.mu.Lock()
+	q.removed = true
+	q.msgs = nil
+	q.cv.Broadcast()
+	q.mu.Unlock()
+	return nil
+}
+
+// Semget maps a key to a semaphore set.
+func (p *Process) Semget(key int, nsems int, flags int) (int, error) {
+	kernelEntry()
+	if nsems <= 0 || nsems > 250 {
+		return 0, api.EINVAL
+	}
+	t := p.kernel.sysv
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if key != api.IPCPrivate {
+		if id, ok := t.semKeys[key]; ok {
+			if flags&api.IPCCreat != 0 && flags&api.IPCExcl != 0 {
+				return 0, api.EEXIST
+			}
+			return id, nil
+		}
+		if flags&api.IPCCreat == 0 {
+			return 0, api.ENOENT
+		}
+	}
+	t.nextID++
+	id := t.nextID
+	t.semSets[id] = newKSemSet(nsems)
+	if key != api.IPCPrivate {
+		t.semKeys[key] = id
+	}
+	return id, nil
+}
+
+func (t *sysvTables) semSet(id int) *kSemSet {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.semSets[id]
+}
+
+// Semop applies sembuf operations atomically, blocking as needed.
+func (p *Process) Semop(id int, ops []api.SemBuf) error {
+	kernelEntry()
+	s := p.kernel.sysv.semSet(id)
+	if s == nil {
+		return api.EIDRM
+	}
+	noWait := false
+	for _, op := range ops {
+		if int(op.Flg)&api.IPCNoWait != 0 {
+			noWait = true
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.removed {
+			return api.EIDRM
+		}
+		ok, errno := s.tryApply(ops)
+		if errno != 0 {
+			return errno
+		}
+		if ok {
+			s.cv.Broadcast()
+			return nil
+		}
+		if noWait {
+			return api.EAGAIN
+		}
+		s.cv.Wait()
+	}
+}
+
+func (s *kSemSet) tryApply(ops []api.SemBuf) (bool, api.Errno) {
+	for _, op := range ops {
+		if op.Num < 0 || op.Num >= len(s.vals) {
+			return false, api.EINVAL
+		}
+		switch {
+		case op.Op < 0:
+			if s.vals[op.Num] < int(-op.Op) {
+				return false, 0
+			}
+		case op.Op == 0:
+			if s.vals[op.Num] != 0 {
+				return false, 0
+			}
+		}
+	}
+	for _, op := range ops {
+		s.vals[op.Num] += int(op.Op)
+	}
+	return true, 0
+}
+
+// SemctlRmid destroys a semaphore set.
+func (p *Process) SemctlRmid(id int) error {
+	kernelEntry()
+	t := p.kernel.sysv
+	t.mu.Lock()
+	s := t.semSets[id]
+	delete(t.semSets, id)
+	for k, v := range t.semKeys {
+		if v == id {
+			delete(t.semKeys, k)
+		}
+	}
+	t.mu.Unlock()
+	if s == nil {
+		return api.EIDRM
+	}
+	s.mu.Lock()
+	s.removed = true
+	s.cv.Broadcast()
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"graphene/internal/api"
+	"graphene/internal/host"
+	"graphene/internal/liblinux"
+)
+
+// Fig5Point is one x-position of Figure 5: total wall-clock time for
+// pairs of processes to exchange msgs one-byte ping-pongs concurrently.
+type Fig5Point struct {
+	Processes int
+	PipesUS   float64 // Linux pipes
+	RPCUS     float64 // Graphene host RPC
+}
+
+// Fig5 measures RPC-vs-pipe scalability: for each process count, half the
+// processes ping their partner msgs times over (a) raw host pipes and
+// (b) Graphene's coordination RPC, concurrently (§6.5, Figure 5).
+func Fig5(procCounts []int, msgs int) ([]Fig5Point, error) {
+	if msgs <= 0 {
+		msgs = 10000
+	}
+	if len(procCounts) == 0 {
+		procCounts = []int{2, 4, 8, 12, 16}
+	}
+	var out []Fig5Point
+	for _, procs := range procCounts {
+		pairs := procs / 2
+		if pairs < 1 {
+			pairs = 1
+		}
+
+		// (a) Linux pipes: goroutine pairs over raw host streams.
+		pipeStart := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < pairs; i++ {
+			a, b := host.NewStreamPair(fmt.Sprintf("fig5:%d", i), 1, 2)
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				buf := make([]byte, 1)
+				for j := 0; j < msgs; j++ {
+					if _, err := a.Write(buf); err != nil {
+						return
+					}
+					if _, err := a.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				buf := make([]byte, 1)
+				for j := 0; j < msgs; j++ {
+					if _, err := b.Read(buf); err != nil {
+						return
+					}
+					if _, err := b.Write(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		pipeUS := float64(time.Since(pipeStart).Microseconds())
+
+		// (b) Graphene RPC: picoprocess pairs ping-ponging no-op RPCs
+		// within one sandbox.
+		env, err := NewGraphene()
+		if err != nil {
+			return nil, err
+		}
+		if err := env.Runtime.RegisterProgram("/bin/pingpairs", pingPairsMain); err != nil {
+			return nil, err
+		}
+		rpcStart := time.Now()
+		code, err := env.Run("/bin/pingpairs", strconv.Itoa(pairs), strconv.Itoa(msgs))
+		if err != nil || code != 0 {
+			return nil, fmt.Errorf("pingpairs: code=%d err=%v", code, err)
+		}
+		rpcUS := float64(time.Since(rpcStart).Microseconds())
+
+		out = append(out, Fig5Point{Processes: pairs * 2, PipesUS: pipeUS, RPCUS: rpcUS})
+	}
+	return out, nil
+}
+
+// pingPairsMain forks `pairs` pinger children; each pinger forks a partner
+// and exchanges msgs no-op RPCs with it over the coordination streams.
+func pingPairsMain(p api.OS, argv []string) int {
+	if len(argv) < 3 {
+		return 2
+	}
+	pairs, _ := strconv.Atoi(argv[1])
+	msgs, _ := strconv.Atoi(argv[2])
+	var pingers []int
+	for i := 0; i < pairs; i++ {
+		pid, err := p.Fork(func(c api.OS) {
+			c.Exit(runPinger(c, msgs))
+		})
+		if err != nil {
+			return 1
+		}
+		pingers = append(pingers, pid)
+	}
+	for _, pid := range pingers {
+		res, err := p.Wait(pid)
+		if err != nil || res.ExitCode != 0 {
+			return 1
+		}
+	}
+	return 0
+}
+
+// runPinger forks a partner and pings it msgs times. The partner's IPC
+// helper answers MsgPing without application involvement, so each
+// iteration is one RPC round trip over a cached point-to-point stream.
+func runPinger(c api.OS, msgs int) int {
+	hold := make(chan struct{})
+	partnerPID, err := c.Fork(func(g api.OS) {
+		<-hold // the partner's helper thread does all the work
+		g.Exit(0)
+	})
+	if err != nil {
+		return 1
+	}
+	lp, ok := c.(*liblinux.Process)
+	if !ok {
+		return 1
+	}
+	addr, err := lp.Helper().ResolvePID(int64(partnerPID))
+	if err != nil {
+		return 1
+	}
+	for i := 0; i < msgs; i++ {
+		if err := lp.Helper().Ping(addr); err != nil {
+			return 1
+		}
+	}
+	close(hold)
+	if _, err := c.Wait(partnerPID); err != nil {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,373 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"graphene/internal/api"
+	"graphene/internal/metrics"
+)
+
+// Table6Result is one LMbench row: nanoseconds per operation per system.
+type Table6Result struct {
+	Test       string
+	Linux      *metrics.Sample // ns/op
+	Graphene   *metrics.Sample
+	GrapheneRM *metrics.Sample
+}
+
+// lmbench ops and their default iteration counts.
+var lmbenchOps = []struct {
+	op string
+	n  int
+}{
+	{"syscall", 20000},
+	{"read", 5000},
+	{"write", 5000},
+	{"open/close", 2000},
+	{"select tcp", 1000},
+	{"sig install", 10000},
+	{"sigusr1", 10000},
+	{"AF_UNIX", 2000},
+	{"fork+exit", 60},
+	{"fork+exec", 60},
+	{"fork+sh", 40},
+}
+
+// lmbenchMain is the in-guest microbenchmark driver: it runs one
+// operation n times, timing with the guest clock, and writes the result
+// (ns/op) to /lmresult so the harness can read it from any personality.
+func lmbenchMain(p api.OS, argv []string) int {
+	if len(argv) < 3 {
+		return 2
+	}
+	op := argv[1]
+	n, _ := strconv.Atoi(argv[2])
+	if n <= 0 {
+		n = 100
+	}
+
+	// Per-op setup outside the timed region.
+	var iter func() bool
+	switch op {
+	case "syscall":
+		iter = func() bool { p.Getpid(); return true }
+	case "read":
+		if err := writeFileAll(p, "/lmfile", make([]byte, 8192)); err != nil {
+			return 1
+		}
+		fd, err := p.Open("/lmfile", api.ORdOnly, 0)
+		if err != nil {
+			return 1
+		}
+		buf := make([]byte, 1)
+		iter = func() bool {
+			if _, err := p.Lseek(fd, 0, api.SeekSet); err != nil {
+				return false
+			}
+			_, err := p.Read(fd, buf)
+			return err == nil
+		}
+	case "write":
+		fd, err := p.Open("/lmfile", api.OCreate|api.OWrOnly, 0644)
+		if err != nil {
+			return 1
+		}
+		buf := []byte{7}
+		iter = func() bool {
+			if _, err := p.Lseek(fd, 0, api.SeekSet); err != nil {
+				return false
+			}
+			_, err := p.Write(fd, buf)
+			return err == nil
+		}
+	case "open/close":
+		if err := writeFileAll(p, "/lmfile", []byte("x")); err != nil {
+			return 1
+		}
+		iter = func() bool {
+			fd, err := p.Open("/lmfile", api.ORdOnly, 0)
+			if err != nil {
+				return false
+			}
+			return p.Close(fd) == nil
+		}
+	case "select tcp":
+		poller, ok := p.(api.Poller)
+		if !ok {
+			return 1
+		}
+		threader, ok := p.(api.Threader)
+		if !ok {
+			return 1
+		}
+		// Ten connected TCP sockets; the peer echoes.
+		lfd, err := p.Listen("127.0.0.1:8899")
+		if err != nil {
+			return 1
+		}
+		_ = threader.SpawnThread(func() {
+			for {
+				conn, err := p.Accept(lfd)
+				if err != nil {
+					return
+				}
+				go func(fd int) {
+					buf := make([]byte, 1)
+					for {
+						n, err := p.Read(fd, buf)
+						if err != nil || n == 0 {
+							return
+						}
+						if _, err := p.Write(fd, buf); err != nil {
+							return
+						}
+					}
+				}(conn)
+			}
+		})
+		var fds []int
+		for i := 0; i < 10; i++ {
+			fd, err := p.Connect("127.0.0.1:8899")
+			if err != nil {
+				return 1
+			}
+			fds = append(fds, fd)
+		}
+		buf := []byte{1}
+		k := 0
+		iter = func() bool {
+			fd := fds[k%len(fds)]
+			k++
+			if _, err := p.Write(fd, buf); err != nil {
+				return false
+			}
+			idx, err := poller.Poll(fds, 1e6)
+			if err != nil || idx < 0 {
+				return false
+			}
+			_, err = p.Read(fds[idx], buf)
+			return err == nil
+		}
+	case "sig install":
+		h := func(api.Signal) {}
+		iter = func() bool { return p.Sigaction(api.SIGUSR2, h, "") == nil }
+	case "sigusr1":
+		fired := 0
+		if err := p.Sigaction(api.SIGUSR1, func(api.Signal) { fired++ }, ""); err != nil {
+			return 1
+		}
+		self := p.Getpid()
+		iter = func() bool {
+			if err := p.Kill(self, api.SIGUSR1); err != nil {
+				return false
+			}
+			p.SignalsDrain()
+			return true
+		}
+	case "AF_UNIX":
+		threader, ok := p.(api.Threader)
+		if !ok {
+			return 1
+		}
+		lfd, err := p.Listen("127.0.0.1:8898")
+		if err != nil {
+			return 1
+		}
+		_ = threader.SpawnThread(func() {
+			conn, err := p.Accept(lfd)
+			if err != nil {
+				return
+			}
+			buf := make([]byte, 1)
+			for {
+				n, err := p.Read(conn, buf)
+				if err != nil || n == 0 {
+					return
+				}
+				if _, err := p.Write(conn, buf); err != nil {
+					return
+				}
+			}
+		})
+		fd, err := p.Connect("127.0.0.1:8898")
+		if err != nil {
+			return 1
+		}
+		buf := []byte{1}
+		iter = func() bool {
+			if _, err := p.Write(fd, buf); err != nil {
+				return false
+			}
+			_, err := p.Read(fd, buf)
+			return err == nil
+		}
+	case "fork+exit":
+		iter = func() bool {
+			pid, err := p.Fork(func(c api.OS) { c.Exit(0) })
+			if err != nil {
+				return false
+			}
+			_, err = p.Wait(pid)
+			return err == nil
+		}
+	case "fork+exec":
+		iter = func() bool {
+			pid, err := p.Spawn("/bin/true", []string{"/bin/true"})
+			if err != nil {
+				return false
+			}
+			_, err = p.Wait(pid)
+			return err == nil
+		}
+	case "fork+sh":
+		iter = func() bool {
+			pid, err := p.Spawn("/bin/sh", []string{"/bin/sh", "-c", "true"})
+			if err != nil {
+				return false
+			}
+			_, err = p.Wait(pid)
+			return err == nil
+		}
+	default:
+		return 2
+	}
+
+	start, _ := p.Gettimeofday()
+	for i := 0; i < n; i++ {
+		if !iter() {
+			return 1
+		}
+	}
+	end, _ := p.Gettimeofday()
+	nsPerOp := (end - start) * 1000 / int64(n)
+	if err := writeFileAll(p, "/lmresult", []byte(strconv.FormatInt(nsPerOp, 10))); err != nil {
+		return 1
+	}
+	return 0
+}
+
+func writeFileAll(p api.OS, path string, data []byte) error {
+	fd, err := p.Open(path, api.OCreate|api.OTrunc|api.OWrOnly, 0644)
+	if err != nil {
+		return err
+	}
+	defer p.Close(fd)
+	for len(data) > 0 {
+		n, err := p.Write(fd, data)
+		if err != nil {
+			return err
+		}
+		data = data[n:]
+	}
+	return nil
+}
+
+// lmbenchEnv is one system prepared to run the microbenchmarks.
+type lmbenchEnv struct {
+	run    func(op string, n int) (int, error)
+	result func() (int64, error)
+}
+
+func lmbenchOnNative() (*lmbenchEnv, error) {
+	env, err := NewNative()
+	if err != nil {
+		return nil, err
+	}
+	if err := env.Kernel.RegisterProgram("/bin/lmbench", lmbenchMain); err != nil {
+		return nil, err
+	}
+	return &lmbenchEnv{
+		run: func(op string, n int) (int, error) {
+			return env.Run("/bin/lmbench", op, strconv.Itoa(n))
+		},
+		result: func() (int64, error) {
+			data, err := env.Kernel.FS.ReadFile("/lmresult")
+			if err != nil {
+				return 0, err
+			}
+			return strconv.ParseInt(strings.TrimSpace(string(data)), 10, 64)
+		},
+	}, nil
+}
+
+func lmbenchOnGraphene(withRM bool) (*lmbenchEnv, error) {
+	var env *GrapheneEnv
+	var err error
+	if withRM {
+		env, err = NewGraphene()
+	} else {
+		env, err = NewGrapheneNoRM()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := env.Runtime.RegisterProgram("/bin/lmbench", lmbenchMain); err != nil {
+		return nil, err
+	}
+	return &lmbenchEnv{
+		run: func(op string, n int) (int, error) {
+			return env.Run("/bin/lmbench", op, strconv.Itoa(n))
+		},
+		result: func() (int64, error) {
+			data, err := env.Kernel.FS.ReadFile("/lmresult")
+			if err != nil {
+				return 0, err
+			}
+			return strconv.ParseInt(strings.TrimSpace(string(data)), 10, 64)
+		},
+	}, nil
+}
+
+// Table6 runs the LMbench-style microbenchmarks on native Linux and on
+// Graphene with and without the reference monitor (Table 6's columns).
+// iters controls repetitions per cell; scale (0..1] shrinks the loop
+// counts for quick runs.
+func Table6(iters int, scale float64) ([]Table6Result, error) {
+	if iters <= 0 {
+		iters = 3
+	}
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	var out []Table6Result
+	for _, opCfg := range lmbenchOps {
+		n := int(float64(opCfg.n) * scale)
+		if n < 10 {
+			n = 10
+		}
+		row := Table6Result{
+			Test:       opCfg.op,
+			Linux:      &metrics.Sample{},
+			Graphene:   &metrics.Sample{},
+			GrapheneRM: &metrics.Sample{},
+		}
+		for i := 0; i < iters; i++ {
+			for _, cell := range []struct {
+				mk func() (*lmbenchEnv, error)
+				s  *metrics.Sample
+			}{
+				{lmbenchOnNative, row.Linux},
+				{func() (*lmbenchEnv, error) { return lmbenchOnGraphene(false) }, row.Graphene},
+				{func() (*lmbenchEnv, error) { return lmbenchOnGraphene(true) }, row.GrapheneRM},
+			} {
+				env, err := cell.mk()
+				if err != nil {
+					return nil, err
+				}
+				code, err := env.run(opCfg.op, n)
+				if err != nil || code != 0 {
+					return nil, fmt.Errorf("lmbench %s: code=%d err=%v", opCfg.op, code, err)
+				}
+				ns, err := env.result()
+				if err != nil {
+					return nil, err
+				}
+				cell.s.Add(float64(ns))
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

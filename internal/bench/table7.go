@@ -1,0 +1,313 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"graphene/internal/api"
+	"graphene/internal/ipc"
+	"graphene/internal/metrics"
+)
+
+// Table7Result is one System V message queue microbenchmark cell set.
+type Table7Result struct {
+	Op       string          // msgget(create), msgget(lookup), msgsnd, msgrcv
+	Mode     string          // "in process", "inter process", "persistent"
+	Linux    *metrics.Sample // ns/op; nil where the paper has no column
+	Graphene *metrics.Sample
+}
+
+// sysvBenchMain is the in-guest driver: it performs one msgq operation n
+// times and writes ns/op to /sysvresult.
+//
+//	sysvbench <op> <mode> <n>
+func sysvBenchMain(p api.OS, argv []string) int {
+	if len(argv) < 4 {
+		return 2
+	}
+	op, mode := argv[1], argv[2]
+	n, _ := strconv.Atoi(argv[3])
+	if n <= 0 {
+		n = 10
+	}
+	payload := []byte("0123456789abcdef") // 16-byte messages
+
+	const baseKey = 7000
+
+	// Inter-process cells: the parent (the sandbox leader) owns the queue;
+	// a forked child performs the operations remotely and reports. This
+	// measures the RPC path, like the paper's two concurrent picoprocesses.
+	if mode == "inter" {
+		prefill := 0
+		if op == "msgrcv" {
+			prefill = n + 8
+		}
+		if op != "msgget-create" {
+			id, err := p.Msgget(baseKey, api.IPCCreat)
+			if err != nil {
+				return 1
+			}
+			for i := 0; i < prefill; i++ {
+				if err := p.Msgsnd(id, 1, payload, 0); err != nil {
+					return 1
+				}
+			}
+		}
+		pid, err := p.Fork(func(c api.OS) {
+			var iter func(i int) bool
+			switch op {
+			case "msgget-create":
+				iter = func(i int) bool {
+					_, err := c.Msgget(baseKey+2000+i, api.IPCCreat)
+					return err == nil
+				}
+			case "msgget-lookup":
+				iter = func(i int) bool {
+					_, err := c.Msgget(baseKey, 0)
+					return err == nil
+				}
+			case "msgsnd":
+				id, err := c.Msgget(baseKey, 0)
+				if err != nil {
+					c.Exit(1)
+				}
+				iter = func(i int) bool { return c.Msgsnd(id, 1, payload, 0) == nil }
+			case "msgrcv":
+				id, err := c.Msgget(baseKey, 0)
+				if err != nil {
+					c.Exit(1)
+				}
+				iter = func(i int) bool {
+					_, _, err := c.Msgrcv(id, 1, nil, 0)
+					return err == nil
+				}
+			default:
+				c.Exit(2)
+			}
+			start, _ := c.Gettimeofday()
+			for i := 0; i < n; i++ {
+				if !iter(i) {
+					c.Exit(1)
+				}
+			}
+			end, _ := c.Gettimeofday()
+			nsPerOp := (end - start) * 1000 / int64(n)
+			if err := writeFileAll(c, "/sysvresult", []byte(strconv.FormatInt(nsPerOp, 10))); err != nil {
+				c.Exit(1)
+			}
+			c.Exit(0)
+		})
+		if err != nil {
+			return 1
+		}
+		res, err := p.Wait(pid)
+		if err != nil {
+			return 1
+		}
+		return res.ExitCode
+	}
+
+	var iter func(i int) bool
+	switch op + "/" + mode {
+	case "msgget-create/in":
+		iter = func(i int) bool {
+			_, err := p.Msgget(baseKey+1000+i, api.IPCCreat)
+			return err == nil
+		}
+	case "msgget-lookup/in":
+		if _, err := p.Msgget(baseKey, api.IPCCreat); err != nil {
+			return 1
+		}
+		iter = func(i int) bool {
+			_, err := p.Msgget(baseKey, 0)
+			return err == nil
+		}
+	case "msgsnd/in":
+		id, err := p.Msgget(baseKey, api.IPCCreat)
+		if err != nil {
+			return 1
+		}
+		iter = func(i int) bool { return p.Msgsnd(id, 1, payload, 0) == nil }
+	case "msgrcv/in":
+		id, err := p.Msgget(baseKey, api.IPCCreat)
+		if err != nil {
+			return 1
+		}
+		for i := 0; i < n; i++ {
+			if err := p.Msgsnd(id, 1, payload, 0); err != nil {
+				return 1
+			}
+		}
+		iter = func(i int) bool {
+			_, _, err := p.Msgrcv(id, 0, nil, 0)
+			return err == nil
+		}
+
+	case "msgget-lookup/persist", "msgsnd/persist", "msgrcv/persist":
+		// Non-concurrent sharing: the owner creates, fills, and exits;
+		// the survivor adopts from the persisted file (§4.2).
+		pid, err := p.Fork(func(c api.OS) {
+			id, err := c.Msgget(baseKey, api.IPCCreat)
+			if err != nil {
+				c.Exit(1)
+			}
+			count := n + 8
+			if op != "msgrcv" {
+				count = 1
+			}
+			for i := 0; i < count; i++ {
+				if err := c.Msgsnd(id, 1, payload, 0); err != nil {
+					c.Exit(1)
+				}
+			}
+			c.Exit(0)
+		})
+		if err != nil {
+			return 1
+		}
+		if res, err := p.Wait(pid); err != nil || res.ExitCode != 0 {
+			return 1
+		}
+		id, err := p.Msgget(baseKey, 0)
+		if err != nil {
+			return 1
+		}
+		switch op {
+		case "msgget-lookup":
+			iter = func(i int) bool {
+				_, err := p.Msgget(baseKey, 0)
+				return err == nil
+			}
+		case "msgsnd":
+			iter = func(i int) bool { return p.Msgsnd(id, 1, payload, 0) == nil }
+		case "msgrcv":
+			iter = func(i int) bool {
+				_, _, err := p.Msgrcv(id, 1, nil, 0)
+				return err == nil
+			}
+		}
+	default:
+		return 2
+	}
+
+	start, _ := p.Gettimeofday()
+	for i := 0; i < n; i++ {
+		if !iter(i) {
+			return 1
+		}
+	}
+	end, _ := p.Gettimeofday()
+	nsPerOp := (end - start) * 1000 / int64(n)
+	if err := writeFileAll(p, "/sysvresult", []byte(strconv.FormatInt(nsPerOp, 10))); err != nil {
+		return 1
+	}
+	return 0
+}
+
+// table7Cell runs one (op, mode) cell on one personality.
+func table7Cell(run func(...string) (int, error), read func() (int64, error),
+	op, mode string, n, iters int) (*metrics.Sample, error) {
+	s := &metrics.Sample{}
+	for i := 0; i < iters; i++ {
+		code, err := run(op, mode, strconv.Itoa(n))
+		if err != nil || code != 0 {
+			return nil, fmt.Errorf("sysvbench %s/%s: code=%d err=%v", op, mode, code, err)
+		}
+		ns, err := read()
+		if err != nil {
+			return nil, err
+		}
+		s.Add(float64(ns))
+	}
+	return s, nil
+}
+
+// Table7 reproduces the System V message queue microbenchmarks. Ownership
+// migration is disabled during the inter-process cells so the remote path
+// is what gets measured, as in the paper's Table 7; the ablation
+// benchmarks measure migration's 10x effect separately.
+func Table7(n, iters int) ([]Table7Result, error) {
+	if n <= 0 {
+		n = 500
+	}
+	if iters <= 0 {
+		iters = 3
+	}
+	ops := []string{"msgget-create", "msgget-lookup", "msgsnd", "msgrcv"}
+	modes := []string{"in", "inter", "persist"}
+
+	var out []Table7Result
+	for _, op := range ops {
+		for _, mode := range modes {
+			if mode == "persist" && op == "msgget-create" {
+				continue // the queue pre-exists by definition
+			}
+			row := Table7Result{Op: op, Mode: modeLabel(mode)}
+
+			if mode == "inter" {
+				ipc.SetMigrationEnabled(false)
+			}
+
+			// Graphene.
+			g, err := NewGraphene()
+			if err != nil {
+				return nil, err
+			}
+			if err := g.Runtime.RegisterProgram("/bin/sysvbench", sysvBenchMain); err != nil {
+				return nil, err
+			}
+			row.Graphene, err = table7Cell(
+				func(args ...string) (int, error) { return g.Run("/bin/sysvbench", args...) },
+				func() (int64, error) { return readNS(g.Kernel.FS.ReadFile, "/sysvresult") },
+				op, mode, n, iters)
+			if err != nil {
+				ipc.SetMigrationEnabled(true)
+				return nil, err
+			}
+
+			// Linux (no persistent column: queues live in kernel memory).
+			if mode != "persist" {
+				nv, err := NewNative()
+				if err != nil {
+					ipc.SetMigrationEnabled(true)
+					return nil, err
+				}
+				if err := nv.Kernel.RegisterProgram("/bin/sysvbench", sysvBenchMain); err != nil {
+					ipc.SetMigrationEnabled(true)
+					return nil, err
+				}
+				row.Linux, err = table7Cell(
+					func(args ...string) (int, error) { return nv.Run("/bin/sysvbench", args...) },
+					func() (int64, error) { return readNS(nv.Kernel.FS.ReadFile, "/sysvresult") },
+					op, mode, n, iters)
+				if err != nil {
+					ipc.SetMigrationEnabled(true)
+					return nil, err
+				}
+			}
+			ipc.SetMigrationEnabled(true)
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+func modeLabel(mode string) string {
+	switch mode {
+	case "in":
+		return "in process"
+	case "inter":
+		return "inter process"
+	default:
+		return "persistent"
+	}
+}
+
+func readNS(readFile func(string) ([]byte, error), path string) (int64, error) {
+	data, err := readFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(strings.TrimSpace(string(data)), 10, 64)
+}

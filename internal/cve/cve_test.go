@@ -1,0 +1,118 @@
+package cve
+
+import (
+	"testing"
+
+	"graphene/internal/host"
+)
+
+// TestTable8Distribution asserts the dataset matches the published
+// per-category totals (Table 8, "Total" column).
+func TestTable8Distribution(t *testing.T) {
+	rows, total := Analyze(Dataset(), DefaultPolicy())
+	wantTotals := map[Category]int{
+		CatSyscall: 118,
+		CatNetwork: 73,
+		CatFS:      33,
+		CatDrivers: 37,
+		CatVM:      15,
+		CatApp:     2,
+		CatOther:   13,
+	}
+	for _, r := range rows {
+		if want := wantTotals[r.Category]; r.Total != want {
+			t.Errorf("%s: total = %d, want %d", r.Category, r.Total, want)
+		}
+	}
+	if total.Total != 291 {
+		t.Fatalf("grand total = %d, want 291", total.Total)
+	}
+}
+
+// TestTable8Prevention asserts the analyzer derives the paper's
+// "Prevented by Graphene" column from the actual policy.
+func TestTable8Prevention(t *testing.T) {
+	rows, total := Analyze(Dataset(), DefaultPolicy())
+	wantPrevented := map[Category]int{
+		CatSyscall: 113,
+		CatNetwork: 30,
+		CatFS:      2,
+		CatDrivers: 0,
+		CatVM:      0,
+		CatApp:     2,
+		CatOther:   0,
+	}
+	for _, r := range rows {
+		if want := wantPrevented[r.Category]; r.Prevented != want {
+			t.Errorf("%s: prevented = %d, want %d", r.Category, r.Prevented, want)
+		}
+	}
+	if total.Prevented != 147 {
+		t.Fatalf("total prevented = %d, want 147 (51%%)", total.Prevented)
+	}
+	pct := 100 * float64(total.Prevented) / float64(total.Total)
+	if pct < 50 || pct > 52 {
+		t.Fatalf("prevention rate = %.1f%%, paper reports 51%%", pct)
+	}
+}
+
+// TestPreventionIsDerivedNotHardcoded: loosening the policy must change
+// the analysis. An allow-everything filter prevents no syscall vulns.
+func TestPreventionIsDerivedNotHardcoded(t *testing.T) {
+	loose := DefaultPolicy()
+	loose.PathAllowed = func(string) bool { return true }
+	loose.ProtoAllowed = func(string) bool { return true }
+	rows, _ := Analyze(Dataset(), loose)
+	for _, r := range rows {
+		switch r.Category {
+		case CatNetwork, CatFS:
+			if r.Prevented != 0 {
+				t.Errorf("%s: loose policy still prevents %d", r.Category, r.Prevented)
+			}
+		}
+	}
+}
+
+func TestAnchorsAreRealCVEs(t *testing.T) {
+	ds := Dataset()
+	wantIDs := []string{"CVE-2013-2094", "CVE-2012-0056", "CVE-2013-1763"}
+	found := map[string]bool{}
+	for _, v := range ds {
+		found[v.ID] = true
+	}
+	for _, id := range wantIDs {
+		if !found[id] {
+			t.Errorf("anchor %s missing from dataset", id)
+		}
+	}
+}
+
+func TestReachableSyscallVulnsUsePALSyscalls(t *testing.T) {
+	p := DefaultPolicy()
+	inPAL := map[int]bool{}
+	for _, nr := range host.PALSyscalls {
+		inPAL[nr] = true
+	}
+	for _, v := range Dataset() {
+		if v.Category != CatSyscall || v.Vector != VectorSyscall {
+			continue
+		}
+		if !p.Prevented(v) && !inPAL[v.TriggerSyscall] {
+			t.Errorf("%s reachable but trigger %d not in PAL set", v.ID, v.TriggerSyscall)
+		}
+		if p.Prevented(v) && inPAL[v.TriggerSyscall] {
+			t.Errorf("%s prevented but trigger %d is PAL-needed", v.ID, v.TriggerSyscall)
+		}
+	}
+}
+
+func TestEveryVulnHasIDAndCategory(t *testing.T) {
+	for i, v := range Dataset() {
+		if v.ID == "" {
+			t.Fatalf("entry %d has no ID", i)
+		}
+		if v.Category == "" {
+			t.Fatalf("entry %d (%s) has no category", i, v.ID)
+		}
+	}
+}

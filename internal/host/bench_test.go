@@ -1,0 +1,107 @@
+package host
+
+import (
+	"testing"
+
+	"graphene/internal/api"
+)
+
+func BenchmarkStreamPingPong(b *testing.B) {
+	a, c := NewStreamPair("bench", 1, 2)
+	defer a.Close()
+	go func() {
+		buf := make([]byte, 1)
+		for {
+			if _, err := c.Read(buf); err != nil {
+				return
+			}
+			if _, err := c.Write(buf); err != nil {
+				return
+			}
+		}
+	}()
+	buf := make([]byte, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.Read(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamThroughput64K(b *testing.B) {
+	a, c := NewStreamPair("bench", 1, 2)
+	defer a.Close()
+	go func() {
+		buf := make([]byte, 64*1024)
+		for {
+			if n, err := c.Read(buf); err != nil || n == 0 {
+				return
+			}
+		}
+	}()
+	chunk := make([]byte, 32*1024)
+	b.SetBytes(int64(len(chunk)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Write(chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAddressSpaceWrite(b *testing.B) {
+	as := NewAddressSpace()
+	addr, _ := as.Alloc(0, 64*PageSize, api.ProtRead|api.ProtWrite)
+	data := make([]byte, 64)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := as.Write(addr+uint64(i%63)*PageSize, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForkCOW(b *testing.B) {
+	as := NewAddressSpace()
+	addr, _ := as.Alloc(0, 256*PageSize, api.ProtRead|api.ProtWrite)
+	for off := uint64(0); off < 256*PageSize; off += PageSize {
+		_ = as.Write(addr+off, []byte{1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		child := as.ForkCOW()
+		child.Release()
+	}
+}
+
+func BenchmarkWaitAnySignaled(b *testing.B) {
+	e := NewEvent(true)
+	e.Set()
+	objs := []Waitable{NewEvent(false), NewEvent(false), e}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if idx, err := WaitAny(objs, 0); err != nil || idx != 2 {
+			b.Fatalf("WaitAny = %d, %v", idx, err)
+		}
+	}
+}
+
+func BenchmarkFSWriteRead(b *testing.B) {
+	fs := NewFileSystem()
+	data := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fs.WriteFile("/bench", data, 0644); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fs.ReadFile("/bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

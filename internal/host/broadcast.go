@@ -1,0 +1,110 @@
+package host
+
+import (
+	"sync"
+
+	"graphene/internal/api"
+)
+
+// BroadcastChannel is the per-sandbox message-granularity stream used for
+// global coordination (leader discovery, namespace queries). Unlike byte
+// streams it delivers whole messages, so concurrent writers need no framing
+// (§4.1 of the paper).
+type BroadcastChannel struct {
+	mu     sync.Mutex
+	subs   map[int]*BroadcastSub // keyed by subscriber PID
+	closed bool
+}
+
+// NewBroadcastChannel creates an empty broadcast channel.
+func NewBroadcastChannel() *BroadcastChannel {
+	return &BroadcastChannel{subs: make(map[int]*BroadcastSub)}
+}
+
+// BroadcastSub is one picoprocess's subscription endpoint.
+type BroadcastSub struct {
+	PID  int
+	ch   chan BroadcastMsg
+	bc   *BroadcastChannel
+	mu   sync.Mutex
+	dead bool
+}
+
+// BroadcastMsg is one message on the broadcast channel.
+type BroadcastMsg struct {
+	FromPID int
+	Data    []byte
+}
+
+// Subscribe attaches pid to the channel and returns its endpoint.
+func (b *BroadcastChannel) Subscribe(pid int) (*BroadcastSub, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, api.EBADF
+	}
+	if _, ok := b.subs[pid]; ok {
+		return nil, api.EEXIST
+	}
+	s := &BroadcastSub{PID: pid, ch: make(chan BroadcastMsg, 256), bc: b}
+	b.subs[pid] = s
+	return s, nil
+}
+
+// Send delivers data to every subscriber except the sender.
+func (b *BroadcastChannel) Send(fromPID int, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return api.EPIPE
+	}
+	msg := BroadcastMsg{FromPID: fromPID, Data: append([]byte(nil), data...)}
+	for pid, s := range b.subs {
+		if pid == fromPID {
+			continue
+		}
+		select {
+		case s.ch <- msg:
+		default:
+			// A slow subscriber drops messages rather than wedging the
+			// whole sandbox; the coordination protocol retries on timeout.
+		}
+	}
+	return nil
+}
+
+// Members returns the subscribed PIDs.
+func (b *BroadcastChannel) Members() []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]int, 0, len(b.subs))
+	for pid := range b.subs {
+		out = append(out, pid)
+	}
+	return out
+}
+
+// Unsubscribe detaches pid (process exit or sandbox split).
+func (b *BroadcastChannel) Unsubscribe(pid int) {
+	b.mu.Lock()
+	s := b.subs[pid]
+	delete(b.subs, pid)
+	b.mu.Unlock()
+	if s != nil {
+		s.mu.Lock()
+		if !s.dead {
+			s.dead = true
+			close(s.ch)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Recv blocks for the next broadcast message; ok is false after detach.
+func (s *BroadcastSub) Recv() (BroadcastMsg, bool) {
+	m, ok := <-s.ch
+	return m, ok
+}
+
+// Chan exposes the receive channel for select-based helpers.
+func (s *BroadcastSub) Chan() <-chan BroadcastMsg { return s.ch }

@@ -1,0 +1,57 @@
+package host
+
+import (
+	"bytes"
+	"io"
+	"sync"
+)
+
+// Console is the host's terminal device ("dev:tty" in PAL URIs). Output is
+// captured in a buffer and optionally mirrored to a writer (the launcher
+// mirrors it to stdout).
+type Console struct {
+	mu     sync.Mutex
+	buf    bytes.Buffer
+	mirror io.Writer
+}
+
+// ConsoleOf returns the kernel's console, creating it on first use.
+func (k *Kernel) ConsoleOf() *Console {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.console == nil {
+		k.console = &Console{}
+	}
+	return k.console
+}
+
+// SetMirror mirrors subsequent console writes to w (nil disables).
+func (c *Console) SetMirror(w io.Writer) {
+	c.mu.Lock()
+	c.mirror = w
+	c.mu.Unlock()
+}
+
+// Write appends to the console buffer.
+func (c *Console) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.mirror != nil {
+		_, _ = c.mirror.Write(p)
+	}
+	return c.buf.Write(p)
+}
+
+// Contents returns everything written so far.
+func (c *Console) Contents() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buf.String()
+}
+
+// Reset clears the buffer.
+func (c *Console) Reset() {
+	c.mu.Lock()
+	c.buf.Reset()
+	c.mu.Unlock()
+}

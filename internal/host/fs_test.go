@@ -1,0 +1,199 @@
+package host
+
+import (
+	"testing"
+	"testing/quick"
+
+	"graphene/internal/api"
+)
+
+func TestCleanPath(t *testing.T) {
+	cases := map[string]string{
+		"/a/b/c":        "/a/b/c",
+		"a/b":           "/a/b",
+		"/a/../b":       "/b",
+		"/../../etc":    "/etc",
+		"/a/./b//c":     "/a/b/c",
+		"/":             "/",
+		"":              "/",
+		"/a/b/../../..": "/",
+	}
+	for in, want := range cases {
+		if got := CleanPath(in); got != want {
+			t.Errorf("CleanPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFSWriteRead(t *testing.T) {
+	fs := NewFileSystem()
+	if err := fs.MkdirAll("/etc/app", 0755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/etc/app/conf", []byte("k=v"), 0644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile("/etc/app/conf")
+	if err != nil || string(data) != "k=v" {
+		t.Fatalf("ReadFile: %q, %v", data, err)
+	}
+}
+
+func TestFSErrnos(t *testing.T) {
+	fs := NewFileSystem()
+	if _, err := fs.ReadFile("/missing"); err != api.ENOENT {
+		t.Errorf("ReadFile missing: %v", err)
+	}
+	if err := fs.WriteFile("/no/such/dir/f", nil, 0644); err != api.ENOENT {
+		t.Errorf("WriteFile w/o parent: %v", err)
+	}
+	fs.MkdirAll("/d", 0755)
+	if _, err := fs.ReadFile("/d"); err != api.EISDIR {
+		t.Errorf("ReadFile dir: %v", err)
+	}
+	if err := fs.Mkdir("/d", 0755); err != api.EEXIST {
+		t.Errorf("Mkdir existing: %v", err)
+	}
+	fs.WriteFile("/d/f", []byte("x"), 0644)
+	if err := fs.Unlink("/d"); err != api.ENOTEMPTY {
+		t.Errorf("Unlink nonempty dir: %v", err)
+	}
+	if _, err := fs.ReadDir("/d/f"); err != api.ENOTDIR {
+		t.Errorf("ReadDir on file: %v", err)
+	}
+}
+
+func TestFSRename(t *testing.T) {
+	fs := NewFileSystem()
+	fs.MkdirAll("/a", 0755)
+	fs.MkdirAll("/b", 0755)
+	fs.WriteFile("/a/f", []byte("content"), 0644)
+	if err := fs.Rename("/a/f", "/b/g"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/a/f") {
+		t.Fatal("old path survives rename")
+	}
+	data, err := fs.ReadFile("/b/g")
+	if err != nil || string(data) != "content" {
+		t.Fatalf("renamed file: %q, %v", data, err)
+	}
+}
+
+func TestFSReadDirSorted(t *testing.T) {
+	fs := NewFileSystem()
+	fs.MkdirAll("/dir", 0755)
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		fs.WriteFile("/dir/"+n, nil, 0644)
+	}
+	ents, err := fs.ReadDir("/dir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	for i, e := range ents {
+		if e.Name != want[i] {
+			t.Fatalf("ents[%d] = %q, want %q", i, e.Name, want[i])
+		}
+	}
+}
+
+func TestOpenFileFlags(t *testing.T) {
+	fs := NewFileSystem()
+	if _, err := fs.OpenFileHandle("/f", api.ORdOnly, 0); err != api.ENOENT {
+		t.Fatalf("open missing: %v", err)
+	}
+	f, err := fs.OpenFileHandle("/f", api.OCreate|api.OWrOnly, 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.OpenFileHandle("/f", api.OCreate|api.OExcl, 0644); err != api.EEXIST {
+		t.Fatalf("O_EXCL on existing: %v", err)
+	}
+	if _, err := fs.OpenFileHandle("/f", api.OTrunc|api.OWrOnly, 0); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := fs.Stat("/f")
+	if st.Size != 0 {
+		t.Fatalf("O_TRUNC left size %d", st.Size)
+	}
+}
+
+func TestOpenFileAppend(t *testing.T) {
+	fs := NewFileSystem()
+	fs.WriteFile("/log", []byte("one\n"), 0644)
+	f, err := fs.OpenFileHandle("/log", api.OWrOnly|api.OAppend, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("two\n")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := fs.ReadFile("/log")
+	if string(data) != "one\ntwo\n" {
+		t.Fatalf("append result: %q", data)
+	}
+}
+
+func TestOpenFileCursorAndSetLength(t *testing.T) {
+	fs := NewFileSystem()
+	fs.WriteFile("/f", []byte("abcdefgh"), 0644)
+	f, _ := fs.OpenFileHandle("/f", api.ORdWr, 0)
+	buf := make([]byte, 3)
+	n, _ := f.Read(buf)
+	if string(buf[:n]) != "abc" {
+		t.Fatalf("first read %q", buf[:n])
+	}
+	n, _ = f.Read(buf)
+	if string(buf[:n]) != "def" {
+		t.Fatalf("cursor did not advance: %q", buf[:n])
+	}
+	if err := f.SetLength(4); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := f.Size(); sz != 4 {
+		t.Fatalf("size after truncate = %d", sz)
+	}
+}
+
+// Property: writing then reading any path under a created directory round
+// trips the content.
+func TestPropertyFSRoundTrip(t *testing.T) {
+	fs := NewFileSystem()
+	fs.MkdirAll("/p", 0755)
+	f := func(name string, content []byte) bool {
+		// Sanitize into a single path segment.
+		clean := make([]rune, 0, len(name))
+		for _, r := range name {
+			if r != '/' && r != 0 {
+				clean = append(clean, r)
+			}
+		}
+		if len(clean) == 0 {
+			clean = []rune{'x'}
+		}
+		p := "/p/" + string(clean)
+		if err := fs.WriteFile(p, content, 0644); err != nil {
+			return false
+		}
+		got, err := fs.ReadFile(p)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(content) {
+			return false
+		}
+		for i := range got {
+			if got[i] != content[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

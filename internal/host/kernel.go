@@ -1,0 +1,429 @@
+package host
+
+import (
+	"crypto/rand"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphene/internal/api"
+)
+
+// Host syscall numbers — the ~50 Linux system calls the PAL is implemented
+// with (§3.1). Numbers follow Linux/x86-64 where they exist.
+const (
+	SysRead          = 0
+	SysWrite         = 1
+	SysOpen          = 2
+	SysClose         = 3
+	SysStat          = 4
+	SysFstat         = 5
+	SysPoll          = 7
+	SysLseek         = 8
+	SysMmap          = 9
+	SysMprotect      = 10
+	SysMunmap        = 11
+	SysBrk           = 12
+	SysRtSigaction   = 13
+	SysRtSigprocmask = 14
+	SysRtSigreturn   = 15
+	SysIoctl         = 16
+	SysSchedYield    = 24
+	SysDup           = 32
+	SysNanosleep     = 35
+	SysGetpid        = 39
+	SysSocket        = 41
+	SysConnect       = 42
+	SysAccept        = 43
+	SysSendto        = 44
+	SysRecvfrom      = 45
+	SysShutdown      = 48
+	SysBind          = 49
+	SysListen        = 50
+	SysSocketpair    = 53
+	SysClone         = 56
+	SysFork          = 57
+	SysVfork         = 58
+	SysExecve        = 59
+	SysExit          = 60
+	SysWait4         = 61
+	SysKill          = 62
+	SysFcntl         = 72
+	SysFsync         = 74
+	SysTruncate      = 76
+	SysGetdents      = 78
+	SysRename        = 82
+	SysMkdir         = 83
+	SysRmdir         = 84
+	SysUnlink        = 87
+	SysGettimeofday  = 96
+	SysPrctl         = 157
+	SysArchPrctl     = 158
+	SysGettid        = 186
+	SysFutex         = 202
+	SysExitGroup     = 231
+	SysTgkill        = 234
+	SysOpenat        = 257
+	SysPipe2         = 293
+	SysGetrandom     = 318
+
+	// NumHostSyscalls bounds host syscall numbering (Linux has ~320 through
+	// the 3.x series; the filter tables size themselves off this).
+	NumHostSyscalls = 360
+)
+
+// PALSyscalls is the set of host system calls appearing in the PAL source —
+// everything else is trapped by the seccomp filter (§3.1; "The PAL is
+// implemented using 50 host system calls").
+var PALSyscalls = []int{
+	SysRead, SysWrite, SysOpen, SysClose, SysStat, SysFstat, SysPoll,
+	SysLseek, SysMmap, SysMprotect, SysMunmap, SysRtSigaction,
+	SysRtSigprocmask, SysRtSigreturn, SysIoctl, SysSchedYield, SysDup,
+	SysNanosleep, SysGetpid, SysSocket, SysConnect, SysAccept, SysSendto,
+	SysRecvfrom, SysShutdown, SysBind, SysListen, SysSocketpair, SysClone,
+	SysVfork, SysExecve, SysExit, SysWait4, SysKill, SysFcntl, SysFsync,
+	SysTruncate, SysGetdents, SysRename, SysMkdir, SysRmdir, SysUnlink,
+	SysGettimeofday, SysPrctl, SysArchPrctl, SysGettid, SysFutex,
+	SysExitGroup, SysTgkill, SysOpenat, SysPipe2, SysGetrandom,
+}
+
+// Policy is the reference monitor's hook into the host kernel: every host
+// call with effects outside the calling picoprocess's address space is
+// checked here (the trusted computing base of §3).
+type Policy interface {
+	// CheckOpen authorizes opening path (post-chroot-translation happens in
+	// the monitor; the kernel passes the guest-visible path).
+	CheckOpen(proc *Picoprocess, path string, write bool) error
+	// TranslatePath maps a guest path to the host path per the manifest's
+	// chroot-style union view. Returns ENOENT for paths outside the view.
+	TranslatePath(proc *Picoprocess, path string) (string, error)
+	// CheckStreamConnect authorizes proc connecting to a listener owned by
+	// ownerPID (blocked across sandboxes).
+	CheckStreamConnect(proc *Picoprocess, ownerPID int) error
+	// CheckBulkIPC authorizes mapping from a store created by creatorPID.
+	CheckBulkIPC(proc *Picoprocess, creatorPID int) error
+	// CheckProcessCreate authorizes spawning a child picoprocess.
+	CheckProcessCreate(parent *Picoprocess) error
+	// CheckNetBind / CheckNetConnect enforce iptables-style rules.
+	CheckNetBind(proc *Picoprocess, addr api.SockAddr) error
+	CheckNetConnect(proc *Picoprocess, addr api.SockAddr) error
+	// OnProcessCreate/Exit maintain sandbox membership.
+	OnProcessCreate(parent, child *Picoprocess, newSandbox bool)
+	OnProcessExit(proc *Picoprocess)
+}
+
+// openPolicy permits everything — used for baseline personalities and
+// kernels constructed without a reference monitor.
+type openPolicy struct{}
+
+func (openPolicy) CheckOpen(*Picoprocess, string, bool) error { return nil }
+func (openPolicy) TranslatePath(_ *Picoprocess, path string) (string, error) {
+	return CleanPath(path), nil
+}
+func (openPolicy) CheckStreamConnect(*Picoprocess, int) error       { return nil }
+func (openPolicy) CheckBulkIPC(*Picoprocess, int) error             { return nil }
+func (openPolicy) CheckProcessCreate(*Picoprocess) error            { return nil }
+func (openPolicy) CheckNetBind(*Picoprocess, api.SockAddr) error    { return nil }
+func (openPolicy) CheckNetConnect(*Picoprocess, api.SockAddr) error { return nil }
+func (openPolicy) OnProcessCreate(*Picoprocess, *Picoprocess, bool) {}
+func (openPolicy) OnProcessExit(*Picoprocess)                       {}
+
+// OpenPolicy returns a Policy that allows everything.
+func OpenPolicy() Policy { return openPolicy{} }
+
+// Kernel is the simulated host kernel: picoprocess table, file system,
+// stream registry, bulk-IPC stores, and the syscall gate.
+type Kernel struct {
+	FS *FileSystem
+
+	policy  Policy
+	streams *streamRegistry
+
+	mu       sync.Mutex
+	procs    map[int]*Picoprocess
+	nextPID  int
+	stores   map[int]*IPCStore
+	nextSID  int
+	nextSand int
+
+	console    *Console
+	broadcasts map[int]*BroadcastChannel // per-sandbox coordination channels
+
+	// syscallCount is a diagnostic counter of gate entries.
+	syscallCount atomic.Int64
+}
+
+// BroadcastOf returns the broadcast channel of the given sandbox, creating
+// it on first use. A fresh sandbox (after a split) gets a fresh channel,
+// disconnecting the detached process from its old sandbox's coordination
+// traffic (§4.1).
+func (k *Kernel) BroadcastOf(sandboxID int) *BroadcastChannel {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.broadcasts == nil {
+		k.broadcasts = make(map[int]*BroadcastChannel)
+	}
+	bc, ok := k.broadcasts[sandboxID]
+	if !ok {
+		bc = NewBroadcastChannel()
+		k.broadcasts[sandboxID] = bc
+	}
+	return bc
+}
+
+// NewKernel creates a kernel with an empty file system and open policy.
+func NewKernel() *Kernel {
+	return &Kernel{
+		FS:      NewFileSystem(),
+		policy:  openPolicy{},
+		streams: newStreamRegistry(),
+		procs:   make(map[int]*Picoprocess),
+		stores:  make(map[int]*IPCStore),
+	}
+}
+
+// SetPolicy installs the reference monitor. Must be called before any
+// picoprocess is created.
+func (k *Kernel) SetPolicy(p Policy) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if p == nil {
+		k.policy = openPolicy{}
+	} else {
+		k.policy = p
+	}
+}
+
+// Policy returns the installed policy.
+func (k *Kernel) Policy() Policy {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.policy
+}
+
+// NewSandboxID allocates a fresh sandbox identifier for the monitor.
+func (k *Kernel) NewSandboxID() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.nextSand++
+	return k.nextSand
+}
+
+// CreateProcess allocates a picoprocess. If parent is non-nil the policy's
+// CheckProcessCreate gate runs and sandbox membership is inherited or split
+// per newSandbox. The caller starts guest threads itself.
+func (k *Kernel) CreateProcess(parent *Picoprocess, newSandbox bool) (*Picoprocess, error) {
+	if parent != nil {
+		if err := k.Policy().CheckProcessCreate(parent); err != nil {
+			return nil, err
+		}
+	}
+	k.mu.Lock()
+	k.nextPID++
+	p := &Picoprocess{
+		ID:      k.nextPID,
+		AS:      NewAddressSpace(),
+		kernel:  k,
+		streams: make(map[*Stream]struct{}),
+		exited:  NewEvent(true),
+	}
+	if parent != nil {
+		p.ParentID = parent.ID
+		p.SandboxID = parent.SandboxID
+		p.filter = parent.filter // seccomp filters are always inherited
+	}
+	k.procs[p.ID] = p
+	k.mu.Unlock()
+	k.Policy().OnProcessCreate(parent, p, newSandbox)
+	return p, nil
+}
+
+// Process looks up a picoprocess by host PID.
+func (k *Kernel) Process(pid int) *Picoprocess {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.procs[pid]
+}
+
+// Processes snapshots the live picoprocess table.
+func (k *Kernel) Processes() []*Picoprocess {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]*Picoprocess, 0, len(k.procs))
+	for _, p := range k.procs {
+		out = append(out, p)
+	}
+	return out
+}
+
+func (k *Kernel) onProcessExit(p *Picoprocess) {
+	k.mu.Lock()
+	delete(k.procs, p.ID)
+	k.mu.Unlock()
+	k.Policy().OnProcessExit(p)
+}
+
+// Gate runs the picoprocess's seccomp filter for syscall nr. fromPAL marks
+// calls whose return PC lies in the PAL (§3.1's PC-based filters). The
+// error is nil (allow), EPERM (deny), or ErrSigsys (trap → redirect).
+func (k *Kernel) Gate(p *Picoprocess, nr int, fromPAL bool) error {
+	k.syscallCount.Add(1)
+	f := p.Filter()
+	if f == nil {
+		return nil
+	}
+	switch f.Evaluate(nr, fromPAL) {
+	case ActionAllow:
+		return nil
+	case ActionTrap:
+		return ErrSigsys
+	default:
+		return api.EPERM
+	}
+}
+
+// ErrSigsys reports a trapped syscall: the host delivered SIGSYS and the
+// PAL must redirect the call to libLinux (§3.1, "Static Binaries").
+var ErrSigsys = fmt.Errorf("SIGSYS: syscall trapped by seccomp filter")
+
+// SyscallCount returns the number of gate entries (diagnostics).
+func (k *Kernel) SyscallCount() int64 { return k.syscallCount.Load() }
+
+// --- streams ---
+
+// StreamListen creates a named listener owned by p after the policy check.
+func (k *Kernel) StreamListen(p *Picoprocess, name string) (*Listener, error) {
+	if err := k.Gate(p, SysBind, true); err != nil {
+		return nil, err
+	}
+	return k.streams.listen(name, p.ID)
+}
+
+// StreamConnect connects p to the listener at name, subject to the
+// monitor's cross-sandbox check.
+func (k *Kernel) StreamConnect(p *Picoprocess, name string) (*Stream, error) {
+	if err := k.Gate(p, SysConnect, true); err != nil {
+		return nil, err
+	}
+	k.streams.mu.Lock()
+	l := k.streams.listeners[name]
+	k.streams.mu.Unlock()
+	if l == nil {
+		return nil, api.ECONNREFUSED
+	}
+	if err := k.Policy().CheckStreamConnect(p, l.OwnerPID); err != nil {
+		return nil, err
+	}
+	s, err := k.streams.connect(name, p.ID)
+	if err != nil {
+		return nil, err
+	}
+	p.registerStream(s)
+	return s, nil
+}
+
+// StreamAccept accepts a connection on l for p.
+func (k *Kernel) StreamAccept(p *Picoprocess, l *Listener) (*Stream, error) {
+	if err := k.Gate(p, SysAccept, true); err != nil {
+		return nil, err
+	}
+	s, err := l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	s.LocalPID = p.ID
+	p.registerStream(s)
+	return s, nil
+}
+
+// StreamPair creates an anonymous connected pair between two picoprocesses
+// (the host side of picoprocess creation's initial stream).
+func (k *Kernel) StreamPair(a, b *Picoprocess) (*Stream, *Stream) {
+	k.mu.Lock()
+	k.streams.nextAnon++
+	name := fmt.Sprintf("pipe:%d", k.streams.nextAnon)
+	k.mu.Unlock()
+	sa, sb := NewStreamPair(name, a.ID, b.ID)
+	a.registerStream(sa)
+	b.registerStream(sb)
+	return sa, sb
+}
+
+// StreamClose closes s and untracks it from p.
+func (k *Kernel) StreamClose(p *Picoprocess, s *Stream) {
+	p.unregisterStream(s)
+	s.Close()
+}
+
+// RemoveListener tears down a named listener.
+func (k *Kernel) RemoveListener(l *Listener) {
+	l.Close()
+	k.streams.remove(l.Name)
+}
+
+// AdoptStream re-homes a received stream endpoint to p (handle passing).
+func (k *Kernel) AdoptStream(p *Picoprocess, s *Stream) {
+	s.LocalPID = p.ID
+	p.registerStream(s)
+}
+
+// SeverCrossSandboxStreams closes every stream endpoint bridging two
+// different sandboxes — the mechanism behind sandbox splits (§3).
+func (k *Kernel) SeverCrossSandboxStreams() {
+	for _, p := range k.Processes() {
+		for _, s := range p.OpenStreams() {
+			remote := k.Process(s.RemotePID)
+			if remote != nil && remote.SandboxID != p.SandboxID {
+				s.ForceClose()
+			}
+		}
+	}
+}
+
+// --- bulk IPC ---
+
+// CreateIPCStore allocates a bulk-IPC store (gipc).
+func (k *Kernel) CreateIPCStore(p *Picoprocess) (*IPCStore, error) {
+	if err := k.Gate(p, SysOpen, true); err != nil {
+		return nil, err
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.nextSID++
+	st := newIPCStore(k.nextSID)
+	st.CreatorPID = p.ID
+	k.stores[st.ID] = st
+	return st, nil
+}
+
+// StreamConnectNet connects p to a network-style listener. Unlike
+// StreamConnect, the sandbox check is skipped: network reachability is
+// governed by the manifest's iptables-style rules, which the PAL checks
+// before calling here.
+func (k *Kernel) StreamConnectNet(p *Picoprocess, name string) (*Stream, error) {
+	if err := k.Gate(p, SysConnect, true); err != nil {
+		return nil, err
+	}
+	s, err := k.streams.connect(name, p.ID)
+	if err != nil {
+		return nil, err
+	}
+	p.registerStream(s)
+	return s, nil
+}
+
+// IPCStoreByID resolves a store id (sent over the control stream).
+func (k *Kernel) IPCStoreByID(id int) *IPCStore {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.stores[id]
+}
+
+// --- misc host services ---
+
+// Now returns host wall-clock microseconds.
+func (k *Kernel) Now() int64 { return time.Now().UnixMicro() }
+
+// Random fills buf with host randomness.
+func (k *Kernel) Random(buf []byte) (int, error) { return rand.Read(buf) }

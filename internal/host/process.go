@@ -1,0 +1,155 @@
+package host
+
+import (
+	"sync"
+
+	"graphene/internal/api"
+)
+
+// Picoprocess is the host's unit of isolation: an address space, a handle
+// table, a syscall filter, and a sandbox membership. Guest threads are
+// goroutines attached to the picoprocess.
+type Picoprocess struct {
+	ID        int
+	ParentID  int
+	SandboxID int
+
+	AS *AddressSpace
+
+	kernel *Kernel
+
+	// filter is the seccomp-style syscall filter installed at launch. It is
+	// immutable once set and inherited by children, as in the paper.
+	filter SyscallFilter
+
+	mu       sync.Mutex
+	streams  map[*Stream]struct{}
+	exited   *Event
+	exitCode int
+	dead     bool
+	threads  sync.WaitGroup
+	nextTID  int
+
+	// Exec-time metadata consumed by the libOS layer.
+	Entry interface{} // opaque payload (checkpoint blob / program spec)
+}
+
+// SyscallAction is a filter verdict.
+type SyscallAction int
+
+// Filter verdicts, mirroring seccomp-BPF return values.
+const (
+	ActionAllow SyscallAction = iota
+	// ActionTrap delivers SIGSYS, which the PAL redirects to libLinux.
+	ActionTrap
+	// ActionDeny fails the call with EPERM.
+	ActionDeny
+)
+
+// SyscallFilter is the host's view of a seccomp filter program.
+type SyscallFilter interface {
+	Evaluate(nr int, fromPAL bool) SyscallAction
+}
+
+// SetFilter installs the syscall filter. A second call fails: seccomp
+// filters are immutable once installed.
+func (p *Picoprocess) SetFilter(f SyscallFilter) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.filter != nil {
+		return api.EPERM
+	}
+	p.filter = f
+	return nil
+}
+
+// Filter returns the installed filter (possibly nil for unconfined
+// baseline processes).
+func (p *Picoprocess) Filter() SyscallFilter {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.filter
+}
+
+// registerStream tracks an open stream endpoint for sandbox-split severing.
+func (p *Picoprocess) registerStream(s *Stream) {
+	p.mu.Lock()
+	p.streams[s] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Picoprocess) unregisterStream(s *Stream) {
+	p.mu.Lock()
+	delete(p.streams, s)
+	p.mu.Unlock()
+}
+
+// OpenStreams snapshots the endpoints currently owned by this picoprocess.
+func (p *Picoprocess) OpenStreams() []*Stream {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Stream, 0, len(p.streams))
+	for s := range p.streams {
+		out = append(out, s)
+	}
+	return out
+}
+
+// NewThread runs fn as a guest thread of this picoprocess.
+func (p *Picoprocess) NewThread(fn func(tid int)) int {
+	p.mu.Lock()
+	p.nextTID++
+	tid := p.nextTID
+	p.mu.Unlock()
+	p.threads.Add(1)
+	go func() {
+		defer p.threads.Done()
+		fn(tid)
+	}()
+	return tid
+}
+
+// Exit marks the picoprocess dead, releases its address space, closes its
+// streams, and signals waiters. Idempotent.
+func (p *Picoprocess) Exit(code int) {
+	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		return
+	}
+	p.dead = true
+	p.exitCode = code
+	streams := make([]*Stream, 0, len(p.streams))
+	for s := range p.streams {
+		streams = append(streams, s)
+	}
+	p.streams = make(map[*Stream]struct{})
+	p.mu.Unlock()
+
+	for _, s := range streams {
+		s.Close()
+	}
+	p.AS.Release()
+	p.exited.Set()
+	p.kernel.onProcessExit(p)
+}
+
+// Dead reports whether the picoprocess has exited.
+func (p *Picoprocess) Dead() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dead
+}
+
+// ExitCode returns the exit status (valid once Dead).
+func (p *Picoprocess) ExitCode() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.exitCode
+}
+
+// ExitEvent is signaled when the picoprocess exits (waitable).
+func (p *Picoprocess) ExitEvent() *Event { return p.exited }
+
+// Kernel returns the owning kernel.
+func (p *Picoprocess) Kernel() *Kernel { return p.kernel }

@@ -1,0 +1,406 @@
+package host
+
+import (
+	"sync"
+
+	"graphene/internal/api"
+)
+
+// streamBufCap is the per-direction byte stream buffer, matching a Linux
+// pipe's default 64 KiB capacity so backpressure behaves similarly.
+const streamBufCap = 64 * 1024
+
+// byteQueue is one direction of a byte stream: a bounded FIFO of bytes with
+// blocking reads and writes and half-close semantics.
+type byteQueue struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	buf      []byte
+	closed   bool
+	waiters  map[chan struct{}]struct{}
+}
+
+func newByteQueue() *byteQueue {
+	q := &byteQueue{waiters: make(map[chan struct{}]struct{})}
+	q.notEmpty = sync.NewCond(&q.mu)
+	q.notFull = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *byteQueue) pokeWaitersLocked() {
+	for ch := range q.waiters {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (q *byteQueue) write(p []byte) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	total := 0
+	for len(p) > 0 {
+		for len(q.buf) >= streamBufCap && !q.closed {
+			q.notFull.Wait()
+		}
+		if q.closed {
+			if total > 0 {
+				return total, nil
+			}
+			return 0, api.EPIPE
+		}
+		n := streamBufCap - len(q.buf)
+		if n > len(p) {
+			n = len(p)
+		}
+		q.buf = append(q.buf, p[:n]...)
+		p = p[n:]
+		total += n
+		q.notEmpty.Broadcast()
+		q.pokeWaitersLocked()
+	}
+	return total, nil
+}
+
+func (q *byteQueue) read(p []byte) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.buf) == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if len(q.buf) == 0 {
+		return 0, nil // EOF
+	}
+	n := copy(p, q.buf)
+	q.buf = q.buf[n:]
+	q.notFull.Broadcast()
+	return n, nil
+}
+
+// readable reports whether a read would not block (data buffered or EOF).
+func (q *byteQueue) readable() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf) > 0 || q.closed
+}
+
+func (q *byteQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+	q.pokeWaitersLocked()
+	q.mu.Unlock()
+}
+
+// Stream is one endpoint of a bidirectional byte stream — the host ABI's
+// pipe-like primitive over which libOS instances exchange RPCs. Handles to
+// other picoprocesses' streams can be passed out-of-band (SendHandle).
+type Stream struct {
+	// Name is the stream's URI (e.g. "pipe:42") for GetName.
+	Name string
+	// LocalPID and RemotePID identify the endpoint owners for the reference
+	// monitor's sandbox checks; 0 means unowned (pre-accept server handle).
+	LocalPID  int
+	RemotePID int
+
+	in, out *byteQueue
+	peer    *Stream
+
+	mu     sync.Mutex
+	closed bool
+	// refs counts holders of this endpoint: inheriting a pipe across fork
+	// shares the open description, and the endpoint only really closes
+	// when the last holder closes it (POSIX file description semantics,
+	// implemented in the libOS layer but refcounted here).
+	refs int
+	// oob carries passed handles (SendHandle/ReceiveHandle ABI).
+	oob chan *Handle
+}
+
+// NewStreamPair creates the two connected endpoints of a byte stream.
+func NewStreamPair(name string, pidA, pidB int) (*Stream, *Stream) {
+	ab := newByteQueue()
+	ba := newByteQueue()
+	a := &Stream{Name: name, LocalPID: pidA, RemotePID: pidB, in: ba, out: ab, refs: 1, oob: make(chan *Handle, 64)}
+	b := &Stream{Name: name, LocalPID: pidB, RemotePID: pidA, in: ab, out: ba, refs: 1, oob: make(chan *Handle, 64)}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// Ref adds a holder to this endpoint (handle inheritance across fork).
+func (s *Stream) Ref() {
+	s.mu.Lock()
+	s.refs++
+	s.mu.Unlock()
+}
+
+// Read reads up to len(p) bytes, blocking until data or EOF.
+func (s *Stream) Read(p []byte) (int, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, api.EBADF
+	}
+	s.mu.Unlock()
+	return s.in.read(p)
+}
+
+// Write writes all of p, blocking on backpressure. Writing to a stream
+// whose peer has closed returns EPIPE.
+func (s *Stream) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, api.EBADF
+	}
+	s.mu.Unlock()
+	return s.out.write(p)
+}
+
+// Readable reports whether a Read would not block.
+func (s *Stream) Readable() bool { return s.in.readable() }
+
+// TryAcquire implements Waitable: a stream is "signaled" when a read would
+// not block (data buffered or EOF). Acquiring does not consume data.
+func (s *Stream) TryAcquire() bool { return s.in.readable() }
+
+// Register implements Waitable.
+func (s *Stream) Register(ch chan struct{}) {
+	s.in.mu.Lock()
+	s.in.waiters[ch] = struct{}{}
+	s.in.mu.Unlock()
+}
+
+// Unregister implements Waitable.
+func (s *Stream) Unregister(ch chan struct{}) {
+	s.in.mu.Lock()
+	delete(s.in.waiters, ch)
+	s.in.mu.Unlock()
+}
+
+// Close drops one holder's reference; the endpoint really closes (peer
+// observes EOF on read, EPIPE on write) when the last holder closes.
+// Close after the real close is a no-op.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.refs--
+	if s.refs > 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.oob)
+	s.mu.Unlock()
+	s.out.close()
+	s.in.close()
+}
+
+// ForceClose closes the endpoint regardless of reference count — the
+// reference monitor's sandbox-split sever path, which must cut streams
+// even when multiple picoprocesses hold them.
+func (s *Stream) ForceClose() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.refs = 0
+	s.closed = true
+	close(s.oob)
+	s.mu.Unlock()
+	s.out.close()
+	s.in.close()
+}
+
+// Closed reports whether this endpoint has been closed locally.
+func (s *Stream) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// SendHandle passes a host handle out-of-band to the peer endpoint,
+// implementing the PAL's handle-inheritance ABI. A passed stream handle
+// carries its own reference: the receiver owns it even if the sender
+// closes its descriptor immediately after sending.
+func (s *Stream) SendHandle(h *Handle) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return api.EBADF
+	}
+	peer := s.peer
+	s.mu.Unlock()
+	peer.mu.Lock()
+	defer peer.mu.Unlock()
+	if peer.closed {
+		return api.EPIPE
+	}
+	if h != nil && h.Kind == HandleStream && h.Stream != nil {
+		h.Stream.Ref()
+	}
+	select {
+	case peer.oob <- h:
+		return nil
+	default:
+		if h != nil && h.Kind == HandleStream && h.Stream != nil {
+			h.Stream.Close() // drop the transferred reference
+		}
+		return api.EAGAIN
+	}
+}
+
+// ReceiveHandle receives a handle passed by the peer, blocking until one
+// arrives or the stream closes.
+func (s *Stream) ReceiveHandle() (*Handle, error) {
+	h, ok := <-s.oob
+	if !ok || h == nil {
+		return nil, api.EPIPE
+	}
+	return h, nil
+}
+
+// TryReceiveHandle is the non-blocking variant.
+func (s *Stream) TryReceiveHandle() (*Handle, bool) {
+	select {
+	case h := <-s.oob:
+		return h, h != nil
+	default:
+		return nil, false
+	}
+}
+
+// HandleKind discriminates what a host handle refers to.
+type HandleKind int
+
+// Handle kinds.
+const (
+	HandleStream HandleKind = iota
+	HandleListener
+	HandleFile
+	HandleEvent
+	HandleMutex
+	HandleSemaphore
+	HandleBroadcast
+	HandleIPCStore
+)
+
+// Handle is an opaque host handle as returned by the PAL to the libOS.
+type Handle struct {
+	Kind HandleKind
+	// Exactly one of the following is set, per Kind.
+	Stream    *Stream
+	Listener  *Listener
+	File      *OpenFile
+	Event     *Event
+	Mutex     *Mutex
+	Semaphore *Semaphore
+	Broadcast *BroadcastSub
+	Store     *IPCStore
+}
+
+// Listener is a named stream server ("pipe.srv:name"): picoprocesses
+// connect by URI and the owner accepts connections.
+type Listener struct {
+	Name     string
+	OwnerPID int
+
+	mu      sync.Mutex
+	backlog chan *Stream
+	closed  bool
+}
+
+func newListener(name string, owner int) *Listener {
+	return &Listener{Name: name, OwnerPID: owner, backlog: make(chan *Stream, 128)}
+}
+
+// Accept blocks for the next incoming connection.
+func (l *Listener) Accept() (*Stream, error) {
+	s, ok := <-l.backlog
+	if !ok {
+		return nil, api.EBADF
+	}
+	return s, nil
+}
+
+// Close shuts the listener; pending Accepts fail, and connections already
+// delivered to the backlog but never accepted are closed so their dialers
+// observe EOF rather than waiting forever on a half-open stream.
+func (l *Listener) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	close(l.backlog)
+	l.mu.Unlock()
+	for s := range l.backlog {
+		s.ForceClose()
+	}
+}
+
+func (l *Listener) deliver(s *Stream) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return api.ECONNREFUSED
+	}
+	select {
+	case l.backlog <- s:
+		return nil
+	default:
+		return api.EAGAIN
+	}
+}
+
+// streamRegistry resolves stream URIs to listeners.
+type streamRegistry struct {
+	mu        sync.Mutex
+	listeners map[string]*Listener
+	nextAnon  int
+}
+
+func newStreamRegistry() *streamRegistry {
+	return &streamRegistry{listeners: make(map[string]*Listener)}
+}
+
+func (r *streamRegistry) listen(name string, owner int) (*Listener, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.listeners[name]; ok {
+		return nil, api.EADDRINUSE
+	}
+	l := newListener(name, owner)
+	r.listeners[name] = l
+	return l, nil
+}
+
+func (r *streamRegistry) connect(name string, clientPID int) (*Stream, error) {
+	r.mu.Lock()
+	l, ok := r.listeners[name]
+	r.mu.Unlock()
+	if !ok {
+		return nil, api.ECONNREFUSED
+	}
+	client, server := NewStreamPair(name, clientPID, l.OwnerPID)
+	if err := l.deliver(server); err != nil {
+		client.Close()
+		server.Close()
+		return nil, err
+	}
+	return client, nil
+}
+
+func (r *streamRegistry) remove(name string) {
+	r.mu.Lock()
+	delete(r.listeners, name)
+	r.mu.Unlock()
+}

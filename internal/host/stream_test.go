@@ -1,0 +1,238 @@
+package host
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"graphene/internal/api"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	a, b := NewStreamPair("pipe:test", 1, 2)
+	msg := []byte("over the byte stream")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := a.Write(msg); err != nil {
+			t.Errorf("Write: %v", err)
+		}
+	}()
+	buf := make([]byte, 64)
+	n, err := b.Read(buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(buf[:n], msg) {
+		t.Fatalf("got %q want %q", buf[:n], msg)
+	}
+	<-done
+}
+
+func TestStreamEOFOnPeerClose(t *testing.T) {
+	a, b := NewStreamPair("pipe:eof", 1, 2)
+	if _, err := a.Write([]byte("last")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	buf := make([]byte, 16)
+	n, err := b.Read(buf)
+	if err != nil || string(buf[:n]) != "last" {
+		t.Fatalf("buffered data lost on close: %q, %v", buf[:n], err)
+	}
+	n, err = b.Read(buf)
+	if n != 0 || err != nil {
+		t.Fatalf("expected clean EOF, got n=%d err=%v", n, err)
+	}
+}
+
+func TestStreamEPIPEOnWriteAfterPeerClose(t *testing.T) {
+	a, b := NewStreamPair("pipe:epipe", 1, 2)
+	b.Close()
+	if _, err := a.Write([]byte("x")); err != api.EPIPE {
+		t.Fatalf("err = %v, want EPIPE", err)
+	}
+}
+
+func TestStreamBackpressure(t *testing.T) {
+	a, b := NewStreamPair("pipe:bp", 1, 2)
+	big := make([]byte, streamBufCap+1000)
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := a.Write(big)
+		wrote <- err
+	}()
+	select {
+	case <-wrote:
+		t.Fatal("oversized write completed without a reader")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Drain; the writer must now complete.
+	total := 0
+	buf := make([]byte, 8192)
+	for total < len(big) {
+		n, err := b.Read(buf)
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		total += n
+	}
+	if err := <-wrote; err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+}
+
+func TestStreamConcurrentPingPong(t *testing.T) {
+	a, b := NewStreamPair("pipe:pp", 1, 2)
+	const rounds = 1000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 1)
+		for i := 0; i < rounds; i++ {
+			if _, err := a.Write([]byte{byte(i)}); err != nil {
+				t.Errorf("a.Write: %v", err)
+				return
+			}
+			if _, err := a.Read(buf); err != nil {
+				t.Errorf("a.Read: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 1)
+		for i := 0; i < rounds; i++ {
+			if _, err := b.Read(buf); err != nil {
+				t.Errorf("b.Read: %v", err)
+				return
+			}
+			if _, err := b.Write(buf); err != nil {
+				t.Errorf("b.Write: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestHandlePassing(t *testing.T) {
+	a, b := NewStreamPair("pipe:hp", 1, 2)
+	inner, _ := NewStreamPair("pipe:inner", 1, 3)
+	h := &Handle{Kind: HandleStream, Stream: inner}
+	if err := a.SendHandle(h); err != nil {
+		t.Fatalf("SendHandle: %v", err)
+	}
+	got, err := b.ReceiveHandle()
+	if err != nil {
+		t.Fatalf("ReceiveHandle: %v", err)
+	}
+	if got.Stream != inner {
+		t.Fatal("received wrong handle")
+	}
+	if _, ok := b.TryReceiveHandle(); ok {
+		t.Fatal("spurious second handle")
+	}
+}
+
+func TestListenerConnectAccept(t *testing.T) {
+	k := NewKernel()
+	p1, _ := k.CreateProcess(nil, false)
+	p2, _ := k.CreateProcess(nil, false)
+	l, err := k.StreamListen(p1, "pipe.srv:svc")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	go func() {
+		s, err := k.StreamAccept(p1, l)
+		if err != nil {
+			t.Errorf("Accept: %v", err)
+			return
+		}
+		buf := make([]byte, 8)
+		n, _ := s.Read(buf)
+		if _, err := s.Write(bytes.ToUpper(buf[:n])); err != nil {
+			t.Errorf("server Write: %v", err)
+		}
+	}()
+	c, err := k.StreamConnect(p2, "pipe.srv:svc")
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	n, err := c.Read(buf)
+	if err != nil || string(buf[:n]) != "PING" {
+		t.Fatalf("echo: %q, %v", buf[:n], err)
+	}
+}
+
+func TestConnectToMissingListenerRefused(t *testing.T) {
+	k := NewKernel()
+	p, _ := k.CreateProcess(nil, false)
+	if _, err := k.StreamConnect(p, "pipe.srv:nobody"); err != api.ECONNREFUSED {
+		t.Fatalf("err = %v, want ECONNREFUSED", err)
+	}
+}
+
+func TestDuplicateListenerRejected(t *testing.T) {
+	k := NewKernel()
+	p, _ := k.CreateProcess(nil, false)
+	if _, err := k.StreamListen(p, "pipe.srv:dup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.StreamListen(p, "pipe.srv:dup"); err != api.EADDRINUSE {
+		t.Fatalf("err = %v, want EADDRINUSE", err)
+	}
+}
+
+func TestBroadcastDelivery(t *testing.T) {
+	bc := NewBroadcastChannel()
+	s1, err := bc.Subscribe(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := bc.Subscribe(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := bc.Subscribe(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.Send(1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*BroadcastSub{s2, s3} {
+		m, ok := s.Recv()
+		if !ok || string(m.Data) != "hello" || m.FromPID != 1 {
+			t.Fatalf("sub %d: got %+v ok=%v", s.PID, m, ok)
+		}
+	}
+	// Sender must not receive its own message.
+	select {
+	case m := <-s1.Chan():
+		t.Fatalf("sender received own broadcast: %+v", m)
+	case <-time.After(10 * time.Millisecond):
+	}
+}
+
+func TestBroadcastUnsubscribe(t *testing.T) {
+	bc := NewBroadcastChannel()
+	s1, _ := bc.Subscribe(1)
+	if _, err := bc.Subscribe(1); err != api.EEXIST {
+		t.Fatalf("double subscribe err = %v, want EEXIST", err)
+	}
+	bc.Unsubscribe(1)
+	if _, ok := s1.Recv(); ok {
+		t.Fatal("Recv on unsubscribed endpoint succeeded")
+	}
+	if got := len(bc.Members()); got != 0 {
+		t.Fatalf("members = %d, want 0", got)
+	}
+}

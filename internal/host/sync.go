@@ -1,0 +1,250 @@
+package host
+
+import (
+	"sync"
+	"time"
+
+	"graphene/internal/api"
+)
+
+// Waitable is any host object a thread can block on via WaitAny — the
+// scheduling class of the Drawbridge ABI (events, mutexes, semaphores,
+// stream readability).
+type Waitable interface {
+	// TryAcquire consumes the object's signaled state if signaled now.
+	TryAcquire() bool
+	// Register adds a waiter channel poked (non-blockingly) on signal.
+	Register(ch chan struct{})
+	// Unregister removes a previously registered waiter.
+	Unregister(ch chan struct{})
+}
+
+// Event is a notification event; manual-reset events stay signaled until
+// Reset, auto-reset events wake exactly one waiter per Set.
+type Event struct {
+	ManualReset bool
+
+	mu       sync.Mutex
+	signaled bool
+	waiters  map[chan struct{}]struct{}
+}
+
+// NewEvent creates an event in the non-signaled state.
+func NewEvent(manualReset bool) *Event {
+	return &Event{ManualReset: manualReset, waiters: make(map[chan struct{}]struct{})}
+}
+
+// Set signals the event.
+func (e *Event) Set() {
+	e.mu.Lock()
+	e.signaled = true
+	for ch := range e.waiters {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	e.mu.Unlock()
+}
+
+// Reset clears a manual-reset event.
+func (e *Event) Reset() {
+	e.mu.Lock()
+	e.signaled = false
+	e.mu.Unlock()
+}
+
+// TryAcquire implements Waitable.
+func (e *Event) TryAcquire() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.signaled {
+		return false
+	}
+	if !e.ManualReset {
+		e.signaled = false
+	}
+	return true
+}
+
+// Register implements Waitable.
+func (e *Event) Register(ch chan struct{}) {
+	e.mu.Lock()
+	e.waiters[ch] = struct{}{}
+	e.mu.Unlock()
+}
+
+// Unregister implements Waitable.
+func (e *Event) Unregister(ch chan struct{}) {
+	e.mu.Lock()
+	delete(e.waiters, ch)
+	e.mu.Unlock()
+}
+
+// Wait blocks until the event is signaled or the timeout elapses
+// (timeout <= 0 waits forever). Returns ETIMEDOUT on timeout.
+func (e *Event) Wait(timeout time.Duration) error {
+	_, err := WaitAny([]Waitable{e}, timeout)
+	return err
+}
+
+// Mutex is a host mutex usable with WaitAny.
+type Mutex struct {
+	mu      sync.Mutex
+	locked  bool
+	waiters map[chan struct{}]struct{}
+}
+
+// NewMutex returns an unlocked mutex.
+func NewMutex() *Mutex {
+	return &Mutex{waiters: make(map[chan struct{}]struct{})}
+}
+
+// TryAcquire implements Waitable.
+func (m *Mutex) TryAcquire() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.locked {
+		return false
+	}
+	m.locked = true
+	return true
+}
+
+// Register implements Waitable.
+func (m *Mutex) Register(ch chan struct{}) {
+	m.mu.Lock()
+	m.waiters[ch] = struct{}{}
+	m.mu.Unlock()
+}
+
+// Unregister implements Waitable.
+func (m *Mutex) Unregister(ch chan struct{}) {
+	m.mu.Lock()
+	delete(m.waiters, ch)
+	m.mu.Unlock()
+}
+
+// Lock acquires the mutex, blocking as needed.
+func (m *Mutex) Lock() {
+	_, _ = WaitAny([]Waitable{m}, 0)
+}
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() {
+	m.mu.Lock()
+	m.locked = false
+	for ch := range m.waiters {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	m.mu.Unlock()
+}
+
+// Semaphore is a counting semaphore usable with WaitAny.
+type Semaphore struct {
+	mu      sync.Mutex
+	count   int
+	waiters map[chan struct{}]struct{}
+}
+
+// NewSemaphore returns a semaphore with the given initial count.
+func NewSemaphore(initial int) *Semaphore {
+	return &Semaphore{count: initial, waiters: make(map[chan struct{}]struct{})}
+}
+
+// TryAcquire implements Waitable.
+func (s *Semaphore) TryAcquire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count <= 0 {
+		return false
+	}
+	s.count--
+	return true
+}
+
+// Register implements Waitable.
+func (s *Semaphore) Register(ch chan struct{}) {
+	s.mu.Lock()
+	s.waiters[ch] = struct{}{}
+	s.mu.Unlock()
+}
+
+// Unregister implements Waitable.
+func (s *Semaphore) Unregister(ch chan struct{}) {
+	s.mu.Lock()
+	delete(s.waiters, ch)
+	s.mu.Unlock()
+}
+
+// Release increments the count by n, waking waiters.
+func (s *Semaphore) Release(n int) {
+	s.mu.Lock()
+	s.count += n
+	for ch := range s.waiters {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Acquire decrements the count, blocking while it is zero.
+func (s *Semaphore) Acquire() {
+	_, _ = WaitAny([]Waitable{s}, 0)
+}
+
+// Count returns the current count (diagnostics only).
+func (s *Semaphore) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// WaitAny blocks until one of objs is acquirable, acquires it, and returns
+// its index — the DkObjectsWaitAny ABI. timeout <= 0 means wait forever.
+func WaitAny(objs []Waitable, timeout time.Duration) (int, error) {
+	if len(objs) == 0 {
+		return -1, api.EINVAL
+	}
+	// Fast path: something is already signaled.
+	for i, o := range objs {
+		if o.TryAcquire() {
+			return i, nil
+		}
+	}
+	ch := make(chan struct{}, 1)
+	for _, o := range objs {
+		o.Register(ch)
+	}
+	defer func() {
+		for _, o := range objs {
+			o.Unregister(ch)
+		}
+	}()
+	var timer *time.Timer
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		timer = time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutCh = timer.C
+	}
+	for {
+		// Re-check after registration to close the race with signals that
+		// fired between the fast path and Register.
+		for i, o := range objs {
+			if o.TryAcquire() {
+				return i, nil
+			}
+		}
+		select {
+		case <-ch:
+		case <-timeoutCh:
+			return -1, api.ETIMEDOUT
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package host
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphene/internal/api"
+)
+
+func TestEventManualReset(t *testing.T) {
+	e := NewEvent(true)
+	e.Set()
+	if !e.TryAcquire() || !e.TryAcquire() {
+		t.Fatal("manual-reset event should stay signaled")
+	}
+	e.Reset()
+	if e.TryAcquire() {
+		t.Fatal("reset event still signaled")
+	}
+}
+
+func TestEventAutoReset(t *testing.T) {
+	e := NewEvent(false)
+	e.Set()
+	if !e.TryAcquire() {
+		t.Fatal("set event not acquirable")
+	}
+	if e.TryAcquire() {
+		t.Fatal("auto-reset event acquirable twice")
+	}
+}
+
+func TestEventWaitWakesBlockedWaiter(t *testing.T) {
+	e := NewEvent(false)
+	done := make(chan error, 1)
+	go func() { done <- e.Wait(time.Second) }()
+	time.Sleep(5 * time.Millisecond)
+	e.Set()
+	if err := <-done; err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+}
+
+func TestEventWaitTimeout(t *testing.T) {
+	e := NewEvent(false)
+	if err := e.Wait(10 * time.Millisecond); err != api.ETIMEDOUT {
+		t.Fatalf("err = %v, want ETIMEDOUT", err)
+	}
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	m := NewMutex()
+	var counter, inside int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				m.Lock()
+				if atomic.AddInt32(&inside, 1) != 1 {
+					t.Error("two holders inside critical section")
+				}
+				counter++
+				atomic.AddInt32(&inside, -1)
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8*200 {
+		t.Fatalf("counter = %d, want %d", counter, 8*200)
+	}
+}
+
+func TestSemaphoreCounting(t *testing.T) {
+	s := NewSemaphore(2)
+	if !s.TryAcquire() || !s.TryAcquire() {
+		t.Fatal("initial permits not acquirable")
+	}
+	if s.TryAcquire() {
+		t.Fatal("acquired beyond count")
+	}
+	s.Release(1)
+	if !s.TryAcquire() {
+		t.Fatal("released permit not acquirable")
+	}
+}
+
+func TestSemaphoreBlocksUntilRelease(t *testing.T) {
+	s := NewSemaphore(0)
+	acquired := make(chan struct{})
+	go func() {
+		s.Acquire()
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("Acquire on zero semaphore returned")
+	case <-time.After(10 * time.Millisecond):
+	}
+	s.Release(1)
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("Acquire never woke after Release")
+	}
+}
+
+func TestWaitAnyPicksSignaled(t *testing.T) {
+	e1 := NewEvent(false)
+	e2 := NewEvent(false)
+	e2.Set()
+	idx, err := WaitAny([]Waitable{e1, e2}, time.Second)
+	if err != nil || idx != 1 {
+		t.Fatalf("WaitAny = %d, %v; want 1, nil", idx, err)
+	}
+}
+
+func TestWaitAnyEmpty(t *testing.T) {
+	if _, err := WaitAny(nil, time.Second); err != api.EINVAL {
+		t.Fatalf("err = %v, want EINVAL", err)
+	}
+}
+
+func TestWaitAnyConcurrentSignal(t *testing.T) {
+	events := []Waitable{NewEvent(false), NewEvent(false), NewEvent(false)}
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		events[2].(*Event).Set()
+	}()
+	idx, err := WaitAny(events, time.Second)
+	if err != nil || idx != 2 {
+		t.Fatalf("WaitAny = %d, %v; want 2, nil", idx, err)
+	}
+}
+
+func TestWaitAnyAutoResetConsumedOnce(t *testing.T) {
+	e := NewEvent(false)
+	e.Set()
+	if idx, err := WaitAny([]Waitable{e}, time.Second); idx != 0 || err != nil {
+		t.Fatalf("first WaitAny = %d, %v", idx, err)
+	}
+	if _, err := WaitAny([]Waitable{e}, 10*time.Millisecond); err != api.ETIMEDOUT {
+		t.Fatalf("second WaitAny err = %v, want ETIMEDOUT (signal consumed)", err)
+	}
+}

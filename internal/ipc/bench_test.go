@@ -1,0 +1,70 @@
+package ipc
+
+import (
+	"bytes"
+	"testing"
+
+	"graphene/internal/api"
+)
+
+func BenchmarkFrameEncode(b *testing.B) {
+	f := Frame{Type: MsgQSend, Seq: 42, From: "ipc.7", A: 1, B: 2, S: "x", Blob: make([]byte, 64)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = EncodeFrame(&f)
+	}
+}
+
+func BenchmarkFrameDecode(b *testing.B) {
+	f := Frame{Type: MsgQSend, Seq: 42, From: "ipc.7", A: 1, B: 2, S: "x", Blob: make([]byte, 64)}
+	enc := EncodeFrame(&f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeFrame(bytes.NewReader(enc)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocalQueueSendRecv(b *testing.B) {
+	q := newMsgQueue(1, 1)
+	payload := make([]byte, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if errno := q.send(1, payload); errno != 0 {
+			b.Fatal(errno)
+		}
+		delivered := false
+		q.recv(0, false, func(int64, []byte, api.Errno) { delivered = true })
+		if !delivered {
+			b.Fatal("recv missed")
+		}
+	}
+}
+
+func BenchmarkSemOpLocal(b *testing.B) {
+	s := newSemSet(1, 1, 1)
+	s.vals[0] = 1 << 30
+	ops := []api.SemBuf{{Num: 0, Op: -1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok := false
+		s.semop(ops, false, func(errno api.Errno) { ok = errno == 0 })
+		if !ok {
+			b.Fatal("semop failed")
+		}
+	}
+}
+
+func BenchmarkLeaderKeyGet(b *testing.B) {
+	l := newLeaderState()
+	if _, _, errno := l.keyGet(NSSysVMsg, 7, api.IPCCreat, 100, "ipc.1"); errno != 0 {
+		b.Fatal(errno)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, errno := l.keyGet(NSSysVMsg, 7, 0, 0, "ipc.2"); errno != 0 {
+			b.Fatal(errno)
+		}
+	}
+}

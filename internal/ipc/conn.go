@@ -1,0 +1,169 @@
+package ipc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"graphene/internal/api"
+	"graphene/internal/host"
+)
+
+// streamIO adapts a host stream to io.Reader for the frame decoder.
+type streamIO struct{ s *host.Stream }
+
+func (r streamIO) Read(p []byte) (int, error) {
+	n, err := r.s.Read(p)
+	if err != nil {
+		return n, err
+	}
+	if n == 0 {
+		return 0, errClosed
+	}
+	return n, nil
+}
+
+var errClosed = api.EPIPE
+
+// Handler services an incoming request frame. respond may be called
+// immediately or deferred to another goroutine (e.g. a blocking semaphore
+// acquire completes when a release arrives), but must be called exactly
+// once. Handlers must service requests from local state only and must not
+// issue recursive RPCs (§4.1's deadlock-avoidance rule).
+type Handler func(f Frame, respond func(Frame))
+
+// Conn is one point-to-point coordination stream between two IPC helpers,
+// multiplexing concurrent requests by sequence number.
+type Conn struct {
+	// RemoteAddr is the peer helper's address, learned from its frames.
+	RemoteAddr string
+
+	stream    *host.Stream
+	localAddr string
+	handler   Handler
+
+	writeMu sync.Mutex
+	seq     atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan Frame
+	closed  bool
+	onClose func(*Conn)
+}
+
+// NewConn wraps stream and starts its reader. handler services incoming
+// requests; onClose (may be nil) runs when the stream dies.
+func NewConn(stream *host.Stream, localAddr string, handler Handler, onClose func(*Conn)) *Conn {
+	c := &Conn{
+		stream:    stream,
+		localAddr: localAddr,
+		handler:   handler,
+		pending:   make(map[uint64]chan Frame),
+		onClose:   onClose,
+	}
+	go c.readLoop()
+	return c
+}
+
+func (c *Conn) readLoop() {
+	rd := streamIO{c.stream}
+	for {
+		f, err := DecodeFrame(rd)
+		if err != nil {
+			c.teardown()
+			return
+		}
+		if f.From != "" {
+			c.RemoteAddr = f.From
+		}
+		if f.IsResponse() {
+			c.mu.Lock()
+			ch := c.pending[f.Seq]
+			delete(c.pending, f.Seq)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- f
+			}
+			continue
+		}
+		req := f
+		c.handler(req, func(resp Frame) {
+			resp.Type = req.Type
+			resp.Seq = req.Seq
+			resp.isResponse = true
+			_ = c.send(&resp)
+		})
+	}
+}
+
+func (c *Conn) teardown() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	pend := c.pending
+	c.pending = make(map[uint64]chan Frame)
+	c.mu.Unlock()
+	for _, ch := range pend {
+		ch <- Frame{Err: api.EPIPE, isResponse: true}
+	}
+	if c.onClose != nil {
+		c.onClose(c)
+	}
+}
+
+func (c *Conn) send(f *Frame) error {
+	if f.From == "" {
+		f.From = c.localAddr
+	}
+	buf := EncodeFrame(f)
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	_, err := c.stream.Write(buf)
+	return err
+}
+
+// Call sends a request and blocks for its response.
+func (c *Conn) Call(f Frame) (Frame, error) {
+	f.Seq = c.seq.Add(1)
+	ch := make(chan Frame, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Frame{}, api.EPIPE
+	}
+	c.pending[f.Seq] = ch
+	c.mu.Unlock()
+	if err := c.send(&f); err != nil {
+		c.mu.Lock()
+		delete(c.pending, f.Seq)
+		c.mu.Unlock()
+		return Frame{}, err
+	}
+	resp := <-ch
+	if resp.Err != 0 {
+		return resp, resp.Err
+	}
+	return resp, nil
+}
+
+// Notify sends a request without expecting a response — the asynchronous
+// send optimization of §4.3.
+func (c *Conn) Notify(f Frame) error {
+	f.Seq = c.seq.Add(1)
+	return c.send(&f)
+}
+
+// Close shuts the connection down.
+func (c *Conn) Close() {
+	c.stream.Close()
+	c.teardown()
+}
+
+// Alive reports whether the connection is usable.
+func (c *Conn) Alive() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.closed
+}

@@ -1,0 +1,457 @@
+package ipc
+
+import (
+	"graphene/internal/api"
+)
+
+// dispatch services one incoming RPC request. Per §4.1, handlers work from
+// local state only and never issue recursive RPCs; operations that need
+// follow-up RPCs (migration, deletion notification) run in separate
+// goroutines after responding.
+func (h *Helper) dispatch(f Frame, respond func(Frame)) {
+	switch f.Type {
+	case MsgPing:
+		respond(f.Response(Frame{}))
+
+	case MsgWhoIsLeader:
+		// Point-to-point notification carrying the leader's address.
+		if f.S != "" {
+			h.mu.Lock()
+			if h.leaderAddr == "" {
+				h.leaderAddr = f.S
+				select {
+				case h.leaderCh <- struct{}{}:
+				default:
+				}
+			}
+			h.mu.Unlock()
+		}
+
+	case MsgNSAlloc:
+		h.mu.Lock()
+		leader := h.leader
+		h.mu.Unlock()
+		if leader == nil {
+			respond(f.ErrResponse(api.EPERM))
+			return
+		}
+		n := f.B
+		if n <= 0 || n > 4096 {
+			respond(f.ErrResponse(api.EINVAL))
+			return
+		}
+		lo, hi := leader.allocRange(int(f.A), n, f.From)
+		respond(f.Response(Frame{A: lo, B: hi}))
+
+	case MsgNSQuery:
+		h.handleNSQuery(f, respond)
+
+	case MsgNSRegister:
+		h.mu.Lock()
+		h.localPIDs[f.B] = f.S
+		h.mu.Unlock()
+		respond(f.Response(Frame{}))
+
+	case MsgSignal:
+		errno := h.svc.DeliverSignal(f.A, api.Signal(f.B))
+		if errno != 0 {
+			respond(f.ErrResponse(errno))
+			return
+		}
+		respond(f.Response(Frame{}))
+
+	case MsgExitNotify:
+		h.svc.NotifyExit(f.A, f.B, api.Signal(f.C))
+		// Asynchronous: no response expected.
+
+	case MsgProcMeta:
+		v, errno := h.svc.ProcMeta(f.A, f.S)
+		if errno != 0 {
+			respond(f.ErrResponse(errno))
+			return
+		}
+		respond(f.Response(Frame{S: v}))
+
+	case MsgKeyGet:
+		h.mu.Lock()
+		leader := h.leader
+		h.mu.Unlock()
+		if leader == nil {
+			respond(f.ErrResponse(api.EPERM))
+			return
+		}
+		requester := f.From
+		if requester == "" {
+			requester = h.Addr
+		}
+		id, owner, errno := leader.keyGet(int(f.A), f.B, int(f.C), f.D, requester)
+		if errno != 0 {
+			respond(f.ErrResponse(errno))
+			return
+		}
+		respond(f.Response(Frame{A: id, S: owner}))
+
+	case MsgKeyOwner:
+		h.mu.Lock()
+		leader := h.leader
+		h.mu.Unlock()
+		if leader == nil {
+			respond(f.ErrResponse(api.EPERM))
+			return
+		}
+		owner, ok := leader.idOwner(int(f.A), f.B)
+		if !ok {
+			respond(f.ErrResponse(api.EIDRM))
+			return
+		}
+		respond(f.Response(Frame{S: owner}))
+
+	case MsgKeyChown:
+		h.mu.Lock()
+		leader := h.leader
+		h.mu.Unlock()
+		if leader == nil {
+			respond(f.ErrResponse(api.EPERM))
+			return
+		}
+		leader.chown(int(f.A), f.B, f.S)
+		respond(f.Response(Frame{}))
+
+	case MsgKeyRemove:
+		h.mu.Lock()
+		leader := h.leader
+		h.mu.Unlock()
+		if leader == nil {
+			respond(f.ErrResponse(api.EPERM))
+			return
+		}
+		leader.remove(int(f.A), f.B)
+		respond(f.Response(Frame{}))
+
+	case MsgQSend:
+		h.handleQSend(f, respond)
+
+	case MsgQRecv:
+		h.handleQRecv(f, respond)
+
+	case MsgQDelete:
+		h.removeLocalQueue(f.A)
+		respond(f.Response(Frame{}))
+
+	case MsgQDeleted:
+		// Deletion notification: drop caches so later ops fail fast.
+		if f.B == 1 {
+			h.invalidateSem(f.A)
+		} else {
+			h.invalidateQ(f.A)
+		}
+
+	case MsgQMigrate:
+		key, msgs, err := decodeMessages(f.Blob)
+		if err != nil {
+			respond(f.ErrResponse(api.EINVAL))
+			return
+		}
+		h.mu.Lock()
+		if h.shutdown {
+			// Refuse ownership while dying; the sender keeps the queue.
+			h.mu.Unlock()
+			respond(f.ErrResponse(api.EPERM))
+			return
+		}
+		if existing := h.queues[f.A]; existing != nil {
+			existing.mu.Lock()
+			live := !existing.removed && existing.movedTo == "" && !existing.migrating
+			if live {
+				// Merge into the live copy rather than orphaning its
+				// parked waiters (a crash-recovery duplicate converging
+				// here, §4.2's disconnection tolerance).
+				existing.msgs = append(existing.msgs, msgs...)
+				existing.drainWaitersLocked()
+				existing.mu.Unlock()
+				h.qOwnerCache[f.A] = h.Addr
+				h.mu.Unlock()
+				respond(f.Response(Frame{}))
+				return
+			}
+			existing.mu.Unlock()
+		}
+		q := newMsgQueue(f.A, key)
+		q.msgs = msgs
+		h.queues[f.A] = q
+		h.qOwnerCache[f.A] = h.Addr
+		h.mu.Unlock()
+		respond(f.Response(Frame{}))
+
+	case MsgSemOp:
+		h.handleSemOp(f, respond)
+
+	case MsgSemDelete:
+		h.removeLocalSem(f.A)
+		respond(f.Response(Frame{}))
+
+	case MsgSemMigrate:
+		key, vals, err := decodeSemSet(f.Blob)
+		if err != nil {
+			respond(f.ErrResponse(api.EINVAL))
+			return
+		}
+		h.mu.Lock()
+		if h.shutdown {
+			// Refuse ownership while dying; the sender keeps the set.
+			h.mu.Unlock()
+			respond(f.ErrResponse(api.EPERM))
+			return
+		}
+		if existing := h.sems[f.A]; existing != nil {
+			existing.mu.Lock()
+			live := !existing.removed && existing.movedTo == "" && !existing.migrating
+			if live {
+				// Merge values into the live copy rather than orphaning
+				// its parked waiters; permits carried by the incoming
+				// copy become available here.
+				for i := range existing.vals {
+					if i < len(vals) {
+						existing.vals[i] += vals[i]
+					}
+				}
+				existing.wakeWaitersLocked()
+				existing.mu.Unlock()
+				h.semOwner[f.A] = h.Addr
+				h.mu.Unlock()
+				respond(f.Response(Frame{}))
+				return
+			}
+			existing.mu.Unlock()
+		}
+		s := newSemSet(f.A, key, len(vals))
+		s.vals = vals
+		h.sems[f.A] = s
+		h.semOwner[f.A] = h.Addr
+		h.mu.Unlock()
+		respond(f.Response(Frame{}))
+
+	case MsgPgJoin:
+		h.mu.Lock()
+		leader := h.leader
+		h.mu.Unlock()
+		if leader == nil {
+			respond(f.ErrResponse(api.EPERM))
+			return
+		}
+		addr := f.S
+		if addr == "" {
+			addr = f.From
+		}
+		leader.pgs.join(f.A, f.B, addr)
+		respond(f.Response(Frame{}))
+
+	case MsgPgLeave:
+		h.mu.Lock()
+		leader := h.leader
+		h.mu.Unlock()
+		if leader == nil {
+			respond(f.ErrResponse(api.EPERM))
+			return
+		}
+		leader.pgs.leave(f.A, f.B)
+		respond(f.Response(Frame{}))
+
+	case MsgPgMembers:
+		h.mu.Lock()
+		leader := h.leader
+		h.mu.Unlock()
+		if leader == nil {
+			respond(f.ErrResponse(api.EPERM))
+			return
+		}
+		respond(f.Response(Frame{Blob: encodeMembers(leader.pgs.members(f.A))}))
+
+	case MsgRecoverState:
+		h.mu.Lock()
+		leader := h.leader
+		h.mu.Unlock()
+		if leader == nil {
+			respond(f.ErrResponse(api.EPERM))
+			return
+		}
+		r, err := decodeRecover(f.Blob)
+		if err != nil {
+			respond(f.ErrResponse(api.EINVAL))
+			return
+		}
+		leader.installRecoverState(r, f.From)
+		respond(f.Response(Frame{}))
+
+	default:
+		respond(f.ErrResponse(api.ENOSYS))
+	}
+}
+
+// handleNSQuery resolves an ID to an address from local tables; on the
+// leader a miss falls back to the range owner with the indirect flag set.
+func (h *Helper) handleNSQuery(f Frame, respond func(Frame)) {
+	if int(f.A) != NSPid {
+		respond(f.ErrResponse(api.EINVAL))
+		return
+	}
+	h.mu.Lock()
+	addr, ok := h.localPIDs[f.B]
+	leader := h.leader
+	h.mu.Unlock()
+	if ok {
+		respond(f.Response(Frame{S: addr}))
+		return
+	}
+	if leader != nil {
+		owner, found := leader.rangeOwner(NSPid, f.B)
+		if !found {
+			respond(f.ErrResponse(api.ESRCH))
+			return
+		}
+		if owner == h.Addr {
+			// Our own range, but the PID was never allocated.
+			respond(f.ErrResponse(api.ESRCH))
+			return
+		}
+		respond(f.Response(Frame{S: owner, A: 1})) // indirect
+		return
+	}
+	respond(f.ErrResponse(api.ESRCH))
+}
+
+// handleQSend appends to a locally owned queue. Async sends (C=1) get no
+// response; sends to a migrated queue are forwarded asynchronously.
+func (h *Helper) handleQSend(f Frame, respond func(Frame)) {
+	async := f.C == 1
+	h.mu.Lock()
+	q := h.queues[f.A]
+	h.mu.Unlock()
+	reply := func(errno api.Errno) {
+		if async {
+			return
+		}
+		if errno != 0 {
+			respond(f.ErrResponse(errno))
+			return
+		}
+		respond(f.Response(Frame{}))
+	}
+	if q == nil {
+		reply(api.EIDRM)
+		return
+	}
+	q.mu.Lock()
+	if f.From != "" {
+		q.accessors[f.From] = struct{}{}
+	}
+	moved := q.movedTo
+	q.mu.Unlock()
+	if moved != "" {
+		// Forward to the new owner off the handler goroutine.
+		go func() {
+			if c, err := h.dial(moved); err == nil {
+				_ = c.Notify(Frame{Type: MsgQSend, A: f.A, B: f.B, C: 1, Blob: f.Blob})
+			}
+		}()
+		reply(0)
+		return
+	}
+	reply(q.send(f.B, f.Blob))
+}
+
+// handleQRecv receives from a locally owned queue, deferring the response
+// until a message arrives for blocking receives, and feeding the consumer
+// migration heuristic. Shutdown bounces new receives with EXDEV so the
+// persistence path can serialize the queue without fresh waiters.
+func (h *Helper) handleQRecv(f Frame, respond func(Frame)) {
+	h.mu.Lock()
+	q := h.queues[f.A]
+	shuttingDown := h.shutdown
+	h.mu.Unlock()
+	if shuttingDown {
+		respond(f.ErrResponse(api.EXDEV))
+		return
+	}
+	if q == nil {
+		respond(f.ErrResponse(api.EIDRM))
+		return
+	}
+	from := f.From
+	q.mu.Lock()
+	if from != "" {
+		q.accessors[from] = struct{}{}
+	}
+	q.remoteRecvs[from]++
+	shouldMigrate := migrationEnabled.Load() && q.remoteRecvs[from] >= migrateThreshold && q.remoteRecvs[from] > q.localRecvs && q.movedTo == "" && !q.removed
+	q.mu.Unlock()
+
+	wait := f.C == 1
+	q.recv(f.B, wait, func(mt int64, data []byte, errno api.Errno) {
+		if errno != 0 {
+			respond(f.ErrResponse(errno))
+			return
+		}
+		respond(f.Response(Frame{B: mt, Blob: data}))
+	})
+
+	if shouldMigrate && from != "" {
+		// A clear consumer pattern: migrate the queue to the consumer
+		// (§4.3). Runs outside the handler to avoid recursive RPC.
+		go h.migrateQueue(f.A, from)
+	}
+}
+
+// handleSemOp performs sembuf ops on a locally owned set, deferring the
+// response while blocked, and feeding the acquirer migration heuristic.
+// During shutdown new operations are bounced with EXDEV so the eviction
+// path can migrate the set without fresh waiters re-parking forever.
+func (h *Helper) handleSemOp(f Frame, respond func(Frame)) {
+	h.mu.Lock()
+	s := h.sems[f.A]
+	shuttingDown := h.shutdown
+	h.mu.Unlock()
+	if shuttingDown {
+		respond(f.ErrResponse(api.EXDEV))
+		return
+	}
+	if s == nil {
+		respond(f.ErrResponse(api.EIDRM))
+		return
+	}
+	ops, err := decodeSemOps(f.Blob)
+	if err != nil {
+		respond(f.ErrResponse(api.EINVAL))
+		return
+	}
+	acquires := false
+	for _, op := range ops {
+		if op.Op < 0 {
+			acquires = true
+		}
+	}
+	from := f.From
+	shouldMigrate := false
+	if from != "" {
+		s.mu.Lock()
+		s.accessors[from] = struct{}{}
+		s.mu.Unlock()
+	}
+	if acquires && from != "" {
+		s.mu.Lock()
+		s.remoteAcqs[from]++
+		shouldMigrate = migrationEnabled.Load() && s.remoteAcqs[from] >= migrateThreshold && s.remoteAcqs[from] > s.localAcqs && s.movedTo == "" && !s.removed
+		s.mu.Unlock()
+	}
+	wait := f.C == 1
+	s.semop(ops, wait, func(errno api.Errno) {
+		if errno != 0 {
+			respond(f.ErrResponse(errno))
+			return
+		}
+		respond(f.Response(Frame{}))
+	})
+	if shouldMigrate {
+		go h.migrateSem(f.A, from)
+	}
+}

@@ -1,0 +1,381 @@
+package ipc
+
+import (
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"graphene/internal/api"
+)
+
+// Leader recovery (§4.2, "Leader Recovery"): the paper's prototype leaves
+// this unimplemented but sketches the design — detect leader failure by
+// RPC channel disconnection, run "a simple consensus algorithm over the
+// broadcast channel ... such as selecting the picoprocess with the lowest
+// process ID", and reconstruct leader state "by querying each picoprocess
+// in the sandbox". This file implements that sketch:
+//
+//  1. A helper whose leader RPC fails broadcasts MsgElection with its own
+//     guest PID; every live helper answers with its PID.
+//  2. After a settling window, the lowest PID promotes itself, seeds a
+//     fresh leaderState, and broadcasts MsgNewLeader.
+//  3. Every member (including the new leader) re-registers its slice of
+//     the distributed state: locally known PID mappings, the high-water
+//     marks of its ID batches, owned System V objects, and its process
+//     group, via MsgRecoverState.
+//
+// All picoprocesses in a sandbox trust each other (§3), so the new leader
+// accepts members' reports verbatim, exactly as the paper assumes.
+
+// electionWindow is how long candidates collect peers' PIDs.
+const electionWindow = 50 * time.Millisecond
+
+// electionState tracks one in-flight election round at a helper.
+type electionState struct {
+	mu      sync.Mutex
+	active  bool
+	lowest  int64
+	lowAddr string
+	done    chan struct{}
+}
+
+// recoverPayload is the per-member state report to the new leader.
+type recoverPayload struct {
+	pids    []pgMember // locally known guest PID -> helper address
+	batchHi []int64    // [NSPid, NSSysVMsg, NSSysVSem] high-water marks
+	objects []recoverObject
+	pgid    int64 // the member's own process group (0 = none)
+	pid     int64
+}
+
+type recoverObject struct {
+	Kind int
+	ID   int64
+	Key  int64
+}
+
+func encodeRecover(r recoverPayload) []byte {
+	out := binary.LittleEndian.AppendUint64(nil, uint64(r.pid))
+	out = binary.LittleEndian.AppendUint64(out, uint64(r.pgid))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(r.batchHi)))
+	for _, v := range r.batchHi {
+		out = binary.LittleEndian.AppendUint64(out, uint64(v))
+	}
+	out = append(out, encodeMembers(r.pids)...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(r.objects)))
+	for _, o := range r.objects {
+		out = binary.LittleEndian.AppendUint32(out, uint32(o.Kind))
+		out = binary.LittleEndian.AppendUint64(out, uint64(o.ID))
+		out = binary.LittleEndian.AppendUint64(out, uint64(o.Key))
+	}
+	return out
+}
+
+func decodeRecover(blob []byte) (recoverPayload, error) {
+	var r recoverPayload
+	if len(blob) < 20 {
+		return r, api.EINVAL
+	}
+	r.pid = int64(binary.LittleEndian.Uint64(blob))
+	r.pgid = int64(binary.LittleEndian.Uint64(blob[8:]))
+	n := int(binary.LittleEndian.Uint32(blob[16:]))
+	off := 20
+	if off+8*n > len(blob) {
+		return r, api.EINVAL
+	}
+	for i := 0; i < n; i++ {
+		r.batchHi = append(r.batchHi, int64(binary.LittleEndian.Uint64(blob[off:])))
+		off += 8
+	}
+	pids, err := decodeMembers(blob[off:])
+	if err != nil {
+		return r, api.EINVAL
+	}
+	r.pids = pids
+	// Re-walk to find where the member list ended.
+	off += 4
+	for range pids {
+		al := int(binary.LittleEndian.Uint32(blob[off+8:]))
+		off += 12 + al
+	}
+	if off+4 > len(blob) {
+		return r, api.EINVAL
+	}
+	m := int(binary.LittleEndian.Uint32(blob[off:]))
+	off += 4
+	if off+20*m > len(blob) {
+		return r, api.EINVAL
+	}
+	for i := 0; i < m; i++ {
+		r.objects = append(r.objects, recoverObject{
+			Kind: int(binary.LittleEndian.Uint32(blob[off:])),
+			ID:   int64(binary.LittleEndian.Uint64(blob[off+4:])),
+			Key:  int64(binary.LittleEndian.Uint64(blob[off+12:])),
+		})
+		off += 20
+	}
+	return r, nil
+}
+
+// collectRecoverState gathers this helper's slice of distributed state.
+func (h *Helper) collectRecoverState() recoverPayload {
+	h.mu.Lock()
+	r := recoverPayload{pid: h.GuestPID, pgid: h.ownPgid}
+	for pid, addr := range h.localPIDs {
+		r.pids = append(r.pids, pgMember{PID: pid, Addr: addr})
+	}
+	r.batchHi = []int64{h.pidBatch.hi, h.idBatches[NSSysVMsg].hi, h.idBatches[NSSysVSem].hi}
+	for id, q := range h.queues {
+		q.mu.Lock()
+		live := !q.removed && q.movedTo == ""
+		key := q.key
+		q.mu.Unlock()
+		if live {
+			r.objects = append(r.objects, recoverObject{Kind: NSSysVMsg, ID: id, Key: key})
+		}
+	}
+	for id, s := range h.sems {
+		s.mu.Lock()
+		live := !s.removed && s.movedTo == ""
+		key := s.key
+		s.mu.Unlock()
+		if live {
+			r.objects = append(r.objects, recoverObject{Kind: NSSysVSem, ID: id, Key: key})
+		}
+	}
+	h.mu.Unlock()
+	return r
+}
+
+// installRecoverState merges one member's report into the new leader.
+func (l *leaderState) installRecoverState(r recoverPayload, fromAddr string) {
+	l.mu.Lock()
+	// Advance namespace cursors past everything any member has seen, so
+	// fresh allocations never collide with pre-failure IDs.
+	kinds := []int{NSPid, NSSysVMsg, NSSysVSem}
+	for i, kind := range kinds {
+		if i < len(r.batchHi) && r.batchHi[i] >= l.next[kind] {
+			l.next[kind] = r.batchHi[i] + 1
+		}
+	}
+	// The member owns a range covering its reported PIDs; never re-issue
+	// an ID at or below anything a member has seen.
+	for _, m := range r.pids {
+		l.ranges[NSPid] = append(l.ranges[NSPid], idRange{lo: m.PID, hi: m.PID, owner: fromAddr})
+		if m.PID >= l.next[NSPid] {
+			l.next[NSPid] = m.PID + 1
+		}
+	}
+	for _, o := range r.objects {
+		if l.owners[o.Kind] != nil {
+			l.owners[o.Kind][o.ID] = fromAddr
+		}
+		if o.Key != api.IPCPrivate && l.keys[o.Kind] != nil {
+			l.keys[o.Kind][o.Key] = keyEntry{id: o.ID, owner: fromAddr}
+		}
+		if o.ID >= l.next[o.Kind] {
+			l.next[o.Kind] = o.ID + 1
+		}
+	}
+	l.mu.Unlock()
+	if r.pgid != 0 {
+		l.pgs.join(r.pgid, r.pid, fromAddr)
+	}
+}
+
+// ElectLeader runs the recovery protocol after the current leader became
+// unreachable. It returns the new leader's address (possibly this
+// helper's own). Concurrent elections converge: every participant
+// computes the same minimum over the broadcast exchange.
+func (h *Helper) ElectLeader() (string, error) {
+	h.mu.Lock()
+	if h.election == nil {
+		h.election = &electionState{}
+	}
+	e := h.election
+	h.mu.Unlock()
+
+	e.mu.Lock()
+	if e.active {
+		done := e.done
+		e.mu.Unlock()
+		<-done
+		return h.awaitNewLeader(10 * electionWindow)
+	}
+	e.active = true
+	e.lowest = h.GuestPID
+	e.lowAddr = h.Addr
+	e.done = make(chan struct{})
+	e.mu.Unlock()
+	// The old leader is dead; forget it so stale reads cannot win races.
+	h.mu.Lock()
+	if h.leader == nil {
+		h.leaderAddr = ""
+	}
+	h.mu.Unlock()
+
+	// Announce our candidacy; peers answer with their own (handled in
+	// handleElectionBroadcast, which also folds their PIDs into e).
+	f := Frame{Type: MsgElection, B: h.GuestPID, From: h.Addr, S: h.Addr}
+	if err := h.pal.BroadcastSend(EncodeFrame(&f)); err != nil {
+		e.finish()
+		return "", err
+	}
+	time.Sleep(electionWindow)
+
+	e.mu.Lock()
+	won := e.lowest == h.GuestPID
+	winner := e.lowAddr
+	e.mu.Unlock()
+
+	if won {
+		h.promoteToLeader()
+		nf := Frame{Type: MsgNewLeader, From: h.Addr, S: h.Addr}
+		_ = h.pal.BroadcastSend(EncodeFrame(&nf))
+		// Install our own state; peers send theirs on MsgNewLeader.
+		h.mu.Lock()
+		leader := h.leader
+		h.mu.Unlock()
+		leader.installRecoverState(h.collectRecoverState(), h.Addr)
+		e.finish()
+		return h.Addr, nil
+	}
+	// Wait for the winner's announcement (handled by broadcastLoop).
+	_ = winner
+	addr, err := h.awaitNewLeader(10 * electionWindow)
+	e.finish()
+	return addr, err
+}
+
+// awaitNewLeader blocks until a leader address is known (set by our own
+// promotion or a MsgNewLeader broadcast) or the deadline passes.
+func (h *Helper) awaitNewLeader(timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		h.mu.Lock()
+		addr := h.leaderAddr
+		h.mu.Unlock()
+		if addr != "" {
+			return addr, nil
+		}
+		if time.Now().After(deadline) {
+			return "", api.ETIMEDOUT
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (e *electionState) finish() {
+	e.mu.Lock()
+	if e.active {
+		e.active = false
+		close(e.done)
+	}
+	e.mu.Unlock()
+}
+
+// promoteToLeader turns this helper into the namespace leader with a
+// fresh, reconstructable state.
+func (h *Helper) promoteToLeader() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.leader != nil {
+		return
+	}
+	h.leader = newLeaderState()
+	h.leaderAddr = h.Addr
+	// Never re-issue IDs below our own high-water marks.
+	h.leader.mu.Lock()
+	if h.pidBatch.hi >= h.leader.next[NSPid] {
+		h.leader.next[NSPid] = h.pidBatch.hi + 1
+	}
+	if b := h.idBatches[NSSysVMsg]; b.hi >= h.leader.next[NSSysVMsg] {
+		h.leader.next[NSSysVMsg] = b.hi + 1
+	}
+	if b := h.idBatches[NSSysVSem]; b.hi >= h.leader.next[NSSysVSem] {
+		h.leader.next[NSSysVSem] = b.hi + 1
+	}
+	h.leader.mu.Unlock()
+}
+
+// handleElectionBroadcast folds a peer's candidacy into any local round
+// and answers with our own PID so the peer's round sees us.
+func (h *Helper) handleElectionBroadcast(f Frame) {
+	h.mu.Lock()
+	if h.election == nil {
+		h.election = &electionState{}
+	}
+	e := h.election
+	shutdown := h.shutdown
+	h.mu.Unlock()
+	if shutdown {
+		return
+	}
+	e.mu.Lock()
+	joinRound := !e.active
+	if !e.active {
+		// A peer started an election: join it with our own candidacy.
+		e.active = true
+		e.lowest = h.GuestPID
+		e.lowAddr = h.Addr
+		e.done = make(chan struct{})
+	}
+	if f.B < e.lowest || (f.B == e.lowest && f.S < e.lowAddr) {
+		e.lowest = f.B
+		e.lowAddr = f.S
+	}
+	e.mu.Unlock()
+	if joinRound {
+		h.mu.Lock()
+		if h.leader == nil {
+			h.leaderAddr = "" // the old leader is being replaced
+		}
+		h.mu.Unlock()
+		// Announce ourselves so the initiator sees us, then resolve the
+		// round on our side too.
+		go func() {
+			cf := Frame{Type: MsgElection, B: h.GuestPID, From: h.Addr, S: h.Addr}
+			_ = h.pal.BroadcastSend(EncodeFrame(&cf))
+			time.Sleep(electionWindow)
+			e.mu.Lock()
+			won := e.lowest == h.GuestPID
+			e.mu.Unlock()
+			if won {
+				h.promoteToLeader()
+				nf := Frame{Type: MsgNewLeader, From: h.Addr, S: h.Addr}
+				_ = h.pal.BroadcastSend(EncodeFrame(&nf))
+				h.mu.Lock()
+				leader := h.leader
+				h.mu.Unlock()
+				leader.installRecoverState(h.collectRecoverState(), h.Addr)
+			} else {
+				// Wait for the winner's announcement before resolving, so
+				// concurrent ElectLeader callers never read a stale or
+				// empty leader address.
+				_, _ = h.awaitNewLeader(10 * electionWindow)
+			}
+			e.finish()
+		}()
+	}
+}
+
+// handleNewLeaderBroadcast records the winner and sends it our state.
+func (h *Helper) handleNewLeaderBroadcast(f Frame) {
+	if f.S == "" || f.S == h.Addr {
+		return
+	}
+	h.mu.Lock()
+	h.leaderAddr = f.S
+	// Any stale election round resolves to the announced winner.
+	if h.election != nil {
+		h.election.finish()
+	}
+	h.mu.Unlock()
+	go func() {
+		c, err := h.dial(f.S)
+		if err != nil {
+			return
+		}
+		_, _ = c.Call(Frame{Type: MsgRecoverState, Blob: encodeRecover(h.collectRecoverState())})
+	}()
+}

@@ -1,0 +1,175 @@
+package ipc
+
+import (
+	"testing"
+	"time"
+
+	"graphene/internal/api"
+)
+
+// The paper's "Failure and Disconnection Tolerance" (§4.2): Graphene makes
+// disconnections isomorphic to reasonable application behavior. These
+// tests inject owner crashes at awkward moments.
+
+func TestBlockedRemoteRecvSurvivesOwnerCrash(t *testing.T) {
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	mh, _ := g.member(lp, lh.Addr, 2, newFakeService())
+
+	// The member owns a queue; the leader parks in a blocking remote recv.
+	id, err := mh.Msgget(42, api.IPCCreat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		_, _, err := lh.Msgrcv(id, 0, 0)
+		got <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // the recv is parked at the owner
+
+	// The owner exits: its shutdown fails parked waiters with EXDEV and
+	// persists the (empty) queue; the blocked receiver retries, adopts the
+	// queue, and parks locally.
+	mh.Shutdown()
+	mh.pal.Proc().Exit(1)
+
+	select {
+	case err := <-got:
+		// Acceptable outcome: the retry adopted an empty queue and would
+		// block forever; but if recv returned, it must be a clean errno.
+		if err != nil && api.ToErrno(err) != api.EIDRM {
+			t.Fatalf("blocked recv returned unexpected error: %v", err)
+		}
+	case <-time.After(300 * time.Millisecond):
+		// Blocking again on the adopted local queue is the faithful
+		// semantic (the queue exists, it is just empty). Feed it and the
+		// receiver must complete.
+		if err := lh.Msgsnd(id, 1, []byte("after crash"), 0); err != nil {
+			t.Fatalf("send to adopted queue: %v", err)
+		}
+		select {
+		case err := <-got:
+			if err != nil {
+				t.Fatalf("recv after adoption: %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("receiver never completed after adoption")
+		}
+	}
+}
+
+func TestSignalToDeadProcessESRCH(t *testing.T) {
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	mh, _ := g.member(lp, lh.Addr, 0, newFakeService())
+	pid, _ := lh.AllocPID(mh.Addr)
+	mh.RegisterPID(pid, mh.Addr)
+
+	// Prime the cache with a successful signal, then crash the target.
+	svc := newFakeService()
+	_ = svc
+	if err := lh.SendSignal(pid, api.SIGUSR1); err != nil {
+		t.Fatalf("priming signal: %v", err)
+	}
+	mh.Shutdown()
+	mh.pal.Proc().Exit(1)
+	time.Sleep(10 * time.Millisecond)
+
+	// The cached stream is dead: the sender must see ESRCH, not hang.
+	if err := lh.SendSignal(pid, api.SIGUSR1); api.ToErrno(err) != api.ESRCH {
+		t.Fatalf("signal to dead process: %v, want ESRCH", err)
+	}
+}
+
+func TestSemaphoreWaiterSurvivesOwnerExit(t *testing.T) {
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	mh, _ := g.member(lp, lh.Addr, 2, newFakeService())
+
+	// The member owns a zero semaphore; the leader blocks acquiring it.
+	id, err := mh.Semget(77, 1, api.IPCCreat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		got <- lh.Semop(id, []api.SemBuf{{Num: 0, Op: -1}})
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	// Owner exits: the set migrates to the leader (shutdown eviction);
+	// the parked waiter retries there and blocks again. A release must
+	// then satisfy it.
+	mh.Shutdown()
+	mh.pal.Proc().Exit(1)
+	time.Sleep(50 * time.Millisecond)
+
+	if err := lh.Semop(id, []api.SemBuf{{Num: 0, Op: 1}}); err != nil {
+		t.Fatalf("release on evicted semaphore: %v", err)
+	}
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("blocked acquire after owner exit: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("acquire never completed after owner exit")
+	}
+}
+
+func TestPIDBatchOfOneStillUnique(t *testing.T) {
+	SetPIDBatch(1)
+	defer SetPIDBatch(PIDBatchSize)
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	mh, _ := g.member(lp, lh.Addr, 2, newFakeService())
+	seen := make(map[int64]bool)
+	for i := 0; i < 30; i++ {
+		pid, err := mh.AllocPID("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[pid] {
+			t.Fatalf("duplicate pid %d with batch=1", pid)
+		}
+		seen[pid] = true
+	}
+	_ = lh
+}
+
+func TestConnCachingOffStillCorrect(t *testing.T) {
+	SetConnCaching(false)
+	defer SetConnCaching(true)
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	mh, _ := g.member(lp, lh.Addr, 2, newFakeService())
+	for i := 0; i < 10; i++ {
+		if err := mh.Ping(lh.Addr); err != nil {
+			t.Fatalf("uncached ping %d: %v", i, err)
+		}
+	}
+}
+
+func TestMigrationOffKeepsOwnershipPut(t *testing.T) {
+	SetMigrationEnabled(false)
+	defer SetMigrationEnabled(true)
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	mh, _ := g.member(lp, lh.Addr, 2, newFakeService())
+	id, _ := lh.Msgget(11, api.IPCCreat)
+	for i := 0; i < migrateThreshold*3; i++ {
+		if err := lh.Msgsnd(id, 1, []byte{byte(i)}, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := mh.Msgrcv(id, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mh.mu.Lock()
+	_, migrated := mh.queues[id]
+	mh.mu.Unlock()
+	if migrated {
+		t.Fatal("queue migrated despite migration being disabled")
+	}
+}

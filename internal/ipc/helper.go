@@ -1,0 +1,588 @@
+package ipc
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"graphene/internal/api"
+	"graphene/internal/host"
+	"graphene/internal/pal"
+)
+
+// PIDBatchSize is how many process IDs the leader hands out per request
+// (50 by default, §4.3).
+const PIDBatchSize = 50
+
+// Tunables for the ablation benchmarks (DESIGN.md): each disables one of
+// §4.3's optimizations so its contribution can be measured. All default
+// to the optimized behavior.
+var (
+	migrationEnabled atomic.Bool
+	connCaching      atomic.Bool
+	pidBatchOverride atomic.Int64
+)
+
+func init() {
+	migrationEnabled.Store(true)
+	connCaching.Store(true)
+	pidBatchOverride.Store(PIDBatchSize)
+}
+
+// SetMigrationEnabled toggles SysV ownership migration (ablation).
+func SetMigrationEnabled(on bool) { migrationEnabled.Store(on) }
+
+// SetConnCaching toggles point-to-point stream caching (ablation).
+func SetConnCaching(on bool) { connCaching.Store(on) }
+
+// SetPIDBatch overrides the leader's PID batch size (ablation; 1 forces a
+// leader round trip per fork).
+func SetPIDBatch(n int64) {
+	if n < 1 {
+		n = 1
+	}
+	pidBatchOverride.Store(n)
+}
+
+// idBatchSize is the batch size for System V ID namespaces.
+const idBatchSize = 32
+
+// persistDir is where exiting owners serialize message queues (§4.2,
+// "a common file naming scheme to serialize message queues to disk").
+const persistDir = "/var/ipc"
+
+// Service is the libOS's upcall surface: the helper calls it to act on
+// RPCs that target local abstractions (signals, exit notifications, /proc
+// metadata). Implementations must service these from local state only.
+type Service interface {
+	// DeliverSignal marks sig pending for the local thread group.
+	DeliverSignal(target int64, sig api.Signal) api.Errno
+	// NotifyExit records a child's exit and wakes waiters.
+	NotifyExit(child int64, status int64, sig api.Signal)
+	// ProcMeta reads a /proc/[pid] field for a local process.
+	ProcMeta(pid int64, field string) (string, api.Errno)
+}
+
+// AddrForHostPID derives a helper's stream address from its host PID.
+func AddrForHostPID(hostPID int) string {
+	return "ipc." + strconv.Itoa(hostPID)
+}
+
+type idBatch struct {
+	next, hi int64 // next free and inclusive upper bound; empty if next > hi
+}
+
+// Helper is the per-picoprocess IPC helper thread (§4.1): it services RPCs
+// from other picoprocesses in the sandbox and runs the client side of the
+// coordination protocol. It is hidden from the application.
+type Helper struct {
+	pal *pal.PAL
+	svc Service
+
+	// Addr is this helper's stream address.
+	Addr string
+	// GuestPID is the owning process's PID in the libOS PID namespace.
+	GuestPID int64
+
+	listener *host.Handle
+	bsub     *host.BroadcastSub
+
+	mu         sync.Mutex
+	leaderAddr string       // "" until discovered; == Addr when leader
+	leader     *leaderState // non-nil on the leader
+	leaderCh   chan struct{}
+
+	conns    map[string]*Conn
+	incoming []*Conn
+
+	pidOwner  map[int64]string // cache: guest PID -> final helper address
+	localPIDs map[int64]string // PIDs allocated here -> their helper address
+	pidBatch  idBatch
+
+	idBatches map[int]*idBatch // NSSysVMsg / NSSysVSem local batches
+
+	queues      map[int64]*msgQueue
+	qOwnerCache map[int64]string
+	sems        map[int64]*semSet
+	semOwner    map[int64]string
+
+	// ownPgid is this process's group for recovery re-registration.
+	ownPgid  int64
+	election *electionState
+
+	shutdown bool
+}
+
+// NewLeader creates the sandbox's first helper, which acts as the
+// namespace leader. guestPID is the process's PID (1 for an init process).
+func NewLeader(p *pal.PAL, svc Service, guestPID int64) (*Helper, error) {
+	h, err := newHelper(p, svc, guestPID)
+	if err != nil {
+		return nil, err
+	}
+	h.leader = newLeaderState()
+	h.leaderAddr = h.Addr
+	// The leader seeds its own PID range and registers itself.
+	lo, hi := h.leader.allocRange(NSPid, PIDBatchSize, h.Addr)
+	h.pidBatch = idBatch{next: lo, hi: hi}
+	if guestPID >= lo && guestPID <= hi && guestPID == lo {
+		h.pidBatch.next++
+	}
+	h.localPIDs[guestPID] = h.Addr
+	return h, nil
+}
+
+// NewMember creates a helper that joins an existing sandbox coordination
+// group, with the leader's address learned from the parent's checkpoint.
+func NewMember(p *pal.PAL, svc Service, guestPID int64, leaderAddr string) (*Helper, error) {
+	h, err := newHelper(p, svc, guestPID)
+	if err != nil {
+		return nil, err
+	}
+	h.leaderAddr = leaderAddr
+	h.localPIDs[guestPID] = h.Addr
+	return h, nil
+}
+
+func newHelper(p *pal.PAL, svc Service, guestPID int64) (*Helper, error) {
+	h := &Helper{
+		pal:         p,
+		svc:         svc,
+		Addr:        AddrForHostPID(p.Proc().ID),
+		GuestPID:    guestPID,
+		leaderCh:    make(chan struct{}, 1),
+		conns:       make(map[string]*Conn),
+		pidOwner:    make(map[int64]string),
+		localPIDs:   make(map[int64]string),
+		idBatches:   map[int]*idBatch{NSSysVMsg: {}, NSSysVSem: {}},
+		queues:      make(map[int64]*msgQueue),
+		qOwnerCache: make(map[int64]string),
+		sems:        make(map[int64]*semSet),
+		semOwner:    make(map[int64]string),
+	}
+	l, err := p.DkStreamOpen("pipe.srv:"+h.Addr, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	h.listener = l
+	sub, err := p.BroadcastSubscribe()
+	if err == nil {
+		h.bsub = sub
+		go h.broadcastLoop()
+	}
+	go h.acceptLoop()
+	return h, nil
+}
+
+func (h *Helper) acceptLoop() {
+	for {
+		conn, err := h.pal.DkStreamWaitForClient(h.listener)
+		if err != nil {
+			return
+		}
+		c := NewConn(conn.Stream, h.Addr, h.dispatch, h.dropConn)
+		h.mu.Lock()
+		if h.shutdown {
+			h.mu.Unlock()
+			c.Close()
+			return
+		}
+		h.incoming = append(h.incoming, c)
+		h.mu.Unlock()
+	}
+}
+
+func (h *Helper) broadcastLoop() {
+	for {
+		msg, ok := h.bsub.Recv()
+		if !ok {
+			return
+		}
+		f, err := DecodeFrame(bytesReader(msg.Data))
+		if err != nil {
+			continue
+		}
+		switch f.Type {
+		case MsgWhoIsLeader:
+			if h.isLeader() && f.From != "" {
+				// Respond point-to-point so the requester learns our address.
+				go func(to string) {
+					if c, err := h.dial(to); err == nil {
+						_ = c.Notify(Frame{Type: MsgWhoIsLeader, S: h.Addr})
+					}
+				}(f.From)
+			}
+		case MsgElection:
+			h.handleElectionBroadcast(f)
+		case MsgNewLeader:
+			h.handleNewLeaderBroadcast(f)
+		}
+	}
+}
+
+type sliceReader struct {
+	b []byte
+}
+
+func bytesReader(b []byte) *sliceReader { return &sliceReader{b} }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, errClosed
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}
+
+func (h *Helper) isLeader() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.leader != nil
+}
+
+// DiscoverLeader broadcasts a who-is-leader query and waits for the
+// leader's point-to-point reply — the recovery path when a process lost
+// its leader address.
+func (h *Helper) DiscoverLeader() (string, error) {
+	h.mu.Lock()
+	if h.leaderAddr != "" {
+		addr := h.leaderAddr
+		h.mu.Unlock()
+		return addr, nil
+	}
+	h.mu.Unlock()
+	f := Frame{Type: MsgWhoIsLeader, From: h.Addr}
+	if err := h.pal.BroadcastSend(EncodeFrame(&f)); err != nil {
+		return "", err
+	}
+	<-h.leaderCh
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.leaderAddr, nil
+}
+
+func (h *Helper) dropConn(c *Conn) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for addr, cc := range h.conns {
+		if cc == c {
+			delete(h.conns, addr)
+		}
+	}
+}
+
+// dial returns a cached or fresh point-to-point stream to addr (§4.3,
+// "Lazy discovery and caching improve performance").
+func (h *Helper) dial(addr string) (*Conn, error) {
+	if connCaching.Load() {
+		h.mu.Lock()
+		if c, ok := h.conns[addr]; ok && c.Alive() {
+			h.mu.Unlock()
+			return c, nil
+		}
+		h.mu.Unlock()
+	}
+	sh, err := h.pal.DkStreamOpen("pipe:"+addr, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	c := NewConn(sh.Stream, h.Addr, h.dispatch, h.dropConn)
+	c.RemoteAddr = addr
+	h.mu.Lock()
+	h.conns[addr] = c
+	h.mu.Unlock()
+	return c, nil
+}
+
+// callLeader performs an RPC against the leader, short-circuiting when
+// this helper is the leader.
+func (h *Helper) callLeader(f Frame) (Frame, error) {
+	f.From = h.Addr
+	h.mu.Lock()
+	leaderAddr := h.leaderAddr
+	isLeader := h.leader != nil
+	h.mu.Unlock()
+	if isLeader {
+		respCh := make(chan Frame, 1)
+		h.dispatch(f, func(r Frame) { respCh <- r })
+		r := <-respCh
+		if r.Err != 0 {
+			return r, r.Err
+		}
+		return r, nil
+	}
+	if leaderAddr == "" {
+		if _, err := h.DiscoverLeader(); err != nil {
+			return Frame{}, err
+		}
+		h.mu.Lock()
+		leaderAddr = h.leaderAddr
+		h.mu.Unlock()
+	}
+	c, err := h.dial(leaderAddr)
+	if err != nil {
+		return Frame{}, err
+	}
+	return c.Call(f)
+}
+
+// ============================================================
+// PID namespace and signaling
+// ============================================================
+
+// AllocPID allocates a guest PID for a child whose helper will live at
+// childAddr, drawing from the local batch and refilling from the leader
+// only when the batch is exhausted.
+func (h *Helper) AllocPID(childAddr string) (int64, error) {
+	h.mu.Lock()
+	if h.pidBatch.next == 0 || h.pidBatch.next > h.pidBatch.hi {
+		h.mu.Unlock()
+		resp, err := h.callLeader(Frame{Type: MsgNSAlloc, A: NSPid, B: pidBatchOverride.Load()})
+		if err != nil {
+			return 0, err
+		}
+		h.mu.Lock()
+		h.pidBatch = idBatch{next: resp.A, hi: resp.B}
+	}
+	pid := h.pidBatch.next
+	h.pidBatch.next++
+	h.localPIDs[pid] = childAddr
+	h.mu.Unlock()
+	return pid, nil
+}
+
+// RegisterPID records a PID -> helper address mapping in the local table
+// (used when adopting a migrated or restored process).
+func (h *Helper) RegisterPID(pid int64, addr string) {
+	h.mu.Lock()
+	h.localPIDs[pid] = addr
+	h.mu.Unlock()
+}
+
+// ResolvePID finds the helper address of a guest PID: local tables first,
+// then the owner-discovery protocol through the leader, caching results.
+func (h *Helper) ResolvePID(pid int64) (string, error) {
+	h.mu.Lock()
+	if addr, ok := h.localPIDs[pid]; ok {
+		h.mu.Unlock()
+		return addr, nil
+	}
+	if addr, ok := h.pidOwner[pid]; ok {
+		h.mu.Unlock()
+		return addr, nil
+	}
+	h.mu.Unlock()
+
+	resp, err := h.callLeader(Frame{Type: MsgNSQuery, A: NSPid, B: pid})
+	if err != nil {
+		return "", err
+	}
+	addr := resp.S
+	// The leader may point at the range owner rather than the process
+	// itself; follow one indirection.
+	for hop := 0; resp.A == 1 && hop < 3; hop++ {
+		c, err := h.dial(addr)
+		if err != nil {
+			return "", err
+		}
+		resp, err = c.Call(Frame{Type: MsgNSQuery, A: NSPid, B: pid})
+		if err != nil {
+			return "", err
+		}
+		addr = resp.S
+	}
+	if addr == "" {
+		return "", api.ESRCH
+	}
+	h.mu.Lock()
+	h.pidOwner[pid] = addr
+	h.mu.Unlock()
+	return addr, nil
+}
+
+// InvalidatePID drops a cached PID mapping (stale after process death).
+func (h *Helper) InvalidatePID(pid int64) {
+	h.mu.Lock()
+	delete(h.pidOwner, pid)
+	h.mu.Unlock()
+}
+
+// SendSignal delivers sig to the process owning guest PID pid, locally or
+// via a signal RPC (§4.2, Figure 3).
+func (h *Helper) SendSignal(pid int64, sig api.Signal) error {
+	addr, err := h.ResolvePID(pid)
+	if err != nil {
+		return err
+	}
+	if addr == h.Addr {
+		if errno := h.svc.DeliverSignal(pid, sig); errno != 0 {
+			return errno
+		}
+		return nil
+	}
+	c, err := h.dial(addr)
+	if err != nil {
+		h.InvalidatePID(pid)
+		return api.ESRCH
+	}
+	if _, err := c.Call(Frame{Type: MsgSignal, A: pid, B: int64(sig)}); err != nil {
+		if err == api.EPIPE {
+			h.InvalidatePID(pid)
+			return api.ESRCH
+		}
+		return err
+	}
+	return nil
+}
+
+// NotifyExitTo sends an exit notification to the parent's helper (§4.2).
+// Asynchronous: the exiting process does not block on the parent.
+func (h *Helper) NotifyExitTo(parentAddr string, child int64, status int64, sig api.Signal) error {
+	c, err := h.dial(parentAddr)
+	if err != nil {
+		return err
+	}
+	return c.Notify(Frame{Type: MsgExitNotify, A: child, B: status, C: int64(sig)})
+}
+
+// ProcMeta reads a /proc/[pid] field, locally or over RPC (§4.2, Table 2).
+func (h *Helper) ProcMeta(pid int64, field string) (string, error) {
+	addr, err := h.ResolvePID(pid)
+	if err != nil {
+		return "", err
+	}
+	if addr == h.Addr {
+		v, errno := h.svc.ProcMeta(pid, field)
+		if errno != 0 {
+			return "", errno
+		}
+		return v, nil
+	}
+	c, err := h.dial(addr)
+	if err != nil {
+		return "", api.ESRCH
+	}
+	resp, err := c.Call(Frame{Type: MsgProcMeta, A: pid, S: field})
+	if err != nil {
+		return "", err
+	}
+	return resp.S, nil
+}
+
+// Ping round-trips a no-op RPC to addr (Figure 5's workload).
+func (h *Helper) Ping(addr string) error {
+	c, err := h.dial(addr)
+	if err != nil {
+		return err
+	}
+	_, err = c.Call(Frame{Type: MsgPing})
+	return err
+}
+
+// LeaderAddr returns the current leader address ("" if undiscovered).
+func (h *Helper) LeaderAddr() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.leaderAddr
+}
+
+// Shutdown persists owned message queues, closes connections and the
+// listener. Called from process exit.
+func (h *Helper) Shutdown() {
+	h.mu.Lock()
+	if h.shutdown {
+		h.mu.Unlock()
+		return
+	}
+	h.shutdown = true
+	queues := make([]*msgQueue, 0, len(h.queues))
+	for _, q := range h.queues {
+		queues = append(queues, q)
+	}
+	sems := make([]*semSet, 0, len(h.sems))
+	for _, s := range h.sems {
+		sems = append(sems, s)
+	}
+	leaderAddr := h.leaderAddr
+	isLeader := h.leader != nil
+	h.mu.Unlock()
+
+	// System V objects survive their owner: queues serialize to disk
+	// (§4.2); semaphore sets migrate back to the sandbox leader so other
+	// picoprocesses can keep operating on them.
+	for _, q := range queues {
+		h.persistQueue(q)
+	}
+	if !isLeader && leaderAddr != "" {
+		for _, s := range sems {
+			h.evictSemOnShutdown(s, leaderAddr)
+		}
+	}
+
+	h.mu.Lock()
+	conns := make([]*Conn, 0, len(h.conns)+len(h.incoming))
+	for _, c := range h.conns {
+		conns = append(conns, c)
+	}
+	conns = append(conns, h.incoming...)
+	h.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	_ = h.pal.DkObjectClose(h.listener)
+}
+
+// evictSemOnShutdown fails parked waiters with EXDEV (they retry against
+// the new owner) and migrates the set to the leader. In-flight remote
+// operations can re-park between the flush and the migration, so both
+// steps retry; the shutdown flag makes the dispatcher bounce new arrivals.
+func (h *Helper) evictSemOnShutdown(s *semSet, leaderAddr string) {
+	for attempt := 0; attempt < 50; attempt++ {
+		s.mu.Lock()
+		if s.removed || s.movedTo != "" {
+			s.mu.Unlock()
+			return // gone or successfully migrated
+		}
+		waiters := s.waiters
+		s.waiters = nil
+		migrating := s.migrating
+		s.mu.Unlock()
+		for _, w := range waiters {
+			w.deliver(api.EXDEV)
+		}
+		if !migrating {
+			h.migrateSem(s.id, leaderAddr)
+		}
+		migrationBackoff(attempt)
+	}
+}
+
+func (h *Helper) persistQueue(q *msgQueue) {
+	q.mu.Lock()
+	// Persist any live owned queue (even an empty one) so survivors can
+	// adopt it; parked receivers retry after adoption.
+	live := !q.removed && q.movedTo == ""
+	id := q.id
+	waiters := q.waiters
+	q.waiters = nil
+	q.mu.Unlock()
+	if !live {
+		return
+	}
+	for _, w := range waiters {
+		w.deliver(0, nil, api.EXDEV)
+	}
+	_ = h.pal.DkStreamMkdir("file:"+persistDir[:4], 0755) // /var
+	_ = h.pal.DkStreamMkdir("file:"+persistDir, 0755)
+	fh, err := h.pal.DkStreamOpen("file:"+persistPath(id), api.OCreate|api.OTrunc|api.OWrOnly, 0600)
+	if err != nil {
+		return
+	}
+	_, _ = h.pal.DkStreamWrite(fh, q.serialize())
+	_ = h.pal.DkObjectClose(fh)
+}
+
+func persistPath(id int64) string {
+	return persistDir + "/msgq." + strconv.FormatInt(id, 10)
+}

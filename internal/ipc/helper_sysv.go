@@ -1,0 +1,720 @@
+package ipc
+
+import (
+	"fmt"
+	"time"
+
+	"graphene/internal/api"
+)
+
+// sysvRetries bounds how long a System V operation chases a migrating
+// object: ownership migration is asynchronous, so a request can race the
+// transfer and must re-resolve with backoff until the new owner is
+// reachable.
+const sysvRetries = 200
+
+// migrationBackoff pauses a retry loop so an in-flight migration or
+// leader-mapping update can land.
+func migrationBackoff(attempt int) {
+	if attempt > 0 {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// allocID draws a System V ID from the local batch for the given
+// namespace kind, refilling from the leader when exhausted.
+func (h *Helper) allocID(kind int) (int64, error) {
+	h.mu.Lock()
+	b := h.idBatches[kind]
+	if b == nil {
+		h.mu.Unlock()
+		return 0, api.EINVAL
+	}
+	if b.next == 0 || b.next > b.hi {
+		h.mu.Unlock()
+		resp, err := h.callLeader(Frame{Type: MsgNSAlloc, A: int64(kind), B: idBatchSize})
+		if err != nil {
+			return 0, err
+		}
+		h.mu.Lock()
+		b = h.idBatches[kind]
+		b.next, b.hi = resp.A, resp.B
+	}
+	id := b.next
+	b.next++
+	h.mu.Unlock()
+	return id, nil
+}
+
+// ============================================================
+// Message queues (client side)
+// ============================================================
+
+// Msgget maps a System V key to a queue ID, creating the queue locally
+// when this helper wins the creation race at the leader (§4.2).
+func (h *Helper) Msgget(key int64, flags int) (int64, error) {
+	proposed, err := h.allocID(NSSysVMsg)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := h.callLeader(Frame{Type: MsgKeyGet, A: NSSysVMsg, B: key, C: int64(flags), D: proposed})
+	if err != nil {
+		return 0, err
+	}
+	id, owner := resp.A, resp.S
+	h.mu.Lock()
+	h.qOwnerCache[id] = owner
+	if owner == h.Addr && h.queues[id] == nil {
+		h.queues[id] = newMsgQueue(id, key)
+	}
+	h.mu.Unlock()
+	return id, nil
+}
+
+// qOwner resolves the owner address of queue id, using the cache first.
+func (h *Helper) qOwner(id int64) (string, error) {
+	h.mu.Lock()
+	if q := h.queues[id]; q != nil {
+		h.mu.Unlock()
+		q.mu.Lock()
+		moved := q.movedTo
+		q.mu.Unlock()
+		if moved == "" {
+			return h.Addr, nil
+		}
+		// A local tombstone only records where WE sent the queue; it may
+		// have moved again since. Fall through to the cache/leader, which
+		// track the current owner — following a stale tombstone forever
+		// would loop on EXDEV.
+	} else {
+		h.mu.Unlock()
+	}
+	h.mu.Lock()
+	if o, ok := h.qOwnerCache[id]; ok {
+		h.mu.Unlock()
+		return o, nil
+	}
+	h.mu.Unlock()
+	resp, err := h.callLeader(Frame{Type: MsgKeyOwner, A: NSSysVMsg, B: id})
+	if err != nil {
+		return "", err
+	}
+	h.mu.Lock()
+	h.qOwnerCache[id] = resp.S
+	h.mu.Unlock()
+	return resp.S, nil
+}
+
+// Msgsnd appends a message to queue id. Remote sends are asynchronous: the
+// sender assumes success once the queue's existence and location are known
+// (§4.3, "Make RPCs asynchronous whenever possible"). A message racing a
+// queue deletion is dropped, as in the paper.
+func (h *Helper) Msgsnd(id int64, mtype int64, data []byte, flags int) error {
+	if mtype <= 0 {
+		return api.EINVAL
+	}
+	for attempt := 0; attempt < sysvRetries; attempt++ {
+		migrationBackoff(attempt)
+		owner, err := h.qOwner(id)
+		if err != nil {
+			return err
+		}
+		if owner == h.Addr {
+			h.mu.Lock()
+			q := h.queues[id]
+			h.mu.Unlock()
+			if q == nil {
+				return api.EIDRM
+			}
+			errno := q.send(mtype, data)
+			if errno == api.EXDEV {
+				h.invalidateQ(id)
+				continue
+			}
+			if errno != 0 {
+				return errno
+			}
+			return nil
+		}
+		c, err := h.dial(owner)
+		if err != nil {
+			// Owner died: adopt the persisted queue if it exists, else
+			// re-resolve (another survivor may have adopted it).
+			if !h.adoptQueue(id) {
+				h.invalidateQ(id)
+			}
+			continue
+		}
+		if err := c.Notify(Frame{Type: MsgQSend, A: id, B: mtype, C: 1, Blob: data}); err != nil {
+			h.invalidateQ(id)
+			continue
+		}
+		return nil
+	}
+	return api.EIDRM
+}
+
+// MsgsndSync is the synchronous variant (waits for the owner's ack). Kept
+// for the ablation benchmark comparing sync vs async remote send.
+func (h *Helper) MsgsndSync(id int64, mtype int64, data []byte) error {
+	if mtype <= 0 {
+		return api.EINVAL
+	}
+	for attempt := 0; attempt < sysvRetries; attempt++ {
+		migrationBackoff(attempt)
+		owner, err := h.qOwner(id)
+		if err != nil {
+			return err
+		}
+		if owner == h.Addr {
+			return h.Msgsnd(id, mtype, data, 0)
+		}
+		c, err := h.dial(owner)
+		if err != nil {
+			if !h.adoptQueue(id) {
+				h.invalidateQ(id)
+			}
+			continue
+		}
+		_, err = c.Call(Frame{Type: MsgQSend, A: id, B: mtype, Blob: data})
+		switch err {
+		case nil:
+			return nil
+		case api.EXDEV:
+			h.invalidateQ(id)
+		case api.EPIPE:
+			if !h.adoptQueue(id) {
+				h.invalidateQ(id)
+			}
+		default:
+			return err
+		}
+	}
+	return api.EIDRM
+}
+
+// Msgrcv removes and returns the first message matching mtype. Blocking
+// receives on remote queues are deferred at the owner until a message
+// arrives; queue migration surfaces as EXDEV and is retried transparently.
+func (h *Helper) Msgrcv(id int64, mtype int64, flags int) (int64, []byte, error) {
+	wait := flags&api.IPCNoWait == 0
+	for attempt := 0; attempt < sysvRetries; attempt++ {
+		migrationBackoff(attempt)
+		owner, err := h.qOwner(id)
+		if err != nil {
+			return 0, nil, err
+		}
+		if owner == h.Addr {
+			h.mu.Lock()
+			q := h.queues[id]
+			h.mu.Unlock()
+			if q == nil {
+				h.invalidateQ(id)
+				continue
+			}
+			q.mu.Lock()
+			q.localRecvs++
+			q.mu.Unlock()
+			type res struct {
+				mtype int64
+				data  []byte
+				errno api.Errno
+			}
+			ch := make(chan res, 1)
+			q.recv(mtype, wait, func(mt int64, data []byte, errno api.Errno) {
+				ch <- res{mt, data, errno}
+			})
+			r := <-ch
+			if r.errno == api.EXDEV {
+				h.invalidateQ(id)
+				continue
+			}
+			if r.errno != 0 {
+				return 0, nil, r.errno
+			}
+			return r.mtype, r.data, nil
+		}
+		c, err := h.dial(owner)
+		if err != nil {
+			if !h.adoptQueue(id) {
+				h.invalidateQ(id)
+			}
+			continue
+		}
+		waitFlag := int64(0)
+		if wait {
+			waitFlag = 1
+		}
+		resp, err := c.Call(Frame{Type: MsgQRecv, A: id, B: mtype, C: waitFlag})
+		switch err {
+		case nil:
+			return resp.B, resp.Blob, nil
+		case api.EXDEV:
+			h.invalidateQ(id)
+		case api.EPIPE:
+			if !h.adoptQueue(id) {
+				h.invalidateQ(id)
+			}
+		default:
+			return 0, nil, err
+		}
+	}
+	return 0, nil, api.EIDRM
+}
+
+// MsgRmid destroys queue id, notifying prior accessors (§4.2). A dead
+// owner (dial failure or a cached connection that dies mid-call) degrades
+// to removing the persisted copy and the leader mapping.
+func (h *Helper) MsgRmid(id int64) error {
+	for attempt := 0; attempt < sysvRetries; attempt++ {
+		migrationBackoff(attempt)
+		owner, err := h.qOwner(id)
+		if err != nil {
+			return err
+		}
+		if owner == h.Addr {
+			h.removeLocalQueue(id)
+			return nil
+		}
+		c, err := h.dial(owner)
+		if err != nil {
+			// Owner died; drop any persisted copy and the leader mapping.
+			_ = h.pal.DkStreamDelete("file:" + persistPath(id))
+			_, _ = h.callLeader(Frame{Type: MsgKeyRemove, A: NSSysVMsg, B: id})
+			return nil
+		}
+		_, err = c.Call(Frame{Type: MsgQDelete, A: id})
+		switch err {
+		case nil:
+			return nil
+		case api.EPIPE, api.EXDEV:
+			// The connection died under us or the queue moved; re-resolve.
+			h.invalidateQ(id)
+		default:
+			return err
+		}
+	}
+	return api.EIDRM
+}
+
+func (h *Helper) removeLocalQueue(id int64) {
+	h.mu.Lock()
+	q := h.queues[id]
+	delete(h.queues, id)
+	delete(h.qOwnerCache, id)
+	h.mu.Unlock()
+	if q == nil {
+		return
+	}
+	accessors := q.remove()
+	go func() {
+		for _, addr := range accessors {
+			if addr == h.Addr {
+				continue
+			}
+			if c, err := h.dial(addr); err == nil {
+				_ = c.Notify(Frame{Type: MsgQDeleted, A: id})
+			}
+		}
+		_, _ = h.callLeader(Frame{Type: MsgKeyRemove, A: NSSysVMsg, B: id})
+	}()
+}
+
+func (h *Helper) invalidateQ(id int64) {
+	h.mu.Lock()
+	delete(h.qOwnerCache, id)
+	h.mu.Unlock()
+}
+
+// adoptQueue loads a queue persisted by a dead owner and takes ownership,
+// updating the leader's mapping (§4.2's persistence protocol).
+func (h *Helper) adoptQueue(id int64) bool {
+	fh, err := h.pal.DkStreamOpen("file:"+persistPath(id), api.ORdOnly, 0)
+	if err != nil {
+		return false
+	}
+	var blob []byte
+	buf := make([]byte, 4096)
+	for {
+		n, err := h.pal.DkStreamRead(fh, buf)
+		if n > 0 {
+			blob = append(blob, buf[:n]...)
+		}
+		if err != nil || n == 0 {
+			break
+		}
+	}
+	_ = h.pal.DkObjectClose(fh)
+	_ = h.pal.DkStreamDelete("file:" + persistPath(id))
+	key, msgs, err := decodeMessages(blob)
+	if err != nil {
+		return false
+	}
+	q := newMsgQueue(id, key)
+	q.msgs = msgs
+	h.mu.Lock()
+	h.queues[id] = q
+	h.qOwnerCache[id] = h.Addr
+	h.mu.Unlock()
+	_, _ = h.callLeader(Frame{Type: MsgKeyChown, A: NSSysVMsg, B: id, S: h.Addr})
+	return true
+}
+
+// migrateQueue transfers ownership of queue id to consumer addr (§4.3,
+// "migrating message queues to the consumer"). Runs outside the RPC
+// handler to respect the no-recursive-RPC rule.
+func (h *Helper) migrateQueue(id int64, to string) {
+	h.mu.Lock()
+	q := h.queues[id]
+	h.mu.Unlock()
+	if q == nil || to == h.Addr {
+		return
+	}
+	q.mu.Lock()
+	if q.removed || q.movedTo != "" || q.migrating {
+		q.mu.Unlock()
+		return
+	}
+	q.migrating = true
+	blob := encodeMessages(q.key, q.msgs)
+	q.msgs = nil
+	waiters := q.waiters
+	q.waiters = nil
+	q.mu.Unlock()
+	// Parked receivers retry against the new owner.
+	for _, w := range waiters {
+		w.deliver(0, nil, api.EXDEV)
+	}
+	abort := func() {
+		// The receiver certainly did not install (it refused, or was never
+		// reached): resume ownership with the serialized contents.
+		key, msgs, err := decodeMessages(blob)
+		q.mu.Lock()
+		if err == nil {
+			_ = key
+			q.msgs = append(msgs, q.msgs...)
+		}
+		q.migrating = false
+		q.mu.Unlock()
+	}
+	commit := func(owner string) {
+		q.mu.Lock()
+		q.movedTo = owner
+		q.migrating = false
+		q.mu.Unlock()
+		_, _ = h.callLeader(Frame{Type: MsgKeyChown, A: NSSysVMsg, B: id, S: owner})
+		h.mu.Lock()
+		h.qOwnerCache[id] = owner
+		h.mu.Unlock()
+	}
+	// uncertain handles a handoff whose outcome is unknown (the connection
+	// died mid-call, so the receiver may or may not have installed — and if
+	// it did, it is dying and will evict the copy). Resurrecting our copy
+	// could split ownership; instead forward ours to the sandbox leader,
+	// which is where a dying receiver's eviction converges too.
+	uncertain := func() {
+		h.mu.Lock()
+		leaderAddr := h.leaderAddr
+		isLeader := h.leader != nil
+		h.mu.Unlock()
+		if isLeader || leaderAddr == "" || leaderAddr == h.Addr {
+			abort() // we are the convergence point; keep the copy
+			return
+		}
+		if c, err := h.dial(leaderAddr); err == nil {
+			if _, err := c.Call(Frame{Type: MsgQMigrate, A: id, Blob: blob}); err == nil {
+				commit(leaderAddr)
+				return
+			}
+		}
+		abort()
+	}
+	c, err := h.dial(to)
+	if err != nil {
+		abort()
+		return
+	}
+	if _, err := c.Call(Frame{Type: MsgQMigrate, A: id, Blob: blob}); err != nil {
+		if err == api.EPERM {
+			abort() // receiver explicitly refused: it has no copy
+		} else {
+			uncertain()
+		}
+		return
+	}
+	commit(to)
+}
+
+// ============================================================
+// Semaphores (client side)
+// ============================================================
+
+// Semget maps a key to a semaphore set ID, creating locally on first use.
+func (h *Helper) Semget(key int64, nsems int, flags int) (int64, error) {
+	if nsems <= 0 || nsems > 250 {
+		return 0, api.EINVAL
+	}
+	proposed, err := h.allocID(NSSysVSem)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := h.callLeader(Frame{Type: MsgKeyGet, A: NSSysVSem, B: key, C: int64(flags), D: proposed})
+	if err != nil {
+		return 0, err
+	}
+	id, owner := resp.A, resp.S
+	h.mu.Lock()
+	h.semOwner[id] = owner
+	if owner == h.Addr && h.sems[id] == nil {
+		h.sems[id] = newSemSet(id, key, nsems)
+	}
+	h.mu.Unlock()
+	return id, nil
+}
+
+func (h *Helper) semOwnerOf(id int64) (string, error) {
+	h.mu.Lock()
+	if s := h.sems[id]; s != nil {
+		h.mu.Unlock()
+		s.mu.Lock()
+		moved := s.movedTo
+		s.mu.Unlock()
+		if moved == "" {
+			return h.Addr, nil
+		}
+		// Stale-tombstone rule: see qOwner.
+	} else {
+		h.mu.Unlock()
+	}
+	h.mu.Lock()
+	if o, ok := h.semOwner[id]; ok {
+		h.mu.Unlock()
+		return o, nil
+	}
+	h.mu.Unlock()
+	resp, err := h.callLeader(Frame{Type: MsgKeyOwner, A: NSSysVSem, B: id})
+	if err != nil {
+		return "", err
+	}
+	h.mu.Lock()
+	h.semOwner[id] = resp.S
+	h.mu.Unlock()
+	return resp.S, nil
+}
+
+// Semop performs the sembuf operations, blocking until satisfiable unless
+// IPCNoWait is set. Remote operations are RPCs to the owner, with
+// ownership migrating to the most frequent acquirer (§4.2).
+func (h *Helper) Semop(id int64, ops []api.SemBuf) error {
+	wait := true
+	for _, op := range ops {
+		if int(op.Flg)&api.IPCNoWait != 0 {
+			wait = false
+		}
+	}
+	for attempt := 0; attempt < sysvRetries; attempt++ {
+		migrationBackoff(attempt)
+		owner, err := h.semOwnerOf(id)
+		if err != nil {
+			return err
+		}
+		if owner == h.Addr {
+			h.mu.Lock()
+			s := h.sems[id]
+			h.mu.Unlock()
+			if s == nil {
+				h.invalidateSem(id)
+				continue
+			}
+			s.mu.Lock()
+			s.localAcqs++
+			s.mu.Unlock()
+			ch := make(chan api.Errno, 1)
+			s.semop(ops, wait, func(errno api.Errno) { ch <- errno })
+			errno := <-ch
+			if errno == api.EXDEV {
+				h.invalidateSem(id)
+				continue
+			}
+			if errno != 0 {
+				return errno
+			}
+			return nil
+		}
+		c, err := h.dial(owner)
+		if err != nil {
+			// Owner unreachable (likely exited after migrating the set to
+			// the leader): re-resolve and retry.
+			h.invalidateSem(id)
+			continue
+		}
+		waitFlag := int64(0)
+		if wait {
+			waitFlag = 1
+		}
+		_, err = c.Call(Frame{Type: MsgSemOp, A: id, C: waitFlag, Blob: encodeSemOps(ops)})
+		switch err {
+		case nil:
+			return nil
+		case api.EXDEV, api.EPIPE:
+			h.invalidateSem(id)
+		default:
+			return err
+		}
+	}
+	return api.EIDRM
+}
+
+// SemRmid destroys semaphore set id.
+func (h *Helper) SemRmid(id int64) error {
+	owner, err := h.semOwnerOf(id)
+	if err != nil {
+		return err
+	}
+	if owner == h.Addr {
+		h.removeLocalSem(id)
+		return nil
+	}
+	c, err := h.dial(owner)
+	if err != nil {
+		_, _ = h.callLeader(Frame{Type: MsgKeyRemove, A: NSSysVSem, B: id})
+		return nil
+	}
+	_, err = c.Call(Frame{Type: MsgSemDelete, A: id})
+	return err
+}
+
+func (h *Helper) removeLocalSem(id int64) {
+	h.mu.Lock()
+	s := h.sems[id]
+	delete(h.sems, id)
+	delete(h.semOwner, id)
+	h.mu.Unlock()
+	if s == nil {
+		return
+	}
+	accessors := s.remove()
+	go func() {
+		for _, addr := range accessors {
+			if addr == h.Addr {
+				continue
+			}
+			if c, err := h.dial(addr); err == nil {
+				_ = c.Notify(Frame{Type: MsgQDeleted, A: id, B: 1})
+			}
+		}
+		_, _ = h.callLeader(Frame{Type: MsgKeyRemove, A: NSSysVSem, B: id})
+	}()
+}
+
+func (h *Helper) invalidateSem(id int64) {
+	h.mu.Lock()
+	delete(h.semOwner, id)
+	h.mu.Unlock()
+}
+
+// migrateSem transfers ownership of semaphore set id to addr (§4.2,
+// "migrate ownership to picoprocess most frequently acquiring").
+func (h *Helper) migrateSem(id int64, to string) {
+	h.mu.Lock()
+	s := h.sems[id]
+	h.mu.Unlock()
+	if s == nil || to == h.Addr {
+		return
+	}
+	s.mu.Lock()
+	if s.removed || s.movedTo != "" || s.migrating || len(s.waiters) > 0 {
+		// Never strand parked waiters mid-migration; retry later.
+		s.mu.Unlock()
+		return
+	}
+	s.migrating = true
+	blob := encodeSemState(s.key, s.vals)
+	s.mu.Unlock()
+	abort := func() {
+		s.mu.Lock()
+		s.migrating = false
+		s.mu.Unlock()
+	}
+	commit := func(owner string) {
+		s.mu.Lock()
+		s.movedTo = owner
+		s.migrating = false
+		s.mu.Unlock()
+		_, _ = h.callLeader(Frame{Type: MsgKeyChown, A: NSSysVSem, B: id, S: owner})
+		h.mu.Lock()
+		h.semOwner[id] = owner
+		h.mu.Unlock()
+	}
+	// uncertain: see migrateQueue — never resurrect a copy the receiver
+	// might also hold; converge on the leader instead.
+	uncertain := func() {
+		h.mu.Lock()
+		leaderAddr := h.leaderAddr
+		isLeader := h.leader != nil
+		h.mu.Unlock()
+		if isLeader || leaderAddr == "" || leaderAddr == h.Addr {
+			abort()
+			return
+		}
+		if c, err := h.dial(leaderAddr); err == nil {
+			if _, err := c.Call(Frame{Type: MsgSemMigrate, A: id, Blob: blob}); err == nil {
+				commit(leaderAddr)
+				return
+			}
+		}
+		abort()
+	}
+	c, err := h.dial(to)
+	if err != nil {
+		abort()
+		return
+	}
+	if _, err := c.Call(Frame{Type: MsgSemMigrate, A: id, Blob: blob}); err != nil {
+		if err == api.EPERM {
+			abort()
+		} else {
+			uncertain()
+		}
+		return
+	}
+	commit(to)
+}
+
+// DebugSysVState renders the helper's System V state for diagnostics.
+func (h *Helper) DebugSysVState() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := "helper " + h.Addr + " shutdown=" + boolStr(h.shutdown) + "\n"
+	for id, s := range h.sems {
+		s.mu.Lock()
+		out += "  sem " + itoaDbg(id) + " vals=" + fmt.Sprint(s.vals) +
+			" waiters=" + itoaDbg(int64(len(s.waiters))) +
+			" moved=" + s.movedTo + " migrating=" + boolStr(s.migrating) +
+			" removed=" + boolStr(s.removed) + "\n"
+		s.mu.Unlock()
+	}
+	for id, q := range h.queues {
+		q.mu.Lock()
+		out += "  q " + itoaDbg(id) + " msgs=" + itoaDbg(int64(len(q.msgs))) +
+			" waiters=" + itoaDbg(int64(len(q.waiters))) +
+			" moved=" + q.movedTo + "\n"
+		q.mu.Unlock()
+	}
+	out += "  semOwnerCache=" + fmt.Sprint(h.semOwner) + "\n"
+	if h.leader != nil {
+		h.leader.mu.Lock()
+		out += "  leader.owners[sem]=" + fmt.Sprint(h.leader.owners[NSSysVSem]) + "\n"
+		h.leader.mu.Unlock()
+	}
+	return out
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+func itoaDbg(v int64) string { return fmt.Sprint(v) }

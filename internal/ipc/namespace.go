@@ -1,0 +1,125 @@
+package ipc
+
+import (
+	"sync"
+
+	"graphene/internal/api"
+)
+
+// idRange is a batch of identifiers handed by the leader to one helper,
+// which then allocates from it without further leader involvement (§4.3,
+// "Batched allocation of names minimizes leader workload").
+type idRange struct {
+	lo, hi int64 // inclusive
+	owner  string
+}
+
+// keyEntry maps a System V key to its ID and owning helper.
+type keyEntry struct {
+	id    int64
+	owner string
+}
+
+// leaderState is the sandbox leader's namespace bookkeeping: ID ranges per
+// namespace kind, System V key mappings, and object ownership.
+type leaderState struct {
+	mu     sync.Mutex
+	ranges map[int][]idRange
+	next   map[int]int64
+	keys   map[int]map[int64]keyEntry // kind -> key -> entry
+	owners map[int]map[int64]string   // kind -> id -> owner address
+	pgs    *pgroupState
+}
+
+func newLeaderState() *leaderState {
+	return &leaderState{
+		ranges: make(map[int][]idRange),
+		next:   map[int]int64{NSPid: 1, NSSysVMsg: 1, NSSysVSem: 1},
+		keys:   map[int]map[int64]keyEntry{NSSysVMsg: {}, NSSysVSem: {}},
+		owners: map[int]map[int64]string{NSSysVMsg: {}, NSSysVSem: {}},
+		pgs:    newPgroupState(),
+	}
+}
+
+// allocRange hands out a fresh batch of n IDs of the given kind to owner.
+func (l *leaderState) allocRange(kind int, n int64, owner string) (lo, hi int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lo = l.next[kind]
+	hi = lo + n - 1
+	l.next[kind] = hi + 1
+	l.ranges[kind] = append(l.ranges[kind], idRange{lo: lo, hi: hi, owner: owner})
+	return lo, hi
+}
+
+// rangeOwner returns the helper owning the batch containing id.
+func (l *leaderState) rangeOwner(kind int, id int64) (string, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, r := range l.ranges[kind] {
+		if id >= r.lo && id <= r.hi {
+			return r.owner, true
+		}
+	}
+	return "", false
+}
+
+// keyGet resolves or creates a key mapping. proposedID is the requester's
+// locally allocated ID, used only on creation.
+func (l *leaderState) keyGet(kind int, key int64, flags int, proposedID int64, requester string) (id int64, owner string, err api.Errno) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keys := l.keys[kind]
+	if keys == nil {
+		return 0, "", api.EINVAL
+	}
+	if key != api.IPCPrivate {
+		if e, ok := keys[key]; ok {
+			if flags&api.IPCCreat != 0 && flags&api.IPCExcl != 0 {
+				return 0, "", api.EEXIST
+			}
+			return e.id, e.owner, 0
+		}
+		if flags&api.IPCCreat == 0 {
+			return 0, "", api.ENOENT
+		}
+		keys[key] = keyEntry{id: proposedID, owner: requester}
+	}
+	l.owners[kind][proposedID] = requester
+	return proposedID, requester, 0
+}
+
+// idOwner returns the current owner of a System V object.
+func (l *leaderState) idOwner(kind int, id int64) (string, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	o, ok := l.owners[kind][id]
+	return o, ok
+}
+
+// chown updates an object's owner after a migration (§4.3).
+func (l *leaderState) chown(kind int, id int64, newOwner string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if m := l.owners[kind]; m != nil {
+		m[id] = newOwner
+	}
+	for key, e := range l.keys[kind] {
+		if e.id == id {
+			e.owner = newOwner
+			l.keys[kind][key] = e
+		}
+	}
+}
+
+// remove drops an object and any key pointing at it.
+func (l *leaderState) remove(kind int, id int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.owners[kind], id)
+	for key, e := range l.keys[kind] {
+		if e.id == id {
+			delete(l.keys[kind], key)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package ipc implements Graphene's guest coordination framework (§4):
+// the per-picoprocess IPC helper thread, the RPC protocol over host byte
+// streams, leader-based namespace management with batched allocation, and
+// the distributed System V IPC implementation (message queues with async
+// remote send and consumer migration; semaphores with owner migration).
+package ipc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"graphene/internal/api"
+)
+
+// MsgType discriminates RPC frames.
+type MsgType uint8
+
+// RPC message types exchanged between IPC helpers.
+const (
+	// MsgPing / MsgPong: no-op round trip (Figure 5's microbenchmark).
+	MsgPing MsgType = iota + 1
+	MsgPong
+
+	// MsgNSAlloc: request a batch of IDs from the leader.
+	// A=namespace kind, B=batch size. Resp: A=lo, B=hi.
+	MsgNSAlloc
+	// MsgNSQuery: find the owner of an ID. A=kind, B=id.
+	// Resp: S=owner helper address.
+	MsgNSQuery
+	// MsgNSRegister: record id->address at the leader's range owner.
+	// A=kind, B=id, S=address.
+	MsgNSRegister
+
+	// MsgSignal: deliver a signal. A=target guest PID, B=signal number.
+	MsgSignal
+	// MsgExitNotify: child exit. A=child guest PID, B=status, C=signal.
+	MsgExitNotify
+	// MsgProcMeta: read a /proc/[pid] field. A=guest PID, S=field.
+	// Resp: S=value.
+	MsgProcMeta
+
+	// MsgKeyGet: map a System V key to an ID at the leader.
+	// A=kind, B=key, C=flags(IPCCreat|IPCExcl), D=nsems (sem only).
+	// Resp: A=id, S=owner address.
+	MsgKeyGet
+	// MsgKeyOwner: look up the owner of a System V ID at the leader.
+	// A=kind, B=id. Resp: S=owner address.
+	MsgKeyOwner
+	// MsgKeyChown: update ownership at the leader after a migration.
+	// A=kind, B=id, S=new owner address.
+	MsgKeyChown
+	// MsgKeyRemove: drop an ID at the leader. A=kind, B=id.
+	MsgKeyRemove
+
+	// MsgQSend: append to a remote queue. A=qid, B=mtype, Blob=payload,
+	// C=1 for async (no response expected).
+	MsgQSend
+	// MsgQRecv: receive from a remote queue. A=qid, B=mtype, C=flags.
+	// Resp: B=mtype, Blob=payload. Deferred until a message is available
+	// unless IPCNoWait.
+	MsgQRecv
+	// MsgQDelete: destroy a queue at its owner. A=qid.
+	MsgQDelete
+	// MsgQDeleted: deletion notification to prior accessors. A=qid.
+	MsgQDeleted
+	// MsgQMigrate: transfer queue ownership. A=qid, Blob=serialized queue.
+	MsgQMigrate
+
+	// MsgSemOp: perform sembuf ops at the owner. A=semid, Blob=ops.
+	// Deferred until satisfiable unless IPCNoWait.
+	MsgSemOp
+	// MsgSemDelete: destroy a semaphore set at its owner. A=semid.
+	MsgSemDelete
+	// MsgSemMigrate: transfer semaphore ownership. A=semid, Blob=state.
+	MsgSemMigrate
+
+	// MsgWhoIsLeader: broadcast query; the leader responds point-to-point.
+	MsgWhoIsLeader
+
+	// MsgPgJoin: join a process group at the leader. A=pgid, B=pid,
+	// S=member helper address.
+	MsgPgJoin
+	// MsgPgLeave: drop a member. A=pgid, B=pid.
+	MsgPgLeave
+	// MsgPgMembers: list a group's members. A=pgid.
+	// Resp: Blob=encoded (pid, addr) pairs.
+	MsgPgMembers
+
+	// MsgElection: broadcast candidacy in a leader election. B=guest PID,
+	// S=candidate address.
+	MsgElection
+	// MsgNewLeader: broadcast announcement of the election winner.
+	// S=new leader address.
+	MsgNewLeader
+	// MsgRecoverState: a member's state report to the new leader.
+	// Blob=recoverPayload.
+	MsgRecoverState
+)
+
+// Namespace kinds for MsgNSAlloc/MsgNSQuery and key mappings.
+const (
+	NSPid = iota + 1
+	NSSysVMsg
+	NSSysVSem
+)
+
+// Frame flags.
+const (
+	flagResponse = 1 << 0
+	flagError    = 1 << 1
+)
+
+// Frame is one RPC message. The fixed scalar fields A-D plus a string and
+// a blob cover every message type without per-type codecs.
+type Frame struct {
+	Type MsgType
+	Seq  uint64
+	// From is the sender's helper address (for reply routing/caching).
+	From string
+
+	Err        api.Errno
+	A, B, C, D int64
+	S          string
+	Blob       []byte
+
+	isResponse bool
+}
+
+// Response constructs a success response to f carrying the given payload.
+func (f *Frame) Response(payload Frame) Frame {
+	payload.Type = f.Type
+	payload.Seq = f.Seq
+	payload.isResponse = true
+	return payload
+}
+
+// ErrResponse constructs an error response to f.
+func (f *Frame) ErrResponse(e api.Errno) Frame {
+	return Frame{Type: f.Type, Seq: f.Seq, Err: e, isResponse: true}
+}
+
+// IsResponse reports whether the frame answers an earlier request.
+func (f *Frame) IsResponse() bool { return f.isResponse }
+
+// maxFrameSize bounds a frame on the wire (1 MiB: ample for checkpoints
+// travel out-of-band via bulk IPC, not RPC frames).
+const maxFrameSize = 1 << 20
+
+// EncodeFrame serializes f with a length prefix.
+func EncodeFrame(f *Frame) []byte {
+	flags := byte(0)
+	if f.isResponse {
+		flags |= flagResponse
+	}
+	if f.Err != 0 {
+		flags |= flagError
+	}
+	body := make([]byte, 0, 64+len(f.S)+len(f.Blob)+len(f.From))
+	body = append(body, byte(f.Type), flags)
+	body = binary.LittleEndian.AppendUint64(body, f.Seq)
+	body = binary.LittleEndian.AppendUint32(body, uint32(f.Err))
+	for _, v := range [4]int64{f.A, f.B, f.C, f.D} {
+		body = binary.LittleEndian.AppendUint64(body, uint64(v))
+	}
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(f.From)))
+	body = append(body, f.From...)
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(f.S)))
+	body = append(body, f.S...)
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(f.Blob)))
+	body = append(body, f.Blob...)
+
+	out := make([]byte, 4+len(body))
+	binary.LittleEndian.PutUint32(out, uint32(len(body)))
+	copy(out[4:], body)
+	return out
+}
+
+// DecodeFrame reads one frame from r.
+func DecodeFrame(r io.Reader) (Frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	// Minimum body: 2 header + 8 seq + 4 errno + 32 scalars + 3×4 lengths.
+	if n < 58 || n > maxFrameSize {
+		return Frame{}, fmt.Errorf("ipc: bad frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, err
+	}
+	var f Frame
+	f.Type = MsgType(body[0])
+	flags := body[1]
+	f.isResponse = flags&flagResponse != 0
+	off := 2
+	f.Seq = binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	f.Err = api.Errno(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	for _, dst := range []*int64{&f.A, &f.B, &f.C, &f.D} {
+		*dst = int64(binary.LittleEndian.Uint64(body[off:]))
+		off += 8
+	}
+	var err error
+	if f.From, off, err = decodeString(body, off); err != nil {
+		return Frame{}, err
+	}
+	if f.S, off, err = decodeString(body, off); err != nil {
+		return Frame{}, err
+	}
+	blobLen := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	if off+blobLen != len(body) {
+		return Frame{}, fmt.Errorf("ipc: frame length mismatch")
+	}
+	if blobLen > 0 {
+		f.Blob = append([]byte(nil), body[off:off+blobLen]...)
+	}
+	return f, nil
+}
+
+func decodeString(body []byte, off int) (string, int, error) {
+	if off+4 > len(body) {
+		return "", 0, fmt.Errorf("ipc: truncated frame")
+	}
+	n := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	if off+n > len(body) {
+		return "", 0, fmt.Errorf("ipc: truncated string")
+	}
+	return string(body[off : off+n]), off + n, nil
+}

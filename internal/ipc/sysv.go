@@ -1,0 +1,402 @@
+package ipc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"graphene/internal/api"
+)
+
+// migrateThreshold is how many consecutive remote operations from one peer
+// trigger ownership migration (queues migrate to the consumer, semaphores
+// to the most frequent acquirer — §4.3).
+const migrateThreshold = 4
+
+// msgMessage is one System V message.
+type msgMessage struct {
+	Type int64
+	Data []byte
+}
+
+// recvWaiter is a blocked receiver (local caller or deferred remote RPC).
+type recvWaiter struct {
+	mtype   int64
+	deliver func(mtype int64, data []byte, errno api.Errno)
+}
+
+// msgQueue is the owner-side state of one System V message queue. The
+// owner stores the messages; remote senders and receivers go through RPC
+// to the owner (§4.2).
+type msgQueue struct {
+	mu  sync.Mutex
+	id  int64
+	key int64
+
+	msgs    []msgMessage
+	waiters []*recvWaiter
+	removed bool
+	// migrating is set while a transfer to a new owner is in flight:
+	// operations fail with EXDEV and retry, but the forwarding tombstone
+	// (movedTo) is only set once the new owner actually has the state.
+	migrating bool
+	movedTo   string // non-empty after migration (forwarding tombstone)
+
+	// accessors are helper addresses that have touched the queue, for
+	// deletion notifications.
+	accessors map[string]struct{}
+
+	// remoteRecvs counts remote receives per address and localRecvs counts
+	// the owner's own receives; a remote consumer crossing migrateThreshold
+	// while out-receiving the owner triggers consumer migration.
+	remoteRecvs map[string]int
+	localRecvs  int
+}
+
+func newMsgQueue(id, key int64) *msgQueue {
+	return &msgQueue{
+		id: id, key: key,
+		accessors:   make(map[string]struct{}),
+		remoteRecvs: make(map[string]int),
+	}
+}
+
+// matches implements msgrcv type selection: 0 = any, >0 = exact type,
+// <0 = lowest type <= |mtype|.
+func matches(m msgMessage, mtype int64) bool {
+	switch {
+	case mtype == 0:
+		return true
+	case mtype > 0:
+		return m.Type == mtype
+	default:
+		return m.Type <= -mtype
+	}
+}
+
+// send appends a message and satisfies a compatible waiter.
+func (q *msgQueue) send(mtype int64, data []byte) api.Errno {
+	q.mu.Lock()
+	if q.removed {
+		q.mu.Unlock()
+		return api.EIDRM
+	}
+	if q.movedTo != "" || q.migrating {
+		q.mu.Unlock()
+		return api.EXDEV
+	}
+	q.msgs = append(q.msgs, msgMessage{Type: mtype, Data: append([]byte(nil), data...)})
+	q.drainWaitersLocked()
+	q.mu.Unlock()
+	return 0
+}
+
+// drainWaitersLocked hands queued messages to compatible waiters in order.
+func (q *msgQueue) drainWaitersLocked() {
+	for {
+		delivered := false
+		for wi, w := range q.waiters {
+			for mi, m := range q.msgs {
+				if matches(m, w.mtype) {
+					q.msgs = append(q.msgs[:mi], q.msgs[mi+1:]...)
+					q.waiters = append(q.waiters[:wi], q.waiters[wi+1:]...)
+					w.deliver(m.Type, m.Data, 0)
+					delivered = true
+					break
+				}
+			}
+			if delivered {
+				break
+			}
+		}
+		if !delivered {
+			return
+		}
+	}
+}
+
+// recv pops the first matching message. If none and wait is set, deliver
+// is parked until a message arrives; otherwise ENOMSG is returned inline.
+// Returns true if deliver was (or will be) called.
+func (q *msgQueue) recv(mtype int64, wait bool, deliver func(int64, []byte, api.Errno)) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.removed {
+		deliver(0, nil, api.EIDRM)
+		return true
+	}
+	if q.movedTo != "" || q.migrating {
+		deliver(0, nil, api.EXDEV)
+		return true
+	}
+	for i, m := range q.msgs {
+		if matches(m, mtype) {
+			q.msgs = append(q.msgs[:i], q.msgs[i+1:]...)
+			deliver(m.Type, m.Data, 0)
+			return true
+		}
+	}
+	if !wait {
+		deliver(0, nil, api.ENOMSG)
+		return true
+	}
+	q.waiters = append(q.waiters, &recvWaiter{mtype: mtype, deliver: deliver})
+	return true
+}
+
+// remove marks the queue deleted, failing queued waiters with EIDRM and
+// returning the accessor set for deletion notification.
+func (q *msgQueue) remove() []string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.removed = true
+	for _, w := range q.waiters {
+		w.deliver(0, nil, api.EIDRM)
+	}
+	q.waiters = nil
+	q.msgs = nil
+	out := make([]string, 0, len(q.accessors))
+	for a := range q.accessors {
+		out = append(out, a)
+	}
+	return out
+}
+
+// serialize encodes the queue's messages for migration or persistence.
+func (q *msgQueue) serialize() []byte {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return encodeMessages(q.key, q.msgs)
+}
+
+func encodeMessages(key int64, msgs []msgMessage) []byte {
+	out := binary.LittleEndian.AppendUint64(nil, uint64(key))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(msgs)))
+	for _, m := range msgs {
+		out = binary.LittleEndian.AppendUint64(out, uint64(m.Type))
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(m.Data)))
+		out = append(out, m.Data...)
+	}
+	return out
+}
+
+func decodeMessages(blob []byte) (key int64, msgs []msgMessage, err error) {
+	if len(blob) < 12 {
+		return 0, nil, fmt.Errorf("ipc: short queue blob")
+	}
+	key = int64(binary.LittleEndian.Uint64(blob))
+	n := int(binary.LittleEndian.Uint32(blob[8:]))
+	off := 12
+	for i := 0; i < n; i++ {
+		if off+12 > len(blob) {
+			return 0, nil, fmt.Errorf("ipc: truncated queue blob")
+		}
+		mt := int64(binary.LittleEndian.Uint64(blob[off:]))
+		dl := int(binary.LittleEndian.Uint32(blob[off+8:]))
+		off += 12
+		if off+dl > len(blob) {
+			return 0, nil, fmt.Errorf("ipc: truncated message")
+		}
+		msgs = append(msgs, msgMessage{Type: mt, Data: append([]byte(nil), blob[off:off+dl]...)})
+		off += dl
+	}
+	return key, msgs, nil
+}
+
+// --- semaphores ---
+
+// semWaiter is a blocked semop (local caller or deferred remote RPC).
+type semWaiter struct {
+	ops     []api.SemBuf
+	deliver func(errno api.Errno)
+}
+
+// semSet is the owner-side state of a System V semaphore set.
+type semSet struct {
+	mu  sync.Mutex
+	id  int64
+	key int64
+
+	vals    []int
+	waiters []*semWaiter
+	removed bool
+	// migrating / movedTo: see msgQueue.
+	migrating bool
+	movedTo   string
+
+	accessors  map[string]struct{}
+	remoteAcqs map[string]int
+	localAcqs  int
+}
+
+func newSemSet(id, key int64, nsems int) *semSet {
+	return &semSet{
+		id: id, key: key, vals: make([]int, nsems),
+		accessors:  make(map[string]struct{}),
+		remoteAcqs: make(map[string]int),
+	}
+}
+
+// applyLocked attempts the op list atomically; returns false if blocked.
+func (s *semSet) applyLocked(ops []api.SemBuf) (bool, api.Errno) {
+	for _, op := range ops {
+		if op.Num < 0 || op.Num >= len(s.vals) {
+			return false, api.EINVAL
+		}
+		switch {
+		case op.Op < 0:
+			if s.vals[op.Num] < int(-op.Op) {
+				return false, 0
+			}
+		case op.Op == 0:
+			if s.vals[op.Num] != 0 {
+				return false, 0
+			}
+		}
+	}
+	for _, op := range ops {
+		s.vals[op.Num] += int(op.Op)
+	}
+	return true, 0
+}
+
+// semop performs ops, parking deliver if they cannot complete and wait is
+// set. Returns via deliver exactly once.
+func (s *semSet) semop(ops []api.SemBuf, wait bool, deliver func(api.Errno)) {
+	s.mu.Lock()
+	if s.removed {
+		s.mu.Unlock()
+		deliver(api.EIDRM)
+		return
+	}
+	if s.movedTo != "" || s.migrating {
+		s.mu.Unlock()
+		deliver(api.EXDEV)
+		return
+	}
+	ok, errno := s.applyLocked(ops)
+	if errno != 0 {
+		s.mu.Unlock()
+		deliver(errno)
+		return
+	}
+	if ok {
+		s.wakeWaitersLocked()
+		s.mu.Unlock()
+		deliver(0)
+		return
+	}
+	if !wait {
+		s.mu.Unlock()
+		deliver(api.EAGAIN)
+		return
+	}
+	s.waiters = append(s.waiters, &semWaiter{ops: ops, deliver: deliver})
+	s.mu.Unlock()
+}
+
+// wakeWaitersLocked retries parked operations after a value change.
+func (s *semSet) wakeWaitersLocked() {
+	for {
+		progressed := false
+		for i, w := range s.waiters {
+			ok, errno := s.applyLocked(w.ops)
+			if errno != 0 {
+				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+				w.deliver(errno)
+				progressed = true
+				break
+			}
+			if ok {
+				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+				w.deliver(0)
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// remove marks the set deleted; parked waiters fail with EIDRM.
+func (s *semSet) remove() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.removed = true
+	for _, w := range s.waiters {
+		w.deliver(api.EIDRM)
+	}
+	s.waiters = nil
+	out := make([]string, 0, len(s.accessors))
+	for a := range s.accessors {
+		out = append(out, a)
+	}
+	return out
+}
+
+// serialize encodes values for migration.
+func (s *semSet) serialize() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return encodeSemState(s.key, s.vals)
+}
+
+// encodeSemState encodes a semaphore set without taking its lock (for
+// callers that already hold it).
+func encodeSemState(key int64, vals []int) []byte {
+	out := binary.LittleEndian.AppendUint64(nil, uint64(key))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(vals)))
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint64(out, uint64(int64(v)))
+	}
+	return out
+}
+
+func decodeSemSet(blob []byte) (key int64, vals []int, err error) {
+	if len(blob) < 12 {
+		return 0, nil, fmt.Errorf("ipc: short sem blob")
+	}
+	key = int64(binary.LittleEndian.Uint64(blob))
+	n := int(binary.LittleEndian.Uint32(blob[8:]))
+	off := 12
+	if off+8*n > len(blob) {
+		return 0, nil, fmt.Errorf("ipc: truncated sem blob")
+	}
+	for i := 0; i < n; i++ {
+		vals = append(vals, int(int64(binary.LittleEndian.Uint64(blob[off:]))))
+		off += 8
+	}
+	return key, vals, nil
+}
+
+// encodeSemOps / decodeSemOps serialize sembuf lists for MsgSemOp frames.
+func encodeSemOps(ops []api.SemBuf) []byte {
+	out := binary.LittleEndian.AppendUint32(nil, uint32(len(ops)))
+	for _, op := range ops {
+		out = binary.LittleEndian.AppendUint32(out, uint32(op.Num))
+		out = binary.LittleEndian.AppendUint16(out, uint16(op.Op))
+		out = binary.LittleEndian.AppendUint16(out, uint16(op.Flg))
+	}
+	return out
+}
+
+func decodeSemOps(blob []byte) ([]api.SemBuf, error) {
+	if len(blob) < 4 {
+		return nil, fmt.Errorf("ipc: short semop blob")
+	}
+	n := int(binary.LittleEndian.Uint32(blob))
+	if 4+8*n != len(blob) {
+		return nil, fmt.Errorf("ipc: bad semop blob")
+	}
+	ops := make([]api.SemBuf, n)
+	off := 4
+	for i := range ops {
+		ops[i].Num = int(binary.LittleEndian.Uint32(blob[off:]))
+		ops[i].Op = int16(binary.LittleEndian.Uint16(blob[off+4:]))
+		ops[i].Flg = int16(binary.LittleEndian.Uint16(blob[off+6:]))
+		off += 8
+	}
+	return ops, nil
+}

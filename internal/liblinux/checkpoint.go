@@ -1,0 +1,418 @@
+package liblinux
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"time"
+
+	"graphene/internal/api"
+	"graphene/internal/host"
+	"graphene/internal/ipc"
+	"graphene/internal/monitor"
+	"graphene/internal/pal"
+)
+
+// FDCheckpoint serializes one open descriptor. File-backed descriptors are
+// reopened by path; stream-backed ones reference the i-th handle passed
+// out-of-band over the initial stream (the handle-inheritance ABI, §5).
+type FDCheckpoint struct {
+	FD          int
+	Kind        int
+	Path        string
+	Flags       int
+	Pos         int64
+	HandleIndex int // -1 for path-reopened descriptors
+}
+
+// Checkpoint is the serializable libOS state — what fork ships to the
+// child and what migration writes to disk (§5, §6.1). Memory page
+// contents travel separately: copy-on-write via bulk IPC for fork, inline
+// in Pages for cross-machine migration.
+type Checkpoint struct {
+	PID         int64
+	PPID        int64
+	PGID        int64
+	ParentAddr  string
+	LeaderAddr  string
+	ProgramPath string
+	Argv        []string
+	Cwd         string
+	Env         map[string]string
+
+	Brk     uint64
+	BrkEnd  uint64
+	Regions []Region
+
+	FDs          []FDCheckpoint
+	Dispositions map[api.Signal]string
+
+	// Pages carries memory contents for migration checkpoints only.
+	Pages []PageDump
+}
+
+// PageDump is one resident page in a migration checkpoint.
+type PageDump struct {
+	Addr uint64
+	Data []byte
+}
+
+// checkpointMeta captures everything but memory contents; stream handles
+// to be inherited are returned for out-of-band transfer.
+func (p *Process) checkpointMeta() (*Checkpoint, []*host.Handle, error) {
+	p.mu.Lock()
+	ck := &Checkpoint{
+		PGID:        p.pgid,
+		ParentAddr:  p.helperAddr(),
+		LeaderAddr:  p.leaderAddrLocked(),
+		ProgramPath: p.programPath,
+		Argv:        append([]string(nil), p.argv...),
+		Cwd:         p.cwd,
+		Env:         copyEnv(p.env),
+	}
+	p.mu.Unlock()
+
+	p.mm.mu.Lock()
+	ck.Brk = p.mm.brk
+	ck.BrkEnd = p.mm.brkEnd
+	ck.Regions = append([]Region(nil), p.mm.mmaps...)
+	p.mm.mu.Unlock()
+
+	ck.Dispositions = p.sig.dispositions()
+
+	var handles []*host.Handle
+	for fd, d := range p.fds.snapshot() {
+		fc := FDCheckpoint{FD: fd, Kind: int(d.kind), Path: d.path, Flags: d.flags, HandleIndex: -1}
+		d.mu.Lock()
+		fc.Pos = d.pos
+		d.mu.Unlock()
+		switch d.kind {
+		case fdPipe, fdSocket:
+			fc.HandleIndex = len(handles)
+			handles = append(handles, d.handle)
+		case fdListener:
+			// Listeners are not inherited (matching accept-after-fork
+			// semantics would need handle duplication; servers accept in
+			// the parent and pass connections instead).
+			continue
+		}
+		ck.FDs = append(ck.FDs, fc)
+	}
+	return ck, handles, nil
+}
+
+func (p *Process) helperAddr() string {
+	if p.helper != nil {
+		return p.helper.Addr
+	}
+	return ""
+}
+
+func (p *Process) leaderAddrLocked() string {
+	if p.helper != nil {
+		if a := p.helper.LeaderAddr(); a != "" {
+			return a
+		}
+	}
+	return p.leaderAddr
+}
+
+func copyEnv(in map[string]string) map[string]string {
+	out := make(map[string]string, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// encodeCheckpoint serializes a checkpoint with gob.
+func encodeCheckpoint(ck *Checkpoint) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+		panic("liblinux: checkpoint encode: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+func decodeCheckpoint(blob []byte) (*Checkpoint, error) {
+	var ck Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&ck); err != nil {
+		return nil, api.EINVAL
+	}
+	return &ck, nil
+}
+
+// writeFrame/readFrame length-prefix blobs on the initial stream.
+func writeFrame(s *host.Stream, blob []byte) error {
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(blob)))
+	if _, err := s.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := s.Write(blob)
+	return err
+}
+
+func readFrame(s *host.Stream) ([]byte, error) {
+	var lenBuf [4]byte
+	if err := readFull(s, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n > 64<<20 {
+		return nil, api.EINVAL
+	}
+	blob := make([]byte, n)
+	if err := readFull(s, blob); err != nil {
+		return nil, err
+	}
+	return blob, nil
+}
+
+func readFull(s *host.Stream, buf []byte) error {
+	off := 0
+	for off < len(buf) {
+		n, err := s.Read(buf[off:])
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return api.EPIPE
+		}
+		off += n
+	}
+	return nil
+}
+
+// restoreChild runs in the freshly created picoprocess: it reads the
+// checkpoint from the initial stream, rebuilds the libOS state, maps the
+// copy-on-write memory image from the bulk-IPC store, receives inherited
+// stream handles, and joins the coordination group.
+func restoreChild(rt *Runtime, c *pal.PAL, initial *host.Stream, store *host.Handle, childMain func(*Process) int) (*Process, error) {
+	blob, err := readFrame(initial)
+	if err != nil {
+		return nil, err
+	}
+	ck, err := decodeCheckpoint(blob)
+	if err != nil {
+		return nil, err
+	}
+	child, err := newProcess(rt, c, ck.PID, ck.PPID, ck.ParentAddr, ck.LeaderAddr)
+	if err != nil {
+		return nil, err
+	}
+	if err := child.restoreState(ck, initial); err != nil {
+		return nil, err
+	}
+	// Map the parent's memory image copy-on-write via bulk IPC (§5).
+	if store != nil {
+		for _, r := range regionsOf(ck) {
+			if _, err := c.DkVirtualMemoryAlloc(r.Start, r.End-r.Start, r.Prot); err != nil {
+				return nil, err
+			}
+			if _, err := c.DkPhysicalMemoryMap(store, r.Start); err != nil && err != api.EAGAIN {
+				return nil, err
+			}
+		}
+	}
+	helper, err := ipc.NewMember(c, child.svc(), ck.PID, ck.LeaderAddr)
+	if err != nil {
+		return nil, err
+	}
+	child.helper = helper
+	child.childMain = childMain
+	// A forked child inherits its parent's process group.
+	if ck.PGID != 0 {
+		child.mu.Lock()
+		child.pgid = ck.PGID
+		child.mu.Unlock()
+		_ = helper.JoinGroup(ck.PGID, ck.PID)
+	}
+	return child, nil
+}
+
+// regionsOf lists the memory areas a checkpoint describes.
+func regionsOf(ck *Checkpoint) []Region {
+	var out []Region
+	if ck.BrkEnd > brkBase {
+		out = append(out, Region{Start: brkBase, End: ck.BrkEnd, Prot: api.ProtRead | api.ProtWrite})
+	}
+	return append(out, ck.Regions...)
+}
+
+// restoreState rebuilds descriptors, cwd, env, and signal dispositions.
+func (p *Process) restoreState(ck *Checkpoint, initial *host.Stream) error {
+	p.mu.Lock()
+	p.cwd = ck.Cwd
+	p.env = copyEnv(ck.Env)
+	p.programPath = ck.ProgramPath
+	p.argv = append([]string(nil), ck.Argv...)
+	p.mu.Unlock()
+
+	p.mm.mu.Lock()
+	p.mm.brk = ck.Brk
+	p.mm.brkEnd = ck.BrkEnd
+	p.mm.mmaps = append([]Region(nil), ck.Regions...)
+	p.mm.mu.Unlock()
+
+	p.sig.restoreDispositions(ck.Dispositions)
+
+	// Receive inherited stream handles in order.
+	maxIdx := -1
+	for _, fc := range ck.FDs {
+		if fc.HandleIndex > maxIdx {
+			maxIdx = fc.HandleIndex
+		}
+	}
+	inherited := make([]*host.Handle, maxIdx+1)
+	for i := 0; i <= maxIdx; i++ {
+		h, err := initial.ReceiveHandle()
+		if err != nil {
+			return err
+		}
+		if h.Kind == host.HandleStream {
+			// The sender transferred a reference with the handle; adopt
+			// the endpoint into this picoprocess.
+			p.pal.Kernel().AdoptStream(p.pal.Proc(), h.Stream)
+		}
+		inherited[i] = h
+	}
+
+	for _, fc := range ck.FDs {
+		d := &fdesc{kind: fdKind(fc.Kind), path: fc.Path, flags: fc.Flags, pos: fc.Pos}
+		switch d.kind {
+		case fdFile:
+			h, err := p.pal.DkStreamOpen("file:"+fc.Path, fc.Flags&^(api.OTrunc|api.OExcl|api.OCreate), 0)
+			if err != nil {
+				continue // file vanished; descriptor dropped
+			}
+			d.handle = h
+		case fdPipe, fdSocket:
+			d.handle = inherited[fc.HandleIndex]
+		case fdTTY:
+			h, err := p.pal.DkStreamOpen("dev:tty", 0, 0)
+			if err != nil {
+				continue
+			}
+			d.handle = h
+		case fdProc:
+			data, err := p.procRead(fc.Path)
+			if err != nil {
+				continue
+			}
+			d.data = data
+		}
+		p.fds.install(fc.FD, d)
+	}
+	return nil
+}
+
+// ============================================================
+// Migration checkpoints (§6.1): checkpoint to bytes, resume anywhere.
+// ============================================================
+
+// CheckpointToBytes produces a self-contained migration image: libOS
+// metadata plus all resident memory pages. "Little more than a guest
+// memory dump" (§7.3).
+func (p *Process) CheckpointToBytes() ([]byte, error) {
+	ck, _, err := p.checkpointMeta()
+	if err != nil {
+		return nil, err
+	}
+	ck.PID = p.pid
+	ck.PPID = p.ppid
+	// Streams cannot migrate across machines; drop stream-backed FDs.
+	var kept []FDCheckpoint
+	for _, fc := range ck.FDs {
+		if fc.HandleIndex == -1 {
+			kept = append(kept, fc)
+		}
+	}
+	ck.FDs = kept
+
+	as := p.pal.Proc().AS
+	for _, r := range regionsOf(ck) {
+		idxs, _ := as.TouchedPages(r.Start, r.End)
+		for _, idx := range idxs {
+			data := make([]byte, host.PageSize)
+			if err := as.Read(idx<<host.PageShift, data); err != nil {
+				continue
+			}
+			ck.Pages = append(ck.Pages, PageDump{Addr: idx << host.PageShift, Data: data})
+		}
+	}
+	return encodeCheckpoint(ck), nil
+}
+
+// ResumeFromBytes reconstructs a checkpointed process as the root of a
+// fresh sandbox on this runtime — the receive side of migration. The
+// resumed program is re-entered from the top with a RESUMED=1 environment
+// marker (Go stacks cannot be serialized; see DESIGN.md).
+func (r *Runtime) ResumeFromBytes(man *monitor.Manifest, blob []byte) (*LaunchResult, error) {
+	ck, err := decodeCheckpoint(blob)
+	if err != nil {
+		return nil, err
+	}
+	prog, ok := r.lookupProgram(ck.ProgramPath)
+	if !ok {
+		return nil, api.ENOENT
+	}
+	proc, _, err := r.mon.Launch(man)
+	if err != nil {
+		return nil, err
+	}
+	c := pal.New(r.kernel, proc, r.mon)
+	lib, err := newProcess(r, c, ck.PID, 0, "", "")
+	if err != nil {
+		proc.Exit(127)
+		return nil, err
+	}
+	if err := lib.restoreState(ck, nil); err != nil {
+		proc.Exit(127)
+		return nil, err
+	}
+	// Re-create the memory image from the page dump.
+	for _, reg := range regionsOf(ck) {
+		if _, err := c.DkVirtualMemoryAlloc(reg.Start, reg.End-reg.Start, reg.Prot); err != nil {
+			proc.Exit(127)
+			return nil, err
+		}
+	}
+	for _, pg := range ck.Pages {
+		if err := c.MemWrite(pg.Addr, pg.Data); err != nil {
+			proc.Exit(127)
+			return nil, err
+		}
+	}
+	helper, err := ipc.NewLeader(c, lib.svc(), ck.PID)
+	if err != nil {
+		proc.Exit(127)
+		return nil, err
+	}
+	lib.helper = helper
+	lib.Setenv("RESUMED", "1")
+
+	res := &LaunchResult{Process: lib, Done: make(chan struct{})}
+	proc.NewThread(func(tid int) {
+		code := lib.runProgram(prog, ck.ProgramPath, ck.Argv)
+		lib.doExit(code, 0)
+		res.exitCode = lib.exitCode
+		close(res.Done)
+	})
+	return res, nil
+}
+
+// Poll waits until one of the descriptors is readable, returning its
+// index — the libOS's select/poll (LMbench's "select tcp" row).
+func (p *Process) Poll(fds []int, timeoutMicros int64) (int, error) {
+	handles := make([]*host.Handle, 0, len(fds))
+	for _, fd := range fds {
+		d, ok := p.fds.get(fd)
+		if !ok || d.handle == nil {
+			return -1, api.EBADF
+		}
+		handles = append(handles, d.handle)
+	}
+	timeout := time.Duration(timeoutMicros) * time.Microsecond
+	return p.pal.DkObjectsWaitAny(handles, timeout)
+}

@@ -1,0 +1,140 @@
+package liblinux
+
+import (
+	"testing"
+	"time"
+
+	"graphene/internal/api"
+)
+
+// pgrouper is the Setpgid/Getpgid surface (not part of api.OS; reached by
+// assertion, like SandboxCreator).
+type pgrouper interface {
+	Setpgid(pid, pgid int) error
+	Getpgid() int
+}
+
+func TestProcessGroupSignalFanout(t *testing.T) {
+	rt, man := testEnv(t)
+	code := run(t, rt, man, func(p api.OS, argv []string) int {
+		pg := p.(pgrouper)
+		if err := pg.Setpgid(0, 0); err != nil {
+			return 1
+		}
+		pgid := pg.Getpgid()
+		if pgid != p.Getpid() {
+			return 2
+		}
+		// Two children join the group and park; kill(-pgid) must reach
+		// both over RPC.
+		child := func(c api.OS) {
+			cg := c.(pgrouper)
+			if err := cg.Setpgid(0, pgid); err != nil {
+				c.Exit(101)
+			}
+			got := make(chan struct{})
+			c.Sigaction(api.SIGUSR1, func(api.Signal) { close(got) }, "")
+			for i := 0; i < 4000; i++ {
+				c.SignalsDrain()
+				select {
+				case <-got:
+					c.Exit(0)
+				default:
+				}
+				time.Sleep(time.Millisecond)
+			}
+			c.Exit(110) // never signaled
+		}
+		pid1, err := p.Fork(child)
+		if err != nil {
+			return 3
+		}
+		pid2, err := p.Fork(child)
+		if err != nil {
+			return 4
+		}
+		time.Sleep(30 * time.Millisecond) // let children join
+		// The signaler must not kill itself mid-test: ignore in self.
+		p.Sigaction(api.SIGUSR1, func(api.Signal) {}, "")
+		if err := p.Kill(-pgid, api.SIGUSR1); err != nil {
+			return 5
+		}
+		for _, pid := range []int{pid1, pid2} {
+			res, err := p.Wait(pid)
+			if err != nil || res.ExitCode != 0 {
+				return 100 + res.ExitCode
+			}
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("pgroup signal failed at step %d", code)
+	}
+}
+
+func TestProcessGroupInheritedAcrossFork(t *testing.T) {
+	rt, man := testEnv(t)
+	code := run(t, rt, man, func(p api.OS, argv []string) int {
+		pg := p.(pgrouper)
+		if err := pg.Setpgid(0, 0); err != nil {
+			return 1
+		}
+		want := pg.Getpgid()
+		got := make(chan int, 1)
+		pid, err := p.Fork(func(c api.OS) {
+			got <- c.(pgrouper).Getpgid()
+			c.Exit(0)
+		})
+		if err != nil {
+			return 2
+		}
+		if g := <-got; g != want {
+			return 3
+		}
+		p.Wait(pid)
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("pgroup inherit failed at step %d", code)
+	}
+}
+
+func TestKillEmptyGroupESRCH(t *testing.T) {
+	rt, man := testEnv(t)
+	code := run(t, rt, man, func(p api.OS, argv []string) int {
+		if err := p.Kill(-9999, api.SIGTERM); api.ToErrno(err) != api.ESRCH {
+			return 1
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatal("kill of empty group did not return ESRCH")
+	}
+}
+
+func TestGroupMembershipDropsOnExit(t *testing.T) {
+	rt, man := testEnv(t)
+	code := run(t, rt, man, func(p api.OS, argv []string) int {
+		pgid := 0
+		pid, err := p.Fork(func(c api.OS) {
+			cg := c.(pgrouper)
+			cg.Setpgid(0, 0)
+			c.Exit(0)
+		})
+		if err != nil {
+			return 1
+		}
+		pgid = pid // the child made itself a group leader
+		if _, err := p.Wait(pid); err != nil {
+			return 2
+		}
+		// The group is empty now: signaling it fails.
+		if err := p.Kill(-pgid, api.SIGTERM); api.ToErrno(err) != api.ESRCH {
+			return 3
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("group cleanup failed at step %d", code)
+	}
+}

@@ -1,0 +1,92 @@
+package liblinux
+
+import (
+	"strconv"
+	"strings"
+
+	"graphene/internal/api"
+)
+
+// procRead generates the contents of a /proc path. /proc is implemented
+// entirely inside libLinux (§6.6): local PIDs are served from library
+// state, remote PIDs are read over RPC (Table 2), and the host's /proc is
+// unreachable, frustrating Memento-style side channels.
+func (p *Process) procRead(path string) ([]byte, error) {
+	rest := strings.TrimPrefix(path, "/proc")
+	rest = strings.TrimPrefix(rest, "/")
+	if rest == "" {
+		return []byte("self\n"), nil
+	}
+	parts := strings.SplitN(rest, "/", 2)
+	who := parts[0]
+	field := "status"
+	if len(parts) == 2 {
+		field = parts[1]
+	}
+
+	var pid int64
+	if who == "self" {
+		pid = p.pid
+	} else {
+		n, err := strconv.ParseInt(who, 10, 64)
+		if err != nil {
+			return nil, api.ENOENT
+		}
+		pid = n
+	}
+	if pid == p.pid {
+		v, errno := p.procMetaLocal(field)
+		if errno != 0 {
+			return nil, errno
+		}
+		return []byte(v), nil
+	}
+	// Remote PID: read over RPC (§4.2, Table 2 — "/proc/[pid]: read over
+	// RPC"). Cross-sandbox PIDs are unreachable, so this also cannot leak
+	// other sandboxes' metadata.
+	v, err := p.helper.ProcMeta(pid, field)
+	if err != nil {
+		return nil, api.ToErrno(err)
+	}
+	return []byte(v), nil
+}
+
+// procMetaLocal serves one /proc field for this process from local state.
+func (p *Process) procMetaLocal(field string) (string, api.Errno) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch field {
+	case "comm":
+		return baseName(p.programPath) + "\n", 0
+	case "cmdline":
+		return strings.Join(p.argv, "\x00") + "\x00", 0
+	case "cwd":
+		return p.cwd + "\n", 0
+	case "status":
+		var sb strings.Builder
+		sb.WriteString("Name:\t" + baseName(p.programPath) + "\n")
+		sb.WriteString("Pid:\t" + strconv.FormatInt(p.pid, 10) + "\n")
+		sb.WriteString("PPid:\t" + strconv.FormatInt(p.ppid, 10) + "\n")
+		state := "R (running)"
+		if p.dead {
+			state = "Z (zombie)"
+		}
+		sb.WriteString("State:\t" + state + "\n")
+		return sb.String(), 0
+	case "stat":
+		return strconv.FormatInt(p.pid, 10) + " (" + baseName(p.programPath) + ") R " +
+			strconv.FormatInt(p.ppid, 10) + "\n", 0
+	default:
+		return "", api.ENOENT
+	}
+}
+
+func baseName(p string) string {
+	if p == "" {
+		return "unknown"
+	}
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

@@ -1,0 +1,108 @@
+package liblinux
+
+import (
+	"graphene/internal/api"
+	"graphene/internal/host"
+)
+
+// Listen binds a TCP-style listener at addr, subject to the manifest's
+// net_listen rules enforced by the reference monitor.
+func (p *Process) Listen(addr api.SockAddr) (int, error) {
+	h, err := p.pal.DkStreamOpen("tcp.srv:"+string(addr), 0, 0)
+	if err != nil {
+		return 0, err
+	}
+	return p.fds.alloc(&fdesc{kind: fdListener, handle: h, path: "tcp.srv:" + string(addr)}), nil
+}
+
+// Accept blocks for an incoming connection on a listener descriptor.
+func (p *Process) Accept(fd int) (int, error) {
+	d, ok := p.fds.get(fd)
+	if !ok {
+		return 0, api.EBADF
+	}
+	if d.kind != fdListener {
+		return 0, api.ENOTSOCK
+	}
+	conn, err := p.pal.DkStreamWaitForClient(d.handle)
+	if err != nil {
+		return 0, err
+	}
+	return p.fds.alloc(&fdesc{kind: fdSocket, handle: conn, path: d.path}), nil
+}
+
+// Connect opens a TCP-style connection to addr, subject to net_connect.
+func (p *Process) Connect(addr api.SockAddr) (int, error) {
+	h, err := p.pal.DkStreamOpen("tcp:"+string(addr), 0, 0)
+	if err != nil {
+		return 0, err
+	}
+	return p.fds.alloc(&fdesc{kind: fdSocket, handle: h, path: "tcp:" + string(addr)}), nil
+}
+
+// PassConnection sends an accepted connection's handle to another process
+// over a pipe descriptor — the handle-passing pattern preforked servers
+// use in place of inheriting listeners (§5, "Inheriting file handles").
+func (p *Process) PassConnection(overFD, connFD int) error {
+	over, ok := p.fds.get(overFD)
+	if !ok {
+		return api.EBADF
+	}
+	conn, ok := p.fds.get(connFD)
+	if !ok {
+		return api.EBADF
+	}
+	if over.kind != fdPipe && over.kind != fdSocket {
+		return api.ENOTSOCK
+	}
+	return p.pal.DkSendHandle(over.handle, conn.handle)
+}
+
+// ReceiveConnection receives a connection handle sent by PassConnection,
+// installing it as a new socket descriptor.
+func (p *Process) ReceiveConnection(overFD int) (int, error) {
+	over, ok := p.fds.get(overFD)
+	if !ok {
+		return 0, api.EBADF
+	}
+	h, err := p.pal.DkReceiveHandle(over.handle)
+	if err != nil {
+		return 0, err
+	}
+	if h.Kind != host.HandleStream {
+		return 0, api.EINVAL
+	}
+	return p.fds.alloc(&fdesc{kind: fdSocket, handle: h, path: h.Stream.Name}), nil
+}
+
+// SpawnThread runs fn as an additional guest thread of this process
+// (lighttpd-style multithreading). The thread shares the fd table and all
+// libOS state, as threads do.
+func (p *Process) SpawnThread(fn func()) error {
+	_, err := p.pal.DkThreadCreate(func(tid int) {
+		defer func() {
+			// A thread calling Exit unwinds with processExited; honor it.
+			if r := recover(); r != nil {
+				if _, ok := r.(processExited); ok {
+					p.mu.Lock()
+					code := p.exitRequested
+					p.mu.Unlock()
+					p.doExit(code, 0)
+					return
+				}
+				panic(r)
+			}
+		}()
+		fn()
+	})
+	return err
+}
+
+// SandboxCreate detaches this process into a fresh sandbox restricted to
+// fsView — the new library OS call of §6.6 (mod_auth worker isolation).
+func (p *Process) SandboxCreate(fsView []string) error {
+	return p.pal.DkSandboxCreate(fsView)
+}
+
+var _ api.OS = (*Process)(nil)
+var _ api.SandboxCreator = (*Process)(nil)

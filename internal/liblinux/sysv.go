@@ -1,0 +1,63 @@
+package liblinux
+
+import (
+	"graphene/internal/api"
+)
+
+// System V IPC system calls delegate to the coordination framework
+// (internal/ipc): key mappings are managed by the sandbox leader, contents
+// are stored at the owning picoprocess, and ownership migrates toward the
+// heaviest user (§4.2, Table 2).
+
+// Msgget maps key to a message queue ID.
+func (p *Process) Msgget(key int, flags int) (int, error) {
+	id, err := p.helper.Msgget(int64(key), flags)
+	if err != nil {
+		return 0, err
+	}
+	return int(id), nil
+}
+
+// Msgsnd sends a message (asynchronously when the queue is remote).
+func (p *Process) Msgsnd(id int, mtype int64, data []byte, flags int) error {
+	defer p.sig.drain()
+	return p.helper.Msgsnd(int64(id), mtype, data, flags)
+}
+
+// Msgrcv receives the first message matching mtype.
+func (p *Process) Msgrcv(id int, mtype int64, buf []byte, flags int) (int64, []byte, error) {
+	defer p.sig.drain()
+	mt, data, err := p.helper.Msgrcv(int64(id), mtype, flags)
+	if err != nil {
+		return 0, nil, err
+	}
+	if buf != nil && len(data) > len(buf) {
+		return 0, nil, api.E2BIG
+	}
+	return mt, data, nil
+}
+
+// MsgctlRmid destroys a message queue.
+func (p *Process) MsgctlRmid(id int) error {
+	return p.helper.MsgRmid(int64(id))
+}
+
+// Semget maps key to a semaphore set ID.
+func (p *Process) Semget(key int, nsems int, flags int) (int, error) {
+	id, err := p.helper.Semget(int64(key), nsems, flags)
+	if err != nil {
+		return 0, err
+	}
+	return int(id), nil
+}
+
+// Semop performs sembuf operations, blocking as needed.
+func (p *Process) Semop(id int, ops []api.SemBuf) error {
+	defer p.sig.drain()
+	return p.helper.Semop(int64(id), ops)
+}
+
+// SemctlRmid destroys a semaphore set.
+func (p *Process) SemctlRmid(id int) error {
+	return p.helper.SemRmid(int64(id))
+}

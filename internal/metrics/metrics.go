@@ -1,0 +1,212 @@
+// Package metrics provides the measurement plumbing the benchmark harness
+// uses to report results the way the paper does: means with 95% confidence
+// intervals over repeated runs, and aligned text tables.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample is a set of repeated measurements.
+type Sample struct {
+	values []float64
+}
+
+// Add appends a measurement.
+func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+
+// AddDuration appends a duration in microseconds.
+func (s *Sample) AddDuration(d time.Duration) {
+	s.Add(float64(d.Nanoseconds()) / 1e3)
+}
+
+// N returns the number of measurements.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Sample) Stddev() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var acc float64
+	for _, v := range s.values {
+		d := v - m
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n-1))
+}
+
+// CI95 returns the half-width of the 95% confidence interval, using the
+// normal approximation the paper's tables use (±1.96 s/√n).
+func (s *Sample) CI95() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	return 1.96 * s.Stddev() / math.Sqrt(float64(n))
+}
+
+// Median returns the middle value.
+func (s *Sample) Median() float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// Min returns the smallest value.
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest value.
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// OverheadPct computes 100*(x-base)/base, the paper's "% Overhead" column.
+func OverheadPct(x, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (x - base) / base
+}
+
+// Measure runs fn n times and collects wall-clock durations (µs).
+func Measure(n int, fn func()) *Sample {
+	s := &Sample{}
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		fn()
+		s.AddDuration(time.Since(start))
+	}
+	return s
+}
+
+// Table renders rows of cells as an aligned text table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends a row; cells beyond the header width are dropped.
+func (t *Table) Row(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i := 0; i < len(widths); i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// FmtUS formats a microsecond quantity like the paper's tables.
+func FmtUS(us float64) string {
+	switch {
+	case us >= 1e6:
+		return fmt.Sprintf("%.2f s", us/1e6)
+	case us >= 1e3:
+		return fmt.Sprintf("%.2f ms", us/1e3)
+	default:
+		return fmt.Sprintf("%.2f us", us)
+	}
+}
+
+// FmtBytes formats a byte quantity.
+func FmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// FmtPct formats an overhead percentage.
+func FmtPct(p float64) string {
+	return fmt.Sprintf("%+.0f%%", p)
+}

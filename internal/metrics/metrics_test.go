@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleStats(t *testing.T) {
+	s := &Sample{}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := s.Stddev(); math.Abs(got-2.138) > 0.01 {
+		t.Fatalf("stddev = %v", got)
+	}
+	if got := s.Median(); got != 4.5 {
+		t.Fatalf("median = %v", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.CI95() <= 0 {
+		t.Fatal("CI95 not positive for varied sample")
+	}
+}
+
+func TestEmptySampleSafe(t *testing.T) {
+	s := &Sample{}
+	if s.Mean() != 0 || s.Stddev() != 0 || s.CI95() != 0 || s.Median() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample stats not zero")
+	}
+}
+
+func TestOverheadPct(t *testing.T) {
+	if got := OverheadPct(150, 100); got != 50 {
+		t.Fatalf("overhead = %v", got)
+	}
+	if got := OverheadPct(50, 100); got != -50 {
+		t.Fatalf("negative overhead = %v", got)
+	}
+	if got := OverheadPct(1, 0); got != 0 {
+		t.Fatalf("zero base = %v", got)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("Test", "Linux", "Graphene")
+	tab.Row("syscall", "0.04", "0.01")
+	tab.Row("fork+exit", "67", "463")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Test") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if len(lines[2]) == 0 || len(lines[3]) == 0 {
+		t.Fatal("missing rows")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := FmtUS(0.5); got != "0.50 us" {
+		t.Fatalf("FmtUS small = %q", got)
+	}
+	if got := FmtUS(1500); got != "1.50 ms" {
+		t.Fatalf("FmtUS ms = %q", got)
+	}
+	if got := FmtUS(2.5e6); got != "2.50 s" {
+		t.Fatalf("FmtUS s = %q", got)
+	}
+	if got := FmtBytes(512); got != "512 B" {
+		t.Fatalf("FmtBytes B = %q", got)
+	}
+	if got := FmtBytes(2048); got != "2.0 KB" {
+		t.Fatalf("FmtBytes KB = %q", got)
+	}
+	if got := FmtBytes(3 << 20); got != "3.0 MB" {
+		t.Fatalf("FmtBytes MB = %q", got)
+	}
+	if got := FmtPct(34.6); got != "+35%" {
+		t.Fatalf("FmtPct = %q", got)
+	}
+}
+
+// Property: mean lies within [min, max]; CI95 is non-negative.
+func TestPropertySampleInvariants(t *testing.T) {
+	f := func(vals []float64) bool {
+		s := &Sample{}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				// Measurements are durations/bytes; astronomically large
+				// magnitudes overflow the sum and are out of scope.
+				continue
+			}
+			s.Add(v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9 && s.CI95() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasureCollects(t *testing.T) {
+	s := Measure(5, func() {})
+	if s.N() != 5 {
+		t.Fatalf("n = %d", s.N())
+	}
+}

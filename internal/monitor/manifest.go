@@ -1,0 +1,204 @@
+// Package monitor implements Graphene's trusted reference monitor (§3):
+// manifest-driven file system and network policy (the AppArmor LSM
+// extension in the paper), the sandbox abstraction, and mediation of every
+// host call with effects outside a picoprocess — stream creation, bulk
+// IPC, process creation, file opens, and network binds/connects.
+package monitor
+
+import (
+	"fmt"
+	"strings"
+
+	"graphene/internal/api"
+	"graphene/internal/host"
+)
+
+// Manifest is a chroot-like, restricted view of the host file system plus
+// iptables-style network rules — the per-application policy file (§3).
+type Manifest struct {
+	// Name labels the manifest (diagnostics only).
+	Name string
+
+	// Mounts translate guest path prefixes to host path prefixes, forming
+	// a unioned view in the style of Plan 9 (§3). Longest prefix wins.
+	Mounts []Mount
+
+	// ReadPaths and WritePaths are guest path prefixes the application may
+	// read or write. Write implies read.
+	ReadPaths  []string
+	WritePaths []string
+
+	// NetListen and NetConnect are "host:port" patterns, where either
+	// component may be "*".
+	NetListen  []string
+	NetConnect []string
+}
+
+// Mount is one entry in the manifest's union view.
+type Mount struct {
+	Guest string // guest-visible prefix
+	Host  string // backing host prefix
+}
+
+// ParseManifest parses the textual manifest format:
+//
+//	# comment
+//	mount <guest-prefix> <host-prefix>
+//	allow_read <guest-prefix>
+//	allow_write <guest-prefix>
+//	net_listen <host:port>
+//	net_connect <host:port>
+func ParseManifest(name, text string) (*Manifest, error) {
+	m := &Manifest{Name: name}
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "mount":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("manifest %s:%d: mount wants 2 args", name, lineNo+1)
+			}
+			m.Mounts = append(m.Mounts, Mount{Guest: host.CleanPath(fields[1]), Host: host.CleanPath(fields[2])})
+		case "allow_read":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("manifest %s:%d: allow_read wants 1 arg", name, lineNo+1)
+			}
+			m.ReadPaths = append(m.ReadPaths, host.CleanPath(fields[1]))
+		case "allow_write":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("manifest %s:%d: allow_write wants 1 arg", name, lineNo+1)
+			}
+			m.WritePaths = append(m.WritePaths, host.CleanPath(fields[1]))
+		case "net_listen":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("manifest %s:%d: net_listen wants 1 arg", name, lineNo+1)
+			}
+			m.NetListen = append(m.NetListen, fields[1])
+		case "net_connect":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("manifest %s:%d: net_connect wants 1 arg", name, lineNo+1)
+			}
+			m.NetConnect = append(m.NetConnect, fields[1])
+		default:
+			return nil, fmt.Errorf("manifest %s:%d: unknown directive %q", name, lineNo+1, fields[0])
+		}
+	}
+	return m, nil
+}
+
+// pathAllowed reports whether path falls under one of the given prefixes.
+func pathAllowed(path string, prefixes []string) bool {
+	path = host.CleanPath(path)
+	for _, p := range prefixes {
+		if p == "/" || path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// AllowsRead reports whether the manifest permits reading path.
+func (m *Manifest) AllowsRead(path string) bool {
+	return pathAllowed(path, m.ReadPaths) || pathAllowed(path, m.WritePaths)
+}
+
+// AllowsWrite reports whether the manifest permits writing path.
+func (m *Manifest) AllowsWrite(path string) bool {
+	return pathAllowed(path, m.WritePaths)
+}
+
+// Translate maps a guest path to a host path via the longest matching
+// mount; unmounted paths map to themselves.
+func (m *Manifest) Translate(path string) string {
+	path = host.CleanPath(path)
+	best := Mount{}
+	bestLen := -1
+	for _, mt := range m.Mounts {
+		if (mt.Guest == "/" || path == mt.Guest || strings.HasPrefix(path, mt.Guest+"/")) && len(mt.Guest) > bestLen {
+			best = mt
+			bestLen = len(mt.Guest)
+		}
+	}
+	if bestLen < 0 {
+		return path
+	}
+	rest := strings.TrimPrefix(path, best.Guest)
+	return host.CleanPath(best.Host + "/" + rest)
+}
+
+// addrMatches reports whether addr ("host:port") matches pattern, where
+// the pattern's host or port may be "*".
+func addrMatches(addr api.SockAddr, pattern string) bool {
+	ah, ap, ok := splitAddr(string(addr))
+	if !ok {
+		return false
+	}
+	ph, pp, ok := splitAddr(pattern)
+	if !ok {
+		return false
+	}
+	if ph != "*" && ph != ah {
+		return false
+	}
+	if pp != "*" && pp != ap {
+		return false
+	}
+	return true
+}
+
+func splitAddr(s string) (hostPart, portPart string, ok bool) {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return "", "", false
+	}
+	return s[:i], s[i+1:], true
+}
+
+// AllowsListen reports whether the manifest permits binding addr.
+func (m *Manifest) AllowsListen(addr api.SockAddr) bool {
+	for _, p := range m.NetListen {
+		if addrMatches(addr, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// AllowsConnect reports whether the manifest permits connecting to addr.
+func (m *Manifest) AllowsConnect(addr api.SockAddr) bool {
+	for _, p := range m.NetConnect {
+		if addrMatches(addr, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Restrict returns a copy of m narrowed to the given guest path prefixes.
+// A child sandbox "may specify a subset of its own file system view ...
+// but may not request access to new regions" (§3): prefixes outside the
+// parent view are dropped.
+func (m *Manifest) Restrict(fsView []string) *Manifest {
+	out := &Manifest{
+		Name:       m.Name + "+restricted",
+		Mounts:     append([]Mount(nil), m.Mounts...),
+		NetListen:  append([]string(nil), m.NetListen...),
+		NetConnect: append([]string(nil), m.NetConnect...),
+	}
+	for _, p := range fsView {
+		p = host.CleanPath(p)
+		if m.AllowsWrite(p) {
+			out.WritePaths = append(out.WritePaths, p)
+			continue
+		}
+		if m.AllowsRead(p) {
+			out.ReadPaths = append(out.ReadPaths, p)
+		}
+		// Paths outside the parent's view are silently dropped — the child
+		// cannot escalate.
+	}
+	return out
+}

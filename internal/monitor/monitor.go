@@ -1,0 +1,285 @@
+package monitor
+
+import (
+	"sync"
+
+	"graphene/internal/api"
+	"graphene/internal/host"
+	"graphene/internal/seccomp"
+)
+
+// Sandbox is a set of mutually trusting picoprocesses (§3). Processes in
+// the same sandbox may exchange RPCs over byte streams; cross-sandbox
+// communication is blocked by the reference monitor.
+type Sandbox struct {
+	ID       int
+	Manifest *Manifest
+	// Broadcast is the sandbox's coordination channel (§4.1). Replaced
+	// when a picoprocess splits off into a new sandbox.
+	Broadcast *host.BroadcastChannel
+
+	mu      sync.Mutex
+	members map[int]struct{} // host PIDs
+	leader  int              // host PID of the namespace leader
+}
+
+// Members snapshots the sandbox's member host PIDs.
+func (sb *Sandbox) Members() []int {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	out := make([]int, 0, len(sb.members))
+	for pid := range sb.members {
+		out = append(out, pid)
+	}
+	return out
+}
+
+// Leader returns the host PID of the sandbox leader.
+func (sb *Sandbox) Leader() int {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.leader
+}
+
+// Monitor is the trusted reference monitor. It implements host.Policy and
+// owns the sandbox registry. All Graphene applications are launched
+// through it, and it installs the seccomp filter in each picoprocess.
+type Monitor struct {
+	kernel *host.Kernel
+	filter *seccomp.Program
+	// selfFilter is the filter the monitor notionally runs itself under
+	// (§3.1), exposed for the security test suite.
+	selfFilter *seccomp.Program
+
+	mu        sync.Mutex
+	sandboxes map[int]*Sandbox
+	byProc    map[int]*Sandbox // host PID -> sandbox
+}
+
+// New creates a reference monitor bound to k and installs itself as the
+// kernel's policy.
+func New(k *host.Kernel) *Monitor {
+	m := &Monitor{
+		kernel:     k,
+		filter:     seccomp.GrapheneFilter(),
+		selfFilter: seccomp.MonitorFilter(),
+		sandboxes:  make(map[int]*Sandbox),
+		byProc:     make(map[int]*Sandbox),
+	}
+	k.SetPolicy(m)
+	return m
+}
+
+// Kernel returns the host kernel the monitor mediates.
+func (m *Monitor) Kernel() *host.Kernel { return m.kernel }
+
+// SelfFilter returns the monitor's own seccomp filter.
+func (m *Monitor) SelfFilter() host.SyscallFilter { return m.selfFilter }
+
+// Launch creates the root picoprocess of a fresh sandbox governed by
+// manifest and installs the Graphene seccomp filter in it.
+func (m *Monitor) Launch(manifest *Manifest) (*host.Picoprocess, *Sandbox, error) {
+	proc, err := m.kernel.CreateProcess(nil, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := proc.SetFilter(m.filter); err != nil {
+		return nil, nil, err
+	}
+	sb := m.newSandbox(manifest)
+	m.addMember(sb, proc)
+	return proc, sb, nil
+}
+
+func (m *Monitor) newSandbox(manifest *Manifest) *Sandbox {
+	id := m.kernel.NewSandboxID()
+	sb := &Sandbox{
+		ID:        id,
+		Manifest:  manifest,
+		Broadcast: m.kernel.BroadcastOf(id),
+		members:   make(map[int]struct{}),
+	}
+	m.mu.Lock()
+	m.sandboxes[sb.ID] = sb
+	m.mu.Unlock()
+	return sb
+}
+
+func (m *Monitor) addMember(sb *Sandbox, proc *host.Picoprocess) {
+	sb.mu.Lock()
+	sb.members[proc.ID] = struct{}{}
+	if sb.leader == 0 {
+		sb.leader = proc.ID
+	}
+	sb.mu.Unlock()
+	proc.SandboxID = sb.ID
+	m.mu.Lock()
+	m.byProc[proc.ID] = sb
+	m.mu.Unlock()
+}
+
+// SandboxOf returns the sandbox containing the given host PID, or nil.
+func (m *Monitor) SandboxOf(pid int) *Sandbox {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.byProc[pid]
+}
+
+// Detach moves proc into a brand-new sandbox whose file system view is
+// restricted to fsView (a subset of the current view) — the
+// sandbox_create library call (§3, §6.6). All byte streams between proc
+// and its old sandbox are severed, and the old broadcast stream is
+// replaced with a fresh one.
+func (m *Monitor) Detach(proc *host.Picoprocess, fsView []string) (*Sandbox, error) {
+	old := m.SandboxOf(proc.ID)
+	if old == nil {
+		return nil, api.ESRCH
+	}
+	restricted := old.Manifest.Restrict(fsView)
+	old.mu.Lock()
+	delete(old.members, proc.ID)
+	if old.leader == proc.ID {
+		// Elect the lowest remaining PID, matching the paper's suggested
+		// leader-recovery rule.
+		old.leader = 0
+		for pid := range old.members {
+			if old.leader == 0 || pid < old.leader {
+				old.leader = pid
+			}
+		}
+	}
+	old.mu.Unlock()
+	old.Broadcast.Unsubscribe(proc.ID)
+
+	sb := m.newSandbox(restricted)
+	m.addMember(sb, proc)
+	// Sever every stream bridging the two sandboxes.
+	m.kernel.SeverCrossSandboxStreams()
+	return sb, nil
+}
+
+// --- host.Policy implementation ---
+
+// CheckOpen enforces the manifest's path policy (the AppArmor extension).
+func (m *Monitor) CheckOpen(proc *host.Picoprocess, path string, write bool) error {
+	sb := m.SandboxOf(proc.ID)
+	if sb == nil {
+		return api.EACCES
+	}
+	if write {
+		if !sb.Manifest.AllowsWrite(path) {
+			return api.EACCES
+		}
+		return nil
+	}
+	if !sb.Manifest.AllowsRead(path) {
+		return api.EACCES
+	}
+	return nil
+}
+
+// TranslatePath applies the manifest's union view.
+func (m *Monitor) TranslatePath(proc *host.Picoprocess, path string) (string, error) {
+	sb := m.SandboxOf(proc.ID)
+	if sb == nil {
+		return "", api.EACCES
+	}
+	return sb.Manifest.Translate(path), nil
+}
+
+// CheckStreamConnect blocks byte stream creation across sandboxes (§3).
+func (m *Monitor) CheckStreamConnect(proc *host.Picoprocess, ownerPID int) error {
+	a := m.SandboxOf(proc.ID)
+	b := m.SandboxOf(ownerPID)
+	if a == nil || b == nil || a.ID != b.ID {
+		return api.EPERM
+	}
+	return nil
+}
+
+// CheckBulkIPC permits bulk IPC only within a sandbox (§5).
+func (m *Monitor) CheckBulkIPC(proc *host.Picoprocess, creatorPID int) error {
+	return m.CheckStreamConnect(proc, creatorPID)
+}
+
+// CheckProcessCreate authorizes child picoprocess creation.
+func (m *Monitor) CheckProcessCreate(parent *host.Picoprocess) error {
+	if m.SandboxOf(parent.ID) == nil {
+		return api.EPERM
+	}
+	return nil
+}
+
+// CheckNetBind enforces the manifest's net_listen rules.
+func (m *Monitor) CheckNetBind(proc *host.Picoprocess, addr api.SockAddr) error {
+	sb := m.SandboxOf(proc.ID)
+	if sb == nil || !sb.Manifest.AllowsListen(addr) {
+		return api.EACCES
+	}
+	return nil
+}
+
+// CheckNetConnect enforces the manifest's net_connect rules.
+func (m *Monitor) CheckNetConnect(proc *host.Picoprocess, addr api.SockAddr) error {
+	sb := m.SandboxOf(proc.ID)
+	if sb == nil || !sb.Manifest.AllowsConnect(addr) {
+		return api.EACCES
+	}
+	return nil
+}
+
+// OnProcessCreate places the child in the parent's sandbox, or a fresh one
+// when the creation flag requests isolation (§3).
+func (m *Monitor) OnProcessCreate(parent, child *host.Picoprocess, newSandbox bool) {
+	if parent == nil {
+		return // root launches go through Launch
+	}
+	psb := m.SandboxOf(parent.ID)
+	if psb == nil {
+		return
+	}
+	if newSandbox {
+		sb := m.newSandbox(psb.Manifest)
+		m.addMember(sb, child)
+		return
+	}
+	m.addMember(psb, child)
+}
+
+// OnProcessExit removes the process from its sandbox and cleans up empty
+// sandboxes.
+func (m *Monitor) OnProcessExit(proc *host.Picoprocess) {
+	m.mu.Lock()
+	sb := m.byProc[proc.ID]
+	delete(m.byProc, proc.ID)
+	m.mu.Unlock()
+	if sb == nil {
+		return
+	}
+	sb.Broadcast.Unsubscribe(proc.ID)
+	sb.mu.Lock()
+	delete(sb.members, proc.ID)
+	if sb.leader == proc.ID {
+		sb.leader = 0
+		for pid := range sb.members {
+			if sb.leader == 0 || pid < sb.leader {
+				sb.leader = pid
+			}
+		}
+	}
+	empty := len(sb.members) == 0
+	sb.mu.Unlock()
+	if empty {
+		m.mu.Lock()
+		delete(m.sandboxes, sb.ID)
+		m.mu.Unlock()
+	}
+}
+
+// DetachSandbox adapts Detach to the PAL's Sandboxer interface.
+func (m *Monitor) DetachSandbox(proc *host.Picoprocess, fsView []string) error {
+	_, err := m.Detach(proc, fsView)
+	return err
+}
+
+var _ host.Policy = (*Monitor)(nil)

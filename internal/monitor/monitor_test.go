@@ -1,0 +1,307 @@
+package monitor
+
+import (
+	"testing"
+
+	"graphene/internal/api"
+	"graphene/internal/host"
+)
+
+const testManifest = `
+# test manifest
+mount /bin /host/bin
+mount / /
+allow_read /bin
+allow_read /usr/share
+allow_write /tmp
+net_listen 127.0.0.1:8080
+net_connect *:80
+`
+
+func mustManifest(t *testing.T) *Manifest {
+	t.Helper()
+	m, err := ParseManifest("test", testManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseManifest(t *testing.T) {
+	m := mustManifest(t)
+	if len(m.Mounts) != 2 || len(m.ReadPaths) != 2 || len(m.WritePaths) != 1 {
+		t.Fatalf("parsed wrong shape: %+v", m)
+	}
+	if len(m.NetListen) != 1 || len(m.NetConnect) != 1 {
+		t.Fatalf("net rules wrong: %+v", m)
+	}
+}
+
+func TestParseManifestErrors(t *testing.T) {
+	bad := []string{
+		"mount /a",
+		"allow_read",
+		"allow_write a b",
+		"net_listen",
+		"frobnicate /x",
+	}
+	for _, text := range bad {
+		if _, err := ParseManifest("bad", text); err == nil {
+			t.Errorf("ParseManifest accepted %q", text)
+		}
+	}
+}
+
+func TestManifestPathPolicy(t *testing.T) {
+	m := mustManifest(t)
+	cases := []struct {
+		path        string
+		read, write bool
+	}{
+		{"/bin/sh", true, false},
+		{"/bin", true, false},
+		{"/usr/share/doc/x", true, false},
+		{"/tmp/scratch", true, true}, // write implies read
+		{"/etc/passwd", false, false},
+		{"/binx", false, false}, // prefix must respect path boundaries
+		{"/tmp/../etc/passwd", false, false},
+	}
+	for _, c := range cases {
+		if got := m.AllowsRead(c.path); got != c.read {
+			t.Errorf("AllowsRead(%q) = %v, want %v", c.path, got, c.read)
+		}
+		if got := m.AllowsWrite(c.path); got != c.write {
+			t.Errorf("AllowsWrite(%q) = %v, want %v", c.path, got, c.write)
+		}
+	}
+}
+
+func TestManifestTranslateLongestPrefix(t *testing.T) {
+	m := mustManifest(t)
+	if got := m.Translate("/bin/sh"); got != "/host/bin/sh" {
+		t.Fatalf("Translate(/bin/sh) = %q", got)
+	}
+	if got := m.Translate("/etc/hosts"); got != "/etc/hosts" {
+		t.Fatalf("Translate(/etc/hosts) = %q", got)
+	}
+}
+
+func TestManifestNetRules(t *testing.T) {
+	m := mustManifest(t)
+	if !m.AllowsListen("127.0.0.1:8080") {
+		t.Error("listen on allowed addr rejected")
+	}
+	if m.AllowsListen("0.0.0.0:8080") || m.AllowsListen("127.0.0.1:22") {
+		t.Error("listen escaped the rules")
+	}
+	if !m.AllowsConnect("example.com:80") || !m.AllowsConnect("10.0.0.1:80") {
+		t.Error("wildcard host connect rejected")
+	}
+	if m.AllowsConnect("example.com:443") {
+		t.Error("connect to disallowed port accepted")
+	}
+}
+
+func TestManifestRestrictCannotEscalate(t *testing.T) {
+	m := mustManifest(t)
+	r := m.Restrict([]string{"/tmp/user1", "/etc"}) // /etc not in parent view
+	if !r.AllowsWrite("/tmp/user1/data") {
+		t.Error("restricted view lost permitted path")
+	}
+	if r.AllowsRead("/etc/passwd") {
+		t.Error("Restrict granted a path outside the parent view")
+	}
+	if r.AllowsRead("/bin/sh") {
+		t.Error("Restrict kept paths not in the requested view")
+	}
+}
+
+func newTestMonitor(t *testing.T) (*host.Kernel, *Monitor) {
+	t.Helper()
+	k := host.NewKernel()
+	return k, New(k)
+}
+
+func TestLaunchInstallsFilterAndSandbox(t *testing.T) {
+	k, m := newTestMonitor(t)
+	proc, sb, err := m.Launch(mustManifest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proc.Filter() == nil {
+		t.Fatal("no seccomp filter installed")
+	}
+	if proc.SandboxID != sb.ID {
+		t.Fatal("sandbox id mismatch")
+	}
+	if sb.Leader() != proc.ID {
+		t.Fatal("first process is not the leader")
+	}
+	// App-issued syscall is trapped.
+	if err := k.Gate(proc, host.SysOpen, false); err != host.ErrSigsys {
+		t.Fatalf("gate = %v, want ErrSigsys", err)
+	}
+}
+
+func TestChildInheritsSandbox(t *testing.T) {
+	k, m := newTestMonitor(t)
+	parent, sb, _ := m.Launch(mustManifest(t))
+	child, err := k.CreateProcess(parent, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.SandboxID != sb.ID {
+		t.Fatal("child not in parent's sandbox")
+	}
+	if child.Filter() == nil {
+		t.Fatal("child did not inherit filter")
+	}
+	if got := len(sb.Members()); got != 2 {
+		t.Fatalf("members = %d, want 2", got)
+	}
+}
+
+func TestChildInNewSandbox(t *testing.T) {
+	k, m := newTestMonitor(t)
+	parent, sb, _ := m.Launch(mustManifest(t))
+	child, err := k.CreateProcess(parent, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.SandboxID == sb.ID {
+		t.Fatal("newSandbox child placed in parent's sandbox")
+	}
+}
+
+func TestCrossSandboxStreamBlocked(t *testing.T) {
+	k, m := newTestMonitor(t)
+	p1, _, _ := m.Launch(mustManifest(t))
+	p2, _, _ := m.Launch(mustManifest(t))
+	if _, err := k.StreamListen(p1, "pipe.srv:x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.StreamConnect(p2, "pipe.srv:x"); err != api.EPERM {
+		t.Fatalf("cross-sandbox connect err = %v, want EPERM", err)
+	}
+	// Same-sandbox connect works.
+	p3, _ := k.CreateProcess(p1, false)
+	l := mustListen(t, k, p1, "pipe.srv:y")
+	go func() { _, _ = k.StreamAccept(p1, l) }()
+	if _, err := k.StreamConnect(p3, "pipe.srv:y"); err != nil {
+		t.Fatalf("same-sandbox connect: %v", err)
+	}
+}
+
+func mustListen(t *testing.T, k *host.Kernel, p *host.Picoprocess, name string) *host.Listener {
+	t.Helper()
+	l, err := k.StreamListen(p, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestOpenPolicyEnforced(t *testing.T) {
+	_, m := newTestMonitor(t)
+	proc, _, _ := m.Launch(mustManifest(t))
+	if err := m.CheckOpen(proc, "/bin/sh", false); err != nil {
+		t.Fatalf("allowed read rejected: %v", err)
+	}
+	if err := m.CheckOpen(proc, "/etc/passwd", false); err != api.EACCES {
+		t.Fatalf("disallowed read err = %v, want EACCES", err)
+	}
+	if err := m.CheckOpen(proc, "/bin/sh", true); err != api.EACCES {
+		t.Fatalf("write to read-only path err = %v, want EACCES", err)
+	}
+	if err := m.CheckOpen(proc, "/tmp/f", true); err != nil {
+		t.Fatalf("allowed write rejected: %v", err)
+	}
+}
+
+func TestDetachSplitsSandboxAndSeversStreams(t *testing.T) {
+	k, m := newTestMonitor(t)
+	parent, sb, _ := m.Launch(mustManifest(t))
+	child, _ := k.CreateProcess(parent, false)
+	sa, sc := k.StreamPair(parent, child)
+
+	newSB, err := m.Detach(child, []string{"/tmp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newSB.ID == sb.ID {
+		t.Fatal("Detach did not create a new sandbox")
+	}
+	if !sa.Closed() && !sc.Closed() {
+		t.Fatal("stream bridging split sandboxes survived")
+	}
+	// Old sandbox leadership is intact; new sandbox led by the detached proc.
+	if sb.Leader() != parent.ID {
+		t.Fatal("old sandbox lost its leader")
+	}
+	if newSB.Leader() != child.ID {
+		t.Fatal("detached process is not its sandbox's leader")
+	}
+	// The detached process's view is restricted.
+	if err := m.CheckOpen(child, "/bin/sh", false); err != api.EACCES {
+		t.Fatalf("detached proc still reads parent view: %v", err)
+	}
+	if err := m.CheckOpen(child, "/tmp/x", true); err != nil {
+		t.Fatalf("detached proc lost its own view: %v", err)
+	}
+}
+
+func TestLeaderReElectionOnExit(t *testing.T) {
+	k, m := newTestMonitor(t)
+	parent, sb, _ := m.Launch(mustManifest(t))
+	c1, _ := k.CreateProcess(parent, false)
+	c2, _ := k.CreateProcess(parent, false)
+	parent.Exit(0)
+	lead := sb.Leader()
+	if lead != c1.ID && lead != c2.ID {
+		t.Fatalf("leader = %d, want one of %d/%d", lead, c1.ID, c2.ID)
+	}
+	// Lowest PID wins, per the paper's recovery rule.
+	if lead != c1.ID {
+		t.Fatalf("leader = %d, want lowest pid %d", lead, c1.ID)
+	}
+}
+
+func TestNetPolicy(t *testing.T) {
+	_, m := newTestMonitor(t)
+	proc, _, _ := m.Launch(mustManifest(t))
+	if err := m.CheckNetBind(proc, "127.0.0.1:8080"); err != nil {
+		t.Fatalf("allowed bind rejected: %v", err)
+	}
+	if err := m.CheckNetBind(proc, "0.0.0.0:22"); err != api.EACCES {
+		t.Fatalf("disallowed bind err = %v", err)
+	}
+	if err := m.CheckNetConnect(proc, "example.com:80"); err != nil {
+		t.Fatalf("allowed connect rejected: %v", err)
+	}
+	if err := m.CheckNetConnect(proc, "example.com:8443"); err != api.EACCES {
+		t.Fatalf("disallowed connect err = %v", err)
+	}
+}
+
+func TestSandboxGCOnLastExit(t *testing.T) {
+	_, m := newTestMonitor(t)
+	proc, sb, _ := m.Launch(mustManifest(t))
+	proc.Exit(0)
+	m.mu.Lock()
+	_, live := m.sandboxes[sb.ID]
+	m.mu.Unlock()
+	if live {
+		t.Fatal("empty sandbox not reclaimed")
+	}
+}
+
+func TestMonitorSelfFilter(t *testing.T) {
+	_, m := newTestMonitor(t)
+	f := m.SelfFilter()
+	if f.Evaluate(host.SysRead, false) != host.ActionAllow {
+		t.Fatal("monitor cannot read")
+	}
+	if f.Evaluate(host.SysExecve, false) == host.ActionAllow {
+		t.Fatal("monitor self-filter allows exec")
+	}
+}

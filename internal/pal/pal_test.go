@@ -1,0 +1,450 @@
+package pal
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphene/internal/api"
+	"graphene/internal/host"
+	"graphene/internal/monitor"
+)
+
+const palManifest = `
+mount / /
+allow_read /
+allow_write /
+net_listen *:*
+net_connect *:*
+`
+
+func newPAL(t *testing.T) *PAL {
+	t.Helper()
+	k := host.NewKernel()
+	m := monitor.New(k)
+	man, err := monitor.ParseManifest("pal-test", palManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, _, err := m.Launch(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(k, proc, m)
+}
+
+// TestABISurface asserts the PAL exports exactly the paper's Table 1: 33
+// ABIs adopted from Drawbridge plus 10 added by Graphene = 43.
+func TestABISurface(t *testing.T) {
+	surface := ABISurface()
+	wantCounts := map[string]int{
+		"memory":        3,
+		"scheduling":    12,
+		"streams":       12,
+		"process":       2,
+		"misc":          4,
+		"segments":      1,
+		"exceptions":    2,
+		"streams-added": 3,
+		"bulk-ipc":      3,
+		"sandbox":       1,
+	}
+	total := 0
+	for class, want := range wantCounts {
+		got := len(surface[class])
+		if got != want {
+			t.Errorf("class %s: %d ABIs, want %d", class, got, want)
+		}
+		total += got
+	}
+	if total != 43 {
+		t.Fatalf("total ABI count = %d, want 43", total)
+	}
+	seen := make(map[string]bool)
+	for _, names := range surface {
+		for _, n := range names {
+			if seen[n] {
+				t.Errorf("duplicate ABI name %s", n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestMemoryABIs(t *testing.T) {
+	p := newPAL(t)
+	addr, err := p.DkVirtualMemoryAlloc(0, 2*host.PageSize, api.ProtRead|api.ProtWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MemWrite(addr, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DkVirtualMemoryProtect(addr, host.PageSize, api.ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.proc.AS.Write(addr, []byte("y")); err != api.EACCES {
+		t.Fatalf("write after protect: %v", err)
+	}
+	if err := p.DkVirtualMemoryFree(addr, 2*host.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if p.proc.AS.Mapped(addr) {
+		t.Fatal("freed memory still mapped")
+	}
+}
+
+func TestMemFaultRaisesException(t *testing.T) {
+	p := newPAL(t)
+	var faults atomic.Int64
+	var faultAddr atomic.Uint64
+	if err := p.DkSetExceptionHandler(ExceptionMemFault, func(info ExceptionInfo) int64 {
+		faults.Add(1)
+		faultAddr.Store(info.Addr)
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const bad = uint64(0xdead0000)
+	if err := p.MemWrite(bad, []byte{1}); err != api.EFAULT {
+		t.Fatalf("MemWrite err = %v", err)
+	}
+	if faults.Load() != 1 || faultAddr.Load() != bad {
+		t.Fatalf("fault upcall: count=%d addr=%#x", faults.Load(), faultAddr.Load())
+	}
+}
+
+func TestSchedulingABIs(t *testing.T) {
+	p := newPAL(t)
+	ev, err := p.DkEventCreate(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := make(chan int, 1)
+	tid, err := p.DkThreadCreate(func(tid int) {
+		ran <- tid
+		_ = p.DkEventSet(ev)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := p.DkObjectsWaitAny([]*host.Handle{ev}, time.Second)
+	if err != nil || idx != 0 {
+		t.Fatalf("WaitAny = %d, %v", idx, err)
+	}
+	if got := <-ran; got != tid {
+		t.Fatalf("thread id %d, want %d", got, tid)
+	}
+
+	mtx, _ := p.DkMutexCreate()
+	if idx, err := p.DkObjectsWaitAny([]*host.Handle{mtx}, time.Second); err != nil || idx != 0 {
+		t.Fatalf("mutex acquire: %d, %v", idx, err)
+	}
+	if err := p.DkMutexRelease(mtx); err != nil {
+		t.Fatal(err)
+	}
+
+	sem, _ := p.DkSemaphoreCreate(1)
+	if idx, err := p.DkObjectsWaitAny([]*host.Handle{sem}, time.Second); err != nil || idx != 0 {
+		t.Fatalf("sem acquire: %d, %v", idx, err)
+	}
+	if err := p.DkSemaphoreRelease(sem, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DkThreadYieldExecution(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DkThreadDelayExecution(time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileStreamABIs(t *testing.T) {
+	p := newPAL(t)
+	if err := p.DkStreamMkdir("file:/data", 0755); err != nil {
+		t.Fatal(err)
+	}
+	h, err := p.DkStreamOpen("file:/data/f.txt", api.OCreate|api.ORdWr, 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DkStreamWrite(h, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.DkStreamAttributesQuery("file:/data/f.txt")
+	if err != nil || st.Size != 7 {
+		t.Fatalf("stat: %+v, %v", st, err)
+	}
+	buf := make([]byte, 4)
+	n, err := p.DkStreamReadAt(h, buf, 3)
+	if err != nil || string(buf[:n]) != "load" {
+		t.Fatalf("ReadAt: %q, %v", buf[:n], err)
+	}
+	name, err := p.DkStreamGetName(h)
+	if err != nil || name != "file:/data/f.txt" {
+		t.Fatalf("GetName: %q, %v", name, err)
+	}
+	if err := p.DkStreamSetLength(h, 3); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := p.DkStreamAttributesQuery("file:/data/f.txt"); st.Size != 3 {
+		t.Fatalf("truncate failed: %+v", st)
+	}
+	ents, err := p.DkStreamReadDir("file:/data")
+	if err != nil || len(ents) != 1 || ents[0].Name != "f.txt" {
+		t.Fatalf("ReadDir: %+v, %v", ents, err)
+	}
+	if err := p.DkStreamChangeName(h, "file:/data/g.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DkStreamAttributesQuery("file:/data/f.txt"); err != api.ENOENT {
+		t.Fatalf("old name survives rename: %v", err)
+	}
+	if err := p.DkStreamFlush(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DkObjectClose(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DkStreamDelete("file:/data/g.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DkStreamAttributesQuery("file:/data/g.txt"); err != api.ENOENT {
+		t.Fatalf("delete failed: %v", err)
+	}
+}
+
+func TestPipeStreams(t *testing.T) {
+	p := newPAL(t)
+	srv, err := p.DkStreamOpen("pipe.srv:rendezvous", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		conn, err := p.DkStreamWaitForClient(srv)
+		if err != nil {
+			t.Errorf("WaitForClient: %v", err)
+			return
+		}
+		buf := make([]byte, 8)
+		n, _ := p.DkStreamRead(conn, buf)
+		if _, err := p.DkStreamWrite(conn, buf[:n]); err != nil {
+			t.Errorf("server write: %v", err)
+		}
+	}()
+	cli, err := p.DkStreamOpen("pipe:rendezvous", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DkStreamWrite(cli, []byte("echo")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	n, err := p.DkStreamRead(cli, buf)
+	if err != nil || string(buf[:n]) != "echo" {
+		t.Fatalf("pipe echo: %q, %v", buf[:n], err)
+	}
+}
+
+func TestTTYWritesToConsole(t *testing.T) {
+	p := newPAL(t)
+	tty, err := p.DkStreamOpen("dev:tty", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DkStreamWrite(tty, []byte("hello console")); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Kernel().ConsoleOf().Contents(); got != "hello console" {
+		t.Fatalf("console = %q", got)
+	}
+}
+
+func TestProcessCreateAndExit(t *testing.T) {
+	p := newPAL(t)
+	got := make(chan string, 1)
+	child, parentStream, err := p.DkProcessCreate(func(c *PAL, initial *host.Stream) {
+		buf := make([]byte, 16)
+		n, _ := initial.Read(buf)
+		got <- string(buf[:n])
+		c.DkProcessExit(7)
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.SandboxID != p.proc.SandboxID {
+		t.Fatal("child escaped the sandbox")
+	}
+	if _, err := parentStream.Write([]byte("checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+	if msg := <-got; msg != "checkpoint" {
+		t.Fatalf("child received %q", msg)
+	}
+	if err := child.ExitEvent().Wait(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if child.ExitCode() != 7 {
+		t.Fatalf("exit code %d", child.ExitCode())
+	}
+}
+
+func TestMiscABIs(t *testing.T) {
+	p := newPAL(t)
+	us, err := p.DkSystemTimeQuery()
+	if err != nil || us <= 0 {
+		t.Fatalf("time: %d, %v", us, err)
+	}
+	buf := make([]byte, 8)
+	if n, err := p.DkRandomBitsRead(buf); err != nil || n != 8 {
+		t.Fatalf("random: %d, %v", n, err)
+	}
+	if total, err := p.DkTotalMemoryQuery(); err != nil || total != 4<<30 {
+		t.Fatalf("totalmem: %d, %v", total, err)
+	}
+	if err := p.DkInstructionCacheFlush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentRegister(t *testing.T) {
+	p := newPAL(t)
+	if err := p.DkSegmentRegister(5, 0xfeed0000); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.SegmentOf(5); got != 0xfeed0000 {
+		t.Fatalf("segment = %#x", got)
+	}
+	if got := p.SegmentOf(6); got != 0 {
+		t.Fatalf("unset segment = %#x, want 0", got)
+	}
+}
+
+func TestRawSyscallRedirect(t *testing.T) {
+	p := newPAL(t)
+	var redirected atomic.Int64
+	if err := p.DkSetExceptionHandler(ExceptionSyscall, func(info ExceptionInfo) int64 {
+		redirected.Store(int64(info.SyscallNr))
+		return 42
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// App-issued brk (Figure 2, third case): trapped and redirected.
+	ret, err := p.RawHostSyscall(host.SysBrk)
+	if err != nil || ret != 42 {
+		t.Fatalf("RawHostSyscall = %d, %v", ret, err)
+	}
+	if redirected.Load() != host.SysBrk {
+		t.Fatalf("redirected nr = %d", redirected.Load())
+	}
+}
+
+func TestRawSyscallWithoutHandlerENOSYS(t *testing.T) {
+	p := newPAL(t)
+	if _, err := p.RawHostSyscall(host.SysFork); err != api.ENOSYS {
+		t.Fatalf("err = %v, want ENOSYS", err)
+	}
+}
+
+func TestHandlePassingABI(t *testing.T) {
+	p := newPAL(t)
+	srv, _ := p.DkStreamOpen("pipe.srv:hp", 0, 0)
+	accepted := make(chan *host.Handle, 1)
+	go func() {
+		conn, err := p.DkStreamWaitForClient(srv)
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		accepted <- conn
+	}()
+	cli, err := p.DkStreamOpen("pipe:hp", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := <-accepted
+	// Pass a file handle over the stream.
+	fh, _ := p.DkStreamOpen("file:/passed.txt", api.OCreate|api.ORdWr, 0644)
+	if _, err := p.DkStreamWrite(fh, []byte("inherited")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DkSendHandle(conn, fh); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.DkReceiveHandle(cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := p.DkStreamReadAt(got, buf, 0)
+	if err != nil || string(buf[:n]) != "inherited" {
+		t.Fatalf("passed handle read: %q, %v", buf[:n], err)
+	}
+}
+
+func TestBulkIPCABI(t *testing.T) {
+	p := newPAL(t)
+	addr, _ := p.DkVirtualMemoryAlloc(0, 4*host.PageSize, api.ProtRead|api.ProtWrite)
+	if err := p.MemWrite(addr+host.PageSize, []byte("cow page")); err != nil {
+		t.Fatal(err)
+	}
+	store, err := p.DkCreatePhysicalMemoryChannel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.DkPhysicalMemoryCommit(store, addr, 4*host.PageSize)
+	if err != nil || n != 1 {
+		t.Fatalf("Commit = %d, %v", n, err)
+	}
+
+	done := make(chan error, 1)
+	_, _, err = p.DkProcessCreate(func(c *PAL, initial *host.Stream) {
+		target, err := c.DkVirtualMemoryAlloc(addr, 4*host.PageSize, api.ProtRead|api.ProtWrite)
+		if err != nil {
+			done <- err
+			return
+		}
+		if _, err := c.DkPhysicalMemoryMap(store, target); err != nil {
+			done <- err
+			return
+		}
+		buf := make([]byte, 8)
+		if err := c.MemRead(target+host.PageSize, buf); err != nil {
+			done <- err
+			return
+		}
+		if string(buf) != "cow page" {
+			done <- api.EIO
+			return
+		}
+		done <- nil
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("child bulk-IPC map: %v", err)
+	}
+}
+
+func TestSandboxCreateABI(t *testing.T) {
+	p := newPAL(t)
+	oldSandbox := p.proc.SandboxID
+	if err := p.DkSandboxCreate([]string{"/"}); err != nil {
+		t.Fatal(err)
+	}
+	if p.proc.SandboxID == oldSandbox {
+		t.Fatal("DkSandboxCreate did not move the process")
+	}
+}
+
+func TestGateCountsSyscalls(t *testing.T) {
+	p := newPAL(t)
+	before := p.Kernel().SyscallCount()
+	if _, err := p.DkSystemTimeQuery(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Kernel().SyscallCount() <= before {
+		t.Fatal("PAL call did not pass the syscall gate")
+	}
+}

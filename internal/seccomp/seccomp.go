@@ -1,0 +1,208 @@
+// Package seccomp implements a Berkeley Packet Filter-style system call
+// filter, mirroring Linux seccomp-BPF as Graphene uses it (§3.1): an
+// immutable program evaluated on every host system call that can allow the
+// call, deny it, or trap it (SIGSYS) so the PAL redirects it to libLinux.
+//
+// Filters are tiny programs over a virtual machine with an accumulator,
+// loads of the syscall number and caller origin, conditional jumps, and
+// return instructions — enough to express Graphene's filter, including the
+// program-counter-based rules that distinguish PAL-issued syscalls from
+// application-issued ones (the "Static Binaries" redirect).
+package seccomp
+
+import (
+	"fmt"
+
+	"graphene/internal/host"
+)
+
+// OpCode is a filter instruction opcode.
+type OpCode int
+
+// Filter VM opcodes.
+const (
+	// OpLoadNr loads the syscall number into the accumulator.
+	OpLoadNr OpCode = iota
+	// OpLoadFromPAL loads 1 if the call's return PC is inside the PAL.
+	OpLoadFromPAL
+	// OpJeq jumps K instructions forward if the accumulator equals Val.
+	OpJeq
+	// OpJmp jumps K instructions forward unconditionally.
+	OpJmp
+	// OpRet terminates with the action encoded in Val.
+	OpRet
+)
+
+// Return values for OpRet.
+const (
+	RetAllow = 0
+	RetTrap  = 1
+	RetDeny  = 2
+)
+
+// Insn is one filter instruction.
+type Insn struct {
+	Op  OpCode
+	Val int // comparison value or return action
+	K   int // jump displacement
+}
+
+// Program is an immutable, validated filter program.
+type Program struct {
+	insns []Insn
+}
+
+// maxInsns bounds program size, as the kernel bounds BPF programs.
+const maxInsns = 4096
+
+// Assemble validates the instruction list and returns a Program. Programs
+// must terminate (all paths reach OpRet within the instruction array, jumps
+// only move forward, as in classic BPF).
+func Assemble(insns []Insn) (*Program, error) {
+	if len(insns) == 0 {
+		return nil, fmt.Errorf("seccomp: empty program")
+	}
+	if len(insns) > maxInsns {
+		return nil, fmt.Errorf("seccomp: program too long (%d insns)", len(insns))
+	}
+	for i, in := range insns {
+		switch in.Op {
+		case OpLoadNr, OpLoadFromPAL:
+		case OpRet:
+			if in.Val != RetAllow && in.Val != RetTrap && in.Val != RetDeny {
+				return nil, fmt.Errorf("seccomp: insn %d: bad return %d", i, in.Val)
+			}
+		case OpJeq, OpJmp:
+			if in.K <= 0 {
+				return nil, fmt.Errorf("seccomp: insn %d: non-forward jump %d", i, in.K)
+			}
+			if i+1+in.K > len(insns) {
+				return nil, fmt.Errorf("seccomp: insn %d: jump past end", i)
+			}
+		default:
+			return nil, fmt.Errorf("seccomp: insn %d: unknown opcode %d", i, in.Op)
+		}
+	}
+	// Final instruction must be a return (guarantees termination since
+	// jumps are forward-only and fallthrough ends at the last insn).
+	if insns[len(insns)-1].Op != OpRet {
+		return nil, fmt.Errorf("seccomp: program does not end in OpRet")
+	}
+	p := &Program{insns: make([]Insn, len(insns))}
+	copy(p.insns, insns)
+	return p, nil
+}
+
+// Len returns the instruction count.
+func (p *Program) Len() int { return len(p.insns) }
+
+// Evaluate runs the program for syscall nr, implementing host.SyscallFilter.
+func (p *Program) Evaluate(nr int, fromPAL bool) host.SyscallAction {
+	acc := 0
+	for pc := 0; pc < len(p.insns); pc++ {
+		in := p.insns[pc]
+		switch in.Op {
+		case OpLoadNr:
+			acc = nr
+		case OpLoadFromPAL:
+			if fromPAL {
+				acc = 1
+			} else {
+				acc = 0
+			}
+		case OpJeq:
+			if acc == in.Val {
+				pc += in.K
+			}
+		case OpJmp:
+			pc += in.K
+		case OpRet:
+			switch in.Val {
+			case RetAllow:
+				return host.ActionAllow
+			case RetTrap:
+				return host.ActionTrap
+			default:
+				return host.ActionDeny
+			}
+		}
+	}
+	// Unreachable for assembled programs; fail closed.
+	return host.ActionDeny
+}
+
+var _ host.SyscallFilter = (*Program)(nil)
+
+// GrapheneFilter builds the filter Graphene installs in every picoprocess:
+//
+//   - syscalls in the PAL source with a return PC inside the PAL: allowed
+//     (calls with external effects are still checked by the reference
+//     monitor at the kernel policy hook);
+//   - the same syscalls issued by application code (static binaries with
+//     inlined syscall instructions): trapped, so the PAL's SIGSYS handler
+//     redirects them to libLinux;
+//   - everything else: trapped regardless of origin.
+//
+// The paper's filter is "79 lines of straightforward BPF macros"; this
+// builder emits the same shape programmatically.
+func GrapheneFilter() *Program {
+	var insns []Insn
+	// if !fromPAL -> trap (single check up front: any app-issued syscall
+	// is redirected to libLinux).
+	insns = append(insns,
+		Insn{Op: OpLoadFromPAL},
+		Insn{Op: OpJeq, Val: 1, K: 1}, // fromPAL: skip the trap
+		Insn{Op: OpRet, Val: RetTrap},
+	)
+	// fromPAL: allow exactly the PAL's syscall set, trap the rest.
+	insns = append(insns, Insn{Op: OpLoadNr})
+	for _, nr := range host.PALSyscalls {
+		insns = append(insns, Insn{Op: OpJeq, Val: nr, K: jumpToAllow})
+	}
+	// Patch displacements: every Jeq jumps to the shared allow epilogue.
+	prog := patchAllowJumps(insns)
+	p, err := Assemble(prog)
+	if err != nil {
+		panic("seccomp: GrapheneFilter failed to assemble: " + err.Error())
+	}
+	return p
+}
+
+// MonitorFilter is the filter the reference monitor runs itself under
+// (§3.1: "the reference monitor itself runs with a seccomp filter"): only
+// the small set of syscalls the monitor needs.
+func MonitorFilter() *Program {
+	needed := []int{
+		host.SysRead, host.SysWrite, host.SysOpen, host.SysClose,
+		host.SysPoll, host.SysPrctl, host.SysExit, host.SysExitGroup,
+	}
+	var insns []Insn
+	insns = append(insns, Insn{Op: OpLoadNr})
+	for _, nr := range needed {
+		insns = append(insns, Insn{Op: OpJeq, Val: nr, K: jumpToAllow})
+	}
+	p, err := Assemble(patchAllowJumps(insns))
+	if err != nil {
+		panic("seccomp: MonitorFilter failed to assemble: " + err.Error())
+	}
+	return p
+}
+
+// jumpToAllow is a placeholder displacement patched by patchAllowJumps.
+const jumpToAllow = -1
+
+// patchAllowJumps appends the deny/allow epilogue and patches placeholder
+// jumps to land on the allow return.
+func patchAllowJumps(insns []Insn) []Insn {
+	// Epilogue layout: [fallthrough trap][allow]
+	trapIdx := len(insns)
+	allowIdx := trapIdx + 1
+	insns = append(insns, Insn{Op: OpRet, Val: RetTrap})
+	insns = append(insns, Insn{Op: OpRet, Val: RetAllow})
+	for i := range insns {
+		if insns[i].Op == OpJeq && insns[i].K == jumpToAllow {
+			insns[i].K = allowIdx - i - 1
+		}
+	}
+	return insns
+}

@@ -1,0 +1,144 @@
+package seccomp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"graphene/internal/host"
+)
+
+func TestAssembleRejectsBadPrograms(t *testing.T) {
+	cases := []struct {
+		name  string
+		insns []Insn
+	}{
+		{"empty", nil},
+		{"no trailing ret", []Insn{{Op: OpLoadNr}}},
+		{"backward jump", []Insn{{Op: OpJmp, K: 0}, {Op: OpRet, Val: RetAllow}}},
+		{"jump past end", []Insn{{Op: OpJmp, K: 5}, {Op: OpRet, Val: RetAllow}}},
+		{"bad return", []Insn{{Op: OpRet, Val: 99}}},
+		{"bad opcode", []Insn{{Op: OpCode(77)}, {Op: OpRet, Val: RetAllow}}},
+	}
+	for _, c := range cases {
+		if _, err := Assemble(c.insns); err == nil {
+			t.Errorf("%s: Assemble accepted invalid program", c.name)
+		}
+	}
+}
+
+func TestAssembleAcceptsMinimal(t *testing.T) {
+	p, err := Assemble([]Insn{{Op: OpRet, Val: RetAllow}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Evaluate(host.SysOpen, false); got != host.ActionAllow {
+		t.Fatalf("Evaluate = %v, want allow", got)
+	}
+}
+
+func TestGrapheneFilterAllowsPALSyscallsFromPAL(t *testing.T) {
+	f := GrapheneFilter()
+	for _, nr := range host.PALSyscalls {
+		if got := f.Evaluate(nr, true); got != host.ActionAllow {
+			t.Errorf("PAL syscall %d from PAL: %v, want allow", nr, got)
+		}
+	}
+}
+
+func TestGrapheneFilterTrapsAppIssuedSyscalls(t *testing.T) {
+	f := GrapheneFilter()
+	// Even syscalls in the PAL set are trapped when issued by the app
+	// (return PC outside the PAL) — the static-binary redirect.
+	for _, nr := range []int{host.SysOpen, host.SysBrk, host.SysFork, host.SysKill} {
+		if got := f.Evaluate(nr, false); got != host.ActionTrap {
+			t.Errorf("app syscall %d: %v, want trap", nr, got)
+		}
+	}
+}
+
+func TestGrapheneFilterTrapsNonPALSyscalls(t *testing.T) {
+	f := GrapheneFilter()
+	// Syscalls absent from the PAL source are trapped even from the PAL's
+	// address range (a compromised PAL gains nothing).
+	notInPAL := []int{host.SysBrk, 101 /* ptrace */, 165 /* mount */, 169 /* reboot */, 175 /* init_module */}
+	for _, nr := range notInPAL {
+		if got := f.Evaluate(nr, true); got != host.ActionTrap {
+			t.Errorf("non-PAL syscall %d from PAL: %v, want trap", nr, got)
+		}
+	}
+}
+
+func TestPALSyscallBudget(t *testing.T) {
+	// §3.1: "The PAL is implemented using 50 host system calls." Keep the
+	// set to the paper's order of magnitude.
+	if n := len(host.PALSyscalls); n < 45 || n > 55 {
+		t.Fatalf("PAL syscall set has %d entries; paper says ~50", n)
+	}
+	seen := make(map[int]bool)
+	for _, nr := range host.PALSyscalls {
+		if seen[nr] {
+			t.Fatalf("duplicate syscall %d in PAL set", nr)
+		}
+		seen[nr] = true
+	}
+}
+
+func TestMonitorFilterIsTighter(t *testing.T) {
+	f := MonitorFilter()
+	if got := f.Evaluate(host.SysRead, false); got != host.ActionAllow {
+		t.Fatalf("monitor read: %v, want allow", got)
+	}
+	for _, nr := range []int{host.SysFork, host.SysExecve, host.SysMmap, host.SysSocket} {
+		if got := f.Evaluate(nr, false); got != host.ActionTrap {
+			t.Errorf("monitor syscall %d: %v, want trap", nr, got)
+		}
+	}
+}
+
+// Property: the Graphene filter never allows an app-issued syscall and
+// never allows a syscall outside the PAL set, for any syscall number.
+func TestPropertyFilterFailsClosed(t *testing.T) {
+	f := GrapheneFilter()
+	inPAL := make(map[int]bool)
+	for _, nr := range host.PALSyscalls {
+		inPAL[nr] = true
+	}
+	check := func(nr uint16, fromPAL bool) bool {
+		got := f.Evaluate(int(nr), fromPAL)
+		if !fromPAL && got == host.ActionAllow {
+			return false
+		}
+		if !inPAL[int(nr)] && got == host.ActionAllow {
+			return false
+		}
+		// Allowed iff fromPAL && in PAL set.
+		if fromPAL && inPAL[int(nr)] && got != host.ActionAllow {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: assembled programs always terminate with a definite action
+// (the interpreter cannot fall off the end).
+func TestPropertyProgramsTerminate(t *testing.T) {
+	f := GrapheneFilter()
+	check := func(nr int32, fromPAL bool) bool {
+		a := f.Evaluate(int(nr), fromPAL)
+		return a == host.ActionAllow || a == host.ActionTrap || a == host.ActionDeny
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterSizeReasonable(t *testing.T) {
+	// The paper's filter is 79 lines of BPF macros; ours should be the
+	// same order of magnitude (PAL set + prologue + epilogue).
+	if n := GrapheneFilter().Len(); n < 40 || n > 120 {
+		t.Fatalf("filter length %d out of expected range", n)
+	}
+}

@@ -1,0 +1,255 @@
+// Package security implements the isolation experiments of §6.6: a
+// malicious Graphene picoprocess attempts to (i) fork a non-Graphene
+// process, (ii) signal processes in another sandbox, (iii) open files
+// outside its manifest, and (iv) learn secrets through /proc side
+// channels. Each attack reports whether the reference monitor and seccomp
+// filter blocked it. The same experiments back the cmd/graphene-bench
+// "security" report and the test suite.
+package security
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"graphene/internal/api"
+	"graphene/internal/host"
+	"graphene/internal/liblinux"
+	"graphene/internal/monitor"
+)
+
+// Result is one attack's outcome.
+type Result struct {
+	Name    string
+	Blocked bool
+	Detail  string
+}
+
+// attackEnv is two mutually distrusting sandboxes on one host: the
+// attacker's and a victim's, each with its own manifest.
+type attackEnv struct {
+	kernel *host.Kernel
+	mon    *monitor.Monitor
+	rt     *liblinux.Runtime
+
+	victim      *liblinux.LaunchResult
+	victimPID   int
+	stopVictim  chan struct{}
+	attackerMan *monitor.Manifest
+}
+
+func newAttackEnv() (*attackEnv, error) {
+	k := host.NewKernel()
+	m := monitor.New(k)
+	rt := liblinux.NewRuntime(k, m)
+	// The host holds a secret file outside every manifest.
+	if err := k.FS.WriteFile("/host-secret", []byte("top secret"), 0600); err != nil {
+		return nil, err
+	}
+	if err := k.FS.MkdirAll("/app", 0755); err != nil {
+		return nil, err
+	}
+
+	env := &attackEnv{kernel: k, mon: m, rt: rt, stopVictim: make(chan struct{})}
+
+	// The victim parks in its own sandbox holding a secret in memory.
+	victimProg := func(p api.OS, argv []string) int {
+		p.Setenv("SECRET", "victim-credentials")
+		for {
+			select {
+			case <-env.stopVictim:
+				return 0
+			default:
+			}
+			time.Sleep(time.Millisecond)
+			p.SignalsDrain()
+		}
+	}
+	if err := rt.RegisterProgram("/bin/victim", victimProg); err != nil {
+		return nil, err
+	}
+	victimMan, err := monitor.ParseManifest("victim", "mount / /\nallow_read /bin\nallow_read /app\nallow_write /app\n")
+	if err != nil {
+		return nil, err
+	}
+	victim, err := rt.Launch(victimMan, "/bin/victim", []string{"/bin/victim"})
+	if err != nil {
+		return nil, err
+	}
+	env.victim = victim
+	env.victimPID = victim.Process.Getpid()
+
+	env.attackerMan, err = monitor.ParseManifest("attacker", "mount / /\nallow_read /bin\nallow_read /app\nallow_write /app\n")
+	if err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+func (e *attackEnv) close() {
+	close(e.stopVictim)
+	select {
+	case <-e.victim.Done:
+	case <-time.After(2 * time.Second):
+	}
+}
+
+// runAttacker runs prog in a fresh sandbox under the attacker manifest.
+func (e *attackEnv) runAttacker(prog api.Program) (int, error) {
+	if err := e.rt.RegisterProgram("/bin/attacker", prog); err != nil {
+		return 0, err
+	}
+	res, err := e.rt.Launch(e.attackerMan, "/bin/attacker", []string{"/bin/attacker"})
+	if err != nil {
+		return 0, err
+	}
+	select {
+	case <-res.Done:
+		return res.ExitCode(), nil
+	case <-time.After(30 * time.Second):
+		return 0, fmt.Errorf("attacker hung")
+	}
+}
+
+// RunAll executes the four §6.6 experiments plus the syscall-surface
+// statistic and returns their outcomes.
+func RunAll() ([]Result, error) {
+	var results []Result
+
+	// (i) Fork a non-Graphene process: the adversary issues fork/vfork/
+	// clone host syscalls with inline assembly. The seccomp filter must
+	// redirect every one to libLinux instead of the host.
+	env, err := newAttackEnv()
+	if err != nil {
+		return nil, err
+	}
+	code, err := env.runAttacker(func(p api.OS, argv []string) int {
+		lp := p.(*liblinux.Process)
+		blocked := 0
+		for _, nr := range []int{host.SysFork, host.SysVfork, host.SysClone} {
+			if _, err := lp.PAL().RawHostSyscall(nr); api.ToErrno(err) == api.ENOSYS {
+				// No emulation handler claimed it and the host refused it.
+				blocked++
+				continue
+			}
+			// The libOS may emulate it — but the host-side gate must have
+			// trapped rather than allowed. Check the filter directly.
+			if lp.PAL().Proc().Filter().Evaluate(nr, false) != host.ActionAllow {
+				blocked++
+			}
+		}
+		if blocked == 3 {
+			return 0
+		}
+		return 1
+	})
+	if err != nil {
+		env.close()
+		return nil, err
+	}
+	results = append(results, Result{
+		Name:    "fork non-Graphene process via inline syscall",
+		Blocked: code == 0,
+		Detail:  "seccomp traps fork/vfork/clone issued outside the PAL",
+	})
+
+	// (ii) Kill a process in another sandbox. The PID namespaces are
+	// per-sandbox, and RPC streams cannot cross sandboxes, so the signal
+	// cannot be delivered even with the victim's guest PID in hand.
+	victimPID := env.victimPID
+	code, err = env.runAttacker(func(p api.OS, argv []string) int {
+		// Attackers have PID 1 in their own sandbox; the victim also has
+		// PID 1 in its sandbox. Sending to "the victim's PID" resolves
+		// within the attacker's own namespace — itself, never the victim.
+		// Try a range of PIDs; none may reach outside the sandbox.
+		for pid := 1; pid <= victimPID+5; pid++ {
+			if pid == p.Getpid() {
+				continue
+			}
+			if err := p.Kill(pid, api.SIGKILL); err == nil {
+				return 1 // a cross-sandbox kill "succeeded"
+			}
+		}
+		return 0
+	})
+	if err != nil {
+		env.close()
+		return nil, err
+	}
+	victimAlive := !isDone(env.victim.Done)
+	results = append(results, Result{
+		Name:    "kill process in another sandbox",
+		Blocked: code == 0 && victimAlive,
+		Detail:  "PID namespace is sandbox-local; monitor blocks cross-sandbox RPC streams",
+	})
+
+	// (iii) Open a file outside the manifest.
+	code, err = env.runAttacker(func(p api.OS, argv []string) int {
+		if _, err := p.Open("/host-secret", api.ORdOnly, 0); api.ToErrno(err) != api.EACCES {
+			return 1
+		}
+		// Path traversal must not escape either.
+		if _, err := p.Open("/app/../host-secret", api.ORdOnly, 0); api.ToErrno(err) != api.EACCES {
+			return 2
+		}
+		return 0
+	})
+	if err != nil {
+		env.close()
+		return nil, err
+	}
+	results = append(results, Result{
+		Name:    "open file outside manifest",
+		Blocked: code == 0,
+		Detail:  "AppArmor-style path policy denies /host-secret; traversal normalized",
+	})
+
+	// (iv) Memento-style /proc probe: /proc is implemented inside
+	// libLinux; other sandboxes' processes do not exist in it, and the
+	// host /proc is unreachable.
+	code, err = env.runAttacker(func(p api.OS, argv []string) int {
+		leaked := false
+		for pid := 2; pid <= victimPID+5; pid++ {
+			fd, err := p.Open(fmt.Sprintf("/proc/%d/status", pid), api.ORdOnly, 0)
+			if err != nil {
+				continue
+			}
+			buf := make([]byte, 512)
+			n, _ := p.Read(fd, buf)
+			if n > 0 && strings.Contains(string(buf[:n]), "victim") {
+				leaked = true
+			}
+		}
+		if leaked {
+			return 1
+		}
+		return 0
+	})
+	env.close()
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, Result{
+		Name:    "discover secrets via /proc side channel",
+		Blocked: code == 0,
+		Detail:  "/proc emulated in libLinux; cross-sandbox PIDs unresolvable",
+	})
+
+	return results, nil
+}
+
+func isDone(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// SyscallSurface reports the share of the Linux syscall table Graphene's
+// filter exposes to the host — "less than 15% of the Linux system call
+// table" (§6.6).
+func SyscallSurface() (allowed, total int) {
+	return len(host.PALSyscalls), host.NumHostSyscalls
+}
