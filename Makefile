@@ -1,0 +1,32 @@
+# Graphene libOS reproduction — build/test/bench entry points.
+
+GO ?= go
+PKGS := ./...
+# The RPC hot path: host byte streams and the IPC coordination framework.
+HOT_PKGS := ./internal/host/... ./internal/ipc/...
+
+.PHONY: build test race vet bench bench-fig5 all
+
+all: build vet test
+
+build:
+	$(GO) build $(PKGS)
+
+test:
+	$(GO) test $(PKGS)
+
+# Race-detect the concurrency-heavy packages (ring buffers, flush
+# combining, sharded caches, SysV migration).
+race:
+	$(GO) test -race -count=1 $(HOT_PKGS)
+
+vet:
+	$(GO) vet $(PKGS)
+
+# Microbenchmarks with allocation accounting for the hot path.
+bench:
+	$(GO) test -run XXX -bench . -benchmem $(HOT_PKGS)
+
+# The paper's Figure 5 RPC ping-pong and related end-to-end benchmarks.
+bench-fig5:
+	$(GO) test -run XXX -bench 'BenchmarkFig5' -benchmem .

@@ -7,6 +7,7 @@ import (
 )
 
 func BenchmarkStreamPingPong(b *testing.B) {
+	b.ReportAllocs()
 	a, c := NewStreamPair("bench", 1, 2)
 	defer a.Close()
 	go func() {
@@ -33,6 +34,7 @@ func BenchmarkStreamPingPong(b *testing.B) {
 }
 
 func BenchmarkStreamThroughput64K(b *testing.B) {
+	b.ReportAllocs()
 	a, c := NewStreamPair("bench", 1, 2)
 	defer a.Close()
 	go func() {
@@ -54,6 +56,7 @@ func BenchmarkStreamThroughput64K(b *testing.B) {
 }
 
 func BenchmarkAddressSpaceWrite(b *testing.B) {
+	b.ReportAllocs()
 	as := NewAddressSpace()
 	addr, _ := as.Alloc(0, 64*PageSize, api.ProtRead|api.ProtWrite)
 	data := make([]byte, 64)
@@ -67,6 +70,7 @@ func BenchmarkAddressSpaceWrite(b *testing.B) {
 }
 
 func BenchmarkForkCOW(b *testing.B) {
+	b.ReportAllocs()
 	as := NewAddressSpace()
 	addr, _ := as.Alloc(0, 256*PageSize, api.ProtRead|api.ProtWrite)
 	for off := uint64(0); off < 256*PageSize; off += PageSize {
@@ -80,6 +84,7 @@ func BenchmarkForkCOW(b *testing.B) {
 }
 
 func BenchmarkWaitAnySignaled(b *testing.B) {
+	b.ReportAllocs()
 	e := NewEvent(true)
 	e.Set()
 	objs := []Waitable{NewEvent(false), NewEvent(false), e}
@@ -92,6 +97,7 @@ func BenchmarkWaitAnySignaled(b *testing.B) {
 }
 
 func BenchmarkFSWriteRead(b *testing.B) {
+	b.ReportAllocs()
 	fs := NewFileSystem()
 	data := make([]byte, 4096)
 	b.SetBytes(4096)

@@ -2,6 +2,7 @@ package host
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"graphene/internal/api"
 )
@@ -11,18 +12,31 @@ import (
 const streamBufCap = 64 * 1024
 
 // byteQueue is one direction of a byte stream: a bounded FIFO of bytes with
-// blocking reads and writes and half-close semantics.
+// blocking reads and writes and half-close semantics. The buffer is a
+// fixed-capacity ring (head index + fill count): bytes are copied in and
+// out in place, so steady-state traffic performs no allocation and never
+// retains a grown append-slice the way the old reslicing queue did.
+//
+// Wakeups are edge-triggered on buffer-state transitions (empty→nonempty
+// wakes readers and readability pollers, full→not-full wakes writers and
+// writability pollers). Pollers are level-checked via TryAcquire before
+// blocking, so transition-only pokes cannot lose events.
 type byteQueue struct {
 	mu       sync.Mutex
 	notEmpty *sync.Cond
 	notFull  *sync.Cond
-	buf      []byte
+	buf      []byte // ring storage, fixed at streamBufCap
+	head     int    // index of the first unread byte
+	n        int    // bytes currently buffered
 	closed   bool
 	waiters  map[chan struct{}]struct{}
 }
 
 func newByteQueue() *byteQueue {
-	q := &byteQueue{waiters: make(map[chan struct{}]struct{})}
+	q := &byteQueue{
+		buf:     make([]byte, streamBufCap),
+		waiters: make(map[chan struct{}]struct{}),
+	}
 	q.notEmpty = sync.NewCond(&q.mu)
 	q.notFull = sync.NewCond(&q.mu)
 	return q
@@ -42,7 +56,7 @@ func (q *byteQueue) write(p []byte) (int, error) {
 	defer q.mu.Unlock()
 	total := 0
 	for len(p) > 0 {
-		for len(q.buf) >= streamBufCap && !q.closed {
+		for q.n == len(q.buf) && !q.closed {
 			q.notFull.Wait()
 		}
 		if q.closed {
@@ -51,15 +65,26 @@ func (q *byteQueue) write(p []byte) (int, error) {
 			}
 			return 0, api.EPIPE
 		}
-		n := streamBufCap - len(q.buf)
+		n := len(q.buf) - q.n
 		if n > len(p) {
 			n = len(p)
 		}
-		q.buf = append(q.buf, p[:n]...)
+		wasEmpty := q.n == 0
+		tail := q.head + q.n
+		if tail >= len(q.buf) {
+			tail -= len(q.buf)
+		}
+		c := copy(q.buf[tail:], p[:n])
+		if c < n {
+			copy(q.buf, p[c:n]) // wrapped: second segment at the front
+		}
+		q.n += n
 		p = p[n:]
 		total += n
-		q.notEmpty.Broadcast()
-		q.pokeWaitersLocked()
+		if wasEmpty {
+			q.notEmpty.Broadcast()
+			q.pokeWaitersLocked()
+		}
 	}
 	return total, nil
 }
@@ -67,15 +92,37 @@ func (q *byteQueue) write(p []byte) (int, error) {
 func (q *byteQueue) read(p []byte) (int, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.buf) == 0 && !q.closed {
+	for q.n == 0 && !q.closed {
 		q.notEmpty.Wait()
 	}
-	if len(q.buf) == 0 {
+	if q.n == 0 {
 		return 0, nil // EOF
 	}
-	n := copy(p, q.buf)
-	q.buf = q.buf[n:]
-	q.notFull.Broadcast()
+	n := q.n
+	if n > len(p) {
+		n = len(p)
+	}
+	wasFull := q.n == len(q.buf)
+	end := q.head + n
+	if end <= len(q.buf) {
+		copy(p, q.buf[q.head:end])
+		q.head = end
+	} else {
+		c := copy(p, q.buf[q.head:])
+		copy(p[c:n], q.buf[:end-len(q.buf)])
+		q.head = end - len(q.buf)
+	}
+	q.n -= n
+	if q.n == 0 {
+		q.head = 0 // empty: reset for maximally contiguous copies
+	}
+	if wasFull {
+		q.notFull.Broadcast()
+		// Wake writability pollers too: a full queue just gained space
+		// (this poke was missing before — a WaitAny waiter blocked on
+		// writability slept through the drain).
+		q.pokeWaitersLocked()
+	}
 	return n, nil
 }
 
@@ -83,7 +130,15 @@ func (q *byteQueue) read(p []byte) (int, error) {
 func (q *byteQueue) readable() bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.buf) > 0 || q.closed
+	return q.n > 0 || q.closed
+}
+
+// writable reports whether a write would not block (free space, or closed
+// so the write would fail immediately with EPIPE rather than block).
+func (q *byteQueue) writable() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n < len(q.buf) || q.closed
 }
 
 func (q *byteQueue) close() {
@@ -109,8 +164,11 @@ type Stream struct {
 	in, out *byteQueue
 	peer    *Stream
 
-	mu     sync.Mutex
-	closed bool
+	// closed mirrors the close decision for the lock-free hot-path check
+	// in Read/Write; transitions still happen under mu.
+	closed atomic.Bool
+
+	mu sync.Mutex
 	// refs counts holders of this endpoint: inheriting a pipe across fork
 	// shares the open description, and the endpoint only really closes
 	// when the last holder closes it (POSIX file description semantics,
@@ -139,29 +197,26 @@ func (s *Stream) Ref() {
 
 // Read reads up to len(p) bytes, blocking until data or EOF.
 func (s *Stream) Read(p []byte) (int, error) {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Load() {
 		return 0, api.EBADF
 	}
-	s.mu.Unlock()
 	return s.in.read(p)
 }
 
 // Write writes all of p, blocking on backpressure. Writing to a stream
 // whose peer has closed returns EPIPE.
 func (s *Stream) Write(p []byte) (int, error) {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Load() {
 		return 0, api.EBADF
 	}
-	s.mu.Unlock()
 	return s.out.write(p)
 }
 
 // Readable reports whether a Read would not block.
 func (s *Stream) Readable() bool { return s.in.readable() }
+
+// Writable reports whether a Write would not block.
+func (s *Stream) Writable() bool { return s.out.writable() }
 
 // TryAcquire implements Waitable: a stream is "signaled" when a read would
 // not block (data buffered or EOF). Acquiring does not consume data.
@@ -181,12 +236,38 @@ func (s *Stream) Unregister(ch chan struct{}) {
 	s.in.mu.Unlock()
 }
 
+// WriteWaitable returns a Waitable signaled when a Write on this stream
+// would not block — the POLLOUT side of the poll ABI. It is level-checked
+// (TryAcquire does not reserve space) and is woken both when the peer
+// drains a full queue and when the stream closes.
+func (s *Stream) WriteWaitable() Waitable { return writeReady{s.out} }
+
+// writeReady adapts the outbound queue's writability to Waitable.
+type writeReady struct{ q *byteQueue }
+
+// TryAcquire implements Waitable.
+func (w writeReady) TryAcquire() bool { return w.q.writable() }
+
+// Register implements Waitable.
+func (w writeReady) Register(ch chan struct{}) {
+	w.q.mu.Lock()
+	w.q.waiters[ch] = struct{}{}
+	w.q.mu.Unlock()
+}
+
+// Unregister implements Waitable.
+func (w writeReady) Unregister(ch chan struct{}) {
+	w.q.mu.Lock()
+	delete(w.q.waiters, ch)
+	w.q.mu.Unlock()
+}
+
 // Close drops one holder's reference; the endpoint really closes (peer
 // observes EOF on read, EPIPE on write) when the last holder closes.
 // Close after the real close is a no-op.
 func (s *Stream) Close() {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed.Load() {
 		s.mu.Unlock()
 		return
 	}
@@ -195,7 +276,7 @@ func (s *Stream) Close() {
 		s.mu.Unlock()
 		return
 	}
-	s.closed = true
+	s.closed.Store(true)
 	close(s.oob)
 	s.mu.Unlock()
 	s.out.close()
@@ -207,12 +288,12 @@ func (s *Stream) Close() {
 // even when multiple picoprocesses hold them.
 func (s *Stream) ForceClose() {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed.Load() {
 		s.mu.Unlock()
 		return
 	}
 	s.refs = 0
-	s.closed = true
+	s.closed.Store(true)
 	close(s.oob)
 	s.mu.Unlock()
 	s.out.close()
@@ -220,27 +301,20 @@ func (s *Stream) ForceClose() {
 }
 
 // Closed reports whether this endpoint has been closed locally.
-func (s *Stream) Closed() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.closed
-}
+func (s *Stream) Closed() bool { return s.closed.Load() }
 
 // SendHandle passes a host handle out-of-band to the peer endpoint,
 // implementing the PAL's handle-inheritance ABI. A passed stream handle
 // carries its own reference: the receiver owns it even if the sender
 // closes its descriptor immediately after sending.
 func (s *Stream) SendHandle(h *Handle) error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Load() {
 		return api.EBADF
 	}
 	peer := s.peer
-	s.mu.Unlock()
 	peer.mu.Lock()
 	defer peer.mu.Unlock()
-	if peer.closed {
+	if peer.closed.Load() {
 		return api.EPIPE
 	}
 	if h != nil && h.Kind == HandleStream && h.Stream != nil {

@@ -5,9 +5,11 @@ import (
 	"testing"
 
 	"graphene/internal/api"
+	"graphene/internal/host"
 )
 
 func BenchmarkFrameEncode(b *testing.B) {
+	b.ReportAllocs()
 	f := Frame{Type: MsgQSend, Seq: 42, From: "ipc.7", A: 1, B: 2, S: "x", Blob: make([]byte, 64)}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -16,6 +18,7 @@ func BenchmarkFrameEncode(b *testing.B) {
 }
 
 func BenchmarkFrameDecode(b *testing.B) {
+	b.ReportAllocs()
 	f := Frame{Type: MsgQSend, Seq: 42, From: "ipc.7", A: 1, B: 2, S: "x", Blob: make([]byte, 64)}
 	enc := EncodeFrame(&f)
 	b.ResetTimer()
@@ -27,6 +30,7 @@ func BenchmarkFrameDecode(b *testing.B) {
 }
 
 func BenchmarkLocalQueueSendRecv(b *testing.B) {
+	b.ReportAllocs()
 	q := newMsgQueue(1, 1)
 	payload := make([]byte, 16)
 	b.ResetTimer()
@@ -43,6 +47,7 @@ func BenchmarkLocalQueueSendRecv(b *testing.B) {
 }
 
 func BenchmarkSemOpLocal(b *testing.B) {
+	b.ReportAllocs()
 	s := newSemSet(1, 1, 1)
 	s.vals[0] = 1 << 30
 	ops := []api.SemBuf{{Num: 0, Op: -1}}
@@ -57,6 +62,7 @@ func BenchmarkSemOpLocal(b *testing.B) {
 }
 
 func BenchmarkLeaderKeyGet(b *testing.B) {
+	b.ReportAllocs()
 	l := newLeaderState()
 	if _, _, errno := l.keyGet(NSSysVMsg, 7, api.IPCCreat, 100, "ipc.1"); errno != 0 {
 		b.Fatal(errno)
@@ -66,5 +72,45 @@ func BenchmarkLeaderKeyGet(b *testing.B) {
 		if _, _, errno := l.keyGet(NSSysVMsg, 7, 0, 0, "ipc.2"); errno != 0 {
 			b.Fatal(errno)
 		}
+	}
+}
+
+// BenchmarkConnRoundTrip measures one full RPC over a Conn pair — frame
+// encode, flush-combined stream write, buffered decode, handler dispatch,
+// and response routing (the protocol cost under Figure 5's ping-pong).
+func BenchmarkConnRoundTrip(b *testing.B) {
+	b.ReportAllocs()
+	sa, sb := host.NewStreamPair("pipe:bench", 1, 2)
+	echo := func(f Frame, respond func(Frame)) { respond(f.Response(Frame{A: f.A})) }
+	ca := NewConn(sa, "ipc.A", echo, nil)
+	cb := NewConn(sb, "ipc.B", echo, nil)
+	defer ca.Close()
+	defer cb.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ca.Call(Frame{Type: MsgPing, A: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConnNotifyBurst measures the asynchronous send path, where the
+// flush combiner batches frames from a tight loop into few stream writes.
+func BenchmarkConnNotifyBurst(b *testing.B) {
+	b.ReportAllocs()
+	sa, sb := host.NewStreamPair("pipe:bench", 1, 2)
+	drop := func(f Frame, respond func(Frame)) {}
+	ca := NewConn(sa, "ipc.A", drop, nil)
+	cb := NewConn(sb, "ipc.B", drop, nil)
+	defer ca.Close()
+	defer cb.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ca.Notify(Frame{Type: MsgSignal, A: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := ca.Flush(); err != nil {
+		b.Fatal(err)
 	}
 }

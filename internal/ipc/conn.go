@@ -1,6 +1,8 @@
 package ipc
 
 import (
+	"encoding/binary"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -8,21 +10,104 @@ import (
 	"graphene/internal/host"
 )
 
-// streamIO adapts a host stream to io.Reader for the frame decoder.
-type streamIO struct{ s *host.Stream }
+var errClosed = api.EPIPE
 
-func (r streamIO) Read(p []byte) (int, error) {
-	n, err := r.s.Read(p)
-	if err != nil {
-		return n, err
-	}
-	if n == 0 {
-		return 0, errClosed
-	}
-	return n, nil
+// readBufCap matches the host stream's 64 KiB queue so one fill can drain
+// everything the peer has written.
+const readBufCap = 64 * 1024
+
+// readBufPool recycles frameReader fill buffers across connections.
+var readBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, readBufCap)
+		return &b
+	},
 }
 
-var errClosed = api.EPIPE
+// frameReader drains a host stream into a pooled buffer and decodes frames
+// in place. One Stream.Read — a single queue-lock acquisition — can fetch
+// a whole burst of pipelined frames, where the old io.ReadFull decoder
+// paid two locked reads and a body allocation per frame.
+type frameReader struct {
+	s   *host.Stream
+	buf []byte
+	r   int // next undecoded byte
+	w   int // end of valid data
+	// from memoizes the sender address, which repeats frame after frame,
+	// so decoding it does not allocate in steady state.
+	from interner
+}
+
+func newFrameReader(s *host.Stream) *frameReader {
+	return &frameReader{s: s, buf: *(readBufPool.Get().(*[]byte))}
+}
+
+// release returns the fill buffer to the pool. The reader must not be used
+// afterwards.
+func (fr *frameReader) release() {
+	if cap(fr.buf) == readBufCap {
+		buf := fr.buf[:readBufCap]
+		readBufPool.Put(&buf)
+	}
+	fr.buf = nil
+}
+
+// next decodes the next frame, filling from the stream as needed.
+func (fr *frameReader) next() (Frame, error) {
+	for {
+		if fr.w-fr.r >= 4 {
+			n := int(binary.LittleEndian.Uint32(fr.buf[fr.r:]))
+			if n < minFrameBody || n > maxFrameSize {
+				return Frame{}, fmt.Errorf("ipc: bad frame length %d", n)
+			}
+			if fr.w-fr.r >= 4+n {
+				body := fr.buf[fr.r+4 : fr.r+4+n]
+				fr.r += 4 + n
+				if fr.r == fr.w {
+					fr.r, fr.w = 0, 0
+				}
+				return decodeFrameBody(body, &fr.from)
+			}
+			fr.reserve(4 + n)
+		}
+		if err := fr.fill(); err != nil {
+			return Frame{}, err
+		}
+	}
+}
+
+// reserve makes room for a frame of total wire size need starting at fr.r,
+// compacting (and, for frames larger than the pooled buffer, growing).
+func (fr *frameReader) reserve(need int) {
+	if len(fr.buf)-fr.r >= need {
+		return
+	}
+	if need <= len(fr.buf) {
+		copy(fr.buf, fr.buf[fr.r:fr.w])
+	} else {
+		nb := make([]byte, need)
+		copy(nb, fr.buf[fr.r:fr.w])
+		fr.buf = nb
+	}
+	fr.w -= fr.r
+	fr.r = 0
+}
+
+// fill appends whatever the stream has buffered (blocking if nothing is).
+func (fr *frameReader) fill() error {
+	if fr.w == len(fr.buf) {
+		fr.reserve(len(fr.buf) - fr.r + 1)
+	}
+	n, err := fr.s.Read(fr.buf[fr.w:])
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return errClosed
+	}
+	fr.w += n
+	return nil
+}
 
 // Handler services an incoming request frame. respond may be called
 // immediately or deferred to another goroutine (e.g. a blocking semaphore
@@ -33,6 +118,13 @@ type Handler func(f Frame, respond func(Frame))
 
 // Conn is one point-to-point coordination stream between two IPC helpers,
 // multiplexing concurrent requests by sequence number.
+//
+// Writes are flush-combined: the first sender in a window flushes
+// immediately (a lone RPC round-trip is never delayed), while frames
+// queued by other goroutines during an in-flight stream write ride out
+// together in the next single write. A frame accepted into the combine
+// queue reports success optimistically; a later write failure is sticky
+// and tears the connection down, failing pending calls with EPIPE.
 type Conn struct {
 	// RemoteAddr is the peer helper's address, learned from its frames.
 	RemoteAddr string
@@ -41,8 +133,14 @@ type Conn struct {
 	localAddr string
 	handler   Handler
 
-	writeMu sync.Mutex
-	seq     atomic.Uint64
+	seq atomic.Uint64
+
+	wmu     sync.Mutex
+	wflush  *sync.Cond
+	wbuf    []byte // frames queued for the next stream write
+	wspare  []byte // double buffer recycled between flushes
+	writing bool   // a goroutine is flushing wbuf
+	werr    error  // sticky write error
 
 	mu      sync.Mutex
 	pending map[uint64]chan Frame
@@ -60,14 +158,16 @@ func NewConn(stream *host.Stream, localAddr string, handler Handler, onClose fun
 		pending:   make(map[uint64]chan Frame),
 		onClose:   onClose,
 	}
+	c.wflush = sync.NewCond(&c.wmu)
 	go c.readLoop()
 	return c
 }
 
 func (c *Conn) readLoop() {
-	rd := streamIO{c.stream}
+	rd := newFrameReader(c.stream)
+	defer rd.release()
 	for {
-		f, err := DecodeFrame(rd)
+		f, err := rd.next()
 		if err != nil {
 			c.teardown()
 			return
@@ -85,13 +185,38 @@ func (c *Conn) readLoop() {
 			}
 			continue
 		}
-		req := f
-		c.handler(req, func(resp Frame) {
-			resp.Type = req.Type
-			resp.Seq = req.Seq
+		r := responderPool.Get().(*responder)
+		r.c, r.typ, r.seq = c, f.Type, f.Seq
+		c.handler(f, r.fn)
+	}
+}
+
+// responder is a reusable respond callback for request frames. Building the
+// closure once per pooled object instead of once per frame keeps the request
+// dispatch path allocation-free; the Handler contract (respond called exactly
+// once) makes recycling after the call safe.
+type responder struct {
+	c   *Conn
+	typ MsgType
+	seq uint64
+	fn  func(Frame)
+}
+
+var responderPool sync.Pool
+
+func init() {
+	responderPool.New = func() any {
+		r := &responder{}
+		r.fn = func(resp Frame) {
+			c, typ, seq := r.c, r.typ, r.seq
+			r.c = nil
+			responderPool.Put(r)
+			resp.Type = typ
+			resp.Seq = seq
 			resp.isResponse = true
 			_ = c.send(&resp)
-		})
+		}
+		return r
 	}
 }
 
@@ -113,35 +238,99 @@ func (c *Conn) teardown() {
 	}
 }
 
+// send queues f and flushes unless a flush is already in flight, in which
+// case the active flusher picks f up in its next combined write.
 func (c *Conn) send(f *Frame) error {
 	if f.From == "" {
 		f.From = c.localAddr
 	}
-	buf := EncodeFrame(f)
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	_, err := c.stream.Write(buf)
+	c.wmu.Lock()
+	if c.werr != nil {
+		err := c.werr
+		c.wmu.Unlock()
+		return err
+	}
+	c.wbuf = AppendFrame(c.wbuf, f)
+	if c.writing {
+		c.wmu.Unlock()
+		return nil
+	}
+	c.writing = true
+	return c.flushLocked()
+}
+
+// flushLocked writes queued frames until the queue drains, dropping the
+// lock around each stream write so concurrent senders can queue behind it.
+// Called with wmu held and c.writing set; returns with wmu released.
+func (c *Conn) flushLocked() error {
+	for c.werr == nil && len(c.wbuf) > 0 {
+		buf := c.wbuf
+		if c.wspare != nil {
+			c.wbuf = c.wspare[:0]
+			c.wspare = nil
+		} else {
+			c.wbuf = nil
+		}
+		c.wmu.Unlock()
+		_, err := c.stream.Write(buf)
+		c.wmu.Lock()
+		c.wspare = buf[:0]
+		if err != nil {
+			c.werr = err
+		}
+	}
+	c.writing = false
+	err := c.werr
+	c.wflush.Broadcast()
+	c.wmu.Unlock()
 	return err
 }
+
+// Flush blocks until every frame queued before the call has been handed to
+// the stream, returning the sticky write error if the connection failed.
+// Sends flush themselves eagerly, so Flush is only needed when the caller
+// must order a coalesced notification against an external effect.
+func (c *Conn) Flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	for c.writing {
+		c.wflush.Wait()
+	}
+	return c.werr
+}
+
+// respChPool recycles Call response channels. A channel is returned to
+// the pool only once its single response has been consumed, so a pooled
+// channel is always empty.
+var respChPool = sync.Pool{New: func() any { return make(chan Frame, 1) }}
 
 // Call sends a request and blocks for its response.
 func (c *Conn) Call(f Frame) (Frame, error) {
 	f.Seq = c.seq.Add(1)
-	ch := make(chan Frame, 1)
+	ch := respChPool.Get().(chan Frame)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		respChPool.Put(ch)
 		return Frame{}, api.EPIPE
 	}
 	c.pending[f.Seq] = ch
 	c.mu.Unlock()
 	if err := c.send(&f); err != nil {
 		c.mu.Lock()
+		_, stillPending := c.pending[f.Seq]
 		delete(c.pending, f.Seq)
 		c.mu.Unlock()
+		// If the entry was already claimed by the reader or teardown, a
+		// response send is in flight: the channel cannot be reused (do not
+		// pool it — dropping it is safe, the send has buffer space).
+		if stillPending {
+			respChPool.Put(ch)
+		}
 		return Frame{}, err
 	}
 	resp := <-ch
+	respChPool.Put(ch)
 	if resp.Err != 0 {
 		return resp, resp.Err
 	}

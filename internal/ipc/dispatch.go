@@ -114,7 +114,7 @@ func (h *Helper) dispatch(f Frame, respond func(Frame)) {
 			respond(f.ErrResponse(api.EPERM))
 			return
 		}
-		leader.chown(int(f.A), f.B, f.S)
+		leader.chown(int(f.A), f.B, f.S, f.D)
 		respond(f.Response(Frame{}))
 
 	case MsgKeyRemove:
@@ -161,12 +161,25 @@ func (h *Helper) dispatch(f Frame, respond func(Frame)) {
 		}
 		if existing := h.queues[f.A]; existing != nil {
 			existing.mu.Lock()
-			live := !existing.removed && existing.movedTo == "" && !existing.migrating
+			if existing.migrating {
+				// Our own copy is mid-handoff to someone else; accepting a
+				// second copy now would split ownership (and the racing
+				// chowns could strand the authoritative map on a dead
+				// helper). Refuse; the sender keeps its copy and retries.
+				existing.mu.Unlock()
+				h.mu.Unlock()
+				respond(f.ErrResponse(api.EPERM))
+				return
+			}
+			live := !existing.removed && existing.movedTo == ""
 			if live {
 				// Merge into the live copy rather than orphaning its
 				// parked waiters (a crash-recovery duplicate converging
 				// here, §4.2's disconnection tolerance).
 				existing.msgs = append(existing.msgs, msgs...)
+				if f.D > existing.epoch {
+					existing.epoch = f.D
+				}
 				existing.drainWaitersLocked()
 				existing.mu.Unlock()
 				h.qOwnerCache[f.A] = h.Addr
@@ -178,6 +191,7 @@ func (h *Helper) dispatch(f Frame, respond func(Frame)) {
 		}
 		q := newMsgQueue(f.A, key)
 		q.msgs = msgs
+		q.epoch = f.D
 		h.queues[f.A] = q
 		h.qOwnerCache[f.A] = h.Addr
 		h.mu.Unlock()
@@ -205,7 +219,16 @@ func (h *Helper) dispatch(f Frame, respond func(Frame)) {
 		}
 		if existing := h.sems[f.A]; existing != nil {
 			existing.mu.Lock()
-			live := !existing.removed && existing.movedTo == "" && !existing.migrating
+			if existing.migrating {
+				// Mid-outbound-handoff: see the MsgQMigrate comment.
+				// Accepting would overwrite a copy whose transfer outcome
+				// is undetermined, stranding its permits.
+				existing.mu.Unlock()
+				h.mu.Unlock()
+				respond(f.ErrResponse(api.EPERM))
+				return
+			}
+			live := !existing.removed && existing.movedTo == ""
 			if live {
 				// Merge values into the live copy rather than orphaning
 				// its parked waiters; permits carried by the incoming
@@ -214,6 +237,9 @@ func (h *Helper) dispatch(f Frame, respond func(Frame)) {
 					if i < len(vals) {
 						existing.vals[i] += vals[i]
 					}
+				}
+				if f.D > existing.epoch {
+					existing.epoch = f.D
 				}
 				existing.wakeWaitersLocked()
 				existing.mu.Unlock()
@@ -226,6 +252,7 @@ func (h *Helper) dispatch(f Frame, respond func(Frame)) {
 		}
 		s := newSemSet(f.A, key, len(vals))
 		s.vals = vals
+		s.epoch = f.D
 		h.sems[f.A] = s
 		h.semOwner[f.A] = h.Addr
 		h.mu.Unlock()

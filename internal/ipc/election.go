@@ -49,9 +49,10 @@ type recoverPayload struct {
 }
 
 type recoverObject struct {
-	Kind int
-	ID   int64
-	Key  int64
+	Kind  int
+	ID    int64
+	Key   int64
+	Epoch int64
 }
 
 func encodeRecover(r recoverPayload) []byte {
@@ -67,6 +68,7 @@ func encodeRecover(r recoverPayload) []byte {
 		out = binary.LittleEndian.AppendUint32(out, uint32(o.Kind))
 		out = binary.LittleEndian.AppendUint64(out, uint64(o.ID))
 		out = binary.LittleEndian.AppendUint64(out, uint64(o.Key))
+		out = binary.LittleEndian.AppendUint64(out, uint64(o.Epoch))
 	}
 	return out
 }
@@ -103,16 +105,17 @@ func decodeRecover(blob []byte) (recoverPayload, error) {
 	}
 	m := int(binary.LittleEndian.Uint32(blob[off:]))
 	off += 4
-	if off+20*m > len(blob) {
+	if off+28*m > len(blob) {
 		return r, api.EINVAL
 	}
 	for i := 0; i < m; i++ {
 		r.objects = append(r.objects, recoverObject{
-			Kind: int(binary.LittleEndian.Uint32(blob[off:])),
-			ID:   int64(binary.LittleEndian.Uint64(blob[off+4:])),
-			Key:  int64(binary.LittleEndian.Uint64(blob[off+12:])),
+			Kind:  int(binary.LittleEndian.Uint32(blob[off:])),
+			ID:    int64(binary.LittleEndian.Uint64(blob[off+4:])),
+			Key:   int64(binary.LittleEndian.Uint64(blob[off+12:])),
+			Epoch: int64(binary.LittleEndian.Uint64(blob[off+20:])),
 		})
-		off += 20
+		off += 28
 	}
 	return r, nil
 }
@@ -128,19 +131,19 @@ func (h *Helper) collectRecoverState() recoverPayload {
 	for id, q := range h.queues {
 		q.mu.Lock()
 		live := !q.removed && q.movedTo == ""
-		key := q.key
+		key, ep := q.key, q.epoch
 		q.mu.Unlock()
 		if live {
-			r.objects = append(r.objects, recoverObject{Kind: NSSysVMsg, ID: id, Key: key})
+			r.objects = append(r.objects, recoverObject{Kind: NSSysVMsg, ID: id, Key: key, Epoch: ep})
 		}
 	}
 	for id, s := range h.sems {
 		s.mu.Lock()
 		live := !s.removed && s.movedTo == ""
-		key := s.key
+		key, ep := s.key, s.epoch
 		s.mu.Unlock()
 		if live {
-			r.objects = append(r.objects, recoverObject{Kind: NSSysVSem, ID: id, Key: key})
+			r.objects = append(r.objects, recoverObject{Kind: NSSysVSem, ID: id, Key: key, Epoch: ep})
 		}
 	}
 	h.mu.Unlock()
@@ -167,11 +170,16 @@ func (l *leaderState) installRecoverState(r recoverPayload, fromAddr string) {
 		}
 	}
 	for _, o := range r.objects {
-		if l.owners[o.Kind] != nil {
-			l.owners[o.Kind][o.ID] = fromAddr
-		}
-		if o.Key != api.IPCPrivate && l.keys[o.Kind] != nil {
-			l.keys[o.Kind][o.Key] = keyEntry{id: o.ID, owner: fromAddr}
+		if m := l.owners[o.Kind]; m != nil {
+			// When two members both report a live copy (a migration was
+			// in flight when the old leader died), the higher migration
+			// epoch is the more recent owner.
+			if cur, ok := m[o.ID]; !ok || o.Epoch >= cur.epoch {
+				m[o.ID] = ownerEntry{addr: fromAddr, epoch: o.Epoch}
+				if o.Key != api.IPCPrivate && l.keys[o.Kind] != nil {
+					l.keys[o.Kind][o.Key] = keyEntry{id: o.ID, owner: fromAddr}
+				}
+			}
 		}
 		if o.ID >= l.next[o.Kind] {
 			l.next[o.Kind] = o.ID + 1

@@ -92,10 +92,15 @@ type Helper struct {
 	leader     *leaderState // non-nil on the leader
 	leaderCh   chan struct{}
 
-	conns    map[string]*Conn
+	// conns and pidOwner are the RPC hot path's caches — the point-to-point
+	// stream cache and the PID owner cache. They live outside h.mu in
+	// lock-sharded maps so concurrent RPCs from many guest threads don't
+	// serialize on the helper's global mutex (Fig. 5 at 48 processes).
+	conns    *shardedMap[*Conn]
+	pidOwner *shardedIntMap[string] // cache: guest PID -> final helper address
+
 	incoming []*Conn
 
-	pidOwner  map[int64]string // cache: guest PID -> final helper address
 	localPIDs map[int64]string // PIDs allocated here -> their helper address
 	pidBatch  idBatch
 
@@ -151,8 +156,8 @@ func newHelper(p *pal.PAL, svc Service, guestPID int64) (*Helper, error) {
 		Addr:        AddrForHostPID(p.Proc().ID),
 		GuestPID:    guestPID,
 		leaderCh:    make(chan struct{}, 1),
-		conns:       make(map[string]*Conn),
-		pidOwner:    make(map[int64]string),
+		conns:       newShardedMap[*Conn](),
+		pidOwner:    newShardedIntMap[string](),
 		localPIDs:   make(map[int64]string),
 		idBatches:   map[int]*idBatch{NSSysVMsg: {}, NSSysVSem: {}},
 		queues:      make(map[int64]*msgQueue),
@@ -263,25 +268,16 @@ func (h *Helper) DiscoverLeader() (string, error) {
 }
 
 func (h *Helper) dropConn(c *Conn) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	for addr, cc := range h.conns {
-		if cc == c {
-			delete(h.conns, addr)
-		}
-	}
+	h.conns.deleteValue(func(cc *Conn) bool { return cc == c })
 }
 
 // dial returns a cached or fresh point-to-point stream to addr (§4.3,
 // "Lazy discovery and caching improve performance").
 func (h *Helper) dial(addr string) (*Conn, error) {
 	if connCaching.Load() {
-		h.mu.Lock()
-		if c, ok := h.conns[addr]; ok && c.Alive() {
-			h.mu.Unlock()
+		if c, ok := h.conns.get(addr); ok && c.Alive() {
 			return c, nil
 		}
-		h.mu.Unlock()
 	}
 	sh, err := h.pal.DkStreamOpen("pipe:"+addr, 0, 0)
 	if err != nil {
@@ -289,9 +285,7 @@ func (h *Helper) dial(addr string) (*Conn, error) {
 	}
 	c := NewConn(sh.Stream, h.Addr, h.dispatch, h.dropConn)
 	c.RemoteAddr = addr
-	h.mu.Lock()
-	h.conns[addr] = c
-	h.mu.Unlock()
+	h.conns.put(addr, c)
 	return c, nil
 }
 
@@ -368,11 +362,10 @@ func (h *Helper) ResolvePID(pid int64) (string, error) {
 		h.mu.Unlock()
 		return addr, nil
 	}
-	if addr, ok := h.pidOwner[pid]; ok {
-		h.mu.Unlock()
+	h.mu.Unlock()
+	if addr, ok := h.pidOwner.get(pid); ok {
 		return addr, nil
 	}
-	h.mu.Unlock()
 
 	resp, err := h.callLeader(Frame{Type: MsgNSQuery, A: NSPid, B: pid})
 	if err != nil {
@@ -395,17 +388,13 @@ func (h *Helper) ResolvePID(pid int64) (string, error) {
 	if addr == "" {
 		return "", api.ESRCH
 	}
-	h.mu.Lock()
-	h.pidOwner[pid] = addr
-	h.mu.Unlock()
+	h.pidOwner.put(pid, addr)
 	return addr, nil
 }
 
 // InvalidatePID drops a cached PID mapping (stale after process death).
 func (h *Helper) InvalidatePID(pid int64) {
-	h.mu.Lock()
-	delete(h.pidOwner, pid)
-	h.mu.Unlock()
+	h.pidOwner.delete(pid)
 }
 
 // SendSignal delivers sig to the process owning guest PID pid, locally or
@@ -520,11 +509,8 @@ func (h *Helper) Shutdown() {
 		}
 	}
 
+	conns := h.conns.values()
 	h.mu.Lock()
-	conns := make([]*Conn, 0, len(h.conns)+len(h.incoming))
-	for _, c := range h.conns {
-		conns = append(conns, c)
-	}
 	conns = append(conns, h.incoming...)
 	h.mu.Unlock()
 	for _, c := range conns {

@@ -65,7 +65,9 @@ func (h *Helper) Msgget(key int64, flags int) (int64, error) {
 	h.mu.Lock()
 	h.qOwnerCache[id] = owner
 	if owner == h.Addr && h.queues[id] == nil {
-		h.queues[id] = newMsgQueue(id, key)
+		q := newMsgQueue(id, key)
+		q.epoch = 1
+		h.queues[id] = q
 	}
 	h.mu.Unlock()
 	return id, nil
@@ -377,6 +379,7 @@ func (h *Helper) migrateQueue(id int64, to string) {
 	}
 	q.migrating = true
 	blob := encodeMessages(q.key, q.msgs)
+	nextEpoch := q.epoch + 1
 	q.msgs = nil
 	waiters := q.waiters
 	q.waiters = nil
@@ -402,7 +405,7 @@ func (h *Helper) migrateQueue(id int64, to string) {
 		q.movedTo = owner
 		q.migrating = false
 		q.mu.Unlock()
-		_, _ = h.callLeader(Frame{Type: MsgKeyChown, A: NSSysVMsg, B: id, S: owner})
+		_, _ = h.callLeader(Frame{Type: MsgKeyChown, A: NSSysVMsg, B: id, S: owner, D: nextEpoch})
 		h.mu.Lock()
 		h.qOwnerCache[id] = owner
 		h.mu.Unlock()
@@ -422,7 +425,7 @@ func (h *Helper) migrateQueue(id int64, to string) {
 			return
 		}
 		if c, err := h.dial(leaderAddr); err == nil {
-			if _, err := c.Call(Frame{Type: MsgQMigrate, A: id, Blob: blob}); err == nil {
+			if _, err := c.Call(Frame{Type: MsgQMigrate, A: id, Blob: blob, D: nextEpoch}); err == nil {
 				commit(leaderAddr)
 				return
 			}
@@ -434,7 +437,7 @@ func (h *Helper) migrateQueue(id int64, to string) {
 		abort()
 		return
 	}
-	if _, err := c.Call(Frame{Type: MsgQMigrate, A: id, Blob: blob}); err != nil {
+	if _, err := c.Call(Frame{Type: MsgQMigrate, A: id, Blob: blob, D: nextEpoch}); err != nil {
 		if err == api.EPERM {
 			abort() // receiver explicitly refused: it has no copy
 		} else {
@@ -466,7 +469,9 @@ func (h *Helper) Semget(key int64, nsems int, flags int) (int64, error) {
 	h.mu.Lock()
 	h.semOwner[id] = owner
 	if owner == h.Addr && h.sems[id] == nil {
-		h.sems[id] = newSemSet(id, key, nsems)
+		s := newSemSet(id, key, nsems)
+		s.epoch = 1
+		h.sems[id] = s
 	}
 	h.mu.Unlock()
 	return id, nil
@@ -630,6 +635,7 @@ func (h *Helper) migrateSem(id int64, to string) {
 	}
 	s.migrating = true
 	blob := encodeSemState(s.key, s.vals)
+	nextEpoch := s.epoch + 1
 	s.mu.Unlock()
 	abort := func() {
 		s.mu.Lock()
@@ -641,7 +647,7 @@ func (h *Helper) migrateSem(id int64, to string) {
 		s.movedTo = owner
 		s.migrating = false
 		s.mu.Unlock()
-		_, _ = h.callLeader(Frame{Type: MsgKeyChown, A: NSSysVSem, B: id, S: owner})
+		_, _ = h.callLeader(Frame{Type: MsgKeyChown, A: NSSysVSem, B: id, S: owner, D: nextEpoch})
 		h.mu.Lock()
 		h.semOwner[id] = owner
 		h.mu.Unlock()
@@ -658,7 +664,7 @@ func (h *Helper) migrateSem(id int64, to string) {
 			return
 		}
 		if c, err := h.dial(leaderAddr); err == nil {
-			if _, err := c.Call(Frame{Type: MsgSemMigrate, A: id, Blob: blob}); err == nil {
+			if _, err := c.Call(Frame{Type: MsgSemMigrate, A: id, Blob: blob, D: nextEpoch}); err == nil {
 				commit(leaderAddr)
 				return
 			}
@@ -670,7 +676,7 @@ func (h *Helper) migrateSem(id int64, to string) {
 		abort()
 		return
 	}
-	if _, err := c.Call(Frame{Type: MsgSemMigrate, A: id, Blob: blob}); err != nil {
+	if _, err := c.Call(Frame{Type: MsgSemMigrate, A: id, Blob: blob, D: nextEpoch}); err != nil {
 		if err == api.EPERM {
 			abort()
 		} else {

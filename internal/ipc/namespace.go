@@ -20,14 +20,26 @@ type keyEntry struct {
 	owner string
 }
 
+// ownerEntry records who owns a System V object plus the migration epoch
+// under which they claimed it. Each ownership transfer increments the
+// epoch, and the leader ignores a chown carrying a lower epoch than the
+// recorded one: two migrations racing in opposite directions (an eviction
+// toward the leader crossing the leader's own consumer migration) commit
+// their chowns in nondeterministic order, and without the guard the loser
+// can leave the authoritative map pointing at a dead helper forever.
+type ownerEntry struct {
+	addr  string
+	epoch int64
+}
+
 // leaderState is the sandbox leader's namespace bookkeeping: ID ranges per
 // namespace kind, System V key mappings, and object ownership.
 type leaderState struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	ranges map[int][]idRange
 	next   map[int]int64
-	keys   map[int]map[int64]keyEntry // kind -> key -> entry
-	owners map[int]map[int64]string   // kind -> id -> owner address
+	keys   map[int]map[int64]keyEntry    // kind -> key -> entry
+	owners map[int]map[int64]ownerEntry  // kind -> id -> owner
 	pgs    *pgroupState
 }
 
@@ -36,7 +48,7 @@ func newLeaderState() *leaderState {
 		ranges: make(map[int][]idRange),
 		next:   map[int]int64{NSPid: 1, NSSysVMsg: 1, NSSysVSem: 1},
 		keys:   map[int]map[int64]keyEntry{NSSysVMsg: {}, NSSysVSem: {}},
-		owners: map[int]map[int64]string{NSSysVMsg: {}, NSSysVSem: {}},
+		owners: map[int]map[int64]ownerEntry{NSSysVMsg: {}, NSSysVSem: {}},
 		pgs:    newPgroupState(),
 	}
 }
@@ -54,8 +66,8 @@ func (l *leaderState) allocRange(kind int, n int64, owner string) (lo, hi int64)
 
 // rangeOwner returns the helper owning the batch containing id.
 func (l *leaderState) rangeOwner(kind int, id int64) (string, bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	for _, r := range l.ranges[kind] {
 		if id >= r.lo && id <= r.hi {
 			return r.owner, true
@@ -85,25 +97,38 @@ func (l *leaderState) keyGet(kind int, key int64, flags int, proposedID int64, r
 		}
 		keys[key] = keyEntry{id: proposedID, owner: requester}
 	}
-	l.owners[kind][proposedID] = requester
+	l.owners[kind][proposedID] = ownerEntry{addr: requester, epoch: 1}
 	return proposedID, requester, 0
 }
 
 // idOwner returns the current owner of a System V object.
 func (l *leaderState) idOwner(kind int, id int64) (string, bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	o, ok := l.owners[kind][id]
-	return o, ok
+	return o.addr, ok
 }
 
-// chown updates an object's owner after a migration (§4.3).
-func (l *leaderState) chown(kind int, id int64, newOwner string) {
+// chown updates an object's owner after a migration (§4.3). epoch is the
+// migration epoch under which newOwner received the object; a chown older
+// than the recorded epoch lost a migration race and is dropped. epoch 0
+// means the caller has no epoch knowledge (queue adoption from a persisted
+// copy, whose previous owner is dead): the claim is accepted and bumps the
+// recorded epoch.
+func (l *leaderState) chown(kind int, id int64, newOwner string, epoch int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if m := l.owners[kind]; m != nil {
-		m[id] = newOwner
+	m := l.owners[kind]
+	if m == nil {
+		return
 	}
+	cur := m[id]
+	if epoch == 0 {
+		epoch = cur.epoch + 1
+	} else if epoch < cur.epoch {
+		return
+	}
+	m[id] = ownerEntry{addr: newOwner, epoch: epoch}
 	for key, e := range l.keys[kind] {
 		if e.id == id {
 			e.owner = newOwner

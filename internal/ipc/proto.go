@@ -122,7 +122,12 @@ type Frame struct {
 	Err        api.Errno
 	A, B, C, D int64
 	S          string
-	Blob       []byte
+	// Blob is the frame's variable-length payload. Ownership contract:
+	// the decoder copies the payload out of the transport buffer, so a
+	// decoded Frame owns its Blob and may retain it indefinitely. On
+	// encode, AppendFrame/EncodeFrame copy Blob into the wire buffer and
+	// never alias it, so callers keep ownership of what they pass in.
+	Blob []byte
 
 	isResponse bool
 }
@@ -147,8 +152,20 @@ func (f *Frame) IsResponse() bool { return f.isResponse }
 // travel out-of-band via bulk IPC, not RPC frames).
 const maxFrameSize = 1 << 20
 
-// EncodeFrame serializes f with a length prefix.
-func EncodeFrame(f *Frame) []byte {
+// minFrameBody is the fixed part of a frame body: 2 header + 8 seq +
+// 4 errno + 32 scalars + 3×4 length fields.
+const minFrameBody = 58
+
+// frameBodySize returns the encoded body length of f (without the 4-byte
+// length prefix).
+func frameBodySize(f *Frame) int {
+	return minFrameBody + len(f.From) + len(f.S) + len(f.Blob)
+}
+
+// AppendFrame appends f's length-prefixed wire encoding to dst and returns
+// the extended slice. With a pre-sized (typically pooled) dst the encode
+// performs no allocation; this is the hot-path entry the Conn writer uses.
+func AppendFrame(dst []byte, f *Frame) []byte {
 	flags := byte(0)
 	if f.isResponse {
 		flags |= flagResponse
@@ -156,40 +173,78 @@ func EncodeFrame(f *Frame) []byte {
 	if f.Err != 0 {
 		flags |= flagError
 	}
-	body := make([]byte, 0, 64+len(f.S)+len(f.Blob)+len(f.From))
-	body = append(body, byte(f.Type), flags)
-	body = binary.LittleEndian.AppendUint64(body, f.Seq)
-	body = binary.LittleEndian.AppendUint32(body, uint32(f.Err))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(frameBodySize(f)))
+	dst = append(dst, byte(f.Type), flags)
+	dst = binary.LittleEndian.AppendUint64(dst, f.Seq)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.Err))
 	for _, v := range [4]int64{f.A, f.B, f.C, f.D} {
-		body = binary.LittleEndian.AppendUint64(body, uint64(v))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
 	}
-	body = binary.LittleEndian.AppendUint32(body, uint32(len(f.From)))
-	body = append(body, f.From...)
-	body = binary.LittleEndian.AppendUint32(body, uint32(len(f.S)))
-	body = append(body, f.S...)
-	body = binary.LittleEndian.AppendUint32(body, uint32(len(f.Blob)))
-	body = append(body, f.Blob...)
-
-	out := make([]byte, 4+len(body))
-	binary.LittleEndian.PutUint32(out, uint32(len(body)))
-	copy(out[4:], body)
-	return out
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.From)))
+	dst = append(dst, f.From...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.S)))
+	dst = append(dst, f.S...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Blob)))
+	dst = append(dst, f.Blob...)
+	return dst
 }
 
-// DecodeFrame reads one frame from r.
+// EncodeFrame serializes f with a length prefix into a fresh buffer (the
+// broadcast paths, which hand the buffer to the host, use this; the RPC
+// hot path uses AppendFrame with a pooled buffer instead).
+func EncodeFrame(f *Frame) []byte {
+	return AppendFrame(make([]byte, 0, 4+frameBodySize(f)), f)
+}
+
+// DecodeFrame reads one frame from r. The RPC hot path does not go through
+// this (it decodes in place from a buffered reader, see frameReader); the
+// broadcast paths and tests do.
 func DecodeFrame(r io.Reader) (Frame, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return Frame{}, err
 	}
 	n := binary.LittleEndian.Uint32(lenBuf[:])
-	// Minimum body: 2 header + 8 seq + 4 errno + 32 scalars + 3×4 lengths.
-	if n < 58 || n > maxFrameSize {
+	if n < minFrameBody || n > maxFrameSize {
 		return Frame{}, fmt.Errorf("ipc: bad frame length %d", n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return Frame{}, err
+	}
+	return decodeFrameBody(body, nil)
+}
+
+// interner memoizes the last string decoded through it, so a field that
+// repeats frame after frame (a peer's From address) is materialized once
+// instead of allocating on every decode. A nil interner just copies.
+type interner struct {
+	str string
+}
+
+func (in *interner) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	// string(b) == in.str compiles to an allocation-free comparison.
+	if in != nil && string(b) == in.str {
+		return in.str
+	}
+	s := string(b)
+	if in != nil {
+		in.str = s
+	}
+	return s
+}
+
+// decodeFrameBody parses one frame body (everything after the length
+// prefix). body may be a transport buffer that is overwritten or recycled
+// after the call returns: every variable-length field — strings and Blob —
+// is copied out, per Frame.Blob's ownership contract. from, when non-nil,
+// interns the From field across calls.
+func decodeFrameBody(body []byte, from *interner) (Frame, error) {
+	if len(body) < minFrameBody {
+		return Frame{}, fmt.Errorf("ipc: truncated frame")
 	}
 	var f Frame
 	f.Type = MsgType(body[0])
@@ -200,16 +255,23 @@ func DecodeFrame(r io.Reader) (Frame, error) {
 	off += 8
 	f.Err = api.Errno(binary.LittleEndian.Uint32(body[off:]))
 	off += 4
-	for _, dst := range []*int64{&f.A, &f.B, &f.C, &f.D} {
-		*dst = int64(binary.LittleEndian.Uint64(body[off:]))
-		off += 8
-	}
-	var err error
-	if f.From, off, err = decodeString(body, off); err != nil {
+	f.A = int64(binary.LittleEndian.Uint64(body[off:]))
+	f.B = int64(binary.LittleEndian.Uint64(body[off+8:]))
+	f.C = int64(binary.LittleEndian.Uint64(body[off+16:]))
+	f.D = int64(binary.LittleEndian.Uint64(body[off+24:]))
+	off += 32
+	fromB, off, err := decodeBytes(body, off)
+	if err != nil {
 		return Frame{}, err
 	}
-	if f.S, off, err = decodeString(body, off); err != nil {
+	f.From = from.intern(fromB)
+	sB, off, err := decodeBytes(body, off)
+	if err != nil {
 		return Frame{}, err
+	}
+	f.S = string(sB)
+	if off+4 > len(body) {
+		return Frame{}, fmt.Errorf("ipc: truncated frame")
 	}
 	blobLen := int(binary.LittleEndian.Uint32(body[off:]))
 	off += 4
@@ -222,14 +284,14 @@ func DecodeFrame(r io.Reader) (Frame, error) {
 	return f, nil
 }
 
-func decodeString(body []byte, off int) (string, int, error) {
+func decodeBytes(body []byte, off int) ([]byte, int, error) {
 	if off+4 > len(body) {
-		return "", 0, fmt.Errorf("ipc: truncated frame")
+		return nil, 0, fmt.Errorf("ipc: truncated frame")
 	}
 	n := int(binary.LittleEndian.Uint32(body[off:]))
 	off += 4
 	if off+n > len(body) {
-		return "", 0, fmt.Errorf("ipc: truncated string")
+		return nil, 0, fmt.Errorf("ipc: truncated string")
 	}
-	return string(body[off : off+n]), off + n, nil
+	return body[off : off+n], off + n, nil
 }

@@ -131,3 +131,54 @@ func TestSemSetSerializeRoundTrip(t *testing.T) {
 		t.Fatalf("decode: key=%d vals=%v err=%v", key, vals, err)
 	}
 }
+
+// TestDecodedBlobOwnership pins Frame.Blob's ownership contract: the
+// decoder copies payloads out of the transport buffer, so clobbering the
+// wire bytes afterwards must not corrupt the decoded frame.
+func TestDecodedBlobOwnership(t *testing.T) {
+	in := Frame{Type: MsgQSend, Blob: []byte("payload-bytes"), S: "sss"}
+	wire := EncodeFrame(&in)
+	out, err := decodeFrameBody(wire[4:], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wire {
+		wire[i] = 0xAA
+	}
+	if string(out.Blob) != "payload-bytes" || out.S != "sss" {
+		t.Fatalf("decoded frame aliases transport buffer: blob=%q s=%q", out.Blob, out.S)
+	}
+	// And the encode side: the wire buffer must not alias the caller's blob.
+	blob := []byte("caller-owned")
+	wire2 := EncodeFrame(&Frame{Type: MsgQSend, Blob: blob})
+	for i := range wire2 {
+		wire2[i] = 0
+	}
+	if string(blob) != "caller-owned" {
+		t.Fatal("EncodeFrame aliased the caller's blob")
+	}
+}
+
+// TestSmallFrameRoundTripAllocs asserts the hot-path budget: encoding into
+// a reused buffer and decoding with an interner costs at most one
+// amortized allocation per small-frame round trip.
+func TestSmallFrameRoundTripAllocs(t *testing.T) {
+	f := Frame{Type: MsgSemOp, Seq: 7, From: "ipc.3", A: 1, C: 1}
+	buf := make([]byte, 0, 256)
+	var in interner
+	// Warm the interner so the repeated From is memoized, as in readLoop.
+	warm := AppendFrame(buf, &f)
+	if _, err := decodeFrameBody(warm[4:], &in); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		wire := AppendFrame(buf, &f)
+		out, err := decodeFrameBody(wire[4:], &in)
+		if err != nil || out.Seq != f.Seq || out.From != f.From {
+			t.Fatalf("round trip broke: %+v, %v", out, err)
+		}
+	})
+	if avg > 1 {
+		t.Fatalf("encode+decode = %.1f allocs/op, want <= 1", avg)
+	}
+}

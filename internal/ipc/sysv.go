@@ -41,6 +41,9 @@ type msgQueue struct {
 	// (movedTo) is only set once the new owner actually has the state.
 	migrating bool
 	movedTo   string // non-empty after migration (forwarding tombstone)
+	// epoch is the migration epoch under which this copy was received
+	// (see ownerEntry); bumped by one for every ownership transfer.
+	epoch int64
 
 	// accessors are helper addresses that have touched the queue, for
 	// deletion notifications.
@@ -223,6 +226,7 @@ type semSet struct {
 	// migrating / movedTo: see msgQueue.
 	migrating bool
 	movedTo   string
+	epoch     int64
 
 	accessors  map[string]struct{}
 	remoteAcqs map[string]int
