@@ -1,10 +1,12 @@
 // Command graphene-bench regenerates the paper's evaluation (§6): every
 // table and figure, printed with the paper's reference values alongside.
 //
-//	graphene-bench [-quick] [experiment...]
+//	graphene-bench [-quick] [-json] [experiment...]
 //
 // Experiments: table4, fig4, table5, table6, table7, fig5, table8,
-// security, all (default).
+// security, all (default). With -json, each measured experiment also
+// writes a machine-readable BENCH_<experiment>.json in the current
+// directory.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced iteration counts for a fast pass")
+	jsonOut := flag.Bool("json", false, "also write BENCH_<experiment>.json files")
 	flag.Parse()
 	which := flag.Args()
 	if len(which) == 0 {
@@ -42,6 +45,13 @@ func main() {
 		}
 		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(t0).Seconds())
 	}
+	// emit writes the experiment's machine-readable twin when -json is on.
+	emit := func(name string, v any) error {
+		if !*jsonOut {
+			return nil
+		}
+		return bench.WriteJSON("BENCH_"+name+".json", v)
+	}
 
 	iters := 10
 	t6Iters, t6Scale := 3, 1.0
@@ -64,7 +74,7 @@ func main() {
 			return err
 		}
 		fmt.Print(bench.RenderTable4(rows))
-		return nil
+		return emit("table4", bench.Table4JSON(rows))
 	})
 	run("fig4", func() error {
 		rows, err := bench.Fig4()
@@ -72,7 +82,7 @@ func main() {
 			return err
 		}
 		fmt.Print(bench.RenderFig4(rows))
-		return nil
+		return emit("fig4", bench.Fig4JSON(rows))
 	})
 	run("table5", func() error {
 		rows, err := bench.Table5(t5)
@@ -80,7 +90,7 @@ func main() {
 			return err
 		}
 		fmt.Print(bench.RenderTable5(rows))
-		return nil
+		return emit("table5", bench.Table5JSON(rows))
 	})
 	run("table6", func() error {
 		rows, err := bench.Table6(t6Iters, t6Scale)
@@ -88,7 +98,7 @@ func main() {
 			return err
 		}
 		fmt.Print(bench.RenderTable6(rows))
-		return nil
+		return emit("table6", bench.Table6JSON(rows))
 	})
 	run("table7", func() error {
 		rows, err := bench.Table7(t7N, t7Iters)
@@ -96,7 +106,7 @@ func main() {
 			return err
 		}
 		fmt.Print(bench.RenderTable7(rows))
-		return nil
+		return emit("table7", bench.Table7JSON(rows))
 	})
 	run("fig5", func() error {
 		points, err := bench.Fig5(fig5Counts, fig5Msgs)
@@ -104,7 +114,7 @@ func main() {
 			return err
 		}
 		fmt.Print(bench.RenderFig5(points))
-		return nil
+		return emit("fig5", bench.Fig5JSON(points))
 	})
 	run("table8", func() error {
 		fmt.Print(bench.RenderTable8())

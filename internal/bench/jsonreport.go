@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+
+	"graphene/internal/metrics"
+)
+
+// This file provides machine-readable projections of the benchmark
+// results, so runs can be archived and diffed (cmd/graphene-bench -json
+// writes one BENCH_<experiment>.json per table).
+
+// SampleStats is the JSON projection of a metrics.Sample. Units follow
+// the table the sample came from (ns/op, us, seconds, or MB/s).
+type SampleStats struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Median float64 `json:"median"`
+	Stddev float64 `json:"stddev"`
+}
+
+func sampleStats(s *metrics.Sample) *SampleStats {
+	if s == nil || s.N() == 0 {
+		return nil
+	}
+	return &SampleStats{N: s.N(), Mean: s.Mean(), Median: s.Median(), Stddev: s.Stddev()}
+}
+
+// WriteJSON writes v to path as indented JSON.
+func WriteJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+type table4JSON struct {
+	System         string       `json:"system"`
+	StartupUS      *SampleStats `json:"startup_us,omitempty"`
+	CheckpointUS   *SampleStats `json:"checkpoint_us,omitempty"`
+	ResumeUS       *SampleStats `json:"resume_us,omitempty"`
+	CheckpointSize uint64       `json:"checkpoint_size_bytes,omitempty"`
+}
+
+// Table4JSON projects Table 4 rows for WriteJSON.
+func Table4JSON(rows []Table4Result) any {
+	out := make([]table4JSON, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, table4JSON{
+			System:         r.System,
+			StartupUS:      sampleStats(r.StartupUS),
+			CheckpointUS:   sampleStats(r.CheckpointUS),
+			ResumeUS:       sampleStats(r.ResumeUS),
+			CheckpointSize: r.CheckpointSize,
+		})
+	}
+	return out
+}
+
+type fig4JSON struct {
+	Workload string `json:"workload"`
+	System   string `json:"system"`
+	Bytes    uint64 `json:"bytes"`
+}
+
+// Fig4JSON projects Figure 4 rows for WriteJSON.
+func Fig4JSON(rows []Fig4Result) any {
+	out := make([]fig4JSON, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, fig4JSON{Workload: r.Workload, System: r.System, Bytes: r.Bytes})
+	}
+	return out
+}
+
+type table5JSON struct {
+	Workload   string       `json:"workload"`
+	Throughput bool         `json:"throughput"`
+	Linux      *SampleStats `json:"linux,omitempty"`
+	KVM        *SampleStats `json:"kvm,omitempty"`
+	Graphene   *SampleStats `json:"graphene,omitempty"`
+	GrapheneNR *SampleStats `json:"graphene_no_monitor,omitempty"`
+}
+
+// Table5JSON projects Table 5 rows for WriteJSON.
+func Table5JSON(rows []Table5Result) any {
+	out := make([]table5JSON, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, table5JSON{
+			Workload:   r.Workload,
+			Throughput: r.Throughput,
+			Linux:      sampleStats(r.Linux),
+			KVM:        sampleStats(r.KVM),
+			Graphene:   sampleStats(r.Graphene),
+			GrapheneNR: sampleStats(r.GrapheneNR),
+		})
+	}
+	return out
+}
+
+type table6JSON struct {
+	Test       string       `json:"test"`
+	Linux      *SampleStats `json:"linux_ns,omitempty"`
+	Graphene   *SampleStats `json:"graphene_ns,omitempty"`
+	GrapheneRM *SampleStats `json:"graphene_monitor_ns,omitempty"`
+}
+
+// Table6JSON projects Table 6 rows for WriteJSON.
+func Table6JSON(rows []Table6Result) any {
+	out := make([]table6JSON, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, table6JSON{
+			Test:       r.Test,
+			Linux:      sampleStats(r.Linux),
+			Graphene:   sampleStats(r.Graphene),
+			GrapheneRM: sampleStats(r.GrapheneRM),
+		})
+	}
+	return out
+}
+
+type table7JSON struct {
+	Op       string       `json:"op"`
+	Mode     string       `json:"mode"`
+	Linux    *SampleStats `json:"linux_ns,omitempty"`
+	Graphene *SampleStats `json:"graphene_ns,omitempty"`
+}
+
+// Table7JSON projects Table 7 rows for WriteJSON.
+func Table7JSON(rows []Table7Result) any {
+	out := make([]table7JSON, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, table7JSON{
+			Op:       r.Op,
+			Mode:     r.Mode,
+			Linux:    sampleStats(r.Linux),
+			Graphene: sampleStats(r.Graphene),
+		})
+	}
+	return out
+}
+
+type fig5JSON struct {
+	Processes int     `json:"processes"`
+	PipesUS   float64 `json:"linux_pipes_us"`
+	RPCUS     float64 `json:"graphene_rpc_us"`
+}
+
+// Fig5JSON projects Figure 5 points for WriteJSON.
+func Fig5JSON(points []Fig5Point) any {
+	out := make([]fig5JSON, 0, len(points))
+	for _, p := range points {
+		out = append(out, fig5JSON{Processes: p.Processes, PipesUS: p.PipesUS, RPCUS: p.RPCUS})
+	}
+	return out
+}

@@ -141,13 +141,16 @@ func RenderTable7(rows []Table7Result) string {
 	}
 	t := metrics.NewTable("Test", "Mode", "Linux", "Graphene", "Overhead", "Paper (us->ns basis)")
 	for _, r := range rows {
+		// Medians: single-run microbenchmark samples on a shared machine
+		// have heavy right tails, and the mean of three runs lets one
+		// scheduler hiccup dominate a cell.
 		linux := "-"
 		ovh := "-"
 		if r.Linux != nil {
-			linux = fmtNS(r.Linux.Mean())
-			ovh = metrics.FmtPct(metrics.OverheadPct(r.Graphene.Mean(), r.Linux.Mean()))
+			linux = fmtNS(r.Linux.Median())
+			ovh = metrics.FmtPct(metrics.OverheadPct(r.Graphene.Median(), r.Linux.Median()))
 		}
-		t.Row(r.Op, r.Mode, linux, fmtNS(r.Graphene.Mean()), ovh, paper[r.Op+"|"+r.Mode])
+		t.Row(r.Op, r.Mode, linux, fmtNS(r.Graphene.Median()), ovh, paper[r.Op+"|"+r.Mode])
 	}
 	return "Table 7: System V message queues\n" + t.String()
 }

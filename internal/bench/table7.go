@@ -21,7 +21,11 @@ type Table7Result struct {
 // sysvBenchMain is the in-guest driver: it performs one msgq operation n
 // times and writes ns/op to /sysvresult.
 //
-//	sysvbench <op> <mode> <n>
+//	sysvbench <op> <mode> <n> [seq]
+//
+// seq salts the key range of the create cells so repeated samples in the
+// same sandbox create fresh queues instead of silently degrading into
+// lookups of the previous sample's keys.
 func sysvBenchMain(p api.OS, argv []string) int {
 	if len(argv) < 4 {
 		return 2
@@ -31,9 +35,17 @@ func sysvBenchMain(p api.OS, argv []string) int {
 	if n <= 0 {
 		n = 10
 	}
+	seq := 0
+	if len(argv) > 4 {
+		seq, _ = strconv.Atoi(argv[4])
+	}
 	payload := []byte("0123456789abcdef") // 16-byte messages
 
 	const baseKey = 7000
+	createBase := 10000 + seq*1000000
+	if mode == "inter" {
+		createBase = 20000000 + seq*1000000
+	}
 
 	// Inter-process cells: the parent (the sandbox leader) owns the queue;
 	// a forked child performs the operations remotely and reports. This
@@ -59,7 +71,7 @@ func sysvBenchMain(p api.OS, argv []string) int {
 			switch op {
 			case "msgget-create":
 				iter = func(i int) bool {
-					_, err := c.Msgget(baseKey+2000+i, api.IPCCreat)
+					_, err := c.Msgget(createBase+i, api.IPCCreat)
 					return err == nil
 				}
 			case "msgget-lookup":
@@ -112,7 +124,7 @@ func sysvBenchMain(p api.OS, argv []string) int {
 	switch op + "/" + mode {
 	case "msgget-create/in":
 		iter = func(i int) bool {
-			_, err := p.Msgget(baseKey+1000+i, api.IPCCreat)
+			_, err := p.Msgget(createBase+i, api.IPCCreat)
 			return err == nil
 		}
 	case "msgget-lookup/in":
@@ -210,7 +222,7 @@ func table7Cell(run func(...string) (int, error), read func() (int64, error),
 	op, mode string, n, iters int) (*metrics.Sample, error) {
 	s := &metrics.Sample{}
 	for i := 0; i < iters; i++ {
-		code, err := run(op, mode, strconv.Itoa(n))
+		code, err := run(op, mode, strconv.Itoa(n), strconv.Itoa(i))
 		if err != nil || code != 0 {
 			return nil, fmt.Errorf("sysvbench %s/%s: code=%d err=%v", op, mode, code, err)
 		}

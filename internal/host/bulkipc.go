@@ -2,6 +2,7 @@ package host
 
 import (
 	"sync"
+	"time"
 
 	"graphene/internal/api"
 )
@@ -63,30 +64,48 @@ func (st *IPCStore) Commit(as *AddressSpace, start, end uint64) (int, error) {
 func (st *IPCStore) Map(as *AddressSpace, target uint64) (int, error) {
 	st.mu.Lock()
 	if len(st.batches) == 0 {
+		closed := st.closed
 		st.mu.Unlock()
+		if closed {
+			return 0, api.EBADF
+		}
 		return 0, api.EAGAIN
 	}
 	b := st.batches[0]
 	st.batches = st.batches[1:]
-	if len(st.batches) == 0 {
+	if len(st.batches) == 0 && !st.closed {
 		st.avail.Reset()
 	}
 	st.mu.Unlock()
 
+	// Remap sender indices to the receiver's target base, then install the
+	// whole batch under one address-space lock acquisition.
 	targetBase := pageAlignDown(target)
-	installed := 0
+	recvIdxs := make([]uint64, len(b.idxs))
 	for i, idx := range b.idxs {
 		senderAddr := idx << PageShift
-		recvAddr := targetBase + (senderAddr - b.base)
-		if err := as.InstallPage(recvAddr>>PageShift, b.pages[i]); err != nil {
-			// Drop the store's reference on failure too.
-			b.pages[i].Unref()
-			continue
-		}
-		b.pages[i].Unref() // InstallPage took its own reference
-		installed++
+		recvIdxs[i] = (targetBase + (senderAddr - b.base)) >> PageShift
+	}
+	installed := as.InstallPages(recvIdxs, b.pages)
+	for _, pg := range b.pages {
+		pg.Unref() // drop the store's reference (InstallPages took its own)
 	}
 	return installed, nil
+}
+
+// MapNext blocks until a batch is available (or the store is closed), then
+// maps it like Map. The pipelined fork restore uses this to consume batches
+// as the parent commits them, instead of requiring all commits up front.
+func (st *IPCStore) MapNext(as *AddressSpace, target uint64, timeout time.Duration) (int, error) {
+	for {
+		n, err := st.Map(as, target)
+		if err != api.EAGAIN {
+			return n, err
+		}
+		if werr := st.avail.Wait(timeout); werr != nil {
+			return 0, werr
+		}
+	}
 }
 
 // Pending returns the number of queued batches.
@@ -113,4 +132,6 @@ func (st *IPCStore) Close() {
 		}
 	}
 	st.batches = nil
+	// Wake any MapNext waiter so it observes the closed store.
+	st.avail.Set()
 }

@@ -26,6 +26,12 @@ type Page struct {
 	mu   sync.Mutex
 	refs int32
 	data []byte
+	// zeroFill marks a page that is resident but has no private backing
+	// yet: reads see zeros and the first write allocates. Loading a large
+	// fixed image materializes pages this way, so making a range resident
+	// costs page-table work, not a memclr of the whole range (the host
+	// kernel's equivalent is mapping the zero page or page cache).
+	zeroFill bool
 }
 
 // NewPage returns a private page with a single reference.
@@ -53,11 +59,12 @@ func (p *Page) Shared() bool {
 	return p.refs > 1
 }
 
-// Resident reports whether the page has been touched (has backing storage).
+// Resident reports whether the page has been touched (has backing
+// storage, or was materialized as a zero-fill page).
 func (p *Page) Resident() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.data != nil
+	return p.data != nil || p.zeroFill
 }
 
 // copyForWrite returns a private copy of the page for a COW break.
@@ -69,6 +76,7 @@ func (p *Page) copyForWrite() *Page {
 		n.data = make([]byte, PageSize)
 		copy(n.data, p.data)
 	}
+	n.zeroFill = p.zeroFill
 	p.refs--
 	return n
 }
@@ -117,6 +125,13 @@ type AddressSpace struct {
 	// committed counts bytes of mapped (reserved) memory; resident counts
 	// bytes of touched pages, the basis of the Figure 4 footprint numbers.
 	committed uint64
+
+	// dirty records page indices written since the last ResetDirty: every
+	// store (including COW breaks) and every installed or slab-touched page
+	// lands here. Incremental checkpoints ship exactly this set instead of
+	// every resident page, so checkpoint cost scales with the write working
+	// set. Allocated lazily; freed pages are dropped from the set.
+	dirty map[uint64]struct{}
 }
 
 // Address space layout constants for kernel-chosen placements.
@@ -128,6 +143,13 @@ const (
 // NewAddressSpace returns an empty address space.
 func NewAddressSpace() *AddressSpace {
 	return &AddressSpace{next: mmapBase}
+}
+
+func (as *AddressSpace) markDirtyLocked(idx uint64) {
+	if as.dirty == nil {
+		as.dirty = make(map[uint64]struct{})
+	}
+	as.dirty[idx] = struct{}{}
 }
 
 func pageAlignUp(v uint64) uint64 {
@@ -207,6 +229,11 @@ func (as *AddressSpace) Free(addr uint64, length uint64) error {
 		}
 		freed := minU64(v.End, end) - maxU64(v.Start, start)
 		as.committed -= freed
+	}
+	for idx := range as.dirty {
+		if idx >= start>>PageShift && idx < end>>PageShift {
+			delete(as.dirty, idx)
+		}
 	}
 	sort.Slice(kept, func(i, j int) bool { return kept[i].Start < kept[j].Start })
 	as.vmas = kept
@@ -289,6 +316,7 @@ func (as *AddressSpace) Write(addr uint64, data []byte) error {
 			v.pages[idx] = pg
 		}
 		pg.write(off, data[:n])
+		as.markDirtyLocked(idx)
 		data = data[n:]
 		addr += uint64(n)
 	}
@@ -398,13 +426,55 @@ func (as *AddressSpace) TouchedPages(start, end uint64) (idxs []uint64, pages []
 	return idxs, pages
 }
 
+// DirtyPages returns the indices (and backing pages) of resident pages
+// within [start, end) written since the last ResetDirty. This is what an
+// incremental checkpoint ships: the write working set, not the full
+// resident set.
+func (as *AddressSpace) DirtyPages(start, end uint64) (idxs []uint64, pages []*Page) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	lo, hi := start>>PageShift, (end+PageSize-1)>>PageShift
+	for idx := range as.dirty {
+		if idx < lo || idx >= hi {
+			continue
+		}
+		v := as.findLocked(idx << PageShift)
+		if v == nil {
+			continue
+		}
+		if pg := v.pages[idx]; pg != nil && pg.Resident() {
+			idxs = append(idxs, idx)
+			pages = append(pages, pg)
+		}
+	}
+	return idxs, pages
+}
+
+// ResetDirty clears the dirty set — called after a checkpoint snapshot so
+// the next one ships only pages touched since.
+func (as *AddressSpace) ResetDirty() {
+	as.mu.Lock()
+	as.dirty = nil
+	as.mu.Unlock()
+}
+
+// DirtyPageCount returns the number of pages in the dirty set.
+func (as *AddressSpace) DirtyPageCount() int {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return len(as.dirty)
+}
+
 // InstallPage maps pg (shared, COW) at page index idx. The target range
 // must already be mapped. Used by bulk IPC on the receive side.
 func (as *AddressSpace) InstallPage(idx uint64, pg *Page) error {
 	as.mu.Lock()
 	defer as.mu.Unlock()
-	addr := idx << PageShift
-	v := as.findLocked(addr)
+	return as.installPageLocked(idx, pg)
+}
+
+func (as *AddressSpace) installPageLocked(idx uint64, pg *Page) error {
+	v := as.findLocked(idx << PageShift)
 	if v == nil {
 		return api.EFAULT
 	}
@@ -413,6 +483,69 @@ func (as *AddressSpace) InstallPage(idx uint64, pg *Page) error {
 	}
 	pg.Ref()
 	v.pages[idx] = pg
+	as.markDirtyLocked(idx)
+	return nil
+}
+
+// InstallPages maps pages[i] at page index idxs[i] under a single lock
+// acquisition — the batched receive side of bulk IPC, one lock per batch
+// instead of one per page. Pages whose target index is unmapped are
+// skipped. Returns the number installed.
+func (as *AddressSpace) InstallPages(idxs []uint64, pages []*Page) int {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	installed := 0
+	for i, idx := range idxs {
+		if as.installPageLocked(idx, pages[i]) == nil {
+			installed++
+		}
+	}
+	return installed
+}
+
+// TouchRange makes every page of [addr, addr+length) resident in one pass:
+// one lock acquisition and one backing-slab allocation for the whole range
+// instead of a page-at-a-time write loop. Pages already resident are left
+// alone. The slab stays alive while any of its pages does (COW breaks copy
+// out of it); callers load large fixed images (the libOS image) where all
+// pages are fresh, so the over-retention case does not arise in practice.
+func (as *AddressSpace) TouchRange(addr, length uint64) error {
+	if length == 0 {
+		return nil
+	}
+	start := pageAlignDown(addr)
+	end := pageAlignUp(addr + length)
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	// Fresh pages materialize as zero-fill out of one Page slab: no
+	// backing memclr (the dominant cost of the old per-page loop — 1.4 MB
+	// zeroed per fork for the libOS image), and one allocation for the
+	// whole range's bookkeeping.
+	slab := make([]Page, (end-start)>>PageShift)
+	si := 0
+	for a := start; a < end; a += PageSize {
+		v := as.findLocked(a)
+		if v == nil {
+			return api.EFAULT
+		}
+		if v.Prot&api.ProtWrite == 0 {
+			return api.EACCES
+		}
+		idx := a >> PageShift
+		pg := v.pages[idx]
+		switch {
+		case pg == nil:
+			fresh := &slab[si]
+			fresh.refs = 1
+			fresh.zeroFill = true
+			v.pages[idx] = fresh
+		case pg.Shared():
+			pg = pg.copyForWrite()
+			v.pages[idx] = pg
+		}
+		as.markDirtyLocked(idx)
+		si++
+	}
 	return nil
 }
 
@@ -447,6 +580,7 @@ func (as *AddressSpace) Release() {
 	}
 	as.vmas = nil
 	as.committed = 0
+	as.dirty = nil
 }
 
 func (as *AddressSpace) insertLocked(v *VMA) {

@@ -44,7 +44,8 @@ type recoverPayload struct {
 	pids    []pgMember // locally known guest PID -> helper address
 	batchHi []int64    // [NSPid, NSSysVMsg, NSSysVSem] high-water marks
 	objects []recoverObject
-	pgid    int64 // the member's own process group (0 = none)
+	leases  []recoverLease // key block leases this member holds
+	pgid    int64          // the member's own process group (0 = none)
 	pid     int64
 }
 
@@ -53,6 +54,11 @@ type recoverObject struct {
 	ID    int64
 	Key   int64
 	Epoch int64
+}
+
+type recoverLease struct {
+	Kind  int
+	Block int64
 }
 
 func encodeRecover(r recoverPayload) []byte {
@@ -69,6 +75,11 @@ func encodeRecover(r recoverPayload) []byte {
 		out = binary.LittleEndian.AppendUint64(out, uint64(o.ID))
 		out = binary.LittleEndian.AppendUint64(out, uint64(o.Key))
 		out = binary.LittleEndian.AppendUint64(out, uint64(o.Epoch))
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(r.leases)))
+	for _, le := range r.leases {
+		out = binary.LittleEndian.AppendUint32(out, uint32(le.Kind))
+		out = binary.LittleEndian.AppendUint64(out, uint64(le.Block))
 	}
 	return out
 }
@@ -117,6 +128,21 @@ func decodeRecover(blob []byte) (recoverPayload, error) {
 		})
 		off += 28
 	}
+	if off+4 > len(blob) {
+		return r, api.EINVAL
+	}
+	nl := int(binary.LittleEndian.Uint32(blob[off:]))
+	off += 4
+	if off+12*nl > len(blob) {
+		return r, api.EINVAL
+	}
+	for i := 0; i < nl; i++ {
+		r.leases = append(r.leases, recoverLease{
+			Kind:  int(binary.LittleEndian.Uint32(blob[off:])),
+			Block: int64(binary.LittleEndian.Uint64(blob[off+4:])),
+		})
+		off += 12
+	}
 	return r, nil
 }
 
@@ -144,6 +170,15 @@ func (h *Helper) collectRecoverState() recoverPayload {
 		s.mu.Unlock()
 		if live {
 			r.objects = append(r.objects, recoverObject{Kind: NSSysVSem, ID: id, Key: key, Epoch: ep})
+		}
+	}
+	// Held key block leases survive a leader failover: the new leader must
+	// keep redirecting unregistered keys in these blocks to us, and cached
+	// mappings under them are re-registered via the objects above (an
+	// entry created on another helper's behalf is reported by that owner).
+	for kind, m := range h.keyLeases {
+		for block := range m {
+			r.leases = append(r.leases, recoverLease{Kind: kind, Block: block})
 		}
 	}
 	h.mu.Unlock()
@@ -183,6 +218,11 @@ func (l *leaderState) installRecoverState(r recoverPayload, fromAddr string) {
 		}
 		if o.ID >= l.next[o.Kind] {
 			l.next[o.Kind] = o.ID + 1
+		}
+	}
+	for _, le := range r.leases {
+		if l.leases[le.Kind] != nil {
+			l.leases[le.Kind][le.Block] = fromAddr
 		}
 	}
 	l.mu.Unlock()

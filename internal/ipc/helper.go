@@ -21,12 +21,14 @@ var (
 	migrationEnabled atomic.Bool
 	connCaching      atomic.Bool
 	pidBatchOverride atomic.Int64
+	keyLeasesOn      atomic.Bool
 )
 
 func init() {
 	migrationEnabled.Store(true)
 	connCaching.Store(true)
 	pidBatchOverride.Store(PIDBatchSize)
+	keyLeasesOn.Store(true)
 }
 
 // SetMigrationEnabled toggles SysV ownership migration (ablation).
@@ -43,6 +45,10 @@ func SetPIDBatch(n int64) {
 	}
 	pidBatchOverride.Store(n)
 }
+
+// SetKeyLeases toggles System V key block leasing (ablation; off forces a
+// leader round trip per msgget/semget, the pre-lease behavior).
+func SetKeyLeases(on bool) { keyLeasesOn.Store(on) }
 
 // idBatchSize is the batch size for System V ID namespaces.
 const idBatchSize = 32
@@ -111,6 +117,29 @@ type Helper struct {
 	sems        map[int64]*semSet
 	semOwner    map[int64]string
 
+	// keyLeases are the System V key blocks this helper holds from the
+	// leader; keyCache holds the key mappings under those blocks, for
+	// which this helper (not the leader) is authoritative until it exits.
+	keyLeases map[int]map[int64]struct{} // kind -> key block -> held
+	keyCache  map[int]map[int64]keyEntry // kind -> key -> mapping
+	// leaseCount mirrors the total block count in keyLeases so the key
+	// fast path can skip the locked lease lookup while no lease is held
+	// (the common case for the leader, whose resolutions are local
+	// anyway).
+	leaseCount atomic.Int64
+
+	// pendingRegs queues lazy key registrations for the background
+	// flusher; regFlushing is true while a drainPendingRegs goroutine
+	// is live.
+	pendingRegs []pendingReg
+	regFlushing bool
+
+	// bg tracks fire-and-forget notification goroutines (object-removal
+	// fan-out). Shutdown waits for them before tearing down connections,
+	// so a process that removes an object and immediately exits cannot
+	// lose the leader's MsgKeyRemove to the teardown race.
+	bg sync.WaitGroup
+
 	// ownPgid is this process's group for recovery re-registration.
 	ownPgid  int64
 	election *electionState
@@ -164,6 +193,8 @@ func newHelper(p *pal.PAL, svc Service, guestPID int64) (*Helper, error) {
 		qOwnerCache: make(map[int64]string),
 		sems:        make(map[int64]*semSet),
 		semOwner:    make(map[int64]string),
+		keyLeases:   map[int]map[int64]struct{}{NSSysVMsg: {}, NSSysVSem: {}},
+		keyCache:    map[int]map[int64]keyEntry{NSSysVMsg: {}, NSSysVSem: {}},
 	}
 	l, err := p.DkStreamOpen("pipe.srv:"+h.Addr, 0, 0)
 	if err != nil {
@@ -497,6 +528,9 @@ func (h *Helper) Shutdown() {
 	isLeader := h.leader != nil
 	h.mu.Unlock()
 
+	// Let in-flight removal fan-out finish while the streams still work.
+	h.bg.Wait()
+
 	// System V objects survive their owner: queues serialize to disk
 	// (§4.2); semaphore sets migrate back to the sandbox leader so other
 	// picoprocesses can keep operating on them.
@@ -507,6 +541,7 @@ func (h *Helper) Shutdown() {
 		for _, s := range sems {
 			h.evictSemOnShutdown(s, leaderAddr)
 		}
+		h.flushKeyLeases()
 	}
 
 	conns := h.conns.values()

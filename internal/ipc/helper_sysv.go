@@ -31,14 +31,22 @@ func (h *Helper) allocID(kind int) (int64, error) {
 		return 0, api.EINVAL
 	}
 	if b.next == 0 || b.next > b.hi {
+		leader := h.leader
 		h.mu.Unlock()
-		resp, err := h.callLeader(Frame{Type: MsgNSAlloc, A: int64(kind), B: idBatchSize})
-		if err != nil {
-			return 0, err
+		var lo, hi int64
+		if leader != nil {
+			// The leader refills from its own range table directly.
+			lo, hi = leader.allocRange(kind, idBatchSize, h.Addr)
+		} else {
+			resp, err := h.callLeader(Frame{Type: MsgNSAlloc, A: int64(kind), B: idBatchSize})
+			if err != nil {
+				return 0, err
+			}
+			lo, hi = resp.A, resp.B
 		}
 		h.mu.Lock()
 		b = h.idBatches[kind]
-		b.next, b.hi = resp.A, resp.B
+		b.next, b.hi = lo, hi
 	}
 	id := b.next
 	b.next++
@@ -47,27 +55,329 @@ func (h *Helper) allocID(kind int) (int64, error) {
 }
 
 // ============================================================
+// Key resolution (shared by message queues and semaphores)
+// ============================================================
+
+// sysvKey maps a System V key to (id, owner) for the given namespace
+// kind. The fast path serves the request entirely from a held block lease
+// (no leader traffic); otherwise one leader round trip resolves the key,
+// grants a block lease on create, or redirects to the authoritative lease
+// holder.
+func (h *Helper) sysvKey(kind int, key int64, flags int) (int64, string, error) {
+	if key != api.IPCPrivate && keyLeasesOn.Load() && h.leaseCount.Load() != 0 {
+		if id, owner, handled, err := h.keyFromLease(kind, key, flags); handled {
+			return id, owner, err
+		}
+	}
+	h.mu.Lock()
+	leader := h.leader
+	h.mu.Unlock()
+	if leader != nil {
+		// The leader resolves against its own authoritative tables with
+		// plain calls — no dispatch machinery, and no lease either: a
+		// lease only removes round trips, and the leader has none
+		// (taking one would just add cache bookkeeping on top of the
+		// same keys/owners writes). A zero proposed ID lets keyResolve
+		// draw one under its own lock, skipping the batch-allocation
+		// step entirely.
+		for attempt := 0; attempt < sysvRetries; attempt++ {
+			migrationBackoff(attempt)
+			r, errno := leader.keyResolve(kind, key, flags, 0, h.Addr, false)
+			if errno != 0 {
+				return 0, "", errno
+			}
+			if r.indirect == "" {
+				return r.id, r.owner, nil
+			}
+			if r.indirect == h.Addr {
+				// The lease table points at us but the helper-side lease is
+				// gone (checked before we got here): drop it and resolve
+				// from the leader tables.
+				leader.releaseLease(kind, keyBlock(key))
+				continue
+			}
+			proposed, err := h.allocID(kind)
+			if err != nil {
+				return 0, "", err
+			}
+			id, owner, err := h.keyFromHolder(kind, key, flags, proposed, r.indirect)
+			if err == errHolderGone {
+				continue
+			}
+			return id, owner, err
+		}
+		return 0, "", api.EIDRM
+	}
+	proposed, err := h.allocID(kind)
+	if err != nil {
+		return 0, "", err
+	}
+	reqFlags := int64(flags)
+	if keyLeasesOn.Load() {
+		reqFlags |= keyLeaseRequest
+	}
+	for attempt := 0; attempt < sysvRetries; attempt++ {
+		migrationBackoff(attempt)
+		resp, err := h.callLeader(Frame{Type: MsgKeyGet, A: int64(kind), B: key, C: reqFlags, D: proposed})
+		if err != nil {
+			return 0, "", err
+		}
+		switch resp.B {
+		case keyRespLeased:
+			h.mu.Lock()
+			h.keyLeases[kind][resp.C] = struct{}{}
+			h.keyCache[kind][key] = keyEntry{id: resp.A, owner: resp.S}
+			h.mu.Unlock()
+			h.leaseCount.Add(1)
+			return resp.A, resp.S, nil
+		case keyRespIndirect:
+			// The block is leased to another helper whose local cache is
+			// authoritative (it may hold keys it has not yet registered at
+			// the leader); ask it directly.
+			id, owner, err := h.keyFromHolder(kind, key, flags, proposed, resp.S)
+			if err == errHolderGone {
+				continue
+			}
+			return id, owner, err
+		default:
+			return resp.A, resp.S, nil
+		}
+	}
+	return 0, "", api.EIDRM
+}
+
+// errHolderGone reports that a lease holder could not answer (dead, or it
+// released the lease); the caller re-resolves at the leader.
+var errHolderGone = fmt.Errorf("ipc: lease holder unreachable")
+
+// keyFromHolder asks the block's lease holder to resolve (or create on
+// our behalf) a key the leader redirected us to.
+func (h *Helper) keyFromHolder(kind int, key int64, flags int, proposed int64, holder string) (int64, string, error) {
+	c, derr := h.dial(holder)
+	if derr != nil {
+		// The holder died; release its lease on its behalf so the leader
+		// answers from its own (flushed) table next time.
+		_, _ = h.callLeader(Frame{Type: MsgKeyEvict, A: int64(kind), B: keyBlock(key)})
+		return 0, "", errHolderGone
+	}
+	r2, cerr := c.Call(Frame{Type: MsgKeyGet, A: int64(kind), B: key, C: int64(flags), D: proposed})
+	switch cerr {
+	case nil:
+		return r2.A, r2.S, nil
+	case api.EXDEV:
+		// The holder released the lease between the leader's answer and
+		// our call; the leader is authoritative again.
+		return 0, "", errHolderGone
+	case api.EPIPE:
+		_, _ = h.callLeader(Frame{Type: MsgKeyEvict, A: int64(kind), B: keyBlock(key)})
+		return 0, "", errHolderGone
+	default:
+		return 0, "", cerr
+	}
+}
+
+// keyFromLease serves a key lookup/create from a locally held block
+// lease. handled=false means the key's block is not leased here and the
+// caller must go through the leader.
+func (h *Helper) keyFromLease(kind int, key int64, flags int) (id int64, owner string, handled bool, err error) {
+	block := keyBlock(key)
+	h.mu.Lock()
+	if _, held := h.keyLeases[kind][block]; !held {
+		h.mu.Unlock()
+		return 0, "", false, nil
+	}
+	if e, ok := h.keyCache[kind][key]; ok {
+		h.mu.Unlock()
+		if flags&api.IPCCreat != 0 && flags&api.IPCExcl != 0 {
+			return 0, "", true, api.EEXIST
+		}
+		return e.id, e.owner, true, nil
+	}
+	h.mu.Unlock()
+	if flags&api.IPCCreat == 0 {
+		return 0, "", true, api.ENOENT
+	}
+	proposed, aerr := h.allocID(kind)
+	if aerr != nil {
+		return 0, "", true, aerr
+	}
+	h.mu.Lock()
+	// Re-check under the lock: the lease may have been flushed, or a
+	// racing create may have landed (its entry wins; our ID is wasted,
+	// which batched allocation makes harmless).
+	if _, held := h.keyLeases[kind][block]; !held {
+		h.mu.Unlock()
+		return 0, "", false, nil
+	}
+	if e, ok := h.keyCache[kind][key]; ok {
+		h.mu.Unlock()
+		if flags&api.IPCExcl != 0 {
+			return 0, "", true, api.EEXIST
+		}
+		return e.id, e.owner, true, nil
+	}
+	h.keyCache[kind][key] = keyEntry{id: proposed, owner: h.Addr}
+	h.mu.Unlock()
+	// Register lazily so later by-ID owner queries and post-exit lookups
+	// resolve at the leader; the create itself stays round-trip free.
+	h.registerKeyLazily(kind, key, proposed, h.Addr)
+	return proposed, h.Addr, true, nil
+}
+
+// registerKeyLazily records a lease-created mapping at the leader:
+// directly (plain map writes) when this helper is the leader itself,
+// asynchronously over RPC otherwise.
+func (h *Helper) registerKeyLazily(kind int, key, id int64, owner string) {
+	h.mu.Lock()
+	if leader := h.leader; leader != nil {
+		// The leader's registration is a pair of plain map writes; do
+		// it synchronously (this path only runs for creates the leader
+		// performs on a requester's behalf under a recovered lease).
+		h.mu.Unlock()
+		leader.registerKey(kind, key, id, owner)
+		return
+	}
+	// Members queue the registration for a single background drainer,
+	// instead of one goroutine + leader round trip per create: a burst
+	// of creates under a lease costs the leader a trickle of registers
+	// instead of a storm.
+	h.pendingRegs = append(h.pendingRegs, pendingReg{kind: kind, key: key, id: id, owner: owner})
+	if h.regFlushing {
+		h.mu.Unlock()
+		return
+	}
+	h.regFlushing = true
+	h.mu.Unlock()
+	go h.drainPendingRegs()
+}
+
+// takeLiveRegsLocked claims the queued registrations, dropping entries
+// whose cached mapping is gone (the object was removed before the lazy
+// registration landed — registering it would resurrect a dead key).
+// Caller holds h.mu.
+func (h *Helper) takeLiveRegsLocked() []pendingReg {
+	batch := h.pendingRegs
+	h.pendingRegs = nil
+	live := batch[:0]
+	for _, r := range batch {
+		if e, ok := h.keyCache[r.kind][r.key]; ok && e.id == r.id {
+			live = append(live, r)
+		}
+	}
+	return live
+}
+
+// drainPendingRegs sends queued lazy registrations to the leader until the
+// queue is empty, then exits. At most one instance runs per helper.
+func (h *Helper) drainPendingRegs() {
+	for {
+		h.mu.Lock()
+		if len(h.pendingRegs) == 0 {
+			h.regFlushing = false
+			h.mu.Unlock()
+			return
+		}
+		batch := h.takeLiveRegsLocked()
+		h.mu.Unlock()
+		for _, r := range batch {
+			_, _ = h.callLeader(Frame{Type: MsgKeyRegister, A: int64(r.kind), B: r.key, C: r.id, S: r.owner})
+		}
+	}
+}
+
+// pendingReg is a queued lazy key registration (see registerKeyLazily).
+type pendingReg struct {
+	kind    int
+	key, id int64
+	owner   string
+}
+
+// dropKeyCache forgets cached key mappings pointing at a removed object,
+// including registrations still queued for the lazy flusher (a register
+// that has already left for the leader is neutralized there by the
+// removed-ID tombstone).
+func (h *Helper) dropKeyCache(kind int, id int64) {
+	h.mu.Lock()
+	for key, e := range h.keyCache[kind] {
+		if e.id == id {
+			delete(h.keyCache[kind], key)
+		}
+	}
+	live := h.pendingRegs[:0]
+	for _, r := range h.pendingRegs {
+		if r.kind == kind && r.id == id {
+			continue
+		}
+		live = append(live, r)
+	}
+	h.pendingRegs = live
+	h.mu.Unlock()
+}
+
+// flushKeyLeases registers every locally cached key mapping at the leader
+// and returns the held blocks, so the sandbox keeps resolving these keys
+// after this helper exits. Runs on shutdown; helpers that never created
+// clustered keys hold no leases and skip the round trips entirely.
+func (h *Helper) flushKeyLeases() {
+	type flushKey struct {
+		kind    int
+		key, id int64
+		owner   string
+	}
+	type flushBlock struct {
+		kind  int
+		block int64
+	}
+	var entries []flushKey
+	var blocks []flushBlock
+	h.mu.Lock()
+	// The synchronous cache flush below supersedes any queued lazy
+	// registrations (the cache holds every mapping the queue does).
+	h.pendingRegs = nil
+	for kind, m := range h.keyCache {
+		for key, e := range m {
+			entries = append(entries, flushKey{kind: kind, key: key, id: e.id, owner: e.owner})
+		}
+		h.keyCache[kind] = map[int64]keyEntry{}
+	}
+	for kind, m := range h.keyLeases {
+		for b := range m {
+			blocks = append(blocks, flushBlock{kind: kind, block: b})
+		}
+		h.keyLeases[kind] = map[int64]struct{}{}
+	}
+	h.leaseCount.Store(0)
+	h.mu.Unlock()
+	for _, e := range entries {
+		_, _ = h.callLeader(Frame{Type: MsgKeyRegister, A: int64(e.kind), B: e.key, C: e.id, S: e.owner})
+	}
+	for _, b := range blocks {
+		_, _ = h.callLeader(Frame{Type: MsgKeyEvict, A: int64(b.kind), B: b.block})
+	}
+}
+
+// ============================================================
 // Message queues (client side)
 // ============================================================
 
 // Msgget maps a System V key to a queue ID, creating the queue locally
-// when this helper wins the creation race at the leader (§4.2).
+// when this helper wins the creation race (§4.2).
 func (h *Helper) Msgget(key int64, flags int) (int64, error) {
-	proposed, err := h.allocID(NSSysVMsg)
+	id, owner, err := h.sysvKey(NSSysVMsg, key, flags)
 	if err != nil {
 		return 0, err
 	}
-	resp, err := h.callLeader(Frame{Type: MsgKeyGet, A: NSSysVMsg, B: key, C: int64(flags), D: proposed})
-	if err != nil {
-		return 0, err
-	}
-	id, owner := resp.A, resp.S
 	h.mu.Lock()
-	h.qOwnerCache[id] = owner
-	if owner == h.Addr && h.queues[id] == nil {
-		q := newMsgQueue(id, key)
-		q.epoch = 1
-		h.queues[id] = q
+	if owner == h.Addr {
+		// qOwner finds local queues before consulting the cache, so a
+		// self entry would only add an insert to the create fast path.
+		if h.queues[id] == nil {
+			q := newMsgQueue(id, key)
+			q.epoch = 1
+			h.queues[id] = q
+		}
+	} else {
+		h.qOwnerCache[id] = owner
 	}
 	h.mu.Unlock()
 	return id, nil
@@ -300,6 +610,7 @@ func (h *Helper) MsgRmid(id int64) error {
 }
 
 func (h *Helper) removeLocalQueue(id int64) {
+	h.dropKeyCache(NSSysVMsg, id)
 	h.mu.Lock()
 	q := h.queues[id]
 	delete(h.queues, id)
@@ -309,7 +620,9 @@ func (h *Helper) removeLocalQueue(id int64) {
 		return
 	}
 	accessors := q.remove()
+	h.bg.Add(1)
 	go func() {
+		defer h.bg.Done()
 		for _, addr := range accessors {
 			if addr == h.Addr {
 				continue
@@ -457,21 +770,20 @@ func (h *Helper) Semget(key int64, nsems int, flags int) (int64, error) {
 	if nsems <= 0 || nsems > 250 {
 		return 0, api.EINVAL
 	}
-	proposed, err := h.allocID(NSSysVSem)
+	id, owner, err := h.sysvKey(NSSysVSem, key, flags)
 	if err != nil {
 		return 0, err
 	}
-	resp, err := h.callLeader(Frame{Type: MsgKeyGet, A: NSSysVSem, B: key, C: int64(flags), D: proposed})
-	if err != nil {
-		return 0, err
-	}
-	id, owner := resp.A, resp.S
 	h.mu.Lock()
-	h.semOwner[id] = owner
-	if owner == h.Addr && h.sems[id] == nil {
-		s := newSemSet(id, key, nsems)
-		s.epoch = 1
-		h.sems[id] = s
+	if owner == h.Addr {
+		// semOwnerOf finds local sets before the cache; see Msgget.
+		if h.sems[id] == nil {
+			s := newSemSet(id, key, nsems)
+			s.epoch = 1
+			h.sems[id] = s
+		}
+	} else {
+		h.semOwner[id] = owner
 	}
 	h.mu.Unlock()
 	return id, nil
@@ -590,6 +902,7 @@ func (h *Helper) SemRmid(id int64) error {
 }
 
 func (h *Helper) removeLocalSem(id int64) {
+	h.dropKeyCache(NSSysVSem, id)
 	h.mu.Lock()
 	s := h.sems[id]
 	delete(h.sems, id)
@@ -599,7 +912,9 @@ func (h *Helper) removeLocalSem(id int64) {
 		return
 	}
 	accessors := s.remove()
+	h.bg.Add(1)
 	go func() {
+		defer h.bg.Done()
 		for _, addr := range accessors {
 			if addr == h.Addr {
 				continue

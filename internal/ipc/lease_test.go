@@ -1,0 +1,246 @@
+package ipc
+
+import (
+	"testing"
+	"time"
+
+	"graphene/internal/api"
+)
+
+// TestKeyLeaseLocalCreate verifies the Table 7 fix: after the first create
+// in a key block grants the block lease, subsequent creates and lookups in
+// that block are served entirely from the holder's cache — no leader round
+// trip (at most one leader RT per block of keyBlockSize keys).
+func TestKeyLeaseLocalCreate(t *testing.T) {
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	mh, _ := g.member(lp, lh.Addr, 2, newFakeService())
+
+	base := int64(64000) // block-aligned so the whole run stays in one block
+	id0, err := mh.Msgget(base, api.IPCCreat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first create must have granted the member the block lease.
+	mh.mu.Lock()
+	_, held := mh.keyLeases[NSSysVMsg][keyBlock(base)]
+	mh.mu.Unlock()
+	if !held {
+		t.Fatalf("first create did not grant the key block lease")
+	}
+	// Later creates in the block resolve on the local fast path.
+	for i := int64(1); i < keyBlockSize; i++ {
+		id, owner, handled, err := mh.keyFromLease(NSSysVMsg, base+i, api.IPCCreat)
+		if err != nil || !handled {
+			t.Fatalf("create key %d: handled=%v err=%v", base+i, handled, err)
+		}
+		if owner != mh.Addr || id == 0 {
+			t.Fatalf("create key %d: id=%d owner=%q", base+i, id, owner)
+		}
+	}
+	// Lookups too, including of the first (leader-registered) key.
+	if id, _, handled, err := mh.keyFromLease(NSSysVMsg, base, 0); !handled || err != nil || id != id0 {
+		t.Fatalf("local lookup: id=%d handled=%v err=%v, want id=%d", id, handled, err, id0)
+	}
+	// Excl semantics hold on the fast path.
+	if _, _, _, err := mh.keyFromLease(NSSysVMsg, base, api.IPCCreat|api.IPCExcl); err != api.EEXIST {
+		t.Fatalf("excl create of existing key: err=%v, want EEXIST", err)
+	}
+	// And a miss without IPCCreat is authoritative ENOENT.
+	if _, _, handled, err := mh.keyFromLease(NSSysVMsg, base+keyBlockSize-1+0, 0); !handled && err == nil {
+		t.Fatalf("lookup in held block must be handled locally")
+	}
+}
+
+// TestKeyLeaseCrossHelperLookup verifies the indirection protocol: a key
+// created under another helper's lease (possibly not yet registered at the
+// leader) resolves correctly from a third party, with matching IDs.
+func TestKeyLeaseCrossHelperLookup(t *testing.T) {
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	m1, _ := g.member(lp, lh.Addr, 2, newFakeService())
+	m2, _ := g.member(lp, lh.Addr, 3, newFakeService())
+
+	base := int64(65280)
+	ids := make(map[int64]int64)
+	for i := int64(0); i < 8; i++ {
+		id, err := m1.Msgget(base+i, api.IPCCreat)
+		if err != nil {
+			t.Fatalf("create %d: %v", base+i, err)
+		}
+		ids[base+i] = id
+	}
+	// The leader and another member both resolve every key to the same ID,
+	// whether the leader already saw the lazy registration or had to
+	// redirect to the lease holder.
+	for i := int64(0); i < 8; i++ {
+		id, err := m2.Msgget(base+i, 0)
+		if err != nil || id != ids[base+i] {
+			t.Fatalf("m2 lookup %d: id=%d err=%v, want %d", base+i, id, err, ids[base+i])
+		}
+		id, err = lh.Msgget(base+i, 0)
+		if err != nil || id != ids[base+i] {
+			t.Fatalf("leader lookup %d: id=%d err=%v, want %d", base+i, id, err, ids[base+i])
+		}
+	}
+	// Excl creates from a non-holder fail through the indirection too.
+	if _, err := m2.Msgget(base, api.IPCCreat|api.IPCExcl); err != api.EEXIST {
+		t.Fatalf("excl create via holder: err=%v, want EEXIST", err)
+	}
+	// Creates from a non-holder in the leased block install at the holder
+	// on the requester's behalf; the requester owns the object.
+	id, err := m2.Msgget(base+100, api.IPCCreat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Msgsnd(id, 1, []byte("mine"), 0); err != nil {
+		t.Fatalf("send to create-on-behalf queue: %v", err)
+	}
+	if mt, data, err := m2.Msgrcv(id, 0, 0); err != nil || mt != 1 || string(data) != "mine" {
+		t.Fatalf("recv: %d %q %v", mt, data, err)
+	}
+	// ...and resolves from the other helpers.
+	if got, err := m1.Msgget(base+100, 0); err != nil || got != id {
+		t.Fatalf("holder lookup of on-behalf key: id=%d err=%v, want %d", got, err, id)
+	}
+}
+
+// TestKeyLeaseRemoveEvictsCache verifies that removing an object drops the
+// key from the holder's leased cache, so a later msgget creates a fresh
+// object instead of resurrecting the dead ID.
+func TestKeyLeaseRemoveEvictsCache(t *testing.T) {
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	mh, _ := g.member(lp, lh.Addr, 2, newFakeService())
+
+	key := int64(66560)
+	id, err := mh.Msgget(key, api.IPCCreat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the lazy registration so the leader knows the key and can
+	// route the eviction back to the holder deterministically.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		lh.mu.Lock()
+		_, known := lh.leader.keys[NSSysVMsg][key]
+		lh.mu.Unlock()
+		if known || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := mh.MsgRmid(id); err != nil {
+		t.Fatal(err)
+	}
+	// The holder's own cache entry is dropped synchronously on removal.
+	mh.mu.Lock()
+	_, cached := mh.keyCache[NSSysVMsg][key]
+	mh.mu.Unlock()
+	if cached {
+		t.Fatalf("removed key still cached at holder")
+	}
+	id2, err := mh.Msgget(key, api.IPCCreat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == id {
+		t.Fatalf("msgget after rmid resurrected dead id %d", id)
+	}
+}
+
+// TestKeyLeaseFlushOnShutdown verifies that an exiting holder registers
+// its cached mappings and releases its blocks, so the keys keep resolving
+// at the leader afterwards.
+func TestKeyLeaseFlushOnShutdown(t *testing.T) {
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	mh, _ := g.member(lp, lh.Addr, 2, newFakeService())
+
+	base := int64(67584)
+	ids := make(map[int64]int64)
+	for i := int64(0); i < 4; i++ {
+		id, err := mh.Msgget(base+i, api.IPCCreat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[base+i] = id
+	}
+	mh.Shutdown()
+	// Leases are gone from the leader...
+	lh.mu.Lock()
+	_, leased := lh.leader.leases[NSSysVMsg][keyBlock(base)]
+	lh.mu.Unlock()
+	if leased {
+		t.Fatalf("shutdown left the block leased")
+	}
+	// ...and every key resolves directly at the leader with its final ID.
+	for k, want := range ids {
+		got, err := lh.Msgget(k, 0)
+		if err != nil || got != want {
+			t.Fatalf("post-shutdown lookup %d: id=%d err=%v, want %d", k, got, err, want)
+		}
+	}
+}
+
+// TestKeyLeaseAblationOff verifies SetKeyLeases(false) restores the
+// pre-lease protocol: every resolution goes to the leader and no lease is
+// ever granted.
+func TestKeyLeaseAblationOff(t *testing.T) {
+	SetKeyLeases(false)
+	defer SetKeyLeases(true)
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	mh, _ := g.member(lp, lh.Addr, 2, newFakeService())
+
+	base := int64(68608)
+	id, err := mh.Msgget(base, api.IPCCreat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh.mu.Lock()
+	held := len(mh.keyLeases[NSSysVMsg])
+	mh.mu.Unlock()
+	if held != 0 {
+		t.Fatalf("lease granted with leases disabled")
+	}
+	lh.mu.Lock()
+	leased := len(lh.leader.leases[NSSysVMsg])
+	lh.mu.Unlock()
+	if leased != 0 {
+		t.Fatalf("leader recorded a lease with leases disabled")
+	}
+	if got, err := lh.Msgget(base, 0); err != nil || got != id {
+		t.Fatalf("lookup: id=%d err=%v, want %d", got, err, id)
+	}
+}
+
+// TestKeyLeaseSemget exercises the shared resolution path for semaphores.
+func TestKeyLeaseSemget(t *testing.T) {
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	mh, _ := g.member(lp, lh.Addr, 2, newFakeService())
+
+	base := int64(69632)
+	id, err := mh.Semget(base, 2, api.IPCCreat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh.mu.Lock()
+	_, held := mh.keyLeases[NSSysVSem][keyBlock(base)]
+	mh.mu.Unlock()
+	if !held {
+		t.Fatalf("semget create did not grant a block lease")
+	}
+	// Cross-helper resolution agrees and operations work.
+	got, err := lh.Semget(base, 2, 0)
+	if err != nil || got != id {
+		t.Fatalf("leader semget: id=%d err=%v, want %d", got, err, id)
+	}
+	if err := mh.Semop(id, []api.SemBuf{{Num: 0, Op: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := lh.Semop(id, []api.SemBuf{{Num: 0, Op: -1}}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,6 +20,35 @@ type keyEntry struct {
 	owner string
 }
 
+// keyBlockSize is how many consecutive System V keys one block lease
+// covers. Applications name related IPC objects with clustered keys
+// (ftok over the same file, a base key plus a small index), so leasing a
+// whole block on the first create amortizes the leader round trip the
+// same way PID batches amortize fork (§4.3).
+const keyBlockSize = 64
+
+// keyLeaseRequest is OR'd into MsgKeyGet's flags word by a requester
+// willing to take a block lease. It lives far above the guest ipc flags
+// (IPCCreat/IPCExcl/IPCNoWait occupy the low 12 bits).
+const keyLeaseRequest = 1 << 30
+
+// MsgKeyGet response codes (Frame.B).
+const (
+	keyRespDirect   = 0 // A=id, S=owner: authoritative answer
+	keyRespIndirect = 1 // S=lease holder: re-ask that helper
+	keyRespLeased   = 2 // as direct, plus block C is now leased to the requester
+)
+
+// keyBlock maps a key to its lease block (floor division, so negative
+// keys land in well-defined blocks too).
+func keyBlock(key int64) int64 {
+	b := key / keyBlockSize
+	if key%keyBlockSize != 0 && key < 0 {
+		b--
+	}
+	return b
+}
+
 // ownerEntry records who owns a System V object plus the migration epoch
 // under which they claimed it. Each ownership transfer increments the
 // epoch, and the leader ignores a chown carrying a lower epoch than the
@@ -38,18 +67,28 @@ type leaderState struct {
 	mu     sync.RWMutex
 	ranges map[int][]idRange
 	next   map[int]int64
-	keys   map[int]map[int64]keyEntry    // kind -> key -> entry
-	owners map[int]map[int64]ownerEntry  // kind -> id -> owner
-	pgs    *pgroupState
+	keys   map[int]map[int64]keyEntry   // kind -> key -> entry
+	owners map[int]map[int64]ownerEntry // kind -> id -> owner
+	leases map[int]map[int64]string     // kind -> key block -> holder address
+	// removed tombstones destroyed object IDs. A lazy key registration
+	// from a lease holder can arrive after the object's removal (the two
+	// travel on different streams), and without the tombstone it would
+	// resurrect the key mapping. IDs are allocated monotonically and never
+	// reused, so a tombstone stays valid forever; the set grows by one
+	// int64 per destroyed object, which is fine at sandbox scale.
+	removed map[int]map[int64]struct{} // kind -> id
+	pgs     *pgroupState
 }
 
 func newLeaderState() *leaderState {
 	return &leaderState{
-		ranges: make(map[int][]idRange),
-		next:   map[int]int64{NSPid: 1, NSSysVMsg: 1, NSSysVSem: 1},
-		keys:   map[int]map[int64]keyEntry{NSSysVMsg: {}, NSSysVSem: {}},
-		owners: map[int]map[int64]ownerEntry{NSSysVMsg: {}, NSSysVSem: {}},
-		pgs:    newPgroupState(),
+		ranges:  make(map[int][]idRange),
+		next:    map[int]int64{NSPid: 1, NSSysVMsg: 1, NSSysVSem: 1},
+		keys:    map[int]map[int64]keyEntry{NSSysVMsg: {}, NSSysVSem: {}},
+		owners:  map[int]map[int64]ownerEntry{NSSysVMsg: {}, NSSysVSem: {}},
+		leases:  map[int]map[int64]string{NSSysVMsg: {}, NSSysVSem: {}},
+		removed: map[int]map[int64]struct{}{NSSysVMsg: {}, NSSysVSem: {}},
+		pgs:     newPgroupState(),
 	}
 }
 
@@ -76,29 +115,127 @@ func (l *leaderState) rangeOwner(kind int, id int64) (string, bool) {
 	return "", false
 }
 
-// keyGet resolves or creates a key mapping. proposedID is the requester's
-// locally allocated ID, used only on creation.
-func (l *leaderState) keyGet(kind int, key int64, flags int, proposedID int64, requester string) (id int64, owner string, err api.Errno) {
+// keyResult is the outcome of a key resolution at the leader.
+type keyResult struct {
+	id    int64
+	owner string
+	// indirect, when non-empty, names the lease holder authoritative for
+	// the key's block; the requester must re-ask that helper.
+	indirect string
+	// leased reports that block was just granted to the requester.
+	leased bool
+	block  int64
+}
+
+// keyResolve resolves or creates a key mapping. proposedID is the
+// requester's locally allocated ID, used only on creation; zero means
+// "allocate for me" and draws the next ID under the same lock (the
+// leader's own creates use this to skip the batch-allocation step — its
+// SysV IDs need no ranges entry because ownership lives in l.owners).
+// With wantLease,
+// a create in an unleased block registers the key AND grants the whole
+// block to the requester in the same round trip; later creates and lookups
+// in that block are then served by the holder (locally, or via the
+// indirect response for other helpers).
+func (l *leaderState) keyResolve(kind int, key int64, flags int, proposedID int64, requester string, wantLease bool) (keyResult, api.Errno) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	keys := l.keys[kind]
 	if keys == nil {
-		return 0, "", api.EINVAL
+		return keyResult{}, api.EINVAL
 	}
 	if key != api.IPCPrivate {
 		if e, ok := keys[key]; ok {
 			if flags&api.IPCCreat != 0 && flags&api.IPCExcl != 0 {
-				return 0, "", api.EEXIST
+				return keyResult{}, api.EEXIST
 			}
-			return e.id, e.owner, 0
+			return keyResult{id: e.id, owner: e.owner}, 0
+		}
+		// Not registered here. A leased block's holder is authoritative
+		// for unregistered keys in it (its creates register lazily), so
+		// send the requester there rather than answering ENOENT.
+		block := keyBlock(key)
+		if holder, ok := l.leases[kind][block]; ok && holder != requester {
+			return keyResult{indirect: holder, block: block}, 0
 		}
 		if flags&api.IPCCreat == 0 {
-			return 0, "", api.ENOENT
+			return keyResult{}, api.ENOENT
+		}
+		if proposedID == 0 {
+			proposedID = l.next[kind]
+			l.next[kind]++
 		}
 		keys[key] = keyEntry{id: proposedID, owner: requester}
+		l.owners[kind][proposedID] = ownerEntry{addr: requester, epoch: 1}
+		if wantLease {
+			if _, taken := l.leases[kind][block]; !taken {
+				l.leases[kind][block] = requester
+				return keyResult{id: proposedID, owner: requester, leased: true, block: block}, 0
+			}
+		}
+		return keyResult{id: proposedID, owner: requester}, 0
+	}
+	if proposedID == 0 {
+		proposedID = l.next[kind]
+		l.next[kind]++
 	}
 	l.owners[kind][proposedID] = ownerEntry{addr: requester, epoch: 1}
-	return proposedID, requester, 0
+	return keyResult{id: proposedID, owner: requester}, 0
+}
+
+// keyGet is keyResolve without lease handling (kept for the direct-path
+// callers and tests; an indirect result cannot occur without leases).
+func (l *leaderState) keyGet(kind int, key int64, flags int, proposedID int64, requester string) (id int64, owner string, err api.Errno) {
+	r, errno := l.keyResolve(kind, key, flags, proposedID, requester, false)
+	if errno != 0 {
+		return 0, "", errno
+	}
+	return r.id, r.owner, 0
+}
+
+// registerKey installs a key mapping created under a block lease. The
+// lazy registration can arrive after a migration already recorded a newer
+// owner for the ID, so an existing owner entry wins over the report.
+func (l *leaderState) registerKey(kind int, key, id int64, owner string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.registerKeyLocked(kind, key, id, owner)
+}
+
+func (l *leaderState) registerKeyLocked(kind int, key, id int64, owner string) {
+	if _, dead := l.removed[kind][id]; dead {
+		return // the object was destroyed while the report was in flight
+	}
+	if cur, ok := l.owners[kind][id]; ok {
+		owner = cur.addr
+	} else {
+		if l.owners[kind] == nil {
+			return
+		}
+		l.owners[kind][id] = ownerEntry{addr: owner, epoch: 1}
+	}
+	if key != api.IPCPrivate && l.keys[kind] != nil {
+		if _, exists := l.keys[kind][key]; !exists {
+			l.keys[kind][key] = keyEntry{id: id, owner: owner}
+		}
+	}
+}
+
+// releaseLease drops a block lease (holder exit, or a peer reporting the
+// holder dead). Keys the holder flushed stay registered; anything it never
+// reported dies with it, like all of a crashed picoprocess's local state.
+func (l *leaderState) releaseLease(kind int, block int64) {
+	l.mu.Lock()
+	delete(l.leases[kind], block)
+	l.mu.Unlock()
+}
+
+// leaseHolder returns the current holder of a key block, if any.
+func (l *leaderState) leaseHolder(kind int, block int64) (string, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	h, ok := l.leases[kind][block]
+	return h, ok
 }
 
 // idOwner returns the current owner of a System V object.
@@ -137,14 +274,30 @@ func (l *leaderState) chown(kind int, id int64, newOwner string, epoch int64) {
 	}
 }
 
-// remove drops an object and any key pointing at it.
-func (l *leaderState) remove(kind int, id int64) {
+// keyEvictNote tells a lease holder to drop its cached entry for a
+// removed key.
+type keyEvictNote struct {
+	key    int64
+	holder string
+}
+
+// remove drops an object and any key pointing at it, returning eviction
+// notices for lease holders still caching the dropped keys (the caller
+// delivers them off the RPC handler goroutine).
+func (l *leaderState) remove(kind int, id int64) (notify []keyEvictNote) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.removed[kind] != nil {
+		l.removed[kind][id] = struct{}{}
+	}
 	delete(l.owners[kind], id)
 	for key, e := range l.keys[kind] {
 		if e.id == id {
 			delete(l.keys[kind], key)
+			if holder, ok := l.leases[kind][keyBlock(key)]; ok {
+				notify = append(notify, keyEvictNote{key: key, holder: holder})
+			}
 		}
 	}
+	return notify
 }

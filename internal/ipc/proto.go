@@ -40,9 +40,11 @@ const (
 	// Resp: S=value.
 	MsgProcMeta
 
-	// MsgKeyGet: map a System V key to an ID at the leader.
-	// A=kind, B=key, C=flags(IPCCreat|IPCExcl), D=nsems (sem only).
-	// Resp: A=id, S=owner address.
+	// MsgKeyGet: map a System V key to an ID at the leader (or, for keys
+	// in a leased block, at the lease holder). A=kind, B=key,
+	// C=flags(IPCCreat|IPCExcl)|keyLeaseRequest, D=proposed ID.
+	// Resp: A=id, S=owner address, B=keyRespDirect/Indirect/Leased
+	// (C=granted block when B==keyRespLeased).
 	MsgKeyGet
 	// MsgKeyOwner: look up the owner of a System V ID at the leader.
 	// A=kind, B=id. Resp: S=owner address.
@@ -96,6 +98,16 @@ const (
 	// MsgRecoverState: a member's state report to the new leader.
 	// Blob=recoverPayload.
 	MsgRecoverState
+
+	// MsgKeyRegister: lazily record a key mapping created under a block
+	// lease at the leader. A=kind, B=key, C=id, S=owner address.
+	MsgKeyRegister
+	// MsgKeyEvict: lease maintenance. To the leader (C=0): release the key
+	// block B of kind A (sent by the holder on exit, or by a peer on the
+	// holder's behalf when the holder is unreachable). To a lease holder
+	// (C=1): drop the cached entry for key B of kind A after the backing
+	// object was removed.
+	MsgKeyEvict
 )
 
 // Namespace kinds for MsgNSAlloc/MsgNSQuery and key mappings.

@@ -46,7 +46,9 @@ type msgQueue struct {
 	epoch int64
 
 	// accessors are helper addresses that have touched the queue, for
-	// deletion notifications.
+	// deletion notifications. Allocated lazily (via noteAccessor) on the
+	// first remote access: purely local queues never need it, and the
+	// create fast path stays allocation-light.
 	accessors map[string]struct{}
 
 	// remoteRecvs counts remote receives per address and localRecvs counts
@@ -57,11 +59,16 @@ type msgQueue struct {
 }
 
 func newMsgQueue(id, key int64) *msgQueue {
-	return &msgQueue{
-		id: id, key: key,
-		accessors:   make(map[string]struct{}),
-		remoteRecvs: make(map[string]int),
+	return &msgQueue{id: id, key: key}
+}
+
+// noteAccessor records a remote toucher for deletion notifications.
+// Caller holds q.mu.
+func (q *msgQueue) noteAccessor(addr string) {
+	if q.accessors == nil {
+		q.accessors = make(map[string]struct{})
 	}
+	q.accessors[addr] = struct{}{}
 }
 
 // matches implements msgrcv type selection: 0 = any, >0 = exact type,
@@ -234,11 +241,16 @@ type semSet struct {
 }
 
 func newSemSet(id, key int64, nsems int) *semSet {
-	return &semSet{
-		id: id, key: key, vals: make([]int, nsems),
-		accessors:  make(map[string]struct{}),
-		remoteAcqs: make(map[string]int),
+	return &semSet{id: id, key: key, vals: make([]int, nsems)}
+}
+
+// noteAccessor records a remote toucher for deletion notifications.
+// Caller holds s.mu.
+func (s *semSet) noteAccessor(addr string) {
+	if s.accessors == nil {
+		s.accessors = make(map[string]struct{})
 	}
+	s.accessors[addr] = struct{}{}
 }
 
 // applyLocked attempts the op list atomically; returns false if blocked.

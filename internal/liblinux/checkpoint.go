@@ -49,6 +49,10 @@ type Checkpoint struct {
 
 	// Pages carries memory contents for migration checkpoints only.
 	Pages []PageDump
+
+	// Incremental marks a delta image: Pages holds only pages dirtied
+	// since the previous snapshot, to be applied over a restored base.
+	Incremental bool
 }
 
 // PageDump is one resident page in a migration checkpoint.
@@ -142,31 +146,101 @@ func decodeCheckpoint(blob []byte) (*Checkpoint, error) {
 	return &ck, nil
 }
 
-// writeFrame/readFrame length-prefix blobs on the initial stream.
-func writeFrame(s *host.Stream, blob []byte) error {
-	var lenBuf [4]byte
-	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(blob)))
-	if _, err := s.Write(lenBuf[:]); err != nil {
-		return err
+// ============================================================
+// Fork checkpoint streaming: the chunked section protocol.
+//
+// Fork no longer serializes one monolithic blob. The parent streams the
+// checkpoint as typed sections over the initial stream — [kind:1][len:4]
+// [payload] — while a producer goroutine commits memory batches into the
+// bulk-IPC store, and the child overlaps its restore: as soon as the
+// memory section arrives it starts allocating regions and blocking on the
+// store for batches (one batch per region, in section order) on a mapper
+// goroutine, while the main restore path keeps consuming FD and signal
+// sections. Serialization, bulk-IPC transfer, and restore all run
+// concurrently instead of stop-the-world (see DESIGN.md, "Fork pipeline").
+// ============================================================
+
+// Section kinds on the initial stream.
+const (
+	secMeta   = 1 // ckMetaSection: identity, addresses, program, env
+	secMemory = 2 // ckMemSection: brk + regions; store batches follow 1:1
+	secFDs    = 3 // ckFDSection: descriptor table; handles follow out-of-band
+	secSig    = 4 // ckSigSection: signal dispositions
+	secZygote = 5 // cached zygote template (spawn fast path; replaces secMemory)
+	secDone   = 6 // end of checkpoint
+)
+
+// ckMetaSection is the identity/dynamic-state section. Everything here is
+// re-captured fresh on every fork and spawn — never cached — so a
+// zygote-cached spawn still observes current env, cwd, and addresses.
+type ckMetaSection struct {
+	PID, PPID, PGID        int64
+	ParentAddr, LeaderAddr string
+	ProgramPath            string
+	Argv                   []string
+	Cwd                    string
+	Env                    map[string]string
+}
+
+// ckMemSection describes the memory image; the page contents travel
+// out-of-band through the bulk-IPC store, one batch per region in order.
+type ckMemSection struct {
+	Brk, BrkEnd uint64
+	Regions     []Region
+}
+
+type ckFDSection struct{ FDs []FDCheckpoint }
+
+type ckSigSection struct{ Dispositions map[api.Signal]string }
+
+// zygoteTemplate is the cached static portion of a spawn checkpoint: the
+// post-exec memory layout of a program image, captured once per program
+// path ("little more than a guest memory dump" taken once, §7.3). A spawned
+// child resets its image anyway, so the template pins the fresh layout and
+// the parent skips serializing and transferring memory entirely.
+type zygoteTemplate struct {
+	ProgramPath string
+	Brk, BrkEnd uint64
+}
+
+func gobBytes(v interface{}) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic("liblinux: section encode: " + err.Error())
 	}
-	_, err := s.Write(blob)
+	return buf.Bytes()
+}
+
+func gobDecode(blob []byte, v interface{}) error {
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(v); err != nil {
+		return api.EINVAL
+	}
+	return nil
+}
+
+// writeSection frames one checkpoint section on the initial stream.
+func writeSection(s *host.Stream, kind byte, payload []byte) error {
+	hdr := make([]byte, 5, 5+len(payload))
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	_, err := s.Write(append(hdr, payload...))
 	return err
 }
 
-func readFrame(s *host.Stream) ([]byte, error) {
-	var lenBuf [4]byte
-	if err := readFull(s, lenBuf[:]); err != nil {
-		return nil, err
+func readSection(s *host.Stream) (byte, []byte, error) {
+	var hdr [5]byte
+	if err := readFull(s, hdr[:]); err != nil {
+		return 0, nil, err
 	}
-	n := binary.LittleEndian.Uint32(lenBuf[:])
+	n := binary.LittleEndian.Uint32(hdr[1:])
 	if n > 64<<20 {
-		return nil, api.EINVAL
+		return 0, nil, api.EINVAL
 	}
-	blob := make([]byte, n)
-	if err := readFull(s, blob); err != nil {
-		return nil, err
+	payload := make([]byte, n)
+	if err := readFull(s, payload); err != nil {
+		return 0, nil, err
 	}
-	return blob, nil
+	return hdr[0], payload, nil
 }
 
 func readFull(s *host.Stream, buf []byte) error {
@@ -184,82 +258,168 @@ func readFull(s *host.Stream, buf []byte) error {
 	return nil
 }
 
-// restoreChild runs in the freshly created picoprocess: it reads the
-// checkpoint from the initial stream, rebuilds the libOS state, maps the
-// copy-on-write memory image from the bulk-IPC store, receives inherited
-// stream handles, and joins the coordination group.
-func restoreChild(rt *Runtime, c *pal.PAL, initial *host.Stream, store *host.Handle, childMain func(*Process) int) (*Process, error) {
-	blob, err := readFrame(initial)
-	if err != nil {
-		return nil, err
-	}
-	ck, err := decodeCheckpoint(blob)
-	if err != nil {
-		return nil, err
-	}
-	child, err := newProcess(rt, c, ck.PID, ck.PPID, ck.ParentAddr, ck.LeaderAddr)
-	if err != nil {
-		return nil, err
-	}
-	if err := child.restoreState(ck, initial); err != nil {
-		return nil, err
-	}
-	// Map the parent's memory image copy-on-write via bulk IPC (§5).
-	if store != nil {
-		for _, r := range regionsOf(ck) {
-			if _, err := c.DkVirtualMemoryAlloc(r.Start, r.End-r.Start, r.Prot); err != nil {
-				return nil, err
-			}
-			if _, err := c.DkPhysicalMemoryMap(store, r.Start); err != nil && err != api.EAGAIN {
-				return nil, err
-			}
+// mapTimeout bounds how long the child waits for the parent to commit the
+// next memory batch before declaring the fork dead.
+const mapTimeout = 10 * time.Second
+
+// mapImage allocates each region and blocks on the store for its batch —
+// the consumer half of the fork pipeline, run on a goroutine while the
+// main restore path consumes later sections.
+func (p *Process) mapImage(store *host.Handle, regions []Region) error {
+	for _, r := range regions {
+		if _, err := p.pal.DkVirtualMemoryAlloc(r.Start, r.End-r.Start, r.Prot); err != nil {
+			return err
+		}
+		if _, err := p.pal.DkPhysicalMemoryMapWait(store, r.Start, mapTimeout); err != nil {
+			return err
 		}
 	}
-	helper, err := ipc.NewMember(c, child.svc(), ck.PID, ck.LeaderAddr)
+	return nil
+}
+
+// restoreChild runs in the freshly created picoprocess: it consumes the
+// checkpoint sections from the initial stream as they arrive, rebuilding
+// libOS state incrementally. Memory mapping from the bulk-IPC store runs
+// on a separate goroutine from the moment the memory section lands, so
+// page transfer overlaps descriptor and signal restore.
+func restoreChild(rt *Runtime, c *pal.PAL, initial *host.Stream, store *host.Handle, childMain func(*Process) int) (*Process, error) {
+	kind, payload, err := readSection(initial)
+	if err != nil {
+		return nil, err
+	}
+	var tmpl *zygoteTemplate
+	if kind == secZygote {
+		tmpl = new(zygoteTemplate)
+		if err := gobDecode(payload, tmpl); err != nil {
+			return nil, err
+		}
+		if kind, payload, err = readSection(initial); err != nil {
+			return nil, err
+		}
+	}
+	if kind != secMeta {
+		return nil, api.EINVAL
+	}
+	var meta ckMetaSection
+	if err := gobDecode(payload, &meta); err != nil {
+		return nil, err
+	}
+	if tmpl != nil && tmpl.ProgramPath != meta.ProgramPath {
+		// A stale template slipped past invalidation; refuse rather than
+		// resume the wrong image.
+		return nil, api.EINVAL
+	}
+	child, err := newProcess(rt, c, meta.PID, meta.PPID, meta.ParentAddr, meta.LeaderAddr)
+	if err != nil {
+		return nil, err
+	}
+	child.applyMeta(&meta)
+
+	mapDone := make(chan error, 1)
+	mapStarted := false
+	for done := false; !done; {
+		kind, payload, err := readSection(initial)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case secMemory:
+			var mem ckMemSection
+			if err := gobDecode(payload, &mem); err != nil {
+				return nil, err
+			}
+			child.mm.restore(mem.Brk, mem.BrkEnd, mem.Regions)
+			if store != nil {
+				regions := memRegions(mem.BrkEnd, mem.Regions)
+				mapStarted = true
+				go func() { mapDone <- child.mapImage(store, regions) }()
+			}
+		case secFDs:
+			var fds ckFDSection
+			if err := gobDecode(payload, &fds); err != nil {
+				return nil, err
+			}
+			if err := child.restoreFDs(fds.FDs, initial); err != nil {
+				return nil, err
+			}
+		case secSig:
+			var sig ckSigSection
+			if err := gobDecode(payload, &sig); err != nil {
+				return nil, err
+			}
+			child.sig.restoreDispositions(sig.Dispositions)
+		case secDone:
+			done = true
+		default:
+			return nil, api.EINVAL
+		}
+	}
+	if mapStarted {
+		if err := <-mapDone; err != nil {
+			return nil, err
+		}
+	}
+	helper, err := ipc.NewMember(c, child.svc(), meta.PID, meta.LeaderAddr)
 	if err != nil {
 		return nil, err
 	}
 	child.helper = helper
 	child.childMain = childMain
 	// A forked child inherits its parent's process group.
-	if ck.PGID != 0 {
+	if meta.PGID != 0 {
 		child.mu.Lock()
-		child.pgid = ck.PGID
+		child.pgid = meta.PGID
 		child.mu.Unlock()
-		_ = helper.JoinGroup(ck.PGID, ck.PID)
+		_ = helper.JoinGroup(meta.PGID, meta.PID)
 	}
 	return child, nil
 }
 
 // regionsOf lists the memory areas a checkpoint describes.
 func regionsOf(ck *Checkpoint) []Region {
-	var out []Region
-	if ck.BrkEnd > brkBase {
-		out = append(out, Region{Start: brkBase, End: ck.BrkEnd, Prot: api.ProtRead | api.ProtWrite})
-	}
-	return append(out, ck.Regions...)
+	return memRegions(ck.BrkEnd, ck.Regions)
 }
 
-// restoreState rebuilds descriptors, cwd, env, and signal dispositions.
-func (p *Process) restoreState(ck *Checkpoint, initial *host.Stream) error {
+// memRegions lists the memory areas of a checkpoint: the break segment
+// plus the anonymous mappings.
+func memRegions(brkEnd uint64, mmaps []Region) []Region {
+	var out []Region
+	if brkEnd > brkBase {
+		out = append(out, Region{Start: brkBase, End: brkEnd, Prot: api.ProtRead | api.ProtWrite})
+	}
+	return append(out, mmaps...)
+}
+
+// applyMeta installs the dynamic identity state from a meta section.
+func (p *Process) applyMeta(m *ckMetaSection) {
 	p.mu.Lock()
-	p.cwd = ck.Cwd
-	p.env = copyEnv(ck.Env)
-	p.programPath = ck.ProgramPath
-	p.argv = append([]string(nil), ck.Argv...)
+	p.cwd = m.Cwd
+	p.env = copyEnv(m.Env)
+	p.programPath = m.ProgramPath
+	p.argv = append([]string(nil), m.Argv...)
 	p.mu.Unlock()
+}
 
-	p.mm.mu.Lock()
-	p.mm.brk = ck.Brk
-	p.mm.brkEnd = ck.BrkEnd
-	p.mm.mmaps = append([]Region(nil), ck.Regions...)
-	p.mm.mu.Unlock()
-
+// restoreState rebuilds descriptors, cwd, env, and signal dispositions from
+// a monolithic checkpoint — the migration path (fork streams sections via
+// restoreChild instead).
+func (p *Process) restoreState(ck *Checkpoint, initial *host.Stream) error {
+	p.applyMeta(&ckMetaSection{
+		ProgramPath: ck.ProgramPath,
+		Argv:        ck.Argv,
+		Cwd:         ck.Cwd,
+		Env:         ck.Env,
+	})
+	p.mm.restore(ck.Brk, ck.BrkEnd, ck.Regions)
 	p.sig.restoreDispositions(ck.Dispositions)
+	return p.restoreFDs(ck.FDs, initial)
+}
 
-	// Receive inherited stream handles in order.
+// restoreFDs receives inherited stream handles in order and rebuilds the
+// descriptor table.
+func (p *Process) restoreFDs(fds []FDCheckpoint, initial *host.Stream) error {
 	maxIdx := -1
-	for _, fc := range ck.FDs {
+	for _, fc := range fds {
 		if fc.HandleIndex > maxIdx {
 			maxIdx = fc.HandleIndex
 		}
@@ -278,7 +438,7 @@ func (p *Process) restoreState(ck *Checkpoint, initial *host.Stream) error {
 		inherited[i] = h
 	}
 
-	for _, fc := range ck.FDs {
+	for _, fc := range fds {
 		d := &fdesc{kind: fdKind(fc.Kind), path: fc.Path, flags: fc.Flags, pos: fc.Pos}
 		switch d.kind {
 		case fdFile:
@@ -341,6 +501,45 @@ func (p *Process) CheckpointToBytes() ([]byte, error) {
 			ck.Pages = append(ck.Pages, PageDump{Addr: idx << host.PageShift, Data: data})
 		}
 	}
+	// A full dump establishes the baseline for subsequent deltas.
+	as.ResetDirty()
+	return encodeCheckpoint(ck), nil
+}
+
+// CheckpointDeltaBytes produces an incremental migration image: the same
+// metadata, but only pages dirtied since the last CheckpointToBytes or
+// CheckpointDeltaBytes call. Checkpoint cost therefore scales with the
+// write working set, not the resident set — the dirty-fraction sweep in
+// the benchmarks measures exactly this. The image applies over a restored
+// base; it is not self-contained.
+func (p *Process) CheckpointDeltaBytes() ([]byte, error) {
+	ck, _, err := p.checkpointMeta()
+	if err != nil {
+		return nil, err
+	}
+	ck.PID = p.pid
+	ck.PPID = p.ppid
+	ck.Incremental = true
+	var kept []FDCheckpoint
+	for _, fc := range ck.FDs {
+		if fc.HandleIndex == -1 {
+			kept = append(kept, fc)
+		}
+	}
+	ck.FDs = kept
+
+	as := p.pal.Proc().AS
+	for _, r := range regionsOf(ck) {
+		idxs, _ := as.DirtyPages(r.Start, r.End)
+		for _, idx := range idxs {
+			data := make([]byte, host.PageSize)
+			if err := as.Read(idx<<host.PageShift, data); err != nil {
+				continue
+			}
+			ck.Pages = append(ck.Pages, PageDump{Addr: idx << host.PageShift, Data: data})
+		}
+	}
+	as.ResetDirty()
 	return encodeCheckpoint(ck), nil
 }
 
@@ -352,6 +551,10 @@ func (r *Runtime) ResumeFromBytes(man *monitor.Manifest, blob []byte) (*LaunchRe
 	ck, err := decodeCheckpoint(blob)
 	if err != nil {
 		return nil, err
+	}
+	if ck.Incremental {
+		// A delta applies over a restored base; it cannot boot a sandbox.
+		return nil, api.EINVAL
 	}
 	prog, ok := r.lookupProgram(ck.ProgramPath)
 	if !ok {

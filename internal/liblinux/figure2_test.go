@@ -117,6 +117,44 @@ func TestSandboxStress(t *testing.T) {
 			pids = append(pids, pid)
 		}
 
+		// Fork in the middle of the storm: short-lived children create
+		// runs of keyed queues (grabbing block leases), exercise them,
+		// and destroy them before exiting. Their checkpoints stream
+		// while the workers churn the SysV namespace, and their exits
+		// flush leases concurrently with the drain below.
+		const forkers = 3
+		var fpids []int
+		for f := 0; f < forkers; f++ {
+			f := f
+			pid, err := p.Fork(func(c api.OS) {
+				base := 3000 + f*64 // one key block per forker
+				var ids []int
+				for i := 0; i < 8; i++ {
+					id, err := c.Msgget(base+i, api.IPCCreat)
+					if err != nil {
+						c.Exit(110)
+					}
+					ids = append(ids, id)
+				}
+				if err := c.Msgsnd(ids[0], 7, []byte("churn"), 0); err != nil {
+					c.Exit(111)
+				}
+				if _, _, err := c.Msgrcv(ids[0], 7, nil, 0); err != nil {
+					c.Exit(112)
+				}
+				for _, id := range ids {
+					if err := c.MsgctlRmid(id); err != nil {
+						c.Exit(113)
+					}
+				}
+				c.Exit(0)
+			})
+			if err != nil {
+				return 9
+			}
+			fpids = append(fpids, pid)
+		}
+
 		// Drain everything the workers produce, concurrently with their
 		// exits (queue adoption/persistence paths may fire).
 		received := 0
@@ -135,6 +173,20 @@ func TestSandboxStress(t *testing.T) {
 			if res.ExitCode != 0 {
 				return 100 + res.ExitCode
 			}
+		}
+		for _, pid := range fpids {
+			res, err := p.Wait(pid)
+			if err != nil {
+				return 10
+			}
+			if res.ExitCode != 0 {
+				return 200 + res.ExitCode
+			}
+		}
+		// The forkers' keys must be fully gone: a fresh create in a
+		// previously leased, fully evicted block must succeed.
+		if _, err := p.Msgget(3000, api.IPCCreat|api.IPCExcl); err != nil {
+			return 11
 		}
 		if err := p.MsgctlRmid(qid); err != nil {
 			return 7

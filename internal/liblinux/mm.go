@@ -115,6 +115,16 @@ func (m *mmState) regions() []Region {
 	return out
 }
 
+// restore installs a checkpointed memory layout (the pages arrive
+// separately, via bulk IPC or a page dump).
+func (m *mmState) restore(brk, brkEnd uint64, mmaps []Region) {
+	m.mu.Lock()
+	m.brk = brk
+	m.brkEnd = brkEnd
+	m.mmaps = append([]Region(nil), mmaps...)
+	m.mu.Unlock()
+}
+
 // reset drops the program image across exec: break and mappings.
 func (m *mmState) reset() {
 	m.mu.Lock()

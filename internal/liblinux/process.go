@@ -100,12 +100,11 @@ func newProcess(rt *Runtime, p *pal.PAL, pid, ppid int64, parentAddr, leaderAddr
 	// occupy ~1.4 MB per picoprocess (§6.2's "hello world" floor). The
 	// image lives outside the mmap range so it is never checkpointed —
 	// each instance carries its own, which is also why the incremental
-	// cost of a forked child stays under a couple of MB.
+	// cost of a forked child stays under a couple of MB. TouchRange makes
+	// the whole image resident in one pass; the page-at-a-time load was
+	// two thirds of fork latency.
 	if addr, err := p.DkVirtualMemoryAlloc(libOSImageBase, libOSImageBytes, api.ProtRead|api.ProtExec|api.ProtWrite); err == nil {
-		one := []byte{0x90}
-		for off := uint64(0); off < libOSImageBytes; off += host.PageSize {
-			_ = proc.pal.Proc().AS.Write(addr+off, one)
-		}
+		_ = proc.pal.Proc().AS.TouchRange(addr, libOSImageBytes)
 	}
 	// Standard descriptors on the console.
 	tty, err := p.DkStreamOpen("dev:tty", 0, 0)
@@ -257,7 +256,11 @@ func (p *Process) Fork(childFn func(api.OS)) (int, error) {
 	})
 }
 
-// Spawn is fork+exec of path in the child, the common shell pattern.
+// Spawn is fork+exec of path in the child, the common shell pattern. It
+// takes the zygote fast path: the child resets its memory image on exec
+// anyway, so no memory is serialized or transferred — the parent ships the
+// cached per-program template plus the fresh dynamic state (env, cwd,
+// descriptors, identity), which the regression tests pin as never-stale.
 func (p *Process) Spawn(path string, argv []string) (int, error) {
 	prog, ok := p.rt.lookupProgram(path)
 	if !ok {
@@ -267,37 +270,58 @@ func (p *Process) Spawn(path string, argv []string) (int, error) {
 	if _, err := p.pal.DkStreamAttributesQuery("file:" + path); err != nil {
 		return 0, err
 	}
-	return p.forkInternal(func(child *Process) int {
+	ck, handles, err := p.checkpointMeta()
+	if err != nil {
+		return 0, err
+	}
+	// Fork+exec collapsed: the child's identity is the spawned program,
+	// which is also what the template is validated against.
+	ck.ProgramPath = host.CleanPath(path)
+	ck.Argv = append([]string(nil), argv...)
+	tmpl := p.rt.zygoteFor(path)
+	return p.shipCheckpoint(nil, ck, handles, tmpl, func(child *Process) int {
 		child.resetForExec(path, argv)
 		return child.runProgram(prog, path, argv)
 	})
 }
 
 func (p *Process) forkInternal(childMain func(*Process) int) (int, error) {
-	// 1. Allocate the child's guest PID from the local batch. The child's
-	// helper address is derived from its host PID once created; allocate
-	// after creation would race, so create the picoprocess first.
 	ckptMeta, handles, err := p.checkpointMeta()
 	if err != nil {
 		return 0, err
 	}
 
-	// 2. Bulk-IPC store for the copy-on-write memory image.
+	// Bulk-IPC store for the copy-on-write memory image. The commits run on
+	// a producer goroutine, one batch per checkpointed region in order, so
+	// page capture overlaps picoprocess creation, PID allocation, and the
+	// section stream; the child's mapper consumes batches as they land. On
+	// commit failure the store is closed, which fails the child's blocking
+	// map and surfaces the error through the child's restore.
 	store, err := p.pal.DkCreatePhysicalMemoryChannel()
 	if err != nil {
 		return 0, err
 	}
-	regions := p.mm.regions()
-	for _, r := range regions {
-		if _, err := p.pal.DkPhysicalMemoryCommit(store, r.Start, r.End-r.Start); err != nil {
-			return 0, err
+	regions := regionsOf(ckptMeta)
+	go func() {
+		for _, r := range regions {
+			if _, err := p.pal.DkPhysicalMemoryCommit(store, r.Start, r.End-r.Start); err != nil {
+				_ = p.pal.DkObjectClose(store)
+				return
+			}
 		}
-	}
+	}()
+	return p.shipCheckpoint(store, ckptMeta, handles, nil, childMain)
+}
 
+// shipCheckpoint creates the child picoprocess and streams the checkpoint
+// sections to it. With a store, the memory section is included and batches
+// travel out-of-band (fork); with a zygote template, memory is skipped
+// entirely (spawn).
+func (p *Process) shipCheckpoint(store *host.Handle, ck *Checkpoint, handles []*host.Handle, zygote []byte, childMain func(*Process) int) (int, error) {
 	childReady := make(chan int64, 1)
 	childErr := make(chan error, 1)
 
-	// 3. Create the clean child picoprocess. Its entry restores the
+	// Create the clean child picoprocess. Its entry restores the streamed
 	// checkpoint and becomes the child libOS.
 	hostChild, parentStream, err := p.pal.DkProcessCreate(func(c *pal.PAL, initial *host.Stream) {
 		child, err := restoreChild(p.rt, c, initial, store, childMain)
@@ -312,30 +336,59 @@ func (p *Process) forkInternal(childMain func(*Process) int) (int, error) {
 		return 0, err
 	}
 
-	// 4. Allocate the child PID now that its helper address is known.
+	// Allocate the child PID now that its helper address is known (the
+	// address derives from the host PID, so creation must come first).
 	childAddr := ipc.AddrForHostPID(hostChild.ID)
 	childPID, err := p.helper.AllocPID(childAddr)
 	if err != nil {
 		parentStream.Close()
 		return 0, err
 	}
-	ckptMeta.PID = childPID
-	ckptMeta.PPID = p.pid
 
-	// 5. Ship the checkpoint metadata and inherited stream handles.
-	blob := encodeCheckpoint(ckptMeta)
-	if err := writeFrame(parentStream, blob); err != nil {
+	// Stream the checkpoint sections; the child restores each as it lands.
+	fail := func(err error) (int, error) {
 		parentStream.Close()
 		return 0, err
 	}
-	for _, h := range handles {
-		if err := parentStream.SendHandle(h); err != nil {
-			parentStream.Close()
-			return 0, err
+	if zygote != nil {
+		if err := writeSection(parentStream, secZygote, zygote); err != nil {
+			return fail(err)
 		}
 	}
+	meta := ckMetaSection{
+		PID: childPID, PPID: p.pid, PGID: ck.PGID,
+		ParentAddr: ck.ParentAddr, LeaderAddr: ck.LeaderAddr,
+		ProgramPath: ck.ProgramPath, Argv: ck.Argv, Cwd: ck.Cwd, Env: ck.Env,
+	}
+	if err := writeSection(parentStream, secMeta, gobBytes(&meta)); err != nil {
+		return fail(err)
+	}
+	if zygote == nil {
+		mem := ckMemSection{Brk: ck.Brk, BrkEnd: ck.BrkEnd, Regions: ck.Regions}
+		if err := writeSection(parentStream, secMemory, gobBytes(&mem)); err != nil {
+			return fail(err)
+		}
+	}
+	if err := writeSection(parentStream, secFDs, gobBytes(&ckFDSection{FDs: ck.FDs})); err != nil {
+		return fail(err)
+	}
+	for _, h := range handles {
+		if err := parentStream.SendHandle(h); err != nil {
+			return fail(err)
+		}
+	}
+	if zygote == nil {
+		// Spawned children reset dispositions on exec; only fork ships them.
+		sig := ckSigSection{Dispositions: ck.Dispositions}
+		if err := writeSection(parentStream, secSig, gobBytes(&sig)); err != nil {
+			return fail(err)
+		}
+	}
+	if err := writeSection(parentStream, secDone, nil); err != nil {
+		return fail(err)
+	}
 
-	// 6. Track the child for wait() and synthesize an exit notification if
+	// Track the child for wait() and synthesize an exit notification if
 	// the picoprocess dies without sending one (§4.2, Table 2).
 	cs := &childState{pid: childPID, hostProc: hostChild}
 	p.mu.Lock()

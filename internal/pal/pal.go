@@ -837,6 +837,24 @@ func (p *PAL) DkPhysicalMemoryMap(h *host.Handle, addr uint64) (int, error) {
 	return h.Store.Map(p.proc.AS, addr)
 }
 
+// DkPhysicalMemoryMapWait is the blocking mode of DkPhysicalMemoryMap (the
+// same ABI call with a wait flag, not an extra surface entry): it waits up
+// to timeout for the sender to commit the next batch. The pipelined fork
+// restore uses it to consume batches while the parent is still committing
+// later regions.
+func (p *PAL) DkPhysicalMemoryMapWait(h *host.Handle, addr uint64, timeout time.Duration) (int, error) {
+	if h == nil || h.Kind != host.HandleIPCStore {
+		return 0, api.EINVAL
+	}
+	if err := p.gate(host.SysRead); err != nil {
+		return 0, err
+	}
+	if err := p.kernel.Policy().CheckBulkIPC(p.proc, h.Store.CreatorPID); err != nil {
+		return 0, err
+	}
+	return h.Store.MapNext(p.proc.AS, addr, timeout)
+}
+
 // ============================================================
 // Sandboxing (1 ABI, added by Graphene)
 // ============================================================
