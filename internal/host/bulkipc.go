@@ -96,13 +96,28 @@ func (st *IPCStore) Map(as *AddressSpace, target uint64) (int, error) {
 // MapNext blocks until a batch is available (or the store is closed), then
 // maps it like Map. The pipelined fork restore uses this to consume batches
 // as the parent commits them, instead of requiring all commits up front.
+// timeout bounds the whole call (<= 0 waits forever): it is an absolute
+// deadline, not a per-wakeup budget, so spurious wakeups — the avail event
+// staying signaled while other mappers drain the batches — cannot extend
+// the wait past what callers treat as the bound for declaring a fork dead.
 func (st *IPCStore) MapNext(as *AddressSpace, target uint64, timeout time.Duration) (int, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
 	for {
 		n, err := st.Map(as, target)
 		if err != api.EAGAIN {
 			return n, err
 		}
-		if werr := st.avail.Wait(timeout); werr != nil {
+		wait := timeout
+		if timeout > 0 {
+			wait = time.Until(deadline)
+			if wait <= 0 {
+				return 0, api.ETIMEDOUT
+			}
+		}
+		if werr := st.avail.Wait(wait); werr != nil {
 			return 0, werr
 		}
 	}

@@ -208,6 +208,28 @@ func TestBulkIPCCloseDiscards(t *testing.T) {
 	}
 }
 
+// TestBulkIPCMapNextDeadline verifies the timeout is an absolute bound on
+// the whole call: with the avail event stuck signaled but no batch ever
+// landing for this mapper (a sender trickling commits that other mappers
+// drain keeps it set), MapNext must return ETIMEDOUT at the deadline
+// instead of restarting the clock on every wakeup.
+func TestBulkIPCMapNextDeadline(t *testing.T) {
+	k := NewKernel()
+	s, _ := k.CreateProcess(nil, false)
+	r, _ := k.CreateProcess(nil, false)
+	st, _ := k.CreateIPCStore(s)
+	target, _ := r.AS.Alloc(0, PageSize, api.ProtRead|api.ProtWrite)
+	st.avail.Set() // permanently-signaled event, empty queue
+	start := time.Now()
+	_, err := st.MapNext(r.AS, target, 50*time.Millisecond)
+	if err != api.ETIMEDOUT {
+		t.Fatalf("MapNext err = %v, want ETIMEDOUT", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("deadline not honored: took %v", took)
+	}
+}
+
 func TestSeverCrossSandboxStreams(t *testing.T) {
 	k := NewKernel()
 	p1, _ := k.CreateProcess(nil, false)

@@ -394,8 +394,11 @@ func (h *Helper) handleKeyGet(f Frame, respond func(Frame)) {
 		if !h.keyGetFromHeldLease(f, kind, key, flags, requester, respond) {
 			// The helper-side lease is gone but the leader table still
 			// records it (a recovery edge): drop it and resolve plainly.
+			// No lease on the re-resolve — the direct response below could
+			// not report a grant, and an unreported lease would strand the
+			// block redirecting to a holder that never took it.
 			leader.releaseLease(kind, keyBlock(key))
-			r, errno = leader.keyResolve(kind, key, flags, f.D, requester, wantLease)
+			r, errno = leader.keyResolve(kind, key, flags, f.D, requester, false)
 			if errno != 0 {
 				respond(f.ErrResponse(errno))
 				return
@@ -405,7 +408,7 @@ func (h *Helper) handleKeyGet(f Frame, respond func(Frame)) {
 	case r.indirect != "":
 		respond(f.Response(Frame{B: keyRespIndirect, S: r.indirect}))
 	case r.leased:
-		respond(f.Response(Frame{A: r.id, S: r.owner, B: keyRespLeased, C: r.block}))
+		respond(f.Response(Frame{A: r.id, S: r.owner, B: keyRespLeased, C: r.block, Blob: encodeKeySeed(r.seed)}))
 	default:
 		respond(f.Response(Frame{A: r.id, S: r.owner}))
 	}

@@ -124,8 +124,21 @@ func (h *Helper) sysvKey(kind int, key int64, flags int) (int64, string, error) 
 		}
 		switch resp.B {
 		case keyRespLeased:
+			// The grant carries the block's keys already registered at the
+			// leader; our cache becomes authoritative for the whole block,
+			// so it must hold them before we answer any lookup locally. If
+			// the seed is undecodable, hand the lease straight back rather
+			// than serve the block from an incomplete cache.
+			seed, serr := decodeKeySeed(resp.Blob)
+			if serr != nil {
+				_, _ = h.callLeader(Frame{Type: MsgKeyEvict, A: int64(kind), B: resp.C})
+				return resp.A, resp.S, nil
+			}
 			h.mu.Lock()
 			h.keyLeases[kind][resp.C] = struct{}{}
+			for _, se := range seed {
+				h.keyCache[kind][se.key] = keyEntry{id: se.id, owner: se.owner}
+			}
 			h.keyCache[kind][key] = keyEntry{id: resp.A, owner: resp.S}
 			h.mu.Unlock()
 			h.leaseCount.Add(1)

@@ -183,6 +183,88 @@ func TestKeyLeaseFlushOnShutdown(t *testing.T) {
 	}
 }
 
+// TestKeyLeaseSeedsExistingKeys verifies that a lease granted over a block
+// that already holds leader-registered keys ships those mappings to the
+// grantee: the holder's cache is authoritative for the whole block, so a
+// missing entry would answer ENOENT for a live key, and a create would
+// mint a second ID for it (split brain).
+func TestKeyLeaseSeedsExistingKeys(t *testing.T) {
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	mh, _ := g.member(lp, lh.Addr, 2, newFakeService())
+
+	base := int64(70656) // block-aligned
+	// The leader registers keys in the block first (its own creates never
+	// take a lease).
+	id0, err := lh.Msgget(base, api.IPCCreat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := lh.Msgget(base+1, api.IPCCreat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A member's create elsewhere in the block takes the block lease.
+	if _, err := mh.Msgget(base+2, api.IPCCreat); err != nil {
+		t.Fatal(err)
+	}
+	mh.mu.Lock()
+	_, held := mh.keyLeases[NSSysVMsg][keyBlock(base)]
+	mh.mu.Unlock()
+	if !held {
+		t.Fatalf("create did not grant the key block lease")
+	}
+	// The now-authoritative holder must resolve the pre-existing keys to
+	// their original IDs.
+	if got, err := mh.Msgget(base, 0); err != nil || got != id0 {
+		t.Fatalf("holder lookup of leader key: id=%d err=%v, want %d", got, err, id0)
+	}
+	// A create of an already-registered key must not mint a second ID...
+	if got, err := mh.Msgget(base+1, api.IPCCreat); err != nil || got != id1 {
+		t.Fatalf("holder create of leader key: id=%d err=%v, want %d", got, err, id1)
+	}
+	// ...and an exclusive create must fail.
+	if _, err := mh.Msgget(base, api.IPCCreat|api.IPCExcl); err != api.EEXIST {
+		t.Fatalf("excl create of leader key: err=%v, want EEXIST", err)
+	}
+}
+
+// TestKeyLeaseRegrantSeesFlushedKeys covers create-exit-recreate within one
+// block: a holder's keys survive its shutdown via the lease flush, and the
+// next helper to lease the block must see them seeded into its cache, not
+// recreate them under fresh IDs.
+func TestKeyLeaseRegrantSeesFlushedKeys(t *testing.T) {
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	m1, _ := g.member(lp, lh.Addr, 2, newFakeService())
+
+	base := int64(71680)
+	id0, err := m1.Msgget(base, api.IPCCreat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Shutdown() // flushes the cached mapping, releases the block lease
+
+	m2, _ := g.member(lp, lh.Addr, 3, newFakeService())
+	if _, err := m2.Msgget(base+1, api.IPCCreat); err != nil {
+		t.Fatal(err)
+	}
+	m2.mu.Lock()
+	_, held := m2.keyLeases[NSSysVMsg][keyBlock(base)]
+	m2.mu.Unlock()
+	if !held {
+		t.Fatalf("re-create did not re-grant the block lease")
+	}
+	// The flushed key must resolve to its original ID from the new holder,
+	// for both lookup and non-exclusive create.
+	if got, err := m2.Msgget(base, 0); err != nil || got != id0 {
+		t.Fatalf("new holder lookup of flushed key: id=%d err=%v, want %d", got, err, id0)
+	}
+	if got, err := m2.Msgget(base, api.IPCCreat); err != nil || got != id0 {
+		t.Fatalf("new holder create of flushed key: id=%d err=%v, want %d", got, err, id0)
+	}
+}
+
 // TestKeyLeaseAblationOff verifies SetKeyLeases(false) restores the
 // pre-lease protocol: every resolution goes to the leader and no lease is
 // ever granted.

@@ -1,6 +1,8 @@
 package ipc
 
 import (
+	"encoding/binary"
+	"fmt"
 	"sync"
 
 	"graphene/internal/api"
@@ -125,6 +127,65 @@ type keyResult struct {
 	// leased reports that block was just granted to the requester.
 	leased bool
 	block  int64
+	// seed carries the block's keys already registered at the leader when
+	// the lease was granted (leader-created, flushed by a prior holder on
+	// shutdown, or created while leasing was toggled off). The grantee's
+	// cache becomes authoritative for the whole block, so it must start
+	// out holding every registered mapping — otherwise a lookup of such a
+	// key would answer ENOENT and a create would mint a second live ID for
+	// a key the leader still maps to the old one (split brain).
+	seed []seedKeyEntry
+}
+
+// seedKeyEntry is one (key, id, owner) mapping shipped with a lease grant.
+type seedKeyEntry struct {
+	key, id int64
+	owner   string
+}
+
+// encodeKeySeed serializes lease-grant seed entries into a frame blob.
+func encodeKeySeed(seed []seedKeyEntry) []byte {
+	if len(seed) == 0 {
+		return nil
+	}
+	out := binary.LittleEndian.AppendUint32(nil, uint32(len(seed)))
+	for _, e := range seed {
+		out = binary.LittleEndian.AppendUint64(out, uint64(e.key))
+		out = binary.LittleEndian.AppendUint64(out, uint64(e.id))
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(e.owner)))
+		out = append(out, e.owner...)
+	}
+	return out
+}
+
+func decodeKeySeed(blob []byte) ([]seedKeyEntry, error) {
+	if len(blob) == 0 {
+		return nil, nil
+	}
+	if len(blob) < 4 {
+		return nil, fmt.Errorf("ipc: short key seed blob")
+	}
+	n := int(binary.LittleEndian.Uint32(blob))
+	off := 4
+	seed := make([]seedKeyEntry, 0, n)
+	for i := 0; i < n; i++ {
+		if off+20 > len(blob) {
+			return nil, fmt.Errorf("ipc: truncated key seed")
+		}
+		key := int64(binary.LittleEndian.Uint64(blob[off:]))
+		id := int64(binary.LittleEndian.Uint64(blob[off+8:]))
+		ol := int(binary.LittleEndian.Uint32(blob[off+16:]))
+		off += 20
+		if off+ol > len(blob) {
+			return nil, fmt.Errorf("ipc: truncated key seed owner")
+		}
+		seed = append(seed, seedKeyEntry{key: key, id: id, owner: string(blob[off : off+ol])})
+		off += ol
+	}
+	if off != len(blob) {
+		return nil, fmt.Errorf("ipc: key seed length mismatch")
+	}
+	return seed, nil
 }
 
 // keyResolve resolves or creates a key mapping. proposedID is the
@@ -170,7 +231,20 @@ func (l *leaderState) keyResolve(kind int, key int64, flags int, proposedID int6
 		if wantLease {
 			if _, taken := l.leases[kind][block]; !taken {
 				l.leases[kind][block] = requester
-				return keyResult{id: proposedID, owner: requester, leased: true, block: block}, 0
+				// Seed the grantee with the block's other registered keys
+				// so its now-authoritative cache agrees with the leader's
+				// table from the first lookup (see keyResult.seed).
+				var seed []seedKeyEntry
+				base := block * keyBlockSize
+				for k := base; k < base+keyBlockSize; k++ {
+					if k == key {
+						continue
+					}
+					if e, ok := keys[k]; ok {
+						seed = append(seed, seedKeyEntry{key: k, id: e.id, owner: e.owner})
+					}
+				}
+				return keyResult{id: proposedID, owner: requester, leased: true, block: block, seed: seed}, 0
 			}
 		}
 		return keyResult{id: proposedID, owner: requester}, 0

@@ -44,7 +44,8 @@ const (
 	// in a leased block, at the lease holder). A=kind, B=key,
 	// C=flags(IPCCreat|IPCExcl)|keyLeaseRequest, D=proposed ID.
 	// Resp: A=id, S=owner address, B=keyRespDirect/Indirect/Leased
-	// (C=granted block when B==keyRespLeased).
+	// (C=granted block and Blob=encoded seed of the block's already
+	// registered key mappings when B==keyRespLeased).
 	MsgKeyGet
 	// MsgKeyOwner: look up the owner of a System V ID at the leader.
 	// A=kind, B=id. Resp: S=owner address.

@@ -317,16 +317,28 @@ func restoreChild(rt *Runtime, c *pal.PAL, initial *host.Stream, store *host.Han
 
 	mapDone := make(chan error, 1)
 	mapStarted := false
+	// failMap releases the pipeline when the restore dies after the mapper
+	// goroutine has started: closing the store unblocks its MapNext wait
+	// and drops the queued batches' page references, and draining mapDone
+	// reaps the goroutine — otherwise it would keep allocating regions and
+	// blocking up to mapTimeout per region inside an abandoned child.
+	failMap := func(err error) (*Process, error) {
+		if mapStarted {
+			_ = c.DkObjectClose(store)
+			<-mapDone
+		}
+		return nil, err
+	}
 	for done := false; !done; {
 		kind, payload, err := readSection(initial)
 		if err != nil {
-			return nil, err
+			return failMap(err)
 		}
 		switch kind {
 		case secMemory:
 			var mem ckMemSection
 			if err := gobDecode(payload, &mem); err != nil {
-				return nil, err
+				return failMap(err)
 			}
 			child.mm.restore(mem.Brk, mem.BrkEnd, mem.Regions)
 			if store != nil {
@@ -337,25 +349,28 @@ func restoreChild(rt *Runtime, c *pal.PAL, initial *host.Stream, store *host.Han
 		case secFDs:
 			var fds ckFDSection
 			if err := gobDecode(payload, &fds); err != nil {
-				return nil, err
+				return failMap(err)
 			}
 			if err := child.restoreFDs(fds.FDs, initial); err != nil {
-				return nil, err
+				return failMap(err)
 			}
 		case secSig:
 			var sig ckSigSection
 			if err := gobDecode(payload, &sig); err != nil {
-				return nil, err
+				return failMap(err)
 			}
 			child.sig.restoreDispositions(sig.Dispositions)
 		case secDone:
 			done = true
 		default:
-			return nil, api.EINVAL
+			return failMap(api.EINVAL)
 		}
 	}
 	if mapStarted {
 		if err := <-mapDone; err != nil {
+			// Batches the parent committed past the failure point hold page
+			// references nobody will map; close the store to release them.
+			_ = c.DkObjectClose(store)
 			return nil, err
 		}
 	}

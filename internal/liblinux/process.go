@@ -333,6 +333,23 @@ func (p *Process) shipCheckpoint(store *host.Handle, ck *Checkpoint, handles []*
 		child.start()
 	}, false)
 	if err != nil {
+		if store != nil {
+			_ = p.pal.DkObjectClose(store)
+		}
+		return 0, err
+	}
+
+	// fail releases the fork machinery on any error: the initial stream,
+	// and the bulk-IPC store so the producer's queued batches drop their
+	// page references (IPCStore.Close unrefs them and fails later commits).
+	// With no consumer left, an open store would keep the parent's whole
+	// image flagged shared forever — every later parent write would pay a
+	// needless COW copy and ResidentBytes would undercount the parent.
+	fail := func(err error) (int, error) {
+		parentStream.Close()
+		if store != nil {
+			_ = p.pal.DkObjectClose(store)
+		}
 		return 0, err
 	}
 
@@ -341,15 +358,10 @@ func (p *Process) shipCheckpoint(store *host.Handle, ck *Checkpoint, handles []*
 	childAddr := ipc.AddrForHostPID(hostChild.ID)
 	childPID, err := p.helper.AllocPID(childAddr)
 	if err != nil {
-		parentStream.Close()
-		return 0, err
+		return fail(err)
 	}
 
 	// Stream the checkpoint sections; the child restores each as it lands.
-	fail := func(err error) (int, error) {
-		parentStream.Close()
-		return 0, err
-	}
 	if zygote != nil {
 		if err := writeSection(parentStream, secZygote, zygote); err != nil {
 			return fail(err)
@@ -399,11 +411,9 @@ func (p *Process) shipCheckpoint(store *host.Handle, ck *Checkpoint, handles []*
 	select {
 	case <-childReady:
 	case err := <-childErr:
-		parentStream.Close()
-		return 0, err
+		return fail(err)
 	case <-time.After(10 * time.Second):
-		parentStream.Close()
-		return 0, api.EAGAIN
+		return fail(api.EAGAIN)
 	}
 	parentStream.Close()
 	return int(childPID), nil
