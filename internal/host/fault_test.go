@@ -1,0 +1,127 @@
+package host
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"graphene/internal/api"
+)
+
+func TestFaultDropNthStreamWrite(t *testing.T) {
+	k := NewKernel()
+	p1, _ := k.CreateProcess(nil, false)
+	p2, _ := k.CreateProcess(nil, false)
+	s1, s2 := k.StreamPair(p1, p2)
+	plan := NewFaultPlan().Rule("stream.write", 2, FaultDrop)
+	p1.SetFaultPlan(plan)
+
+	for _, msg := range []string{"one", "two", "three"} {
+		if _, err := s1.Write([]byte(msg)); err != nil {
+			t.Fatalf("write %q: %v", msg, err)
+		}
+	}
+	buf := make([]byte, 64)
+	n, err := s2.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second write was swallowed; only frames 1 and 3 arrive.
+	if got := string(buf[:n]); got != "onethree" {
+		t.Fatalf("peer read %q, want %q", got, "onethree")
+	}
+	if plan.Hits("stream.write") != 3 {
+		t.Fatalf("hits = %d, want 3", plan.Hits("stream.write"))
+	}
+	if fired := plan.Fired(); len(fired) != 1 || fired[0] != "stream.write" {
+		t.Fatalf("fired = %v, want [stream.write]", fired)
+	}
+}
+
+func TestFaultResetStreamWrite(t *testing.T) {
+	k := NewKernel()
+	p1, _ := k.CreateProcess(nil, false)
+	p2, _ := k.CreateProcess(nil, false)
+	s1, s2 := k.StreamPair(p1, p2)
+	p1.SetFaultPlan(NewFaultPlan().Rule("stream.write", 1, FaultReset))
+
+	if _, err := s1.Write([]byte("x")); err != api.ECONNRESET {
+		t.Fatalf("write err = %v, want ECONNRESET", err)
+	}
+	buf := make([]byte, 8)
+	if n, err := s2.Read(buf); n != 0 || err != nil {
+		t.Fatalf("peer read after reset: n=%d err=%v, want EOF", n, err)
+	}
+}
+
+func TestFaultKillAtSyscallGate(t *testing.T) {
+	k := NewKernel()
+	p, _ := k.CreateProcess(nil, false)
+	point := "sys." + strconv.Itoa(SysOpen)
+	p.SetFaultPlan(NewFaultPlan().Rule(point, 2, FaultKill))
+
+	if err := k.Gate(p, SysOpen, false); err != nil {
+		t.Fatalf("first gate: %v", err)
+	}
+	if err := k.Gate(p, SysOpen, false); err != api.ESRCH {
+		t.Fatalf("killing gate err = %v, want ESRCH", err)
+	}
+	if !p.Dead() || p.ExitCode() != 137 {
+		t.Fatalf("dead=%v code=%d, want killed with 137", p.Dead(), p.ExitCode())
+	}
+	// Every later gate entry fails fast without touching the fault plan.
+	if err := k.Gate(p, SysOpen, false); err != api.ESRCH {
+		t.Fatalf("post-mortem gate err = %v, want ESRCH", err)
+	}
+}
+
+func TestFaultDelayIsAbsorbed(t *testing.T) {
+	k := NewKernel()
+	p1, _ := k.CreateProcess(nil, false)
+	p2, _ := k.CreateProcess(nil, false)
+	s1, s2 := k.StreamPair(p1, p2)
+	const d = 20 * time.Millisecond
+	p1.SetFaultPlan(NewFaultPlan().DelayRule("stream.write", 1, d))
+
+	start := time.Now()
+	if _, err := s1.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took < d {
+		t.Fatalf("write returned after %v, want >= %v", took, d)
+	}
+	buf := make([]byte, 8)
+	if n, _ := s2.Read(buf); string(buf[:n]) != "slow" {
+		t.Fatal("delayed write did not arrive intact")
+	}
+}
+
+func TestExitClosesListeners(t *testing.T) {
+	k := NewKernel()
+	p1, _ := k.CreateProcess(nil, false)
+	p2, _ := k.CreateProcess(nil, false)
+	if _, err := k.StreamListen(p1, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	p1.Exit(1)
+	// A crashed listener's name is gone: dialers get connection-refused,
+	// the signal IPC failover paths key on.
+	if _, err := k.StreamConnect(p2, "svc"); err != api.ECONNREFUSED {
+		t.Fatalf("connect to dead listener err = %v, want ECONNREFUSED", err)
+	}
+}
+
+func TestExitUnsubscribesBroadcast(t *testing.T) {
+	k := NewKernel()
+	p, _ := k.CreateProcess(nil, false)
+	bc := k.BroadcastOf(p.SandboxID)
+	if _, err := bc.Subscribe(p.ID); err != nil {
+		t.Fatal(err)
+	}
+	p.Exit(0)
+	for _, pid := range bc.Members() {
+		if pid == p.ID {
+			t.Fatal("dead picoprocess still subscribed to sandbox broadcast")
+		}
+	}
+}

@@ -3,6 +3,7 @@ package host
 import (
 	"crypto/rand"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -260,7 +261,13 @@ func (k *Kernel) Processes() []*Picoprocess {
 func (k *Kernel) onProcessExit(p *Picoprocess) {
 	k.mu.Lock()
 	delete(k.procs, p.ID)
+	bc := k.broadcasts[p.SandboxID]
 	k.mu.Unlock()
+	if bc != nil {
+		// A dead picoprocess stops hearing (and answering) sandbox
+		// coordination traffic; its receive loop unblocks and exits.
+		bc.Unsubscribe(p.ID)
+	}
 	k.Policy().OnProcessExit(p)
 }
 
@@ -269,6 +276,15 @@ func (k *Kernel) onProcessExit(p *Picoprocess) {
 // error is nil (allow), EPERM (deny), or ErrSigsys (trap → redirect).
 func (k *Kernel) Gate(p *Picoprocess, nr int, fromPAL bool) error {
 	k.syscallCount.Add(1)
+	if p.dead.Load() {
+		// A crashed picoprocess cannot enter the host kernel again.
+		return api.ESRCH
+	}
+	if p.HasFaultPlan() {
+		if p.Fault("sys."+strconv.Itoa(nr)) == FaultKill {
+			return api.ESRCH
+		}
+	}
 	f := p.Filter()
 	if f == nil {
 		return nil
@@ -297,7 +313,12 @@ func (k *Kernel) StreamListen(p *Picoprocess, name string) (*Listener, error) {
 	if err := k.Gate(p, SysBind, true); err != nil {
 		return nil, err
 	}
-	return k.streams.listen(name, p.ID)
+	l, err := k.streams.listen(name, p.ID)
+	if err != nil {
+		return nil, err
+	}
+	p.registerListener(l)
+	return l, nil
 }
 
 // StreamConnect connects p to the listener at name, subject to the

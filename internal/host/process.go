@@ -2,6 +2,7 @@ package host
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"graphene/internal/api"
 )
@@ -22,13 +23,20 @@ type Picoprocess struct {
 	// immutable once set and inherited by children, as in the paper.
 	filter SyscallFilter
 
-	mu       sync.Mutex
-	streams  map[*Stream]struct{}
-	exited   *Event
-	exitCode int
-	dead     bool
-	threads  sync.WaitGroup
-	nextTID  int
+	mu        sync.Mutex
+	streams   map[*Stream]struct{}
+	listeners map[*Listener]struct{}
+	exited    *Event
+	exitCode  int
+	threads   sync.WaitGroup
+	nextTID   int
+
+	// dead is checked lock-free on the syscall gate's hot path; mu still
+	// serializes the transition in Exit.
+	dead atomic.Bool
+
+	// faults is the installed fault-injection plan (nil almost always).
+	faults atomic.Pointer[FaultPlan]
 
 	// Exec-time metadata consumed by the libOS layer.
 	Entry interface{} // opaque payload (checkpoint blob / program spec)
@@ -72,7 +80,10 @@ func (p *Picoprocess) Filter() SyscallFilter {
 }
 
 // registerStream tracks an open stream endpoint for sandbox-split severing.
+// The endpoint also inherits the picoprocess as its fault-plan owner so
+// stream-level fault points fire for writes through it.
 func (p *Picoprocess) registerStream(s *Stream) {
+	s.faultOwner.Store(p)
 	p.mu.Lock()
 	p.streams[s] = struct{}{}
 	p.mu.Unlock()
@@ -95,6 +106,18 @@ func (p *Picoprocess) OpenStreams() []*Stream {
 	return out
 }
 
+// registerListener tracks a named listener so a crashing picoprocess tears
+// it down in Exit (subsequent dials fail ECONNREFUSED instead of queueing
+// connections nobody will accept).
+func (p *Picoprocess) registerListener(l *Listener) {
+	p.mu.Lock()
+	if p.listeners == nil {
+		p.listeners = make(map[*Listener]struct{})
+	}
+	p.listeners[l] = struct{}{}
+	p.mu.Unlock()
+}
+
 // NewThread runs fn as a guest thread of this picoprocess.
 func (p *Picoprocess) NewThread(fn func(tid int)) int {
 	p.mu.Lock()
@@ -110,22 +133,32 @@ func (p *Picoprocess) NewThread(fn func(tid int)) int {
 }
 
 // Exit marks the picoprocess dead, releases its address space, closes its
-// streams, and signals waiters. Idempotent.
+// listeners and streams, and signals waiters. Idempotent.
 func (p *Picoprocess) Exit(code int) {
 	p.mu.Lock()
-	if p.dead {
+	if p.dead.Load() {
 		p.mu.Unlock()
 		return
 	}
-	p.dead = true
+	p.dead.Store(true)
 	p.exitCode = code
 	streams := make([]*Stream, 0, len(p.streams))
 	for s := range p.streams {
 		streams = append(streams, s)
 	}
 	p.streams = make(map[*Stream]struct{})
+	listeners := make([]*Listener, 0, len(p.listeners))
+	for l := range p.listeners {
+		listeners = append(listeners, l)
+	}
+	p.listeners = nil
 	p.mu.Unlock()
 
+	// Listeners first, so no new connection lands between stream teardown
+	// and the name disappearing from the registry.
+	for _, l := range listeners {
+		p.kernel.RemoveListener(l)
+	}
 	for _, s := range streams {
 		s.Close()
 	}
@@ -135,11 +168,7 @@ func (p *Picoprocess) Exit(code int) {
 }
 
 // Dead reports whether the picoprocess has exited.
-func (p *Picoprocess) Dead() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.dead
-}
+func (p *Picoprocess) Dead() bool { return p.dead.Load() }
 
 // ExitCode returns the exit status (valid once Dead).
 func (p *Picoprocess) ExitCode() int {

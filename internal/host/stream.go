@@ -168,6 +168,10 @@ type Stream struct {
 	// in Read/Write; transitions still happen under mu.
 	closed atomic.Bool
 
+	// faultOwner is the picoprocess whose fault plan governs this
+	// endpoint (set by registerStream; nil for unowned endpoints).
+	faultOwner atomic.Pointer[Picoprocess]
+
 	mu sync.Mutex
 	// refs counts holders of this endpoint: inheriting a pipe across fork
 	// shares the open description, and the endpoint only really closes
@@ -208,6 +212,19 @@ func (s *Stream) Read(p []byte) (int, error) {
 func (s *Stream) Write(p []byte) (int, error) {
 	if s.closed.Load() {
 		return 0, api.EBADF
+	}
+	if owner := s.faultOwner.Load(); owner != nil && owner.HasFaultPlan() {
+		switch owner.Fault("stream.write") {
+		case FaultReset:
+			s.ForceClose()
+			return 0, api.ECONNRESET
+		case FaultDrop:
+			// Swallowed: the writer believes the frame went out.
+			return len(p), nil
+		case FaultKill:
+			// The owner just exited; this endpoint is closing underneath us.
+			return 0, api.EPIPE
+		}
 	}
 	return s.out.write(p)
 }

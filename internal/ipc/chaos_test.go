@@ -1,0 +1,318 @@
+package ipc
+
+import (
+	"testing"
+	"time"
+
+	"graphene/internal/api"
+	"graphene/internal/host"
+)
+
+// Chaos suite: deterministic crash interleavings via the host fault-
+// injection layer (host.FaultPlan). Every scenario arms a fault at a named
+// RPC point on a specific picoprocess — no scheduler races, no sleeps for
+// correctness — then asserts the failover pipeline converges: the
+// interrupted operation completes through election + retry (or fails with
+// a real errno), surviving helpers agree on the new leader, and no parked
+// waiter hangs. Deadline polls below are bounded convergence checks, not
+// correctness sleeps.
+
+// failoverDeadline bounds every convergence wait: the acceptance criterion
+// is failover latency under 10× the election settling window.
+const failoverDeadline = 10 * electionWindow
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestChaosKillLeaderMidLeaseGrant kills the leader after it has executed
+// a key create (lease grant included) but before the reply leaves — the
+// worst spot: state mutated, response lost, requester in the dark. The
+// requester must ride through the election and complete the create against
+// the new leader (itself, as lowest surviving PID) within the latency
+// budget, and the other survivor must converge on the same mapping.
+func TestChaosKillLeaderMidLeaseGrant(t *testing.T) {
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	m1, _ := g.member(lp, lh.Addr, 2, newFakeService())
+	m2, _ := g.member(lp, lh.Addr, 3, newFakeService())
+
+	plan := host.NewFaultPlan().Rule("rpc.MsgKeyGet.reply", 1, host.FaultKill)
+	lp.Proc().SetFaultPlan(plan)
+
+	start := time.Now()
+	id, err := m1.Msgget(42, api.IPCCreat)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("msgget across leader crash: %v", err)
+	}
+	if fired := plan.Fired(); len(fired) == 0 {
+		t.Fatal("fault plan never fired; the scenario did not exercise the crash")
+	}
+	if !m1.isLeader() {
+		t.Fatalf("lowest surviving PID did not take over (leader=%q)", m1.LeaderAddr())
+	}
+	if elapsed > failoverDeadline {
+		t.Fatalf("failover took %v, budget %v", elapsed, failoverDeadline)
+	}
+	t.Logf("msgget across leader crash completed in %v (budget %v)", elapsed, failoverDeadline)
+
+	// The other survivor transparently re-resolves and sees the same id.
+	waitFor(t, 2*time.Second, "m2 to converge on the recreated key", func() bool {
+		id2, err := m2.Msgget(42, 0)
+		return err == nil && id2 == id
+	})
+}
+
+// TestChaosKillLeaderMidPIDAlloc kills the leader as a PID-batch request
+// enters its handler (request never executed). Allocation must resume
+// against the elected leader with no duplicate or reused PIDs across the
+// crash, from either survivor.
+func TestChaosKillLeaderMidPIDAlloc(t *testing.T) {
+	SetPIDBatch(1)
+	defer SetPIDBatch(PIDBatchSize)
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	m1, _ := g.member(lp, lh.Addr, 2, newFakeService())
+	m2, _ := g.member(lp, lh.Addr, 3, newFakeService())
+
+	seen := make(map[int64]bool)
+	claim := func(h *Helper) {
+		t.Helper()
+		pid, err := h.AllocPID(h.Addr)
+		if err != nil {
+			t.Fatalf("alloc pid: %v", err)
+		}
+		if seen[pid] {
+			t.Fatalf("pid %d issued twice across the crash", pid)
+		}
+		seen[pid] = true
+	}
+	// With batch size 1 every AllocPID is one MsgNSAlloc at the leader.
+	// Warm up with three, then arm a kill on the next one.
+	for i := 0; i < 3; i++ {
+		claim(m1)
+	}
+	plan := host.NewFaultPlan().Rule("rpc.MsgNSAlloc.enter", 1, host.FaultKill)
+	lp.Proc().SetFaultPlan(plan)
+
+	claim(m1) // rides through the crash
+	if len(plan.Fired()) == 0 {
+		t.Fatal("fault never fired")
+	}
+	if !m1.isLeader() {
+		t.Fatalf("m1 (lowest pid) is not leader after failover")
+	}
+	for i := 0; i < 4; i++ {
+		claim(m1)
+	}
+	for i := 0; i < 5; i++ {
+		claim(m2) // m2 re-resolves to the new leader transparently
+	}
+}
+
+// TestChaosStreamResetReplayDedup destroys the leader's reply to a
+// non-idempotent request (batch allocation) while the leader stays alive:
+// the requester's retry — after the election round that the live leader
+// answers by re-asserting itself — reaches the same leader with the same
+// ReqID and must be answered from the replay cache, not executed twice.
+func TestChaosStreamResetReplayDedup(t *testing.T) {
+	SetPIDBatch(1)
+	defer SetPIDBatch(PIDBatchSize)
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	m1, _ := g.member(lp, lh.Addr, 2, newFakeService())
+
+	before := ReadFailoverCounters()
+	plan := host.NewFaultPlan().Rule("rpc.MsgNSAlloc.reply", 1, host.FaultReset)
+	lp.Proc().SetFaultPlan(plan)
+
+	pidA, err := m1.AllocPID(m1.Addr)
+	if err != nil {
+		t.Fatalf("alloc across reset: %v", err)
+	}
+	lp.Proc().SetFaultPlan(nil)
+	after := ReadFailoverCounters()
+	if d := after.ReplaysDeduped - before.ReplaysDeduped; d != 1 {
+		t.Fatalf("replays deduped = %d, want exactly 1", d)
+	}
+	if d := after.Failovers - before.Failovers; d < 1 {
+		t.Fatal("no failover ran despite the torn reply stream")
+	}
+	// The live leader re-asserted itself: no usurper.
+	if got := m1.LeaderAddr(); got != lh.Addr {
+		t.Fatalf("leader after re-assert = %q, want %q", got, lh.Addr)
+	}
+	// No hole in the namespace: the replayed (not re-executed) allocation
+	// left the cursor exactly one past the granted pid.
+	pidB, err := m1.AllocPID(m1.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pidB != pidA+1 {
+		t.Fatalf("next pid = %d after %d; the deduped request leaked a batch", pidB, pidA)
+	}
+}
+
+// TestChaosKillLeaderMidMsgsnd kills the leader as a synchronous send to a
+// leader-owned queue enters its handler. The queue dies with its owner and
+// was never persisted, so the sender must get a real errno (EIDRM) from
+// the post-failover owner lookup — never a hang.
+func TestChaosKillLeaderMidMsgsnd(t *testing.T) {
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	m1, _ := g.member(lp, lh.Addr, 2, newFakeService())
+	_, _ = g.member(lp, lh.Addr, 3, newFakeService())
+
+	id, err := lh.Msgget(55, api.IPCCreat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := host.NewFaultPlan().Rule("rpc.MsgQSend.enter", 1, host.FaultKill)
+	lp.Proc().SetFaultPlan(plan)
+
+	done := make(chan error, 1)
+	go func() { done <- m1.MsgsndSync(id, 1, []byte("doomed")) }()
+	select {
+	case err := <-done:
+		if api.ToErrno(err) != api.EIDRM {
+			t.Fatalf("send to queue that died with the leader: %v, want EIDRM", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("send hung instead of surfacing the dead queue")
+	}
+	if len(plan.Fired()) == 0 {
+		t.Fatal("fault never fired")
+	}
+	if !m1.isLeader() {
+		t.Fatal("m1 did not take over after the crash")
+	}
+}
+
+// TestChaosCrashedMemberReaped crashes a non-leader member that holds a
+// key-block lease and owns the backing queue — no MsgBye, no shutdown
+// eviction. The leader must reap it off the dead-stream notification:
+// release the lease, tombstone the queue, and let a survivor re-create the
+// key with a fresh id.
+func TestChaosCrashedMemberReaped(t *testing.T) {
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	m1, _ := g.member(lp, lh.Addr, 2, newFakeService())
+	m2, _ := g.member(lp, lh.Addr, 3, newFakeService())
+
+	oldID, err := m2.Msgget(42, api.IPCCreat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ReadFailoverCounters()
+	m2.pal.Proc().Exit(137) // crash: no shutdown, nothing persisted
+
+	waitFor(t, 2*time.Second, "leader to reap the crashed member", func() bool {
+		return ReadFailoverCounters().MembersReaped > before.MembersReaped
+	})
+	// The reap released m2's block lease and tombstoned its queue: the key
+	// is creatable again at the leader and never resolves to the ghost.
+	waitFor(t, 2*time.Second, "key to become creatable after the reap", func() bool {
+		newID, err := m1.Msgget(42, api.IPCCreat)
+		return err == nil && newID != oldID
+	})
+	_ = lh
+}
+
+// TestChaosCrashedOwnerWakesParkedWaiter parks a blocking receive at a
+// remote queue owner, then crashes the owner without shutdown. The waiter's
+// deferred RPC dies with the owner's streams; its retry resolves through
+// the leader — which by then has reaped the owner — and must surface EIDRM
+// within the deadline instead of re-parking forever.
+func TestChaosCrashedOwnerWakesParkedWaiter(t *testing.T) {
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	m2, _ := g.member(lp, lh.Addr, 3, newFakeService())
+
+	id, err := m2.Msgget(77, api.IPCCreat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		_, _, err := lh.Msgrcv(id, 0, 0)
+		got <- err
+	}()
+	// Wait until the receive is genuinely parked at the owner before
+	// crashing it (remoteRecvs counts deferred receives at the queue).
+	waitFor(t, 2*time.Second, "receiver to park at the owner", func() bool {
+		m2.mu.Lock()
+		q := m2.queues[id]
+		m2.mu.Unlock()
+		if q == nil {
+			return false
+		}
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		return len(q.waiters) > 0
+	})
+	m2.pal.Proc().Exit(137)
+
+	select {
+	case err := <-got:
+		if api.ToErrno(err) != api.EIDRM {
+			t.Fatalf("parked waiter woke with %v, want EIDRM", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked waiter hung after the owner crashed")
+	}
+}
+
+// TestChaosStaleLeaderAnnouncementRejected feeds a survivor a MsgNewLeader
+// announcement carrying an epoch no newer than its accepted leader's: the
+// stale claim must be dropped (and counted), not installed.
+func TestChaosStaleLeaderAnnouncementRejected(t *testing.T) {
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	m1, _ := g.member(lp, lh.Addr, 2, newFakeService())
+
+	before := ReadFailoverCounters()
+	m1.handleNewLeaderBroadcast(Frame{Type: MsgNewLeader, A: 0, From: "ipc.bogus", S: "ipc.bogus"})
+	if got := m1.LeaderAddr(); got != lh.Addr {
+		t.Fatalf("stale announcement installed leader %q", got)
+	}
+	if d := ReadFailoverCounters().StaleAnnouncementsDropped - before.StaleAnnouncementsDropped; d != 1 {
+		t.Fatalf("stale announcements dropped = %d, want 1", d)
+	}
+}
+
+// TestChaosGracefulDepartureNotReaped: a member that says MsgBye on its
+// way out (persisting its objects) must never be reaped — reaping would
+// tombstone objects the shutdown path just persisted for adoption.
+func TestChaosGracefulDepartureNotReaped(t *testing.T) {
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	m2, _ := g.member(lp, lh.Addr, 3, newFakeService())
+
+	if _, err := m2.Msgget(88, api.IPCCreat); err != nil {
+		t.Fatal(err)
+	}
+	before := ReadFailoverCounters()
+	m2.Shutdown()
+	m2.pal.Proc().Exit(0)
+
+	// Give the leader's conn teardown (the reap trigger) time to run, then
+	// verify it declined: the departure was graceful.
+	time.Sleep(50 * time.Millisecond)
+	if d := ReadFailoverCounters().MembersReaped - before.MembersReaped; d != 0 {
+		t.Fatalf("graceful departure was reaped (%d)", d)
+	}
+	// The persisted/evicted object is still reachable through the leader.
+	if _, err := lh.Msgget(88, 0); err != nil {
+		t.Fatalf("object lost after graceful departure: %v", err)
+	}
+}

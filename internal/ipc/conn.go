@@ -127,6 +127,8 @@ type Handler func(f Frame, respond func(Frame))
 // and tears the connection down, failing pending calls with EPIPE.
 type Conn struct {
 	// RemoteAddr is the peer helper's address, learned from its frames.
+	// Guarded by mu after construction (the read loop updates it while
+	// teardown paths read it); use remote()/setRemote.
 	RemoteAddr string
 
 	stream    *host.Stream
@@ -166,14 +168,17 @@ func NewConn(stream *host.Stream, localAddr string, handler Handler, onClose fun
 func (c *Conn) readLoop() {
 	rd := newFrameReader(c.stream)
 	defer rd.release()
+	// lastFrom mirrors RemoteAddr so the steady state skips the lock.
+	var lastFrom string
 	for {
 		f, err := rd.next()
 		if err != nil {
 			c.teardown()
 			return
 		}
-		if f.From != "" {
-			c.RemoteAddr = f.From
+		if f.From != "" && f.From != lastFrom {
+			lastFrom = f.From
+			c.setRemote(f.From)
 		}
 		if f.IsResponse() {
 			c.mu.Lock()
@@ -355,4 +360,18 @@ func (c *Conn) Alive() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return !c.closed
+}
+
+// remote returns the peer address learned so far ("" if the peer has not
+// identified itself yet).
+func (c *Conn) remote() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.RemoteAddr
+}
+
+func (c *Conn) setRemote(addr string) {
+	c.mu.Lock()
+	c.RemoteAddr = addr
+	c.mu.Unlock()
 }

@@ -2,30 +2,83 @@ package ipc
 
 import (
 	"graphene/internal/api"
+	"graphene/internal/host"
 )
 
-// dispatch services one incoming RPC request. Per §4.1, handlers work from
-// local state only and never issue recursive RPCs; operations that need
-// follow-up RPCs (migration, deletion notification) run in separate
-// goroutines after responding.
+// dispatch services an RPC request that did not arrive over a stream
+// (leader-local short-circuit, broadcast side channels).
 func (h *Helper) dispatch(f Frame, respond func(Frame)) {
+	h.dispatchOn(nil, f, respond)
+}
+
+// dispatchOn services one incoming RPC request from stream s (nil for
+// local dispatch). Per §4.1, handlers work from local state only and never
+// issue recursive RPCs; operations that need follow-up RPCs (migration,
+// deletion notification) run in separate goroutines after responding.
+//
+// Two cross-cutting layers run before the type switch: deterministic
+// fault-point evaluation (".enter" before the handler mutates anything,
+// ".reply" between mutation and response delivery) and the replay-dedup
+// check for requests carrying a ReqID. Ordering matters — the dedup
+// recorder sits inside the reply fault wrapper, so a response destroyed
+// by an injected crash or reset is still recorded and the sender's retry
+// replays it instead of re-executing.
+func (h *Helper) dispatchOn(s *host.Stream, f Frame, respond func(Frame)) {
+	if p := h.pal.Proc(); p.HasFaultPlan() {
+		point := "rpc." + f.Type.String()
+		switch p.Fault(point + ".enter") {
+		case host.FaultKill:
+			return // died before the handler ran; never respond
+		case host.FaultReset:
+			if s != nil {
+				s.ForceClose()
+			}
+			return
+		}
+		orig := respond
+		respond = func(r Frame) {
+			switch p.Fault(point + ".reply") {
+			case host.FaultKill, host.FaultDrop:
+				return // mutation applied, response lost
+			case host.FaultReset:
+				if s != nil {
+					s.ForceClose()
+				}
+				return
+			}
+			orig(r)
+		}
+	}
+	respond2, replayed := h.dedupCheck(&f, respond)
+	if replayed {
+		return
+	}
+	respond = respond2
+
 	switch f.Type {
 	case MsgPing:
 		respond(f.Response(Frame{}))
 
 	case MsgWhoIsLeader:
-		// Point-to-point notification carrying the leader's address.
+		// Point-to-point notification carrying the leader's address (A is
+		// its election epoch).
 		if f.S != "" {
 			h.mu.Lock()
 			if h.leaderAddr == "" {
-				h.leaderAddr = f.S
-				select {
-				case h.leaderCh <- struct{}{}:
-				default:
-				}
+				h.setLeaderLocked(f.S, f.A)
 			}
 			h.mu.Unlock()
 		}
+
+	case MsgBye:
+		// Graceful departure: never reap this member when its streams die.
+		h.mu.Lock()
+		leader := h.leader
+		h.mu.Unlock()
+		if leader != nil {
+			leader.markDeparted(f.From)
+		}
+		respond(f.Response(Frame{}))
 
 	case MsgNSAlloc:
 		h.mu.Lock()

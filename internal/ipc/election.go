@@ -2,6 +2,7 @@ package ipc
 
 import (
 	"encoding/binary"
+	"log"
 	"sync"
 	"time"
 
@@ -34,9 +35,29 @@ const electionWindow = 50 * time.Millisecond
 type electionState struct {
 	mu      sync.Mutex
 	active  bool
+	epoch   int64 // the round's election epoch (see Helper.leaderEpoch)
 	lowest  int64
 	lowAddr string
 	done    chan struct{}
+	// announced closes when a winner announcement for this round (same or
+	// newer epoch) is accepted, letting the settling window resolve early
+	// instead of hard-sleeping (and letting losers stop waiting the moment
+	// the winner speaks).
+	announced chan struct{}
+}
+
+// noteAnnouncement resolves an active round early: a MsgNewLeader at or
+// above the round's epoch was accepted.
+func (e *electionState) noteAnnouncement(epoch int64) {
+	e.mu.Lock()
+	if e.active && epoch >= e.epoch {
+		select {
+		case <-e.announced:
+		default:
+			close(e.announced)
+		}
+	}
+	e.mu.Unlock()
 }
 
 // recoverPayload is the per-member state report to the new leader.
@@ -234,13 +255,17 @@ func (l *leaderState) installRecoverState(r recoverPayload, fromAddr string) {
 // ElectLeader runs the recovery protocol after the current leader became
 // unreachable. It returns the new leader's address (possibly this
 // helper's own). Concurrent elections converge: every participant
-// computes the same minimum over the broadcast exchange.
+// computes the same minimum over the broadcast exchange. Each round
+// carries an election epoch one above the last accepted leader's, so a
+// slow announcement from an earlier round can never clobber a newer
+// leader (see handleNewLeaderBroadcast).
 func (h *Helper) ElectLeader() (string, error) {
 	h.mu.Lock()
 	if h.election == nil {
 		h.election = &electionState{}
 	}
 	e := h.election
+	roundEpoch := h.leaderEpoch + 1
 	h.mu.Unlock()
 
 	e.mu.Lock()
@@ -251,34 +276,64 @@ func (h *Helper) ElectLeader() (string, error) {
 		return h.awaitNewLeader(10 * electionWindow)
 	}
 	e.active = true
+	if roundEpoch > e.epoch {
+		e.epoch = roundEpoch
+	}
+	roundEpoch = e.epoch
 	e.lowest = h.GuestPID
 	e.lowAddr = h.Addr
 	e.done = make(chan struct{})
+	e.announced = make(chan struct{})
+	announced := e.announced
 	e.mu.Unlock()
 	// The old leader is dead; forget it so stale reads cannot win races.
 	h.mu.Lock()
 	if h.leader == nil {
-		h.leaderAddr = ""
+		h.clearLeaderLocked()
 	}
 	h.mu.Unlock()
 
 	// Announce our candidacy; peers answer with their own (handled in
 	// handleElectionBroadcast, which also folds their PIDs into e).
-	f := Frame{Type: MsgElection, B: h.GuestPID, From: h.Addr, S: h.Addr}
+	f := Frame{Type: MsgElection, A: roundEpoch, B: h.GuestPID, From: h.Addr, S: h.Addr}
 	if err := h.pal.BroadcastSend(EncodeFrame(&f)); err != nil {
 		e.finish()
 		return "", err
 	}
-	time.Sleep(electionWindow)
+	h.electionWait(announced)
+	return h.settleElection(e)
+}
 
+// electionWait holds the settling window open, resolving early when a
+// winner announcement arrives — the loser side of an election no longer
+// hard-sleeps the full window.
+func (h *Helper) electionWait(announced chan struct{}) {
+	timer := time.NewTimer(electionWindow)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-announced:
+	}
+}
+
+// settleElection resolves an election round after its settling window:
+// promote and announce if we hold the lowest PID (and nobody announced
+// first), otherwise wait for the winner's announcement.
+func (h *Helper) settleElection(e *electionState) (string, error) {
 	e.mu.Lock()
 	won := e.lowest == h.GuestPID
-	winner := e.lowAddr
+	epoch := e.epoch
+	select {
+	case <-e.announced:
+		// Someone already won this (or a newer) round.
+		won = false
+	default:
+	}
 	e.mu.Unlock()
 
 	if won {
-		h.promoteToLeader()
-		nf := Frame{Type: MsgNewLeader, From: h.Addr, S: h.Addr}
+		h.promoteToLeader(epoch)
+		nf := Frame{Type: MsgNewLeader, A: epoch, From: h.Addr, S: h.Addr}
 		_ = h.pal.BroadcastSend(EncodeFrame(&nf))
 		// Install our own state; peers send theirs on MsgNewLeader.
 		h.mu.Lock()
@@ -289,27 +344,30 @@ func (h *Helper) ElectLeader() (string, error) {
 		return h.Addr, nil
 	}
 	// Wait for the winner's announcement (handled by broadcastLoop).
-	_ = winner
 	addr, err := h.awaitNewLeader(10 * electionWindow)
 	e.finish()
 	return addr, err
 }
 
 // awaitNewLeader blocks until a leader address is known (set by our own
-// promotion or a MsgNewLeader broadcast) or the deadline passes.
+// promotion or a MsgNewLeader broadcast, both of which signal the
+// leader-change channel) or the deadline passes.
 func (h *Helper) awaitNewLeader(timeout time.Duration) (string, error) {
-	deadline := time.Now().Add(timeout)
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	for {
 		h.mu.Lock()
 		addr := h.leaderAddr
+		ch := h.leaderChange
 		h.mu.Unlock()
 		if addr != "" {
 			return addr, nil
 		}
-		if time.Now().After(deadline) {
+		select {
+		case <-ch:
+		case <-timer.C:
 			return "", api.ETIMEDOUT
 		}
-		time.Sleep(time.Millisecond)
 	}
 }
 
@@ -323,15 +381,18 @@ func (e *electionState) finish() {
 }
 
 // promoteToLeader turns this helper into the namespace leader with a
-// fresh, reconstructable state.
-func (h *Helper) promoteToLeader() {
+// fresh, reconstructable state, under the given election epoch.
+func (h *Helper) promoteToLeader(epoch int64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.leader != nil {
+		if epoch > h.leaderEpoch {
+			h.leaderEpoch = epoch
+		}
 		return
 	}
 	h.leader = newLeaderState()
-	h.leaderAddr = h.Addr
+	h.setLeaderLocked(h.Addr, epoch)
 	// Never re-issue IDs below our own high-water marks.
 	h.leader.mu.Lock()
 	if h.pidBatch.hi >= h.leader.next[NSPid] {
@@ -355,8 +416,30 @@ func (h *Helper) handleElectionBroadcast(f Frame) {
 	}
 	e := h.election
 	shutdown := h.shutdown
+	isLeader := h.leader != nil
+	curEpoch := h.leaderEpoch
+	haveLeader := h.leaderAddr != ""
 	h.mu.Unlock()
 	if shutdown {
+		return
+	}
+	if isLeader {
+		// We are alive and leading: the sender's failure detection was
+		// wrong (a single torn stream, not a crash). Re-assert leadership,
+		// claiming the sender's round epoch so the round resolves to us.
+		h.mu.Lock()
+		if f.A > h.leaderEpoch {
+			h.leaderEpoch = f.A
+		}
+		epoch := h.leaderEpoch
+		h.mu.Unlock()
+		nf := Frame{Type: MsgNewLeader, A: epoch, From: h.Addr, S: h.Addr}
+		_ = h.pal.BroadcastSend(EncodeFrame(&nf))
+		return
+	}
+	if f.A <= curEpoch && haveLeader {
+		// A stale round: the sender missed an announcement we already
+		// accepted. The (live) leader corrects it; we stay quiet.
 		return
 	}
 	e.mu.Lock()
@@ -364,66 +447,97 @@ func (h *Helper) handleElectionBroadcast(f Frame) {
 	if !e.active {
 		// A peer started an election: join it with our own candidacy.
 		e.active = true
+		e.epoch = f.A
+		if curEpoch+1 > e.epoch {
+			e.epoch = curEpoch + 1
+		}
 		e.lowest = h.GuestPID
 		e.lowAddr = h.Addr
 		e.done = make(chan struct{})
+		e.announced = make(chan struct{})
+	} else if f.A > e.epoch {
+		e.epoch = f.A
 	}
 	if f.B < e.lowest || (f.B == e.lowest && f.S < e.lowAddr) {
 		e.lowest = f.B
 		e.lowAddr = f.S
 	}
+	announced := e.announced
+	roundEpoch := e.epoch
 	e.mu.Unlock()
 	if joinRound {
 		h.mu.Lock()
 		if h.leader == nil {
-			h.leaderAddr = "" // the old leader is being replaced
+			h.clearLeaderLocked() // the old leader is being replaced
 		}
 		h.mu.Unlock()
 		// Announce ourselves so the initiator sees us, then resolve the
 		// round on our side too.
 		go func() {
-			cf := Frame{Type: MsgElection, B: h.GuestPID, From: h.Addr, S: h.Addr}
+			cf := Frame{Type: MsgElection, A: roundEpoch, B: h.GuestPID, From: h.Addr, S: h.Addr}
 			_ = h.pal.BroadcastSend(EncodeFrame(&cf))
-			time.Sleep(electionWindow)
-			e.mu.Lock()
-			won := e.lowest == h.GuestPID
-			e.mu.Unlock()
-			if won {
-				h.promoteToLeader()
-				nf := Frame{Type: MsgNewLeader, From: h.Addr, S: h.Addr}
-				_ = h.pal.BroadcastSend(EncodeFrame(&nf))
-				h.mu.Lock()
-				leader := h.leader
-				h.mu.Unlock()
-				leader.installRecoverState(h.collectRecoverState(), h.Addr)
-			} else {
-				// Wait for the winner's announcement before resolving, so
-				// concurrent ElectLeader callers never read a stale or
-				// empty leader address.
-				_, _ = h.awaitNewLeader(10 * electionWindow)
-			}
-			e.finish()
+			h.electionWait(announced)
+			_, _ = h.settleElection(e)
 		}()
 	}
 }
 
-// handleNewLeaderBroadcast records the winner and sends it our state.
+// handleNewLeaderBroadcast records the winner — unless the announcement
+// is stale (an earlier epoch than the leader we already accepted), in
+// which case it is dropped so a slow earlier round cannot clobber a newer
+// leader — and sends the winner our recover-state report.
 func (h *Helper) handleNewLeaderBroadcast(f Frame) {
 	if f.S == "" || f.S == h.Addr {
 		return
 	}
 	h.mu.Lock()
-	h.leaderAddr = f.S
-	// Any stale election round resolves to the announced winner.
-	if h.election != nil {
-		h.election.finish()
+	if h.shutdown || h.leader != nil {
+		// A live leader ignores foreign announcements (crash-stop world:
+		// a competing winner means our own promotion already raced ahead;
+		// our re-assert in handleElectionBroadcast converges the sandbox).
+		h.mu.Unlock()
+		return
 	}
+	if f.A < h.leaderEpoch || (f.A == h.leaderEpoch && h.leaderAddr != "") {
+		h.mu.Unlock()
+		statStaleAnnounces.Add(1)
+		return
+	}
+	h.setLeaderLocked(f.S, f.A)
+	e := h.election
 	h.mu.Unlock()
-	go func() {
-		c, err := h.dial(f.S)
-		if err != nil {
-			return
+	if e != nil {
+		e.noteAnnouncement(f.A)
+	}
+	go h.sendRecoverState(f.S)
+}
+
+// sendRecoverState reports this member's slice of distributed state to a
+// newly announced leader, retrying with backoff: a member whose report is
+// lost would be invisible to the new leader (its objects and leases would
+// silently vanish from the namespace).
+func (h *Helper) sendRecoverState(to string) {
+	var lastErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		if attempt > 0 {
+			statRecoverRetries.Add(1)
+			time.Sleep(time.Duration(attempt) * time.Millisecond)
 		}
-		_, _ = c.Call(Frame{Type: MsgRecoverState, Blob: encodeRecover(h.collectRecoverState())})
-	}()
+		h.mu.Lock()
+		down := h.shutdown
+		stale := h.leaderAddr != to
+		h.mu.Unlock()
+		if down || stale {
+			return // shutting down, or yet another leader took over
+		}
+		c, err := h.dial(to)
+		if err == nil {
+			if _, err = c.Call(Frame{Type: MsgRecoverState, Blob: encodeRecover(h.collectRecoverState())}); err == nil {
+				return
+			}
+		}
+		lastErr = err
+	}
+	statRecoverFailed.Add(1)
+	log.Printf("ipc: %s: recover-state report to %s failed permanently: %v", h.Addr, to, lastErr)
 }

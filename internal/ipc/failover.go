@@ -1,0 +1,307 @@
+package ipc
+
+import (
+	"sync/atomic"
+
+	"graphene/internal/api"
+)
+
+// Leader failover on the live RPC path (§4.2, "Leader Recovery"). Every
+// leader RPC funnels through callLeader below. A dead-leader error —
+// the stream tore down mid-call, or nobody is listening at the cached
+// address — triggers the failover pipeline:
+//
+//  1. single-flight election: of all the guest threads that observe the
+//     same failure epoch, exactly one runs ElectLeader; the rest wait for
+//     it and then share its outcome,
+//  2. re-resolution: the caller re-reads the (possibly new) leader address
+//     and transparently retries, bounded by failoverAttempts,
+//  3. replay dedup: non-idempotent requests carry a ReqID minted once per
+//     logical operation; a leader that already executed the request
+//     replays its recorded response instead of executing twice (the retry
+//     may reach the same, still-alive leader whose response was lost).
+
+// failoverAttempts bounds how many distinct leader failures one logical
+// RPC will ride through before surfacing the transport error.
+const failoverAttempts = 3
+
+// Failover pipeline counters (package-wide, cumulative). Chaos tests
+// snapshot deltas; they are diagnostics, not control state.
+var (
+	statFailovers      atomic.Int64
+	statReplaysDeduped atomic.Int64
+	statMembersReaped  atomic.Int64
+	statRecoverRetries atomic.Int64
+	statRecoverFailed  atomic.Int64
+	statStaleAnnounces atomic.Int64
+)
+
+// FailoverCounters is a snapshot of the failover pipeline's counters.
+type FailoverCounters struct {
+	// Failovers counts single-flight election runs triggered from the RPC
+	// path.
+	Failovers int64
+	// ReplaysDeduped counts non-idempotent requests answered from the
+	// replay cache instead of being executed a second time.
+	ReplaysDeduped int64
+	// MembersReaped counts crashed (non-graceful) members whose namespace
+	// state the leader reclaimed.
+	MembersReaped int64
+	// RecoverSendRetries / RecoverSendFailures count MsgRecoverState
+	// delivery retries and terminal failures after a leader change.
+	RecoverSendRetries  int64
+	RecoverSendFailures int64
+	// StaleAnnouncementsDropped counts MsgNewLeader frames rejected for
+	// carrying an epoch older than the accepted leader's.
+	StaleAnnouncementsDropped int64
+}
+
+// ReadFailoverCounters snapshots the pipeline counters.
+func ReadFailoverCounters() FailoverCounters {
+	return FailoverCounters{
+		Failovers:                 statFailovers.Load(),
+		ReplaysDeduped:            statReplaysDeduped.Load(),
+		MembersReaped:             statMembersReaped.Load(),
+		RecoverSendRetries:        statRecoverRetries.Load(),
+		RecoverSendFailures:       statRecoverFailed.Load(),
+		StaleAnnouncementsDropped: statStaleAnnounces.Load(),
+	}
+}
+
+// deadLeaderErr classifies transport errors that mean "the peer at the
+// leader address is gone": the stream died under the call (EPIPE) or no
+// listener answers the dial (ECONNREFUSED).
+func deadLeaderErr(err error) bool {
+	return err == api.EPIPE || err == api.ECONNREFUSED
+}
+
+// needsReqID marks the non-idempotent request types — creates, registers,
+// migrations — whose replay after a lost response must be deduplicated.
+// Everything else retries safely without a token.
+func needsReqID(t MsgType) bool {
+	switch t {
+	case MsgNSAlloc, MsgKeyGet, MsgKeyRegister, MsgQMigrate, MsgSemMigrate:
+		return true
+	}
+	return false
+}
+
+// leaderOnly marks request types only the leader serves. EPERM from one of
+// these means the peer is a demoted or never-promoted helper: the cached
+// leader address is stale, not the request invalid.
+func leaderOnly(t MsgType) bool {
+	switch t {
+	case MsgNSAlloc, MsgKeyOwner, MsgKeyChown, MsgKeyRemove, MsgKeyRegister,
+		MsgPgJoin, MsgPgLeave, MsgPgMembers, MsgRecoverState:
+		return true
+	}
+	return false
+}
+
+// callLeader performs an RPC against the leader, short-circuiting when
+// this helper is the leader, and rides through leader failures per the
+// pipeline described at the top of the file.
+func (h *Helper) callLeader(f Frame) (Frame, error) {
+	f.From = h.Addr
+	var lastErr error
+	for attempt := 0; attempt <= failoverAttempts; attempt++ {
+		h.mu.Lock()
+		leaderAddr := h.leaderAddr
+		isLeader := h.leader != nil
+		down := h.shutdown
+		epoch := h.failEpoch
+		h.mu.Unlock()
+
+		if isLeader {
+			respCh := make(chan Frame, 1)
+			h.dispatch(f, func(r Frame) { respCh <- r })
+			r := <-respCh
+			if r.Err != 0 {
+				return r, r.Err
+			}
+			return r, nil
+		}
+		// Mint the idempotency token once; retries of this logical request
+		// reuse it so the (possibly same) leader can deduplicate.
+		if f.ReqID == 0 && needsReqID(f.Type) {
+			f.ReqID = h.reqSeq.Add(1)
+		}
+		if leaderAddr == "" {
+			addr, err := h.DiscoverLeader()
+			if err != nil {
+				lastErr = err
+				if down {
+					return Frame{}, err
+				}
+				if ferr := h.failover(epoch); ferr != nil {
+					return Frame{}, ferr
+				}
+				continue
+			}
+			leaderAddr = addr
+		}
+		var resp Frame
+		c, err := h.dial(leaderAddr)
+		if err == nil {
+			resp, err = c.Call(f)
+		}
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if err == api.EPERM && leaderOnly(f.Type) {
+			// The peer answered but is not the leader: stale address.
+			h.mu.Lock()
+			if h.leaderAddr == leaderAddr {
+				h.clearLeaderLocked()
+			}
+			h.mu.Unlock()
+			continue
+		}
+		if !deadLeaderErr(err) {
+			return resp, err
+		}
+		if down {
+			// A helper that is itself shutting down does not elect; its
+			// cleanup RPCs are best-effort.
+			return Frame{}, err
+		}
+		if ferr := h.failover(epoch); ferr != nil {
+			return Frame{}, ferr
+		}
+	}
+	return Frame{}, lastErr
+}
+
+// failover runs the leader election exactly once per failure epoch.
+// observed is the epoch the caller read before its RPC failed: if the
+// epoch has already advanced past it, someone else completed failover for
+// this failure and the caller can simply retry. Otherwise one caller
+// becomes the runner and the rest block until it finishes.
+func (h *Helper) failover(observed int64) error {
+	h.mu.Lock()
+	for {
+		if h.failEpoch > observed {
+			h.mu.Unlock()
+			return nil
+		}
+		if !h.failActive {
+			break
+		}
+		done := h.failDone
+		h.mu.Unlock()
+		<-done
+		h.mu.Lock()
+	}
+	h.failActive = true
+	done := make(chan struct{})
+	h.failDone = done
+	h.mu.Unlock()
+
+	statFailovers.Add(1)
+	_, err := h.ElectLeader()
+
+	h.mu.Lock()
+	h.failEpoch++
+	h.failActive = false
+	h.mu.Unlock()
+	close(done)
+	return err
+}
+
+// dedupKey identifies a logical request across replays.
+type dedupKey struct {
+	from string
+	id   uint64
+}
+
+// dedupCacheSize bounds the replay cache (FIFO eviction). Replays arrive
+// within one failover window of the original, so a shallow cache suffices.
+const dedupCacheSize = 1024
+
+// dedupCheck consults the replay cache for f. If the request was already
+// executed, it replays the recorded response through respond and reports
+// done=true. Otherwise it returns a respond wrapper that records the
+// response — before delivering it, so a replay arriving between execution
+// and delivery still cannot re-execute.
+func (h *Helper) dedupCheck(f *Frame, respond func(Frame)) (func(Frame), bool) {
+	if f.ReqID == 0 || f.From == "" || f.IsResponse() {
+		return respond, false
+	}
+	k := dedupKey{from: f.From, id: f.ReqID}
+	h.mu.Lock()
+	if r, ok := h.dedup[k]; ok {
+		h.mu.Unlock()
+		statReplaysDeduped.Add(1)
+		respond(r)
+		return nil, true
+	}
+	h.mu.Unlock()
+	orig := respond
+	return func(r Frame) {
+		h.mu.Lock()
+		if h.dedup == nil {
+			h.dedup = make(map[dedupKey]Frame)
+		}
+		if len(h.dedupOrder) >= dedupCacheSize {
+			delete(h.dedup, h.dedupOrder[0])
+			h.dedupOrder = h.dedupOrder[1:]
+		}
+		h.dedup[k] = r
+		h.dedupOrder = append(h.dedupOrder, k)
+		h.mu.Unlock()
+		orig(r)
+	}, false
+}
+
+// reapMember reclaims a crashed member's slice of the distributed state:
+// its PID ranges, key-block leases, owned System V objects (tombstoned so
+// parked waiters resolve to EIDRM instead of retrying forever), and its
+// process-group membership. Graceful departures (MsgBye) are never
+// reaped; reap itself is idempotent per address.
+func (h *Helper) reapMember(addr string) {
+	h.mu.Lock()
+	leader := h.leader
+	down := h.shutdown
+	h.mu.Unlock()
+	if leader == nil || down || addr == "" || addr == h.Addr {
+		return
+	}
+	notes, reaped := leader.reap(addr)
+	if !reaped {
+		return
+	}
+	statMembersReaped.Add(1)
+	// Purge local caches pointing at the dead member.
+	h.mu.Lock()
+	for pid, a := range h.localPIDs {
+		if a == addr && pid != h.GuestPID {
+			delete(h.localPIDs, pid)
+		}
+	}
+	for id, a := range h.qOwnerCache {
+		if a == addr {
+			delete(h.qOwnerCache, id)
+		}
+	}
+	for id, a := range h.semOwner {
+		if a == addr {
+			delete(h.semOwner, id)
+		}
+	}
+	h.mu.Unlock()
+	h.pidOwner.deleteValue(func(a string) bool { return a == addr })
+	// Tell surviving lease holders to drop cache entries for keys whose
+	// backing object died with the member.
+	for _, n := range notes {
+		if n.holder == addr || n.holder == "" {
+			continue
+		}
+		note := n
+		h.bgGo(func() {
+			if c, err := h.dial(note.holder); err == nil {
+				_ = c.Notify(Frame{Type: MsgKeyEvict, A: int64(note.kind), B: note.key, C: 1})
+			}
+		})
+	}
+}

@@ -96,7 +96,27 @@ type Helper struct {
 	mu         sync.Mutex
 	leaderAddr string       // "" until discovered; == Addr when leader
 	leader     *leaderState // non-nil on the leader
-	leaderCh   chan struct{}
+	// leaderEpoch is the election epoch of the accepted leader (0 for the
+	// sandbox's original leader). Elections propose leaderEpoch+1; stale
+	// MsgNewLeader announcements (lower epoch) are rejected.
+	leaderEpoch int64
+	// leaderChange is closed (and replaced) whenever leaderAddr is set,
+	// waking awaitNewLeader waiters without polling.
+	leaderChange chan struct{}
+
+	// Failure epochs make RPC-path failover single-flight: failEpoch
+	// counts completed failovers, and of all callers that observed the
+	// same epoch when their leader RPC died, exactly one runs ElectLeader
+	// (failActive/failDone serialize them; see Helper.failover).
+	failEpoch  int64
+	failActive bool
+	failDone   chan struct{}
+
+	// reqSeq mints ReqIDs for non-idempotent leader requests; dedup (with
+	// FIFO eviction order dedupOrder) is the leader-side replay cache.
+	reqSeq     atomic.Uint64
+	dedup      map[dedupKey]Frame
+	dedupOrder []dedupKey
 
 	// conns and pidOwner are the RPC hot path's caches — the point-to-point
 	// stream cache and the PID owner cache. They live outside h.mu in
@@ -180,21 +200,21 @@ func NewMember(p *pal.PAL, svc Service, guestPID int64, leaderAddr string) (*Hel
 
 func newHelper(p *pal.PAL, svc Service, guestPID int64) (*Helper, error) {
 	h := &Helper{
-		pal:         p,
-		svc:         svc,
-		Addr:        AddrForHostPID(p.Proc().ID),
-		GuestPID:    guestPID,
-		leaderCh:    make(chan struct{}, 1),
-		conns:       newShardedMap[*Conn](),
-		pidOwner:    newShardedIntMap[string](),
-		localPIDs:   make(map[int64]string),
-		idBatches:   map[int]*idBatch{NSSysVMsg: {}, NSSysVSem: {}},
-		queues:      make(map[int64]*msgQueue),
-		qOwnerCache: make(map[int64]string),
-		sems:        make(map[int64]*semSet),
-		semOwner:    make(map[int64]string),
-		keyLeases:   map[int]map[int64]struct{}{NSSysVMsg: {}, NSSysVSem: {}},
-		keyCache:    map[int]map[int64]keyEntry{NSSysVMsg: {}, NSSysVSem: {}},
+		pal:          p,
+		svc:          svc,
+		Addr:         AddrForHostPID(p.Proc().ID),
+		GuestPID:     guestPID,
+		leaderChange: make(chan struct{}),
+		conns:        newShardedMap[*Conn](),
+		pidOwner:     newShardedIntMap[string](),
+		localPIDs:    make(map[int64]string),
+		idBatches:    map[int]*idBatch{NSSysVMsg: {}, NSSysVSem: {}},
+		queues:       make(map[int64]*msgQueue),
+		qOwnerCache:  make(map[int64]string),
+		sems:         make(map[int64]*semSet),
+		semOwner:     make(map[int64]string),
+		keyLeases:    map[int]map[int64]struct{}{NSSysVMsg: {}, NSSysVSem: {}},
+		keyCache:     map[int]map[int64]keyEntry{NSSysVMsg: {}, NSSysVSem: {}},
 	}
 	l, err := p.DkStreamOpen("pipe.srv:"+h.Addr, 0, 0)
 	if err != nil {
@@ -216,7 +236,10 @@ func (h *Helper) acceptLoop() {
 		if err != nil {
 			return
 		}
-		c := NewConn(conn.Stream, h.Addr, h.dispatch, h.dropConn)
+		stream := conn.Stream
+		c := NewConn(stream, h.Addr, func(f Frame, respond func(Frame)) {
+			h.dispatchOn(stream, f, respond)
+		}, h.dropConn)
 		h.mu.Lock()
 		if h.shutdown {
 			h.mu.Unlock()
@@ -241,10 +264,14 @@ func (h *Helper) broadcastLoop() {
 		switch f.Type {
 		case MsgWhoIsLeader:
 			if h.isLeader() && f.From != "" {
-				// Respond point-to-point so the requester learns our address.
+				// Respond point-to-point so the requester learns our address
+				// (and the epoch we lead under).
+				h.mu.Lock()
+				epoch := h.leaderEpoch
+				h.mu.Unlock()
 				go func(to string) {
 					if c, err := h.dial(to); err == nil {
-						_ = c.Notify(Frame{Type: MsgWhoIsLeader, S: h.Addr})
+						_ = c.Notify(Frame{Type: MsgWhoIsLeader, A: epoch, S: h.Addr})
 					}
 				}(f.From)
 			}
@@ -277,9 +304,10 @@ func (h *Helper) isLeader() bool {
 	return h.leader != nil
 }
 
-// DiscoverLeader broadcasts a who-is-leader query and waits for the
-// leader's point-to-point reply — the recovery path when a process lost
-// its leader address.
+// DiscoverLeader broadcasts a who-is-leader query and waits (bounded) for
+// the leader's point-to-point reply — the recovery path when a process
+// lost its leader address. ETIMEDOUT means no live leader answered; the
+// caller decides whether to elect.
 func (h *Helper) DiscoverLeader() (string, error) {
 	h.mu.Lock()
 	if h.leaderAddr != "" {
@@ -292,14 +320,37 @@ func (h *Helper) DiscoverLeader() (string, error) {
 	if err := h.pal.BroadcastSend(EncodeFrame(&f)); err != nil {
 		return "", err
 	}
-	<-h.leaderCh
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.leaderAddr, nil
+	return h.awaitNewLeader(10 * electionWindow)
 }
 
+// setLeaderLocked records addr as the sandbox leader under epoch and wakes
+// awaitNewLeader waiters. Caller holds h.mu.
+func (h *Helper) setLeaderLocked(addr string, epoch int64) {
+	h.leaderAddr = addr
+	if epoch > h.leaderEpoch {
+		h.leaderEpoch = epoch
+	}
+	close(h.leaderChange)
+	h.leaderChange = make(chan struct{})
+}
+
+// clearLeaderLocked forgets the leader address (it is presumed dead or
+// stale). Caller holds h.mu.
+func (h *Helper) clearLeaderLocked() {
+	h.leaderAddr = ""
+}
+
+// dropConn runs when a peer stream dies: the conn leaves the dial cache,
+// and — when we are the leader — a peer that never said MsgBye is treated
+// as crashed and reaped (the RPC-disconnection failure detector of §4.2,
+// pointed at members instead of the leader).
 func (h *Helper) dropConn(c *Conn) {
 	h.conns.deleteValue(func(cc *Conn) bool { return cc == c })
+	addr := c.remote()
+	if addr == "" || addr == h.Addr || !h.isLeader() {
+		return
+	}
+	go h.reapMember(addr)
 }
 
 // dial returns a cached or fresh point-to-point stream to addr (§4.3,
@@ -314,42 +365,13 @@ func (h *Helper) dial(addr string) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := NewConn(sh.Stream, h.Addr, h.dispatch, h.dropConn)
-	c.RemoteAddr = addr
+	stream := sh.Stream
+	c := NewConn(stream, h.Addr, func(f Frame, respond func(Frame)) {
+		h.dispatchOn(stream, f, respond)
+	}, h.dropConn)
+	c.setRemote(addr)
 	h.conns.put(addr, c)
 	return c, nil
-}
-
-// callLeader performs an RPC against the leader, short-circuiting when
-// this helper is the leader.
-func (h *Helper) callLeader(f Frame) (Frame, error) {
-	f.From = h.Addr
-	h.mu.Lock()
-	leaderAddr := h.leaderAddr
-	isLeader := h.leader != nil
-	h.mu.Unlock()
-	if isLeader {
-		respCh := make(chan Frame, 1)
-		h.dispatch(f, func(r Frame) { respCh <- r })
-		r := <-respCh
-		if r.Err != 0 {
-			return r, r.Err
-		}
-		return r, nil
-	}
-	if leaderAddr == "" {
-		if _, err := h.DiscoverLeader(); err != nil {
-			return Frame{}, err
-		}
-		h.mu.Lock()
-		leaderAddr = h.leaderAddr
-		h.mu.Unlock()
-	}
-	c, err := h.dial(leaderAddr)
-	if err != nil {
-		return Frame{}, err
-	}
-	return c.Call(f)
 }
 
 // ============================================================
@@ -507,6 +529,26 @@ func (h *Helper) LeaderAddr() string {
 	return h.leaderAddr
 }
 
+// bgGo runs fn as a tracked background task unless shutdown has begun.
+// The shutdown check and the WaitGroup Add happen under the helper lock
+// that also orders Shutdown's flag write, so Add can never race the
+// counter-at-zero Wait; a task refused here (false) is one the shutdown
+// path's own persist/evict/reap machinery makes redundant.
+func (h *Helper) bgGo(fn func()) bool {
+	h.mu.Lock()
+	if h.shutdown {
+		h.mu.Unlock()
+		return false
+	}
+	h.bg.Add(1)
+	h.mu.Unlock()
+	go func() {
+		defer h.bg.Done()
+		fn()
+	}()
+	return true
+}
+
 // Shutdown persists owned message queues, closes connections and the
 // listener. Called from process exit.
 func (h *Helper) Shutdown() {
@@ -527,6 +569,15 @@ func (h *Helper) Shutdown() {
 	leaderAddr := h.leaderAddr
 	isLeader := h.leader != nil
 	h.mu.Unlock()
+
+	// Say goodbye first, synchronously: once any of our streams tears
+	// down, the leader's failure detector would otherwise race us into a
+	// crash verdict and reap the objects we are about to persist/migrate.
+	if !isLeader && leaderAddr != "" {
+		if c, err := h.dial(leaderAddr); err == nil {
+			_, _ = c.Call(Frame{Type: MsgBye, From: h.Addr})
+		}
+	}
 
 	// Let in-flight removal fan-out finish while the streams still work.
 	h.bg.Wait()

@@ -633,9 +633,7 @@ func (h *Helper) removeLocalQueue(id int64) {
 		return
 	}
 	accessors := q.remove()
-	h.bg.Add(1)
-	go func() {
-		defer h.bg.Done()
+	h.bgGo(func() {
 		for _, addr := range accessors {
 			if addr == h.Addr {
 				continue
@@ -645,7 +643,7 @@ func (h *Helper) removeLocalQueue(id int64) {
 			}
 		}
 		_, _ = h.callLeader(Frame{Type: MsgKeyRemove, A: NSSysVMsg, B: id})
-	}()
+	})
 }
 
 func (h *Helper) invalidateQ(id int64) {
@@ -742,17 +740,15 @@ func (h *Helper) migrateQueue(id int64, to string) {
 	// could split ownership; instead forward ours to the sandbox leader,
 	// which is where a dying receiver's eviction converges too.
 	uncertain := func() {
-		h.mu.Lock()
-		leaderAddr := h.leaderAddr
-		isLeader := h.leader != nil
-		h.mu.Unlock()
-		if isLeader || leaderAddr == "" || leaderAddr == h.Addr {
+		if h.isLeader() {
 			abort() // we are the convergence point; keep the copy
 			return
 		}
-		if c, err := h.dial(leaderAddr); err == nil {
-			if _, err := c.Call(Frame{Type: MsgQMigrate, A: id, Blob: blob, D: nextEpoch}); err == nil {
-				commit(leaderAddr)
+		// callLeader rides through a concurrent leader failover and mints
+		// a ReqID, so a replayed handoff cannot double-install the queue.
+		if _, err := h.callLeader(Frame{Type: MsgQMigrate, A: id, Blob: blob, D: nextEpoch}); err == nil {
+			if owner := h.LeaderAddr(); owner != "" && owner != h.Addr {
+				commit(owner)
 				return
 			}
 		}
@@ -925,9 +921,7 @@ func (h *Helper) removeLocalSem(id int64) {
 		return
 	}
 	accessors := s.remove()
-	h.bg.Add(1)
-	go func() {
-		defer h.bg.Done()
+	h.bgGo(func() {
 		for _, addr := range accessors {
 			if addr == h.Addr {
 				continue
@@ -937,7 +931,7 @@ func (h *Helper) removeLocalSem(id int64) {
 			}
 		}
 		_, _ = h.callLeader(Frame{Type: MsgKeyRemove, A: NSSysVSem, B: id})
-	}()
+	})
 }
 
 func (h *Helper) invalidateSem(id int64) {
@@ -983,17 +977,14 @@ func (h *Helper) migrateSem(id int64, to string) {
 	// uncertain: see migrateQueue — never resurrect a copy the receiver
 	// might also hold; converge on the leader instead.
 	uncertain := func() {
-		h.mu.Lock()
-		leaderAddr := h.leaderAddr
-		isLeader := h.leader != nil
-		h.mu.Unlock()
-		if isLeader || leaderAddr == "" || leaderAddr == h.Addr {
+		if h.isLeader() {
 			abort()
 			return
 		}
-		if c, err := h.dial(leaderAddr); err == nil {
-			if _, err := c.Call(Frame{Type: MsgSemMigrate, A: id, Blob: blob, D: nextEpoch}); err == nil {
-				commit(leaderAddr)
+		// As in migrateQueue: failover-aware and replay-deduplicated.
+		if _, err := h.callLeader(Frame{Type: MsgSemMigrate, A: id, Blob: blob, D: nextEpoch}); err == nil {
+			if owner := h.LeaderAddr(); owner != "" && owner != h.Addr {
+				commit(owner)
 				return
 			}
 		}

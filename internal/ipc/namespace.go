@@ -79,18 +79,23 @@ type leaderState struct {
 	// reused, so a tombstone stays valid forever; the set grows by one
 	// int64 per destroyed object, which is fine at sandbox scale.
 	removed map[int]map[int64]struct{} // kind -> id
-	pgs     *pgroupState
+	// departed marks member addresses that said a graceful MsgBye (never
+	// reap them: their objects were persisted or migrated) or that were
+	// already reaped (reap once per address).
+	departed map[string]struct{}
+	pgs      *pgroupState
 }
 
 func newLeaderState() *leaderState {
 	return &leaderState{
-		ranges:  make(map[int][]idRange),
-		next:    map[int]int64{NSPid: 1, NSSysVMsg: 1, NSSysVSem: 1},
-		keys:    map[int]map[int64]keyEntry{NSSysVMsg: {}, NSSysVSem: {}},
-		owners:  map[int]map[int64]ownerEntry{NSSysVMsg: {}, NSSysVSem: {}},
-		leases:  map[int]map[int64]string{NSSysVMsg: {}, NSSysVSem: {}},
-		removed: map[int]map[int64]struct{}{NSSysVMsg: {}, NSSysVSem: {}},
-		pgs:     newPgroupState(),
+		ranges:   make(map[int][]idRange),
+		next:     map[int]int64{NSPid: 1, NSSysVMsg: 1, NSSysVSem: 1},
+		keys:     map[int]map[int64]keyEntry{NSSysVMsg: {}, NSSysVSem: {}},
+		owners:   map[int]map[int64]ownerEntry{NSSysVMsg: {}, NSSysVSem: {}},
+		leases:   map[int]map[int64]string{NSSysVMsg: {}, NSSysVSem: {}},
+		removed:  map[int]map[int64]struct{}{NSSysVMsg: {}, NSSysVSem: {}},
+		departed: make(map[string]struct{}),
+		pgs:      newPgroupState(),
 	}
 }
 
@@ -351,6 +356,7 @@ func (l *leaderState) chown(kind int, id int64, newOwner string, epoch int64) {
 // keyEvictNote tells a lease holder to drop its cached entry for a
 // removed key.
 type keyEvictNote struct {
+	kind   int
 	key    int64
 	holder string
 }
@@ -369,9 +375,78 @@ func (l *leaderState) remove(kind int, id int64) (notify []keyEvictNote) {
 		if e.id == id {
 			delete(l.keys[kind], key)
 			if holder, ok := l.leases[kind][keyBlock(key)]; ok {
-				notify = append(notify, keyEvictNote{key: key, holder: holder})
+				notify = append(notify, keyEvictNote{kind: kind, key: key, holder: holder})
 			}
 		}
 	}
 	return notify
+}
+
+// markDeparted records a graceful member departure (MsgBye): the member's
+// objects were persisted or migrated on its way out, so a later stream
+// teardown from it must not trigger reaping.
+func (l *leaderState) markDeparted(addr string) {
+	if addr == "" {
+		return
+	}
+	l.mu.Lock()
+	l.departed[addr] = struct{}{}
+	l.mu.Unlock()
+}
+
+// reap reclaims a crashed member's namespace state: its ID ranges (so PID
+// queries fail ESRCH instead of pointing at a ghost), its key-block leases
+// (so unregistered keys in those blocks resolve at the leader again), and
+// its owned System V objects (tombstoned, exactly like an explicit remove,
+// so parked waiters and future lookups get EIDRM). Returns eviction
+// notices for surviving lease holders and whether any reaping happened —
+// false for an address that departed gracefully or was already reaped.
+func (l *leaderState) reap(addr string) (notify []keyEvictNote, reaped bool) {
+	if addr == "" {
+		return nil, false
+	}
+	l.mu.Lock()
+	if _, gone := l.departed[addr]; gone {
+		l.mu.Unlock()
+		return nil, false
+	}
+	l.departed[addr] = struct{}{}
+	for kind, rs := range l.ranges {
+		keep := rs[:0]
+		for _, r := range rs {
+			if r.owner != addr {
+				keep = append(keep, r)
+			}
+		}
+		l.ranges[kind] = keep
+	}
+	for _, m := range l.leases {
+		for block, holder := range m {
+			if holder == addr {
+				delete(m, block)
+			}
+		}
+	}
+	for kind, owners := range l.owners {
+		for id, o := range owners {
+			if o.addr != addr {
+				continue
+			}
+			if l.removed[kind] != nil {
+				l.removed[kind][id] = struct{}{}
+			}
+			delete(owners, id)
+			for key, e := range l.keys[kind] {
+				if e.id == id {
+					delete(l.keys[kind], key)
+					if holder, ok := l.leases[kind][keyBlock(key)]; ok {
+						notify = append(notify, keyEvictNote{kind: kind, key: key, holder: holder})
+					}
+				}
+			}
+		}
+	}
+	l.mu.Unlock()
+	l.pgs.dropAddr(addr)
+	return notify, true
 }

@@ -109,7 +109,38 @@ const (
 	// (C=1): drop the cached entry for key B of kind A after the backing
 	// object was removed.
 	MsgKeyEvict
+
+	// MsgBye: graceful-departure marker, sent synchronously to the leader
+	// at the start of Shutdown. A member that said goodbye is never
+	// reaped; a member whose streams die without it is treated as crashed.
+	MsgBye
 )
+
+// msgTypeNames indexes MsgType (1-based) for String.
+var msgTypeNames = [...]string{
+	MsgPing: "MsgPing", MsgPong: "MsgPong",
+	MsgNSAlloc: "MsgNSAlloc", MsgNSQuery: "MsgNSQuery", MsgNSRegister: "MsgNSRegister",
+	MsgSignal: "MsgSignal", MsgExitNotify: "MsgExitNotify", MsgProcMeta: "MsgProcMeta",
+	MsgKeyGet: "MsgKeyGet", MsgKeyOwner: "MsgKeyOwner", MsgKeyChown: "MsgKeyChown",
+	MsgKeyRemove: "MsgKeyRemove",
+	MsgQSend:     "MsgQSend", MsgQRecv: "MsgQRecv", MsgQDelete: "MsgQDelete",
+	MsgQDeleted: "MsgQDeleted", MsgQMigrate: "MsgQMigrate",
+	MsgSemOp: "MsgSemOp", MsgSemDelete: "MsgSemDelete", MsgSemMigrate: "MsgSemMigrate",
+	MsgWhoIsLeader: "MsgWhoIsLeader",
+	MsgPgJoin:      "MsgPgJoin", MsgPgLeave: "MsgPgLeave", MsgPgMembers: "MsgPgMembers",
+	MsgElection: "MsgElection", MsgNewLeader: "MsgNewLeader", MsgRecoverState: "MsgRecoverState",
+	MsgKeyRegister: "MsgKeyRegister", MsgKeyEvict: "MsgKeyEvict",
+	MsgBye: "MsgBye",
+}
+
+// String names the message type (fault-injection points are addressed by
+// these names, e.g. "rpc.MsgKeyGet.reply").
+func (t MsgType) String() string {
+	if int(t) < len(msgTypeNames) && msgTypeNames[t] != "" {
+		return msgTypeNames[t]
+	}
+	return "MsgType(" + fmt.Sprint(int(t)) + ")"
+}
 
 // Namespace kinds for MsgNSAlloc/MsgNSQuery and key mappings.
 const (
@@ -129,6 +160,12 @@ const (
 type Frame struct {
 	Type MsgType
 	Seq  uint64
+	// ReqID is a per-sender idempotency token for non-idempotent requests
+	// (create/register/migrate). It survives transparent failover retries
+	// unchanged, so a receiver that already executed the request replays
+	// its recorded response instead of executing twice. 0 means "not
+	// tracked" (idempotent request or response frame).
+	ReqID uint64
 	// From is the sender's helper address (for reply routing/caching).
 	From string
 
@@ -166,8 +203,8 @@ func (f *Frame) IsResponse() bool { return f.isResponse }
 const maxFrameSize = 1 << 20
 
 // minFrameBody is the fixed part of a frame body: 2 header + 8 seq +
-// 4 errno + 32 scalars + 3×4 length fields.
-const minFrameBody = 58
+// 8 reqid + 4 errno + 32 scalars + 3×4 length fields.
+const minFrameBody = 66
 
 // frameBodySize returns the encoded body length of f (without the 4-byte
 // length prefix).
@@ -189,6 +226,7 @@ func AppendFrame(dst []byte, f *Frame) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(frameBodySize(f)))
 	dst = append(dst, byte(f.Type), flags)
 	dst = binary.LittleEndian.AppendUint64(dst, f.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, f.ReqID)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.Err))
 	for _, v := range [4]int64{f.A, f.B, f.C, f.D} {
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
@@ -265,6 +303,8 @@ func decodeFrameBody(body []byte, from *interner) (Frame, error) {
 	f.isResponse = flags&flagResponse != 0
 	off := 2
 	f.Seq = binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	f.ReqID = binary.LittleEndian.Uint64(body[off:])
 	off += 8
 	f.Err = api.Errno(binary.LittleEndian.Uint32(body[off:]))
 	off += 4

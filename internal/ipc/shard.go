@@ -148,3 +148,18 @@ func (s *shardedIntMap[V]) delete(key int64) {
 	delete(sh.m, key)
 	sh.mu.Unlock()
 }
+
+// deleteValue removes every entry whose value matches — used to purge
+// cached ownership hints pointing at a reaped member.
+func (s *shardedIntMap[V]) deleteValue(match func(V) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, v := range sh.m {
+			if match(v) {
+				delete(sh.m, k)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}

@@ -420,15 +420,23 @@ func (p *Process) shipCheckpoint(store *host.Handle, ck *Checkpoint, handles []*
 }
 
 // watchChild synthesizes an exit notification if the child's picoprocess
-// dies without having delivered one over RPC.
+// dies without having delivered one over RPC — the crashed-child path: a
+// graceful exit sends NotifyExit first and this becomes a no-op.
 func (p *Process) watchChild(cs *childState) {
 	_ = cs.hostProc.ExitEvent().Wait(0)
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if !cs.exited {
+	crashed := !cs.exited
+	if crashed {
 		cs.exited = true
 		cs.status = int64(cs.hostProc.ExitCode())
 		p.childCV.Broadcast()
+		p.sig.deliver(api.SIGCHLD)
+	}
+	p.mu.Unlock()
+	if crashed && p.helper != nil {
+		// The child died without unregistering: drop the stale ownership
+		// hint so signal routing does not keep dialing a dead address.
+		p.helper.InvalidatePID(cs.pid)
 	}
 }
 
