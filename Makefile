@@ -5,7 +5,7 @@ PKGS := ./...
 # The RPC hot path: host byte streams and the IPC coordination framework.
 HOT_PKGS := ./internal/host/... ./internal/ipc/...
 
-.PHONY: build test race vet bench bench-fig5 all
+.PHONY: build test race vet bench bench-fig5 chaos all
 
 all: build vet test
 
@@ -22,6 +22,14 @@ race:
 
 vet:
 	$(GO) vet $(PKGS)
+
+# Chaos + invariant suites: leader-crash failover (chaos_test.go),
+# partition/heal fencing (chaos_partition_test.go), and the host partition
+# primitives, under the race detector. The randomized schedules use fixed
+# seeds, so -count=3 repeats the same fault plans against fresh thread
+# interleavings — flakes here mean a real ordering bug, not test noise.
+chaos:
+	$(GO) test -race -count=3 -run 'Chaos|Partition' ./internal/ipc/ ./internal/host/
 
 # Microbenchmarks with allocation accounting for the hot path.
 bench:

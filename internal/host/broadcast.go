@@ -14,6 +14,11 @@ type BroadcastChannel struct {
 	mu     sync.Mutex
 	subs   map[int]*BroadcastSub // keyed by subscriber PID
 	closed bool
+	// part is the owning kernel's partition graph (nil when the channel is
+	// built standalone). Delivery between partitioned picoprocesses is
+	// dropped, not stalled: the channel is documented lossy, and a
+	// partition is indistinguishable from a long run of losses.
+	part *partitionTable
 }
 
 // NewBroadcastChannel creates an empty broadcast channel.
@@ -59,8 +64,12 @@ func (b *BroadcastChannel) Send(fromPID int, data []byte) error {
 		return api.EPIPE
 	}
 	msg := BroadcastMsg{FromPID: fromPID, Data: append([]byte(nil), data...)}
+	partitioned := b.part.any()
 	for pid, s := range b.subs {
 		if pid == fromPID {
+			continue
+		}
+		if partitioned && b.part.Blocked(fromPID, pid) {
 			continue
 		}
 		select {

@@ -30,6 +30,13 @@ const (
 	// streams and listeners close, the broadcast subscription dies, and
 	// every later syscall gate fails with ESRCH.
 	FaultKill
+	// FaultPartition partitions the picoprocess at the fault point without
+	// tearing anything: its streams stall and broadcasts stop flowing until
+	// the rule's Heal duration elapses (or a test heals explicitly). The
+	// rule's PeerPID selects one peer; 0 isolates from the whole sandbox.
+	// The faulted operation itself proceeds — the partition bites on the
+	// *next* exchange, which is exactly the partitioned-yet-alive shape.
+	FaultPartition
 )
 
 // FaultRule arms one action at one point. N addresses the Nth hit of the
@@ -40,6 +47,12 @@ type FaultRule struct {
 	N      int
 	Action FaultAction
 	Delay  time.Duration
+	// PeerPID scopes a FaultPartition rule: the host PID to partition from,
+	// or 0 to isolate the faulting picoprocess from its whole sandbox.
+	PeerPID int
+	// Heal, when > 0, auto-heals a FaultPartition that long after it fires.
+	// 0 leaves the partition up until the test heals it explicitly.
+	Heal time.Duration
 }
 
 // FaultPlan is a deterministic schedule of injected faults. Plans are
@@ -74,9 +87,19 @@ func (fp *FaultPlan) DelayRule(point string, n int, d time.Duration) *FaultPlan 
 	return fp
 }
 
+// PartitionRule arms a partition at the nth hit of point: the faulting
+// picoprocess is cut off from peer (0 = everyone in its sandbox) and the
+// link auto-heals after healAfter (0 = until explicitly healed).
+func (fp *FaultPlan) PartitionRule(point string, n int, peer int, healAfter time.Duration) *FaultPlan {
+	fp.mu.Lock()
+	fp.rules = append(fp.rules, FaultRule{Point: point, N: n, Action: FaultPartition, PeerPID: peer, Heal: healAfter})
+	fp.mu.Unlock()
+	return fp
+}
+
 // eval counts a hit of point and returns the first armed rule that fires
-// (faultNone if none does).
-func (fp *FaultPlan) eval(point string) (FaultAction, time.Duration) {
+// (a faultNone rule if none does).
+func (fp *FaultPlan) eval(point string) FaultRule {
 	fp.mu.Lock()
 	defer fp.mu.Unlock()
 	fp.hits[point]++
@@ -88,10 +111,10 @@ func (fp *FaultPlan) eval(point string) (FaultAction, time.Duration) {
 		}
 		if r.N == 0 || r.N == n {
 			fp.fired = append(fp.fired, point)
-			return r.Action, r.Delay
+			return *r
 		}
 	}
-	return faultNone, 0
+	return FaultRule{Action: faultNone}
 }
 
 // Hits returns how many times point has been evaluated.
@@ -111,22 +134,38 @@ func (fp *FaultPlan) Fired() []string {
 
 // Fault evaluates the installed fault plan at a named point. FaultDelay is
 // absorbed here (the operation proceeds after the sleep); FaultKill exits
-// the picoprocess before returning. FaultReset and FaultDrop are returned
-// for the calling layer to apply to its own transport.
+// the picoprocess before returning; FaultPartition installs the partition
+// (with its auto-heal timer, if armed) and lets the operation proceed.
+// FaultReset and FaultDrop are returned for the calling layer to apply to
+// its own transport.
 func (p *Picoprocess) Fault(point string) FaultAction {
 	fp := p.faults.Load()
 	if fp == nil {
 		return faultNone
 	}
-	act, delay := fp.eval(point)
-	switch act {
+	r := fp.eval(point)
+	switch r.Action {
 	case FaultDelay:
-		time.Sleep(delay)
+		time.Sleep(r.Delay)
 		return faultNone
 	case FaultKill:
 		p.Exit(137)
+	case FaultPartition:
+		k, pid, peer, heal := p.kernel, p.ID, r.PeerPID, r.Heal
+		if peer == 0 {
+			k.Isolate(pid)
+			if heal > 0 {
+				time.AfterFunc(heal, func() { k.HealIsolate(pid) })
+			}
+		} else {
+			k.Partition(pid, peer)
+			if heal > 0 {
+				time.AfterFunc(heal, func() { k.Heal(pid, peer) })
+			}
+		}
+		return faultNone
 	}
-	return act
+	return r.Action
 }
 
 // HasFaultPlan reports whether a plan is installed — the hot paths check

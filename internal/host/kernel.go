@@ -151,6 +151,11 @@ type Kernel struct {
 	console    *Console
 	broadcasts map[int]*BroadcastChannel // per-sandbox coordination channels
 
+	// partitions is the kernel-wide partition graph (chaos testing): every
+	// stream endpoint and broadcast channel the kernel hands out consults
+	// it, so Partition/Heal stall live traffic without tearing streams.
+	partitions *partitionTable
+
 	// syscallCount is a diagnostic counter of gate entries.
 	syscallCount atomic.Int64
 }
@@ -168,6 +173,7 @@ func (k *Kernel) BroadcastOf(sandboxID int) *BroadcastChannel {
 	bc, ok := k.broadcasts[sandboxID]
 	if !ok {
 		bc = NewBroadcastChannel()
+		bc.part = k.partitions
 		k.broadcasts[sandboxID] = bc
 	}
 	return bc
@@ -175,13 +181,16 @@ func (k *Kernel) BroadcastOf(sandboxID int) *BroadcastChannel {
 
 // NewKernel creates a kernel with an empty file system and open policy.
 func NewKernel() *Kernel {
-	return &Kernel{
+	k := &Kernel{
 		FS:      NewFileSystem(),
 		policy:  openPolicy{},
 		streams: newStreamRegistry(),
 		procs:   make(map[int]*Picoprocess),
 		stores:  make(map[int]*IPCStore),
 	}
+	k.partitions = newPartitionTable()
+	k.streams.part = k.partitions
+	return k
 }
 
 // SetPolicy installs the reference monitor. Must be called before any
@@ -366,6 +375,7 @@ func (k *Kernel) StreamPair(a, b *Picoprocess) (*Stream, *Stream) {
 	name := fmt.Sprintf("pipe:%d", k.streams.nextAnon)
 	k.mu.Unlock()
 	sa, sb := NewStreamPair(name, a.ID, b.ID)
+	sa.part, sb.part = k.partitions, k.partitions
 	a.registerStream(sa)
 	b.registerStream(sb)
 	return sa, sb

@@ -1,0 +1,216 @@
+package host
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Network-weather simulation for the chaos suite: a partition stalls
+// traffic between picoprocess groups without tearing their streams down.
+// Unlike FaultReset/FaultKill, neither side observes EPIPE — calls into
+// the partitioned peer simply make no progress until the partition heals,
+// which is exactly the failure mode a deadline-less RPC layer cannot
+// survive (a partitioned-yet-alive leader hangs every caller forever).
+//
+// Mechanically a partition gates the *receive* side: a stream read from a
+// partitioned peer blocks as if no data had arrived (bytes written before
+// and during the partition stay buffered in the ring and deliver on heal),
+// and writes stall naturally once the 64 KiB in-flight buffer fills —
+// the same backpressure a real TCP connection exhibits when the other end
+// stops ACKing. Broadcast delivery between partitioned picoprocesses is
+// dropped (the channel is documented lossy; a partition is just a long
+// run of losses) while the subscription itself stays alive.
+
+// pidPair is one directed (from, to) edge of the partition graph. The
+// wildcard PID 0 matches any picoprocess, so isolating one process from
+// the whole sandbox is two wildcard edges rather than 2(n-1) pairs.
+type pidPair struct {
+	from, to int
+}
+
+// partitionTable is the kernel-wide partition state shared by every
+// stream endpoint and broadcast channel the kernel hands out. The active
+// counter keeps the fast path (no partitions anywhere, the only state
+// outside chaos tests) to one atomic load.
+type partitionTable struct {
+	mu      sync.Mutex
+	blocked map[pidPair]int // directed edge -> install count
+	active  atomic.Int64    // len(blocked), maintained under mu
+	wake    chan struct{}   // closed+replaced on every heal or close poke
+}
+
+func newPartitionTable() *partitionTable {
+	return &partitionTable{
+		blocked: make(map[pidPair]int),
+		wake:    make(chan struct{}),
+	}
+}
+
+// any reports whether any partition is installed (lock-free fast path).
+func (pt *partitionTable) any() bool {
+	return pt != nil && pt.active.Load() != 0
+}
+
+// blockedLocked reports whether the directed edge from->to is severed,
+// honoring wildcard edges. Caller holds pt.mu.
+func (pt *partitionTable) blockedLocked(from, to int) bool {
+	if pt.blocked[pidPair{from, to}] > 0 {
+		return true
+	}
+	if pt.blocked[pidPair{from, 0}] > 0 || pt.blocked[pidPair{0, to}] > 0 {
+		return true
+	}
+	return false
+}
+
+// Blocked reports whether traffic from->to is currently stalled.
+func (pt *partitionTable) Blocked(from, to int) bool {
+	if !pt.any() {
+		return false
+	}
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	return pt.blockedLocked(from, to)
+}
+
+// block installs one directed edge (counted, so overlapping partitions
+// compose: healing one flap cycle does not heal a concurrent partition
+// of the same pair).
+func (pt *partitionTable) block(from, to int) {
+	pt.mu.Lock()
+	pt.blocked[pidPair{from, to}]++
+	pt.active.Store(int64(len(pt.blocked)))
+	pt.mu.Unlock()
+}
+
+// unblock removes one directed edge and wakes stalled readers.
+func (pt *partitionTable) unblock(from, to int) {
+	pt.mu.Lock()
+	k := pidPair{from, to}
+	if pt.blocked[k] > 0 {
+		pt.blocked[k]--
+		if pt.blocked[k] == 0 {
+			delete(pt.blocked, k)
+		}
+	}
+	pt.active.Store(int64(len(pt.blocked)))
+	pt.pokeLocked()
+	pt.mu.Unlock()
+}
+
+// healAll drops every edge.
+func (pt *partitionTable) healAll() {
+	pt.mu.Lock()
+	pt.blocked = make(map[pidPair]int)
+	pt.active.Store(0)
+	pt.pokeLocked()
+	pt.mu.Unlock()
+}
+
+// pokeLocked wakes every goroutine stalled in waitUnblocked so it
+// re-checks the partition graph (or its stream's closed flag).
+func (pt *partitionTable) pokeLocked() {
+	close(pt.wake)
+	pt.wake = make(chan struct{})
+}
+
+// poke is pokeLocked for callers outside the lock — stream close paths
+// use it so a reader stalled behind a partition observes the close.
+func (pt *partitionTable) poke() {
+	if pt == nil {
+		return
+	}
+	pt.mu.Lock()
+	pt.pokeLocked()
+	pt.mu.Unlock()
+}
+
+// waitUnblocked stalls while the from->to edge is severed and closed()
+// is false. It returns once traffic may flow again (healed) or the
+// caller's endpoint died (closed, force-closed, or its owner exited) —
+// the caller then proceeds and observes its transport's own state.
+func (pt *partitionTable) waitUnblocked(from, to int, closed func() bool) {
+	for {
+		pt.mu.Lock()
+		if !pt.blockedLocked(from, to) {
+			pt.mu.Unlock()
+			return
+		}
+		wake := pt.wake
+		pt.mu.Unlock()
+		if closed() {
+			return
+		}
+		<-wake
+	}
+}
+
+// --- Kernel partition API ---
+
+// Partition stalls all traffic between picoprocesses a and b, in both
+// directions, without tearing their streams: reads from the other side
+// block, writes back up, broadcasts stop arriving. Heal(a, b) restores
+// the link and delivers everything buffered meanwhile.
+func (k *Kernel) Partition(a, b int) {
+	k.partitions.block(a, b)
+	k.partitions.block(b, a)
+}
+
+// PartitionOneWay stalls traffic flowing from -> to only; the reverse
+// direction keeps working (an asymmetric link failure: to's requests
+// arrive, its responses never come back... from from's point of view).
+func (k *Kernel) PartitionOneWay(from, to int) {
+	k.partitions.block(from, to)
+}
+
+// Isolate cuts pid off from every other picoprocess in both directions
+// (wildcard edges), the "minority partition of one" a chaos schedule uses
+// to strand a leader. HealIsolate undoes it.
+func (k *Kernel) Isolate(pid int) {
+	k.partitions.block(pid, 0)
+	k.partitions.block(0, pid)
+}
+
+// HealIsolate removes an Isolate(pid) partition.
+func (k *Kernel) HealIsolate(pid int) {
+	k.partitions.unblock(pid, 0)
+	k.partitions.unblock(0, pid)
+}
+
+// Heal removes one Partition(a, b). Buffered bytes deliver immediately.
+func (k *Kernel) Heal(a, b int) {
+	k.partitions.unblock(a, b)
+	k.partitions.unblock(b, a)
+}
+
+// HealOneWay removes one PartitionOneWay(from, to).
+func (k *Kernel) HealOneWay(from, to int) {
+	k.partitions.unblock(from, to)
+}
+
+// HealAll removes every partition in the kernel.
+func (k *Kernel) HealAll() {
+	k.partitions.healAll()
+}
+
+// Partitioned reports whether traffic from -> to is currently stalled.
+func (k *Kernel) Partitioned(from, to int) bool {
+	return k.partitions.Blocked(from, to)
+}
+
+// Flap alternates Partition(a, b)/Heal(a, b) for the given number of
+// cycles: up is how long each partition holds, down how long each healed
+// interval lasts. It blocks until the final heal, so a test that calls it
+// synchronously knows the link ends up healthy; run it in a goroutine to
+// overlap the flapping with a workload.
+func (k *Kernel) Flap(a, b int, up, down time.Duration, cycles int) {
+	for i := 0; i < cycles; i++ {
+		k.Partition(a, b)
+		time.Sleep(up)
+		k.Heal(a, b)
+		if down > 0 {
+			time.Sleep(down)
+		}
+	}
+}

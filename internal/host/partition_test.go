@@ -1,0 +1,245 @@
+package host
+
+import (
+	"testing"
+	"time"
+)
+
+// readResult carries one Read's outcome off the blocked goroutine.
+type readResult struct {
+	n   int
+	err error
+	buf []byte
+}
+
+func bgRead(s *Stream, n int) chan readResult {
+	ch := make(chan readResult, 1)
+	go func() {
+		buf := make([]byte, n)
+		rn, err := s.Read(buf)
+		ch <- readResult{n: rn, err: err, buf: buf[:max(rn, 0)]}
+	}()
+	return ch
+}
+
+func TestPartitionStallsReadUntilHeal(t *testing.T) {
+	k := NewKernel()
+	p1, _ := k.CreateProcess(nil, false)
+	p2, _ := k.CreateProcess(nil, false)
+	a, b := k.StreamPair(p1, p2)
+
+	// Bytes written before the partition stay buffered, not torn away.
+	if _, err := a.Write([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	k.Partition(p1.ID, p2.ID)
+	got := bgRead(b, 16)
+	select {
+	case r := <-got:
+		t.Fatalf("read completed through a partition: %d bytes, err=%v", r.n, r.err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	// Writes during the partition buffer too (under the ring cap).
+	if _, err := a.Write([]byte(" during")); err != nil {
+		t.Fatalf("small write during partition must buffer, got %v", err)
+	}
+	k.Heal(p1.ID, p2.ID)
+	select {
+	case r := <-got:
+		if r.err != nil {
+			t.Fatalf("read after heal: %v", r.err)
+		}
+		if string(r.buf) != "before during" && string(r.buf) != "before" {
+			t.Fatalf("read after heal got %q", r.buf)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader never woke after heal")
+	}
+	if k.Partitioned(p1.ID, p2.ID) || k.Partitioned(p2.ID, p1.ID) {
+		t.Fatal("edges survived the heal")
+	}
+}
+
+func TestPartitionOneWayAsymmetric(t *testing.T) {
+	k := NewKernel()
+	p1, _ := k.CreateProcess(nil, false)
+	p2, _ := k.CreateProcess(nil, false)
+	a, b := k.StreamPair(p1, p2)
+
+	// Sever only p1 -> p2: p2 stops hearing p1, p1 still hears p2.
+	k.PartitionOneWay(p1.ID, p2.ID)
+	if _, err := a.Write([]byte("to p2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Write([]byte("to p1")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := a.Read(buf)
+	if err != nil || string(buf[:n]) != "to p1" {
+		t.Fatalf("healthy direction: %q, %v", buf[:n], err)
+	}
+	got := bgRead(b, 16)
+	select {
+	case r := <-got:
+		t.Fatalf("severed direction delivered: %q, %v", r.buf, r.err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	k.HealOneWay(p1.ID, p2.ID)
+	select {
+	case r := <-got:
+		if r.err != nil || string(r.buf) != "to p2" {
+			t.Fatalf("after heal: %q, %v", r.buf, r.err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader never woke after one-way heal")
+	}
+}
+
+func TestIsolateWildcardMatchesEveryPeer(t *testing.T) {
+	k := NewKernel()
+	p1, _ := k.CreateProcess(nil, false)
+	p2, _ := k.CreateProcess(nil, false)
+	p3, _ := k.CreateProcess(nil, false)
+
+	k.Isolate(p1.ID)
+	for _, peer := range []int{p2.ID, p3.ID} {
+		if !k.Partitioned(p1.ID, peer) || !k.Partitioned(peer, p1.ID) {
+			t.Fatalf("isolate missed peer %d", peer)
+		}
+	}
+	if k.Partitioned(p2.ID, p3.ID) {
+		t.Fatal("isolate severed an uninvolved pair")
+	}
+	k.HealIsolate(p1.ID)
+	if k.Partitioned(p1.ID, p2.ID) || k.Partitioned(p3.ID, p1.ID) {
+		t.Fatal("heal-isolate left edges behind")
+	}
+}
+
+func TestPartitionDoesNotTearCloseStillWakes(t *testing.T) {
+	k := NewKernel()
+	p1, _ := k.CreateProcess(nil, false)
+	p2, _ := k.CreateProcess(nil, false)
+	a, b := k.StreamPair(p1, p2)
+
+	k.Partition(p1.ID, p2.ID)
+	got := bgRead(b, 16)
+	select {
+	case <-got:
+		t.Fatal("read completed through the partition")
+	case <-time.After(30 * time.Millisecond):
+	}
+	// A peer close must wake the stalled reader even while the partition
+	// stands — the endpoint died, not the link.
+	a.Close()
+	select {
+	case r := <-got:
+		if r.err != nil || r.n != 0 {
+			t.Fatalf("reader woke with n=%d err=%v, want clean EOF", r.n, r.err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer close did not wake a partition-stalled reader")
+	}
+	k.HealAll()
+}
+
+func TestPartitionDropsBroadcastDelivery(t *testing.T) {
+	k := NewKernel()
+	bc := k.BroadcastOf(1)
+	s2, err := bc.Subscribe(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := bc.Subscribe(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Partition(1, 2)
+	if err := bc.Send(1, []byte("cut")); err != nil {
+		t.Fatal(err)
+	}
+	// The unpartitioned subscriber hears it; the partitioned one lost it
+	// for good (the channel is lossy, a partition is a run of losses).
+	if m, ok := s3.Recv(); !ok || string(m.Data) != "cut" {
+		t.Fatalf("unpartitioned subscriber: %+v ok=%v", m, ok)
+	}
+	select {
+	case m := <-s2.Chan():
+		t.Fatalf("partitioned subscriber received %+v", m)
+	case <-time.After(20 * time.Millisecond):
+	}
+	k.Heal(1, 2)
+	if err := bc.Send(1, []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := s2.Recv(); !ok || string(m.Data) != "back" {
+		t.Fatalf("after heal: %+v ok=%v", m, ok)
+	}
+}
+
+func TestPartitionCountedInstallsCompose(t *testing.T) {
+	k := NewKernel()
+	// A long-lived partition overlapping a flap: the flap's heals must not
+	// tear down the outer partition (installs are counted per edge).
+	k.Partition(1, 2)
+	k.Flap(1, 2, time.Millisecond, time.Millisecond, 3)
+	if !k.Partitioned(1, 2) || !k.Partitioned(2, 1) {
+		t.Fatal("flap cycles healed an overlapping partition")
+	}
+	k.Heal(1, 2)
+	if k.Partitioned(1, 2) {
+		t.Fatal("edge survived its matching heal")
+	}
+}
+
+func TestFaultPartitionRuleIsolatesAndAutoHeals(t *testing.T) {
+	k := NewKernel()
+	p1, _ := k.CreateProcess(nil, false)
+	p2, _ := k.CreateProcess(nil, false)
+	plan := NewFaultPlan().PartitionRule("op.enter", 2, 0, 40*time.Millisecond)
+	p1.SetFaultPlan(plan)
+
+	if p1.Fault("op.enter") != faultNone {
+		t.Fatal("rule fired on the wrong hit")
+	}
+	if k.Partitioned(p1.ID, p2.ID) {
+		t.Fatal("partition installed before the armed hit")
+	}
+	if p1.Fault("op.enter") != faultNone {
+		t.Fatal("FaultPartition must let the faulted op proceed")
+	}
+	if len(plan.Fired()) != 1 {
+		t.Fatalf("fired = %v, want one firing", plan.Fired())
+	}
+	if !k.Partitioned(p1.ID, p2.ID) || !k.Partitioned(p2.ID, p1.ID) {
+		t.Fatal("second hit did not isolate the picoprocess")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for k.Partitioned(p1.ID, p2.ID) {
+		if time.Now().After(deadline) {
+			t.Fatal("auto-heal never fired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestFaultPartitionRulePairScoped(t *testing.T) {
+	k := NewKernel()
+	p1, _ := k.CreateProcess(nil, false)
+	p2, _ := k.CreateProcess(nil, false)
+	p3, _ := k.CreateProcess(nil, false)
+	plan := NewFaultPlan().PartitionRule("op.enter", 1, p2.ID, 0)
+	p1.SetFaultPlan(plan)
+	p1.Fault("op.enter")
+	if !k.Partitioned(p1.ID, p2.ID) || !k.Partitioned(p2.ID, p1.ID) {
+		t.Fatal("pair partition not installed")
+	}
+	if k.Partitioned(p1.ID, p3.ID) {
+		t.Fatal("pair-scoped rule severed an uninvolved peer")
+	}
+	k.Heal(p1.ID, p2.ID)
+	if k.Partitioned(p1.ID, p2.ID) {
+		t.Fatal("explicit heal failed")
+	}
+}

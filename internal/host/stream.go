@@ -1,6 +1,7 @@
 package host
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -89,11 +90,25 @@ func (q *byteQueue) write(p []byte) (int, error) {
 	return total, nil
 }
 
-func (q *byteQueue) read(p []byte) (int, error) {
+// errReadGated aborts a ring read whose endpoints are partitioned: the
+// reader was already parked inside the data wait when the partition
+// installed, and consuming freshly arrived bytes would slip delivery
+// through the partition. The caller re-parks on the partition table.
+var errReadGated = errors.New("host: stream read gated by partition")
+
+func (q *byteQueue) read(p []byte, pt *partitionTable, from, to int) (int, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for q.n == 0 && !q.closed {
 		q.notEmpty.Wait()
+	}
+	// Re-check the partition gate now that data (or EOF) is here: the
+	// entry-time check in Stream.Read cannot cover a reader that was
+	// already parked when the partition was installed. A closed queue is
+	// exempt — the endpoint died, not the link, and the reader must
+	// observe it.
+	if !q.closed && pt.any() && pt.Blocked(from, to) {
+		return 0, errReadGated
 	}
 	if q.n == 0 {
 		return 0, nil // EOF
@@ -124,6 +139,14 @@ func (q *byteQueue) read(p []byte) (int, error) {
 		q.pokeWaitersLocked()
 	}
 	return n, nil
+}
+
+// readClosed reports whether the queue was closed (EOF side); partition
+// stalls abort on it so a reader is never stranded behind a dead peer.
+func (q *byteQueue) readClosed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
 }
 
 // readable reports whether a read would not block (data buffered or EOF).
@@ -172,6 +195,11 @@ type Stream struct {
 	// endpoint (set by registerStream; nil for unowned endpoints).
 	faultOwner atomic.Pointer[Picoprocess]
 
+	// part is the kernel's partition graph (nil for standalone pairs built
+	// outside a kernel). Reads from a partitioned peer stall against it —
+	// delivery resumes on heal; nothing tears.
+	part *partitionTable
+
 	mu sync.Mutex
 	// refs counts holders of this endpoint: inheriting a pipe across fork
 	// shares the open description, and the endpoint only really closes
@@ -200,11 +228,31 @@ func (s *Stream) Ref() {
 }
 
 // Read reads up to len(p) bytes, blocking until data or EOF.
+//
+// A partition between the endpoint owners stalls the read exactly as if
+// the peer had gone silent: bytes already buffered stay buffered, nothing
+// tears, and delivery resumes when the partition heals. Writes are not
+// gated here — a writer into a partitioned link keeps succeeding until
+// the 64 KiB in-flight ring fills, then blocks on backpressure, the same
+// profile as a TCP sender whose peer stops draining.
 func (s *Stream) Read(p []byte) (int, error) {
-	if s.closed.Load() {
-		return 0, api.EBADF
+	for {
+		if s.closed.Load() {
+			return 0, api.EBADF
+		}
+		if s.part.any() {
+			s.part.waitUnblocked(s.RemotePID, s.LocalPID, func() bool {
+				return s.closed.Load() || s.in.readClosed()
+			})
+		}
+		n, err := s.in.read(p, s.part, s.RemotePID, s.LocalPID)
+		if err != errReadGated {
+			return n, err
+		}
+		// A partition was installed while this reader was parked waiting
+		// for data: loop back and stall on the partition table until the
+		// heal (or the endpoint's death) instead of consuming the bytes.
 	}
-	return s.in.read(p)
 }
 
 // Write writes all of p, blocking on backpressure. Writing to a stream
@@ -298,6 +346,8 @@ func (s *Stream) Close() {
 	s.mu.Unlock()
 	s.out.close()
 	s.in.close()
+	// Wake readers stalled behind a partition so they observe the close.
+	s.part.poke()
 }
 
 // ForceClose closes the endpoint regardless of reference count — the
@@ -315,6 +365,7 @@ func (s *Stream) ForceClose() {
 	s.mu.Unlock()
 	s.out.close()
 	s.in.close()
+	s.part.poke()
 }
 
 // Closed reports whether this endpoint has been closed locally.
@@ -457,6 +508,9 @@ type streamRegistry struct {
 	mu        sync.Mutex
 	listeners map[string]*Listener
 	nextAnon  int
+	// part is the owning kernel's partition graph, attached to every
+	// stream pair minted through connect so partitions gate named streams.
+	part *partitionTable
 }
 
 func newStreamRegistry() *streamRegistry {
@@ -482,6 +536,7 @@ func (r *streamRegistry) connect(name string, clientPID int) (*Stream, error) {
 		return nil, api.ECONNREFUSED
 	}
 	client, server := NewStreamPair(name, clientPID, l.OwnerPID)
+	client.part, server.part = r.part, r.part
 	if err := l.deliver(server); err != nil {
 		client.Close()
 		server.Close()

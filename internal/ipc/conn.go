@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"graphene/internal/api"
 	"graphene/internal/host"
@@ -340,6 +341,62 @@ func (c *Conn) Call(f Frame) (Frame, error) {
 		return resp, resp.Err
 	}
 	return resp, nil
+}
+
+// CallTimeout is Call with an absolute deadline: if no response arrives
+// within d, the pending entry is abandoned and ETIMEDOUT returned. The
+// send itself is not gated — a partitioned peer stalls the *receive* side
+// (host partition semantics), so the inline send completes and the timer
+// covers the full round trip. A response that races the timeout is
+// discarded by the reader (the pending entry is gone by then).
+func (c *Conn) CallTimeout(f Frame, d time.Duration) (Frame, error) {
+	if d <= 0 {
+		return c.Call(f)
+	}
+	f.Seq = c.seq.Add(1)
+	ch := respChPool.Get().(chan Frame)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		respChPool.Put(ch)
+		return Frame{}, api.EPIPE
+	}
+	c.pending[f.Seq] = ch
+	c.mu.Unlock()
+	if err := c.send(&f); err != nil {
+		c.mu.Lock()
+		_, stillPending := c.pending[f.Seq]
+		delete(c.pending, f.Seq)
+		c.mu.Unlock()
+		if stillPending {
+			respChPool.Put(ch)
+		}
+		return Frame{}, err
+	}
+	t := time.NewTimer(d)
+	select {
+	case resp := <-ch:
+		t.Stop()
+		respChPool.Put(ch)
+		if resp.Err != 0 {
+			return resp, resp.Err
+		}
+		return resp, nil
+	case <-t.C:
+	}
+	// Timed out. Reclaim the pending entry; if the reader or teardown
+	// already claimed it, a response send is in flight — consume it so the
+	// channel is empty before pooling (send has buffer space, so the racing
+	// sender never blocks either way).
+	c.mu.Lock()
+	_, stillPending := c.pending[f.Seq]
+	delete(c.pending, f.Seq)
+	c.mu.Unlock()
+	if !stillPending {
+		<-ch
+	}
+	respChPool.Put(ch)
+	return Frame{}, api.ETIMEDOUT
 }
 
 // Notify sends a request without expecting a response — the asynchronous

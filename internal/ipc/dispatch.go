@@ -49,6 +49,20 @@ func (h *Helper) dispatchOn(s *host.Stream, f Frame, respond func(Frame)) {
 			orig(r)
 		}
 	}
+	// Epoch fence: a request stamped with a higher epoch than this
+	// leader's own is proof of demotion — the sender accepted a newer
+	// leader this helper never heard about (partition). Step down before
+	// dispatching; the request then bounces with EPERM from the
+	// leader-only handlers and the sender's failover loop re-resolves.
+	if !f.IsResponse() && f.Epoch != 0 {
+		h.mu.Lock()
+		fenced := h.leader != nil && f.Epoch > h.leaderEpoch
+		h.mu.Unlock()
+		if fenced {
+			statFencedRequests.Add(1)
+			h.stepDown(f.Epoch, "")
+		}
+	}
 	respond2, replayed := h.dedupCheck(&f, respond)
 	if replayed {
 		return
@@ -95,6 +109,26 @@ func (h *Helper) dispatchOn(s *host.Stream, f Frame, respond func(Frame)) {
 		}
 		lo, hi := leader.allocRange(int(f.A), n, f.From)
 		respond(f.Response(Frame{A: lo, B: hi}))
+		h.broadcastNSHwm(int(f.A), hi+1)
+
+	case MsgNSClaim:
+		h.mu.Lock()
+		leader := h.leader
+		h.mu.Unlock()
+		if leader == nil {
+			respond(f.ErrResponse(api.EPERM))
+			return
+		}
+		leader.claimRange(int(f.A), f.B, f.From)
+		h.broadcastNSHwm(int(f.A), f.B+1)
+		if int(f.A) == NSPid {
+			// The claimed PID may sit inside the leader's own already-held
+			// batch; fence it off from local minting too.
+			h.mu.Lock()
+			h.pidSkip[f.B] = struct{}{}
+			h.mu.Unlock()
+		}
+		respond(f.Response(Frame{}))
 
 	case MsgNSQuery:
 		h.handleNSQuery(f, respond)
@@ -136,8 +170,12 @@ func (h *Helper) dispatchOn(s *host.Stream, f Frame, respond func(Frame)) {
 			respond(f.ErrResponse(api.EPERM))
 			return
 		}
-		leader.registerKey(int(f.A), f.B, f.C, f.S)
-		respond(f.Response(Frame{}))
+		authID := leader.registerKey(int(f.A), f.B, f.C, f.S)
+		// A carries the ID the key authoritatively resolves to (0 if the
+		// reported object is tombstoned); post-heal reconciliation uses a
+		// mismatch to detect that its copy lost to one created on the
+		// other side of a partition.
+		respond(f.Response(Frame{A: authID}))
 
 	case MsgKeyEvict:
 		if f.C == 1 {
@@ -398,8 +436,8 @@ func (h *Helper) dispatchOn(s *host.Stream, f Frame, respond func(Frame)) {
 			respond(f.ErrResponse(api.EINVAL))
 			return
 		}
-		leader.installRecoverState(r, f.From)
-		respond(f.Response(Frame{}))
+		rejected := leader.installRecoverState(r, f.From)
+		respond(f.Response(Frame{Blob: encodeLeaseList(rejected)}))
 
 	default:
 		respond(f.ErrResponse(api.ENOSYS))

@@ -105,6 +105,44 @@ func encodeRecover(r recoverPayload) []byte {
 	return out
 }
 
+// encodeLeaseList / decodeLeaseList carry a bare lease list (the
+// MsgRecoverState response's rejected-lease set) in the same wire shape as
+// the recover payload's lease section.
+func encodeLeaseList(ls []recoverLease) []byte {
+	if len(ls) == 0 {
+		return nil
+	}
+	out := binary.LittleEndian.AppendUint32(nil, uint32(len(ls)))
+	for _, le := range ls {
+		out = binary.LittleEndian.AppendUint32(out, uint32(le.Kind))
+		out = binary.LittleEndian.AppendUint64(out, uint64(le.Block))
+	}
+	return out
+}
+
+func decodeLeaseList(blob []byte) ([]recoverLease, error) {
+	if len(blob) == 0 {
+		return nil, nil
+	}
+	if len(blob) < 4 {
+		return nil, api.EINVAL
+	}
+	n := int(binary.LittleEndian.Uint32(blob))
+	if 4+12*n > len(blob) {
+		return nil, api.EINVAL
+	}
+	ls := make([]recoverLease, 0, n)
+	off := 4
+	for i := 0; i < n; i++ {
+		ls = append(ls, recoverLease{
+			Kind:  int(binary.LittleEndian.Uint32(blob[off:])),
+			Block: int64(binary.LittleEndian.Uint64(blob[off+4:])),
+		})
+		off += 12
+	}
+	return ls, nil
+}
+
 func decodeRecover(blob []byte) (recoverPayload, error) {
 	var r recoverPayload
 	if len(blob) < 20 {
@@ -174,7 +212,16 @@ func (h *Helper) collectRecoverState() recoverPayload {
 	for pid, addr := range h.localPIDs {
 		r.pids = append(r.pids, pgMember{PID: pid, Addr: addr})
 	}
+	// Report the larger of our own batch high-water mark and the last
+	// cursor heard in a MsgNSHwm broadcast: the broadcast is how grants to
+	// helpers that cannot report (the old leader's own batch above all)
+	// still advance the new leader's cursor past every minted ID.
 	r.batchHi = []int64{h.pidBatch.hi, h.idBatches[NSSysVMsg].hi, h.idBatches[NSSysVSem].hi}
+	for i, kind := range []int{NSPid, NSSysVMsg, NSSysVSem} {
+		if hwm := h.nsHwm[kind] - 1; hwm > r.batchHi[i] {
+			r.batchHi[i] = hwm
+		}
+	}
 	for id, q := range h.queues {
 		q.mu.Lock()
 		live := !q.removed && q.movedTo == ""
@@ -206,8 +253,10 @@ func (h *Helper) collectRecoverState() recoverPayload {
 	return r
 }
 
-// installRecoverState merges one member's report into the new leader.
-func (l *leaderState) installRecoverState(r recoverPayload, fromAddr string) {
+// installRecoverState merges one member's report into the new leader. It
+// returns the key-block leases it refused to honor (already held by a
+// different helper); the reporter must drop those locally.
+func (l *leaderState) installRecoverState(r recoverPayload, fromAddr string) []recoverLease {
 	l.mu.Lock()
 	// Advance namespace cursors past everything any member has seen, so
 	// fresh allocations never collide with pre-failure IDs.
@@ -217,10 +266,19 @@ func (l *leaderState) installRecoverState(r recoverPayload, fromAddr string) {
 			l.next[kind] = r.batchHi[i] + 1
 		}
 	}
-	// The member owns a range covering its reported PIDs; never re-issue
-	// an ID at or below anything a member has seen.
+	// Every reported PID is reserved so it is never re-issued. The range
+	// owner is the helper the PID actually lives at (a parent's table maps
+	// its children's PIDs to *their* helpers, not to the parent), and a
+	// PID reported by several members — the allocator and the process
+	// itself — is recorded once, not as overlapping one-ID ranges.
 	for _, m := range r.pids {
-		l.ranges[NSPid] = append(l.ranges[NSPid], idRange{lo: m.PID, hi: m.PID, owner: fromAddr})
+		owner := m.Addr
+		if owner == "" {
+			owner = fromAddr
+		}
+		if !l.coveredLocked(NSPid, m.PID) {
+			l.ranges[NSPid] = append(l.ranges[NSPid], idRange{lo: m.PID, hi: m.PID, owner: owner})
+		}
 		if m.PID >= l.next[NSPid] {
 			l.next[NSPid] = m.PID + 1
 		}
@@ -233,7 +291,17 @@ func (l *leaderState) installRecoverState(r recoverPayload, fromAddr string) {
 			if cur, ok := m[o.ID]; !ok || o.Epoch >= cur.epoch {
 				m[o.ID] = ownerEntry{addr: fromAddr, epoch: o.Epoch}
 				if o.Key != api.IPCPrivate && l.keys[o.Kind] != nil {
-					l.keys[o.Kind][o.Key] = keyEntry{id: o.ID, owner: fromAddr}
+					// First writer wins on the *key* mapping: after a
+					// partition, a deposed leader's report can collide with
+					// a key recreated (under a different ID) on this side.
+					// Overwriting would flip the key to the loser's ID under
+					// survivors that already resolved it — split brain. The
+					// late reporter discovers the conflict via reconcile
+					// (MsgKeyRegister returns the authoritative ID) and
+					// tombstones its copy.
+					if _, exists := l.keys[o.Kind][o.Key]; !exists {
+						l.keys[o.Kind][o.Key] = keyEntry{id: o.ID, owner: fromAddr}
+					}
 				}
 			}
 		}
@@ -241,15 +309,29 @@ func (l *leaderState) installRecoverState(r recoverPayload, fromAddr string) {
 			l.next[o.Kind] = o.ID + 1
 		}
 	}
+	// Lease merge is first-writer-wins, like keys: a block this leader has
+	// already granted (or that an earlier report claimed) stays with its
+	// current holder, and the late claim is rejected so the reporter drops
+	// its local copy. Without this, a deposed leader healing back after a
+	// partition would resurrect a lease the replacement leader re-granted,
+	// leaving two helpers both creating keys in the block authoritatively.
+	var rejected []recoverLease
 	for _, le := range r.leases {
-		if l.leases[le.Kind] != nil {
-			l.leases[le.Kind][le.Block] = fromAddr
+		m := l.leases[le.Kind]
+		if m == nil {
+			continue
 		}
+		if cur, held := m[le.Block]; held && cur != fromAddr {
+			rejected = append(rejected, le)
+			continue
+		}
+		m[le.Block] = fromAddr
 	}
 	l.mu.Unlock()
 	if r.pgid != 0 {
 		l.pgs.join(r.pgid, r.pid, fromAddr)
 	}
+	return rejected
 }
 
 // ElectLeader runs the recovery protocol after the current leader became
@@ -392,7 +474,11 @@ func (h *Helper) promoteToLeader(epoch int64) {
 		return
 	}
 	h.leader = newLeaderState()
+	// A fresh leaderState starts a fresh dedup generation: replays minted
+	// against a previous incarnation's tables must re-execute here.
+	h.leaderStateEpoch = epoch
 	h.setLeaderLocked(h.Addr, epoch)
+	h.startHeartbeatLocked()
 	// Never re-issue IDs below our own high-water marks.
 	h.leader.mu.Lock()
 	if h.pidBatch.hi >= h.leader.next[NSPid] {
@@ -486,19 +572,54 @@ func (h *Helper) handleElectionBroadcast(f Frame) {
 // is stale (an earlier epoch than the leader we already accepted), in
 // which case it is dropped so a slow earlier round cannot clobber a newer
 // leader — and sends the winner our recover-state report.
+//
+// A helper that is itself a leader treats the announcement as fencing
+// evidence: a strictly newer epoch means it was deposed across a
+// partition (the announcement is typically the new leader's heartbeat
+// arriving after heal) and it steps down; an equal epoch is a symmetric
+// double election, tie-broken deterministically by address; an older
+// epoch is answered with an immediate re-assert so the stale claimant
+// and its members converge onto us.
 func (h *Helper) handleNewLeaderBroadcast(f Frame) {
 	if f.S == "" || f.S == h.Addr {
 		return
 	}
 	h.mu.Lock()
-	if h.shutdown || h.leader != nil {
-		// A live leader ignores foreign announcements (crash-stop world:
-		// a competing winner means our own promotion already raced ahead;
-		// our re-assert in handleElectionBroadcast converges the sandbox).
+	if h.shutdown {
 		h.mu.Unlock()
 		return
 	}
-	if f.A < h.leaderEpoch || (f.A == h.leaderEpoch && h.leaderAddr != "") {
+	if h.leader != nil {
+		myEpoch := h.leaderEpoch
+		h.mu.Unlock()
+		if f.A > myEpoch || (f.A == myEpoch && f.S < h.Addr) {
+			h.stepDown(f.A, f.S)
+			return
+		}
+		nf := Frame{Type: MsgNewLeader, A: myEpoch, From: h.Addr, S: h.Addr}
+		_ = h.pal.BroadcastSend(EncodeFrame(&nf))
+		return
+	}
+	if f.A == h.leaderEpoch && h.leaderAddr == f.S {
+		// Idempotent duplicate: the leader's heartbeat, or a delayed copy
+		// of the announcement we already accepted. Not a stale announcement
+		// — but if our recover report to this leader never landed (it was
+		// attempted mid-partition and hit the recover deadline), the
+		// heartbeat is the retry trigger: without the report the leader has
+		// no idea our objects and leases exist, and we never hear which of
+		// them lost a conflict.
+		needReport := h.reportedTo != f.S && f.S != h.Addr && !h.shutdown
+		h.mu.Unlock()
+		if needReport {
+			go h.memberReconcile(f.S)
+		}
+		return
+	}
+	if f.A < h.leaderEpoch ||
+		(f.A == h.leaderEpoch && h.leaderAddr != "" && f.S >= h.leaderAddr) {
+		// Older epoch, or an equal-epoch claim losing the address
+		// tie-break against the leader we already accepted: a delayed
+		// announcement surviving a heal must not clobber the newer leader.
 		h.mu.Unlock()
 		statStaleAnnounces.Add(1)
 		return
@@ -509,35 +630,62 @@ func (h *Helper) handleNewLeaderBroadcast(f Frame) {
 	if e != nil {
 		e.noteAnnouncement(f.A)
 	}
-	go h.sendRecoverState(f.S)
+	go h.memberReconcile(f.S)
 }
+
+// recoverDeadline caps one member's whole recover-state exchange. Without
+// it, the retry loop's schedule is open-ended when each attempt blocks —
+// a new leader stuck behind a partition would absorb all 10 attempts at
+// full RPC-timeout cost each, re-reporting long after yet another leader
+// took over.
+const recoverDeadline = 20 * electionWindow
 
 // sendRecoverState reports this member's slice of distributed state to a
 // newly announced leader, retrying with backoff: a member whose report is
 // lost would be invisible to the new leader (its objects and leases would
-// silently vanish from the namespace).
-func (h *Helper) sendRecoverState(to string) {
+// silently vanish from the namespace). Each attempt carries the RPC
+// deadline and the loop as a whole an absolute one, so a leader stuck
+// behind a partition surfaces a terminal failure instead of retrying
+// forever. Returns whether the report landed; a delivered report is
+// remembered (reportedTo) so the heartbeat path knows this leader has our
+// state and a failed one is retried off the next heartbeat.
+func (h *Helper) sendRecoverState(to string) bool {
 	var lastErr error
+	deadline := time.Now().Add(recoverDeadline)
 	for attempt := 0; attempt < 10; attempt++ {
 		if attempt > 0 {
 			statRecoverRetries.Add(1)
 			time.Sleep(time.Duration(attempt) * time.Millisecond)
+		}
+		if time.Now().After(deadline) {
+			break
 		}
 		h.mu.Lock()
 		down := h.shutdown
 		stale := h.leaderAddr != to
 		h.mu.Unlock()
 		if down || stale {
-			return // shutting down, or yet another leader took over
+			return false // shutting down, or yet another leader took over
 		}
 		c, err := h.dial(to)
 		if err == nil {
-			if _, err = c.Call(Frame{Type: MsgRecoverState, Blob: encodeRecover(h.collectRecoverState())}); err == nil {
-				return
+			var resp Frame
+			if resp, err = c.CallTimeout(Frame{Type: MsgRecoverState, Blob: encodeRecover(h.collectRecoverState())}, rpcCallTimeout); err == nil {
+				h.mu.Lock()
+				h.reportedTo = to
+				h.mu.Unlock()
+				// The response names the lease blocks the new leader refused
+				// to honor (granted to someone else while we were cut off);
+				// drop them so at most one helper serves each block.
+				if rejected, derr := decodeLeaseList(resp.Blob); derr == nil {
+					h.dropRevokedLeases(rejected)
+				}
+				return true
 			}
 		}
 		lastErr = err
 	}
 	statRecoverFailed.Add(1)
 	log.Printf("ipc: %s: recover-state report to %s failed permanently: %v", h.Addr, to, lastErr)
+	return false
 }

@@ -25,6 +25,15 @@ import (
 // RPC will ride through before surfacing the transport error.
 const failoverAttempts = 3
 
+// rpcCallTimeout is the absolute deadline on one leader RPC attempt. A
+// partitioned-yet-alive leader produces no transport error at all — the
+// call just never returns — so every leader call rides a deadline and a
+// timeout is classified exactly like a torn stream: failover. Three
+// election windows give a busy-but-healthy leader ample slack (observed
+// p99 round trips are microseconds) while keeping the worst-case blocked
+// time of one attempt far under the failover budget.
+const rpcCallTimeout = 3 * electionWindow
+
 // Failover pipeline counters (package-wide, cumulative). Chaos tests
 // snapshot deltas; they are diagnostics, not control state.
 var (
@@ -34,6 +43,12 @@ var (
 	statRecoverRetries atomic.Int64
 	statRecoverFailed  atomic.Int64
 	statStaleAnnounces atomic.Int64
+	statRPCTimeouts    atomic.Int64
+	statFencedRequests atomic.Int64
+	statStepDowns      atomic.Int64
+	statReconciled     atomic.Int64
+	statReconcileTombs atomic.Int64
+	statLeaseRevoked   atomic.Int64
 )
 
 // FailoverCounters is a snapshot of the failover pipeline's counters.
@@ -54,6 +69,25 @@ type FailoverCounters struct {
 	// StaleAnnouncementsDropped counts MsgNewLeader frames rejected for
 	// carrying an epoch older than the accepted leader's.
 	StaleAnnouncementsDropped int64
+	// RPCTimeouts counts leader RPC attempts that hit their absolute
+	// deadline — the partitioned-yet-alive-leader signature.
+	RPCTimeouts int64
+	// FencedRequests counts mutating requests a leader refused because they
+	// carried a higher election epoch than its own (it was deposed across a
+	// partition and learned so from the request itself).
+	FencedRequests int64
+	// LeaderStepDowns counts leaders that demoted themselves after seeing a
+	// higher epoch (fenced request or a newer MsgNewLeader after heal).
+	LeaderStepDowns int64
+	// ReconciledObjects / ReconcileTombstoned count a deposed leader's
+	// owned keyed objects that survived reconciliation with the new leader
+	// vs. lost to a during-partition recreate and were tombstoned locally.
+	ReconciledObjects   int64
+	ReconcileTombstoned int64
+	// LeasesRevoked counts key-block leases surrendered because the new
+	// leader had already granted the block to another helper by the time the
+	// holder's recover-state report arrived (partition-heal lease conflict).
+	LeasesRevoked int64
 }
 
 // ReadFailoverCounters snapshots the pipeline counters.
@@ -65,14 +99,40 @@ func ReadFailoverCounters() FailoverCounters {
 		RecoverSendRetries:        statRecoverRetries.Load(),
 		RecoverSendFailures:       statRecoverFailed.Load(),
 		StaleAnnouncementsDropped: statStaleAnnounces.Load(),
+		RPCTimeouts:               statRPCTimeouts.Load(),
+		FencedRequests:            statFencedRequests.Load(),
+		LeaderStepDowns:           statStepDowns.Load(),
+		ReconciledObjects:         statReconciled.Load(),
+		ReconcileTombstoned:       statReconcileTombs.Load(),
+		LeasesRevoked:             statLeaseRevoked.Load(),
 	}
 }
 
+// ResetFailoverCounters zeroes every pipeline counter — chaos suites reset
+// before a schedule and emit the snapshot at teardown, so CI logs show
+// what each run actually exercised without cross-test bleed.
+func ResetFailoverCounters() {
+	statFailovers.Store(0)
+	statReplaysDeduped.Store(0)
+	statMembersReaped.Store(0)
+	statRecoverRetries.Store(0)
+	statRecoverFailed.Store(0)
+	statStaleAnnounces.Store(0)
+	statRPCTimeouts.Store(0)
+	statFencedRequests.Store(0)
+	statStepDowns.Store(0)
+	statReconciled.Store(0)
+	statReconcileTombs.Store(0)
+	statLeaseRevoked.Store(0)
+}
+
 // deadLeaderErr classifies transport errors that mean "the peer at the
-// leader address is gone": the stream died under the call (EPIPE) or no
-// listener answers the dial (ECONNREFUSED).
+// leader address is gone — or unreachable, which for the caller is the
+// same thing": the stream died under the call (EPIPE), no listener
+// answers the dial (ECONNREFUSED), or the call's absolute deadline passed
+// with no response (ETIMEDOUT: a partitioned-yet-alive leader).
 func deadLeaderErr(err error) bool {
-	return err == api.EPIPE || err == api.ECONNREFUSED
+	return err == api.EPIPE || err == api.ECONNREFUSED || err == api.ETIMEDOUT
 }
 
 // needsReqID marks the non-idempotent request types — creates, registers,
@@ -91,7 +151,7 @@ func needsReqID(t MsgType) bool {
 // leader address is stale, not the request invalid.
 func leaderOnly(t MsgType) bool {
 	switch t {
-	case MsgNSAlloc, MsgKeyOwner, MsgKeyChown, MsgKeyRemove, MsgKeyRegister,
+	case MsgNSAlloc, MsgNSClaim, MsgKeyOwner, MsgKeyChown, MsgKeyRemove, MsgKeyRegister,
 		MsgPgJoin, MsgPgLeave, MsgPgMembers, MsgRecoverState:
 		return true
 	}
@@ -110,6 +170,11 @@ func (h *Helper) callLeader(f Frame) (Frame, error) {
 		isLeader := h.leader != nil
 		down := h.shutdown
 		epoch := h.failEpoch
+		// Fence the request with the epoch of the leader we accepted: a
+		// deposed leader that receives a newer epoch than its own learns of
+		// its demotion from the request itself and steps down instead of
+		// executing (see dispatchOn).
+		f.Epoch = h.leaderEpoch
 		h.mu.Unlock()
 
 		if isLeader {
@@ -143,10 +208,13 @@ func (h *Helper) callLeader(f Frame) (Frame, error) {
 		var resp Frame
 		c, err := h.dial(leaderAddr)
 		if err == nil {
-			resp, err = c.Call(f)
+			resp, err = c.CallTimeout(f, rpcCallTimeout)
 		}
 		if err == nil {
 			return resp, nil
+		}
+		if err == api.ETIMEDOUT {
+			statRPCTimeouts.Add(1)
 		}
 		lastErr = err
 		if err == api.EPERM && leaderOnly(f.Type) {
@@ -209,10 +277,17 @@ func (h *Helper) failover(observed int64) error {
 	return err
 }
 
-// dedupKey identifies a logical request across replays.
+// dedupKey identifies a logical request across replays. gen is the
+// receiver's leader-state generation (the epoch at which its current
+// leaderState was created): a replay against the same state must hit the
+// cache, while a retry landing on a *fresh* leaderState — the sender was
+// fenced off, a new leader elected, and the request re-routed — must
+// re-execute there rather than replay a response minted against tables
+// that no longer exist.
 type dedupKey struct {
 	from string
 	id   uint64
+	gen  int64
 }
 
 // dedupCacheSize bounds the replay cache (FIFO eviction). Replays arrive
@@ -228,8 +303,8 @@ func (h *Helper) dedupCheck(f *Frame, respond func(Frame)) (func(Frame), bool) {
 	if f.ReqID == 0 || f.From == "" || f.IsResponse() {
 		return respond, false
 	}
-	k := dedupKey{from: f.From, id: f.ReqID}
 	h.mu.Lock()
+	k := dedupKey{from: f.From, id: f.ReqID, gen: h.leaderStateEpoch}
 	if r, ok := h.dedup[k]; ok {
 		h.mu.Unlock()
 		statReplaysDeduped.Add(1)

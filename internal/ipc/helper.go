@@ -1,6 +1,7 @@
 package ipc
 
 import (
+	"log"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -100,6 +101,17 @@ type Helper struct {
 	// sandbox's original leader). Elections propose leaderEpoch+1; stale
 	// MsgNewLeader announcements (lower epoch) are rejected.
 	leaderEpoch int64
+	// leaderStateEpoch is the epoch at which this helper's current
+	// leaderState was created (0 for the original leader; meaningless while
+	// not leader). It keys the replay-dedup cache: re-assert epoch bumps
+	// leave it unchanged (same state, replays must hit), while a fresh
+	// promotion after a step-down starts a new dedup generation (a
+	// pre-partition retry must re-execute against the fresh tables).
+	leaderStateEpoch int64
+	// hbStop, while non-nil, stops the leader heartbeat goroutine — the
+	// periodic MsgNewLeader re-assert that lets a deposed leader stranded
+	// behind a partition learn of the newer epoch once the partition heals.
+	hbStop chan struct{}
 	// leaderChange is closed (and replaced) whenever leaderAddr is set,
 	// waking awaitNewLeader waiters without polling.
 	leaderChange chan struct{}
@@ -129,8 +141,18 @@ type Helper struct {
 
 	localPIDs map[int64]string // PIDs allocated here -> their helper address
 	pidBatch  idBatch
+	// pidSkip holds PIDs inside this helper's granted batch that are
+	// already taken (the helper's own PID, or a PID another process claimed
+	// via MsgNSClaim after this batch was granted); AllocPID skips them.
+	pidSkip map[int64]struct{}
 
 	idBatches map[int]*idBatch // NSSysVMsg / NSSysVSem local batches
+	// nsHwm is the highest namespace allocation cursor heard in a MsgNSHwm
+	// broadcast (or captured from our own leaderState at step-down), per
+	// kind. Recover-state reports fold it into batchHi so a new leader's
+	// cursor clears batches granted to helpers that cannot report — the
+	// dead or partitioned-away old leader's own batch in particular.
+	nsHwm map[int]int64
 
 	queues      map[int64]*msgQueue
 	qOwnerCache map[int64]string
@@ -164,6 +186,14 @@ type Helper struct {
 	ownPgid  int64
 	election *electionState
 
+	// reportedTo is the leader address our last successful recover-state
+	// report reached ("" after any leader change); reconciling makes the
+	// member reconcile pass single-flight. Both under mu. A heartbeat from
+	// a leader we have not reported to re-triggers the reconcile — the
+	// report may have hit its deadline mid-partition.
+	reportedTo  string
+	reconciling bool
+
 	shutdown bool
 }
 
@@ -176,13 +206,16 @@ func NewLeader(p *pal.PAL, svc Service, guestPID int64) (*Helper, error) {
 	}
 	h.leader = newLeaderState()
 	h.leaderAddr = h.Addr
-	// The leader seeds its own PID range and registers itself.
+	// Claim the leader's own PID before seeding the batch, so the batch
+	// starts past it and can never mint it (regardless of where in the ID
+	// space the init PID sits).
+	h.leader.claimRange(NSPid, guestPID, h.Addr)
 	lo, hi := h.leader.allocRange(NSPid, PIDBatchSize, h.Addr)
 	h.pidBatch = idBatch{next: lo, hi: hi}
-	if guestPID >= lo && guestPID <= hi && guestPID == lo {
-		h.pidBatch.next++
-	}
 	h.localPIDs[guestPID] = h.Addr
+	h.mu.Lock()
+	h.startHeartbeatLocked()
+	h.mu.Unlock()
 	return h, nil
 }
 
@@ -194,7 +227,24 @@ func NewMember(p *pal.PAL, svc Service, guestPID int64, leaderAddr string) (*Hel
 		return nil, err
 	}
 	h.leaderAddr = leaderAddr
+	// A fresh member has no distributed state the leader could be missing —
+	// its PID is claimed explicitly below. Marking the leader as already
+	// reported-to keeps the heartbeat path from shipping a pointless
+	// recover report on the first re-assert after every join; a later
+	// *leader change* resets this and triggers the real reconcile.
+	h.reportedTo = leaderAddr
 	h.localPIDs[guestPID] = h.Addr
+	// Reserve this process's PID in the leader's allocator. A forked
+	// child's PID was already drawn from the parent's batch, but an
+	// adopted, restored, or externally assigned PID is unknown to the
+	// leader — without the claim, AllocPID could mint it a second time.
+	// Best-effort: a member joining without a reachable leader is covered
+	// later by the recover-state report, which reserves every local PID.
+	if leaderAddr != "" && guestPID != 0 {
+		if _, err := h.callLeader(Frame{Type: MsgNSClaim, A: NSPid, B: guestPID}); err != nil {
+			log.Printf("ipc: %s: pid claim for %d failed: %v", h.Addr, guestPID, err)
+		}
+	}
 	return h, nil
 }
 
@@ -208,6 +258,8 @@ func newHelper(p *pal.PAL, svc Service, guestPID int64) (*Helper, error) {
 		conns:        newShardedMap[*Conn](),
 		pidOwner:     newShardedIntMap[string](),
 		localPIDs:    make(map[int64]string),
+		pidSkip:      make(map[int64]struct{}),
+		nsHwm:        make(map[int]int64),
 		idBatches:    map[int]*idBatch{NSSysVMsg: {}, NSSysVSem: {}},
 		queues:       make(map[int64]*msgQueue),
 		qOwnerCache:  make(map[int64]string),
@@ -279,6 +331,8 @@ func (h *Helper) broadcastLoop() {
 			h.handleElectionBroadcast(f)
 		case MsgNewLeader:
 			h.handleNewLeaderBroadcast(f)
+		case MsgNSHwm:
+			h.noteNSHwm(int(f.A), f.B)
 		}
 	}
 }
@@ -296,6 +350,23 @@ func (r *sliceReader) Read(p []byte) (int, error) {
 	n := copy(p, r.b)
 	r.b = r.b[n:]
 	return n, nil
+}
+
+// noteNSHwm records a broadcast namespace cursor (see MsgNSHwm).
+func (h *Helper) noteNSHwm(kind int, next int64) {
+	h.mu.Lock()
+	if next > h.nsHwm[kind] {
+		h.nsHwm[kind] = next
+	}
+	h.mu.Unlock()
+}
+
+// broadcastNSHwm announces the leader's allocation cursor for kind after a
+// grant or claim moved it. Best-effort: a lost broadcast only widens the
+// window in which a failover cursor could lag, it never corrupts state.
+func (h *Helper) broadcastNSHwm(kind int, next int64) {
+	f := Frame{Type: MsgNSHwm, A: int64(kind), B: next, From: h.Addr}
+	_ = h.pal.BroadcastSend(EncodeFrame(&f))
 }
 
 func (h *Helper) isLeader() bool {
@@ -326,6 +397,12 @@ func (h *Helper) DiscoverLeader() (string, error) {
 // setLeaderLocked records addr as the sandbox leader under epoch and wakes
 // awaitNewLeader waiters. Caller holds h.mu.
 func (h *Helper) setLeaderLocked(addr string, epoch int64) {
+	if addr != h.leaderAddr {
+		// A leader we reported to in an earlier reign has a fresh
+		// leaderState now; the report must be re-sent (heartbeat-triggered)
+		// even if the address is one we have reported to before.
+		h.reportedTo = ""
+	}
 	h.leaderAddr = addr
 	if epoch > h.leaderEpoch {
 		h.leaderEpoch = epoch
@@ -383,20 +460,27 @@ func (h *Helper) dial(addr string) (*Conn, error) {
 // only when the batch is exhausted.
 func (h *Helper) AllocPID(childAddr string) (int64, error) {
 	h.mu.Lock()
-	if h.pidBatch.next == 0 || h.pidBatch.next > h.pidBatch.hi {
-		h.mu.Unlock()
-		resp, err := h.callLeader(Frame{Type: MsgNSAlloc, A: NSPid, B: pidBatchOverride.Load()})
-		if err != nil {
-			return 0, err
+	for {
+		if h.pidBatch.next == 0 || h.pidBatch.next > h.pidBatch.hi {
+			h.mu.Unlock()
+			resp, err := h.callLeader(Frame{Type: MsgNSAlloc, A: NSPid, B: pidBatchOverride.Load()})
+			if err != nil {
+				return 0, err
+			}
+			h.mu.Lock()
+			h.pidBatch = idBatch{next: resp.A, hi: resp.B}
 		}
-		h.mu.Lock()
-		h.pidBatch = idBatch{next: resp.A, hi: resp.B}
+		pid := h.pidBatch.next
+		h.pidBatch.next++
+		// PIDs claimed by already-running processes (MsgNSClaim) can sit
+		// inside this batch; skip them rather than mint a duplicate.
+		if _, taken := h.pidSkip[pid]; taken {
+			continue
+		}
+		h.localPIDs[pid] = childAddr
+		h.mu.Unlock()
+		return pid, nil
 	}
-	pid := h.pidBatch.next
-	h.pidBatch.next++
-	h.localPIDs[pid] = childAddr
-	h.mu.Unlock()
-	return pid, nil
 }
 
 // RegisterPID records a PID -> helper address mapping in the local table
@@ -426,13 +510,15 @@ func (h *Helper) ResolvePID(pid int64) (string, error) {
 	}
 	addr := resp.S
 	// The leader may point at the range owner rather than the process
-	// itself; follow one indirection.
+	// itself; follow one indirection. The hop rides the same absolute
+	// deadline as leader RPCs — a partitioned range owner must surface
+	// ETIMEDOUT to the caller, not hang it.
 	for hop := 0; resp.A == 1 && hop < 3; hop++ {
 		c, err := h.dial(addr)
 		if err != nil {
 			return "", err
 		}
-		resp, err = c.Call(Frame{Type: MsgNSQuery, A: NSPid, B: pid})
+		resp, err = c.CallTimeout(Frame{Type: MsgNSQuery, A: NSPid, B: pid}, rpcCallTimeout)
 		if err != nil {
 			return "", err
 		}
@@ -468,10 +554,15 @@ func (h *Helper) SendSignal(pid int64, sig api.Signal) error {
 		h.InvalidatePID(pid)
 		return api.ESRCH
 	}
-	if _, err := c.Call(Frame{Type: MsgSignal, A: pid, B: int64(sig)}); err != nil {
+	if _, err := c.CallTimeout(Frame{Type: MsgSignal, A: pid, B: int64(sig)}, rpcCallTimeout); err != nil {
 		if err == api.EPIPE {
 			h.InvalidatePID(pid)
 			return api.ESRCH
+		}
+		if err == api.ETIMEDOUT {
+			// The target is partitioned, not provably dead: drop the cached
+			// route so a retry re-resolves, and surface the timeout.
+			h.InvalidatePID(pid)
 		}
 		return err
 	}
@@ -505,7 +596,7 @@ func (h *Helper) ProcMeta(pid int64, field string) (string, error) {
 	if err != nil {
 		return "", api.ESRCH
 	}
-	resp, err := c.Call(Frame{Type: MsgProcMeta, A: pid, S: field})
+	resp, err := c.CallTimeout(Frame{Type: MsgProcMeta, A: pid, S: field}, rpcCallTimeout)
 	if err != nil {
 		return "", err
 	}
@@ -558,6 +649,7 @@ func (h *Helper) Shutdown() {
 		return
 	}
 	h.shutdown = true
+	h.stopHeartbeatLocked()
 	queues := make([]*msgQueue, 0, len(h.queues))
 	for _, q := range h.queues {
 		queues = append(queues, q)
@@ -575,7 +667,10 @@ func (h *Helper) Shutdown() {
 	// crash verdict and reap the objects we are about to persist/migrate.
 	if !isLeader && leaderAddr != "" {
 		if c, err := h.dial(leaderAddr); err == nil {
-			_, _ = c.Call(Frame{Type: MsgBye, From: h.Addr})
+			// Deadline-bounded: a leader stuck behind a partition must not
+			// wedge this process's exit — after the timeout we proceed to
+			// persist/migrate and accept the (inherent) reap race.
+			_, _ = c.CallTimeout(Frame{Type: MsgBye, From: h.Addr}, rpcCallTimeout)
 		}
 	}
 

@@ -173,7 +173,12 @@ func (h *Helper) keyFromHolder(kind int, key int64, flags int, proposed int64, h
 		_, _ = h.callLeader(Frame{Type: MsgKeyEvict, A: int64(kind), B: keyBlock(key)})
 		return 0, "", errHolderGone
 	}
-	r2, cerr := c.Call(Frame{Type: MsgKeyGet, A: int64(kind), B: key, C: int64(flags), D: proposed})
+	// Deadline-bounded: a lease holder stranded behind a partition would
+	// otherwise hang every lookup of its block forever. ETIMEDOUT surfaces
+	// to the caller (default branch) rather than evicting the lease — the
+	// holder is not provably dead, and stealing its block would mint a
+	// second live ID for any key it already created.
+	r2, cerr := c.CallTimeout(Frame{Type: MsgKeyGet, A: int64(kind), B: key, C: int64(flags), D: proposed}, rpcCallTimeout)
 	switch cerr {
 	case nil:
 		return r2.A, r2.S, nil
@@ -324,6 +329,47 @@ func (h *Helper) dropKeyCache(kind int, id int64) {
 		live = append(live, r)
 	}
 	h.pendingRegs = live
+	h.mu.Unlock()
+}
+
+// dropRevokedLeases surrenders key-block leases the new leader refused to
+// honor in our recover-state report: the block was (re)granted to another
+// helper while we were unreachable, so our copy lost. Cached mappings and
+// queued lazy registrations under the block go with it — they carry the
+// dead lease's authority, and flushing them later would fight the block's
+// real holder. Local objects stay reachable by ID; a deposed leader's
+// reconcile pass re-registers the survivors through the normal
+// first-writer-wins key path.
+func (h *Helper) dropRevokedLeases(ls []recoverLease) {
+	if len(ls) == 0 {
+		return
+	}
+	h.mu.Lock()
+	for _, le := range ls {
+		m := h.keyLeases[le.Kind]
+		if m == nil {
+			continue
+		}
+		if _, held := m[le.Block]; !held {
+			continue
+		}
+		delete(m, le.Block)
+		h.leaseCount.Add(-1)
+		statLeaseRevoked.Add(1)
+		for key := range h.keyCache[le.Kind] {
+			if keyBlock(key) == le.Block {
+				delete(h.keyCache[le.Kind], key)
+			}
+		}
+		live := h.pendingRegs[:0]
+		for _, r := range h.pendingRegs {
+			if r.kind == le.Kind && keyBlock(r.key) == le.Block {
+				continue
+			}
+			live = append(live, r)
+		}
+		h.pendingRegs = live
+	}
 	h.mu.Unlock()
 }
 
@@ -501,7 +547,12 @@ func (h *Helper) MsgsndSync(id int64, mtype int64, data []byte) error {
 			}
 			continue
 		}
-		_, err = c.Call(Frame{Type: MsgQSend, A: id, B: mtype, Blob: data})
+		// Deadline-bounded: a partitioned owner is indistinguishable from a
+		// wedged one, and a synchronous send must never hang. ETIMEDOUT is
+		// surfaced (default branch), NOT treated like EPIPE — the owner may
+		// be alive behind the partition, and adopting its queue here would
+		// fork the queue into two live copies.
+		_, err = c.CallTimeout(Frame{Type: MsgQSend, A: id, B: mtype, Blob: data}, rpcCallTimeout)
 		switch err {
 		case nil:
 			return nil
@@ -570,7 +621,15 @@ func (h *Helper) Msgrcv(id int64, mtype int64, flags int) (int64, []byte, error)
 		if wait {
 			waitFlag = 1
 		}
-		resp, err := c.Call(Frame{Type: MsgQRecv, A: id, B: mtype, C: waitFlag})
+		// A blocking receive legitimately parks until a message arrives (or
+		// the owner tears down), so only the non-blocking variant — which
+		// the owner answers immediately — rides the RPC deadline.
+		var resp Frame
+		if wait {
+			resp, err = c.Call(Frame{Type: MsgQRecv, A: id, B: mtype, C: waitFlag})
+		} else {
+			resp, err = c.CallTimeout(Frame{Type: MsgQRecv, A: id, B: mtype, C: waitFlag}, rpcCallTimeout)
+		}
 		switch err {
 		case nil:
 			return resp.B, resp.Blob, nil
@@ -608,7 +667,7 @@ func (h *Helper) MsgRmid(id int64) error {
 			_, _ = h.callLeader(Frame{Type: MsgKeyRemove, A: NSSysVMsg, B: id})
 			return nil
 		}
-		_, err = c.Call(Frame{Type: MsgQDelete, A: id})
+		_, err = c.CallTimeout(Frame{Type: MsgQDelete, A: id}, rpcCallTimeout)
 		switch err {
 		case nil:
 			return nil
@@ -759,7 +818,7 @@ func (h *Helper) migrateQueue(id int64, to string) {
 		abort()
 		return
 	}
-	if _, err := c.Call(Frame{Type: MsgQMigrate, A: id, Blob: blob, D: nextEpoch}); err != nil {
+	if _, err := c.CallTimeout(Frame{Type: MsgQMigrate, A: id, Blob: blob, D: nextEpoch}, rpcCallTimeout); err != nil {
 		if err == api.EPERM {
 			abort() // receiver explicitly refused: it has no copy
 		} else {
@@ -878,7 +937,14 @@ func (h *Helper) Semop(id int64, ops []api.SemBuf) error {
 		if wait {
 			waitFlag = 1
 		}
-		_, err = c.Call(Frame{Type: MsgSemOp, A: id, C: waitFlag, Blob: encodeSemOps(ops)})
+		// Same split as MsgQRecv: blocking semop parks by design; the
+		// non-blocking variant is answered immediately and rides the RPC
+		// deadline so a partitioned owner cannot wedge the caller.
+		if wait {
+			_, err = c.Call(Frame{Type: MsgSemOp, A: id, C: waitFlag, Blob: encodeSemOps(ops)})
+		} else {
+			_, err = c.CallTimeout(Frame{Type: MsgSemOp, A: id, C: waitFlag, Blob: encodeSemOps(ops)}, rpcCallTimeout)
+		}
 		switch err {
 		case nil:
 			return nil
@@ -906,7 +972,7 @@ func (h *Helper) SemRmid(id int64) error {
 		_, _ = h.callLeader(Frame{Type: MsgKeyRemove, A: NSSysVSem, B: id})
 		return nil
 	}
-	_, err = c.Call(Frame{Type: MsgSemDelete, A: id})
+	_, err = c.CallTimeout(Frame{Type: MsgSemDelete, A: id}, rpcCallTimeout)
 	return err
 }
 
@@ -995,7 +1061,7 @@ func (h *Helper) migrateSem(id int64, to string) {
 		abort()
 		return
 	}
-	if _, err := c.Call(Frame{Type: MsgSemMigrate, A: id, Blob: blob, D: nextEpoch}); err != nil {
+	if _, err := c.CallTimeout(Frame{Type: MsgSemMigrate, A: id, Blob: blob, D: nextEpoch}, rpcCallTimeout); err != nil {
 		if err == api.EPERM {
 			abort()
 		} else {

@@ -1,0 +1,277 @@
+package ipc
+
+import (
+	"fmt"
+	"sort"
+
+	"graphene/internal/api"
+)
+
+// Chaos invariant checker. After a chaos schedule (kills, resets, drops,
+// partitions, heals) settles, the sandbox must be in a state the paper's
+// coordination protocols promise regardless of the schedule:
+//
+//   - at most one accepted leader per election epoch (fencing: a deposed
+//     leader steps down rather than coexisting);
+//   - no PID handed out twice (batch ranges never overlap, and no PID is
+//     claimed as locally allocated by two helpers);
+//   - no System V key resolving to two live IDs (first-writer-wins
+//     registration plus post-heal tombstoning of loser copies);
+//   - no key-block lease held by two helpers at once.
+//
+// CheckInvariants inspects live helper state directly (same package) and
+// returns one human-readable string per violation; the chaos harness
+// fails the test on any non-empty result.
+
+// helperSnapshot is one helper's state copied out under its locks, so
+// cross-helper checks run without holding any helper's mutex.
+type helperSnapshot struct {
+	addr        string
+	isLeader    bool
+	leaderEpoch int64
+	selfPIDs    []int64              // PIDs this helper claims as locally allocated
+	leases      map[int][]int64      // kind -> leased key blocks
+	keyCache    map[int]map[int64]int64 // kind -> key -> id (cached under leases)
+	liveIDs     map[int][]int64      // kind -> IDs of live, unmigrated objects here
+	// leader-only tables (nil otherwise)
+	ranges       map[int][]idRange
+	leaderKeys   map[int]map[int64]int64 // kind -> key -> id
+	leaderLeases map[int]map[int64]string
+	removed      map[int]map[int64]struct{}
+}
+
+func snapshotHelper(h *Helper) helperSnapshot {
+	s := helperSnapshot{
+		addr:     h.Addr,
+		leases:   make(map[int][]int64),
+		keyCache: make(map[int]map[int64]int64),
+		liveIDs:  make(map[int][]int64),
+	}
+	h.mu.Lock()
+	s.isLeader = h.leader != nil
+	s.leaderEpoch = h.leaderEpoch
+	for pid, owner := range h.localPIDs {
+		if owner == h.Addr {
+			s.selfPIDs = append(s.selfPIDs, pid)
+		}
+	}
+	for kind, blocks := range h.keyLeases {
+		for b := range blocks {
+			s.leases[kind] = append(s.leases[kind], b)
+		}
+	}
+	for kind, m := range h.keyCache {
+		dst := make(map[int64]int64, len(m))
+		for k, e := range m {
+			dst[k] = e.id
+		}
+		s.keyCache[kind] = dst
+	}
+	// Copy the object tables, not just references: a heartbeat-triggered
+	// reconcile can tombstone queues concurrently with this walk.
+	queues := make(map[int64]*msgQueue, len(h.queues))
+	for id, q := range h.queues {
+		queues[id] = q
+	}
+	sems := make(map[int64]*semSet, len(h.sems))
+	for id, ss := range h.sems {
+		sems[id] = ss
+	}
+	var leader *leaderState
+	if s.isLeader {
+		leader = h.leader
+	}
+	h.mu.Unlock()
+
+	for id, q := range queues {
+		q.mu.Lock()
+		if !q.removed && q.movedTo == "" {
+			s.liveIDs[NSSysVMsg] = append(s.liveIDs[NSSysVMsg], id)
+		}
+		q.mu.Unlock()
+	}
+	for id, ss := range sems {
+		ss.mu.Lock()
+		if !ss.removed && ss.movedTo == "" {
+			s.liveIDs[NSSysVSem] = append(s.liveIDs[NSSysVSem], id)
+		}
+		ss.mu.Unlock()
+	}
+
+	if leader != nil {
+		leader.mu.RLock()
+		s.ranges = make(map[int][]idRange)
+		for kind, rs := range leader.ranges {
+			s.ranges[kind] = append([]idRange(nil), rs...)
+		}
+		s.leaderKeys = make(map[int]map[int64]int64)
+		for kind, m := range leader.keys {
+			dst := make(map[int64]int64, len(m))
+			for k, e := range m {
+				dst[k] = e.id
+			}
+			s.leaderKeys[kind] = dst
+		}
+		s.leaderLeases = make(map[int]map[int64]string)
+		for kind, m := range leader.leases {
+			dst := make(map[int64]string, len(m))
+			for b, holder := range m {
+				dst[b] = holder
+			}
+			s.leaderLeases[kind] = dst
+		}
+		s.removed = make(map[int]map[int64]struct{})
+		for kind, m := range leader.removed {
+			dst := make(map[int64]struct{}, len(m))
+			for id := range m {
+				dst[id] = struct{}{}
+			}
+			s.removed[kind] = dst
+		}
+		leader.mu.RUnlock()
+	}
+	return s
+}
+
+// CheckInvariants verifies the sandbox-wide safety invariants across the
+// given helpers (typically every live helper in a test sandbox) and
+// returns a description of each violation found, empty when all hold.
+func CheckInvariants(helpers []*Helper) []string {
+	snaps := make([]helperSnapshot, 0, len(helpers))
+	for _, h := range helpers {
+		if h != nil {
+			snaps = append(snaps, snapshotHelper(h))
+		}
+	}
+	var violations []string
+	bad := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+
+	// Invariant 1: at most one accepted leader per epoch.
+	leadersByEpoch := make(map[int64][]string)
+	for _, s := range snaps {
+		if s.isLeader {
+			leadersByEpoch[s.leaderEpoch] = append(leadersByEpoch[s.leaderEpoch], s.addr)
+		}
+	}
+	for epoch, addrs := range leadersByEpoch {
+		if len(addrs) > 1 {
+			sort.Strings(addrs)
+			bad("epoch %d has %d accepted leaders: %v", epoch, len(addrs), addrs)
+		}
+	}
+
+	// Invariant 2a: no PID claimed as locally allocated by two helpers.
+	pidClaim := make(map[int64]string)
+	for _, s := range snaps {
+		for _, pid := range s.selfPIDs {
+			if prev, ok := pidClaim[pid]; ok && prev != s.addr {
+				bad("PID %d allocated by both %s and %s", pid, prev, s.addr)
+			} else {
+				pidClaim[pid] = s.addr
+			}
+		}
+	}
+	// Invariant 2b: no leader's ID range table contains overlapping
+	// batches (a batch handed out twice would let two helpers mint the
+	// same PID without ever colliding in 2a's maps).
+	for _, s := range snaps {
+		for kind, rs := range s.ranges {
+			sorted := append([]idRange(nil), rs...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i].lo < sorted[j].lo })
+			for i := 1; i < len(sorted); i++ {
+				if sorted[i].lo <= sorted[i-1].hi {
+					bad("leader %s kind %d: ranges [%d,%d](%s) and [%d,%d](%s) overlap",
+						s.addr, kind,
+						sorted[i-1].lo, sorted[i-1].hi, sorted[i-1].owner,
+						sorted[i].lo, sorted[i].hi, sorted[i].owner)
+				}
+			}
+		}
+	}
+
+	// Invariant 3: no System V key resolving to two distinct live IDs.
+	// "Live" means some helper still holds the object un-removed and
+	// un-migrated; mappings to dead or tombstoned IDs are stale cache, not
+	// split brain.
+	live := map[int]map[int64]bool{NSSysVMsg: {}, NSSysVSem: {}}
+	for _, s := range snaps {
+		for kind, ids := range s.liveIDs {
+			for _, id := range ids {
+				live[kind][id] = true
+			}
+		}
+	}
+	tombstoned := func(kind int, id int64) bool {
+		for _, s := range snaps {
+			if s.removed != nil {
+				if _, dead := s.removed[kind][id]; dead {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	type keyRef struct {
+		kind int
+		key  int64
+	}
+	keyIDs := make(map[keyRef]map[int64]string) // -> id -> first source seen
+	record := func(kind int, key, id int64, src string) {
+		if key == api.IPCPrivate || !live[kind][id] || tombstoned(kind, id) {
+			return
+		}
+		r := keyRef{kind, key}
+		if keyIDs[r] == nil {
+			keyIDs[r] = make(map[int64]string)
+		}
+		if _, ok := keyIDs[r][id]; !ok {
+			keyIDs[r][id] = src
+		}
+	}
+	for _, s := range snaps {
+		for kind, m := range s.leaderKeys {
+			for key, id := range m {
+				record(kind, key, id, "leader "+s.addr)
+			}
+		}
+		for kind, m := range s.keyCache {
+			for key, id := range m {
+				record(kind, key, id, "cache "+s.addr)
+			}
+		}
+	}
+	for r, ids := range keyIDs {
+		if len(ids) > 1 {
+			var detail []string
+			for id, src := range ids {
+				detail = append(detail, fmt.Sprintf("id %d (%s)", id, src))
+			}
+			sort.Strings(detail)
+			bad("kind %d key %d resolves to %d live IDs: %v", r.kind, r.key, len(ids), detail)
+		}
+	}
+
+	// Invariant 4: no key-block lease held by two helpers at once.
+	type blockRef struct {
+		kind  int
+		block int64
+	}
+	holders := make(map[blockRef]string)
+	for _, s := range snaps {
+		for kind, blocks := range s.leases {
+			for _, b := range blocks {
+				r := blockRef{kind, b}
+				if prev, ok := holders[r]; ok && prev != s.addr {
+					bad("kind %d key block %d leased to both %s and %s", kind, b, prev, s.addr)
+				} else {
+					holders[r] = s.addr
+				}
+			}
+		}
+	}
+
+	sort.Strings(violations)
+	return violations
+}

@@ -99,6 +99,13 @@ func newLeaderState() *leaderState {
 	}
 }
 
+// cursor reports the next unallocated ID of the given kind.
+func (l *leaderState) cursor(kind int) int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.next[kind]
+}
+
 // allocRange hands out a fresh batch of n IDs of the given kind to owner.
 func (l *leaderState) allocRange(kind int, n int64, owner string) (lo, hi int64) {
 	l.mu.Lock()
@@ -108,6 +115,35 @@ func (l *leaderState) allocRange(kind int, n int64, owner string) (lo, hi int64)
 	l.next[kind] = hi + 1
 	l.ranges[kind] = append(l.ranges[kind], idRange{lo: lo, hi: hi, owner: owner})
 	return lo, hi
+}
+
+// coveredLocked reports whether id falls inside any granted or claimed
+// range of the given kind. Caller holds l.mu.
+func (l *leaderState) coveredLocked(kind int, id int64) bool {
+	for _, r := range l.ranges[kind] {
+		if id >= r.lo && id <= r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// claimRange reserves a single ID some helper already holds — an adopted,
+// restored, or externally assigned process PID — so the allocator never
+// hands it out again: the claim is recorded as a one-ID range (unless an
+// existing range already covers it) and the cursor advances past it.
+// Batches granted to other helpers before the claim are not recalled; a
+// claim is expected at join time, before the ID's neighborhood has been
+// handed out.
+func (l *leaderState) claimRange(kind int, id int64, owner string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.coveredLocked(kind, id) {
+		l.ranges[kind] = append(l.ranges[kind], idRange{lo: id, hi: id, owner: owner})
+	}
+	if id >= l.next[kind] {
+		l.next[kind] = id + 1
+	}
 }
 
 // rangeOwner returns the helper owning the batch containing id.
@@ -274,30 +310,37 @@ func (l *leaderState) keyGet(kind int, key int64, flags int, proposedID int64, r
 
 // registerKey installs a key mapping created under a block lease. The
 // lazy registration can arrive after a migration already recorded a newer
-// owner for the ID, so an existing owner entry wins over the report.
-func (l *leaderState) registerKey(kind int, key, id int64, owner string) {
+// owner for the ID, so an existing owner entry wins over the report. The
+// returned ID is the authoritative one the key resolves to after the
+// call: 0 when the reported object is tombstoned, the incumbent entry's
+// ID when the key is already taken (first writer won), else the reported
+// ID itself. Reconciliation after a partition heal compares it against
+// the reported ID to detect losing copies.
+func (l *leaderState) registerKey(kind int, key, id int64, owner string) int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.registerKeyLocked(kind, key, id, owner)
+	return l.registerKeyLocked(kind, key, id, owner)
 }
 
-func (l *leaderState) registerKeyLocked(kind int, key, id int64, owner string) {
+func (l *leaderState) registerKeyLocked(kind int, key, id int64, owner string) int64 {
 	if _, dead := l.removed[kind][id]; dead {
-		return // the object was destroyed while the report was in flight
+		return 0 // the object was destroyed while the report was in flight
 	}
 	if cur, ok := l.owners[kind][id]; ok {
 		owner = cur.addr
 	} else {
 		if l.owners[kind] == nil {
-			return
+			return 0
 		}
 		l.owners[kind][id] = ownerEntry{addr: owner, epoch: 1}
 	}
 	if key != api.IPCPrivate && l.keys[kind] != nil {
-		if _, exists := l.keys[kind][key]; !exists {
-			l.keys[kind][key] = keyEntry{id: id, owner: owner}
+		if cur, exists := l.keys[kind][key]; exists {
+			return cur.id
 		}
+		l.keys[kind][key] = keyEntry{id: id, owner: owner}
 	}
+	return id
 }
 
 // releaseLease drops a block lease (holder exit, or a peer reporting the

@@ -114,6 +114,21 @@ const (
 	// at the start of Shutdown. A member that said goodbye is never
 	// reaped; a member whose streams die without it is treated as crashed.
 	MsgBye
+
+	// MsgNSClaim: reserve an ID this helper already holds (an adopted,
+	// restored, or externally assigned process PID) in the leader's
+	// allocator, so fresh grants and the leader's own batch never mint it
+	// again. A=kind, B=id.
+	MsgNSClaim
+
+	// MsgNSHwm: broadcast namespace high-water mark. The leader announces
+	// its allocation cursor after every batch grant or claim (A=kind,
+	// B=next unallocated ID); every helper remembers the highest value
+	// heard and reports it in MsgRecoverState. This is what lets a NEW
+	// leader's cursor clear IDs minted by a helper that cannot report —
+	// above all the old leader's own batch, whose grant otherwise lives
+	// only in the leaderState that died (or was partitioned away) with it.
+	MsgNSHwm
 )
 
 // msgTypeNames indexes MsgType (1-based) for String.
@@ -130,7 +145,7 @@ var msgTypeNames = [...]string{
 	MsgPgJoin:      "MsgPgJoin", MsgPgLeave: "MsgPgLeave", MsgPgMembers: "MsgPgMembers",
 	MsgElection: "MsgElection", MsgNewLeader: "MsgNewLeader", MsgRecoverState: "MsgRecoverState",
 	MsgKeyRegister: "MsgKeyRegister", MsgKeyEvict: "MsgKeyEvict",
-	MsgBye: "MsgBye",
+	MsgBye: "MsgBye", MsgNSClaim: "MsgNSClaim", MsgNSHwm: "MsgNSHwm",
 }
 
 // String names the message type (fault-injection points are addressed by
@@ -166,6 +181,12 @@ type Frame struct {
 	// its recorded response instead of executing twice. 0 means "not
 	// tracked" (idempotent request or response frame).
 	ReqID uint64
+	// Epoch fences leader-side mutations: a request carries the sender's
+	// accepted election epoch, and a leader that sees a higher epoch than
+	// its own knows it has been deposed across a partition — it steps down
+	// instead of executing. 0 means "unfenced" (responses, broadcasts with
+	// their own epoch field, pre-election traffic).
+	Epoch int64
 	// From is the sender's helper address (for reply routing/caching).
 	From string
 
@@ -203,8 +224,8 @@ func (f *Frame) IsResponse() bool { return f.isResponse }
 const maxFrameSize = 1 << 20
 
 // minFrameBody is the fixed part of a frame body: 2 header + 8 seq +
-// 8 reqid + 4 errno + 32 scalars + 3×4 length fields.
-const minFrameBody = 66
+// 8 reqid + 8 epoch + 4 errno + 32 scalars + 3×4 length fields.
+const minFrameBody = 74
 
 // frameBodySize returns the encoded body length of f (without the 4-byte
 // length prefix).
@@ -227,6 +248,7 @@ func AppendFrame(dst []byte, f *Frame) []byte {
 	dst = append(dst, byte(f.Type), flags)
 	dst = binary.LittleEndian.AppendUint64(dst, f.Seq)
 	dst = binary.LittleEndian.AppendUint64(dst, f.ReqID)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(f.Epoch))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.Err))
 	for _, v := range [4]int64{f.A, f.B, f.C, f.D} {
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
@@ -305,6 +327,8 @@ func decodeFrameBody(body []byte, from *interner) (Frame, error) {
 	f.Seq = binary.LittleEndian.Uint64(body[off:])
 	off += 8
 	f.ReqID = binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	f.Epoch = int64(binary.LittleEndian.Uint64(body[off:]))
 	off += 8
 	f.Err = api.Errno(binary.LittleEndian.Uint32(body[off:]))
 	off += 4

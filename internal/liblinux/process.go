@@ -508,7 +508,16 @@ func (p *Process) Kill(pid int, sig api.Signal) error {
 	if int64(pid) == p.pid {
 		return errnoOrNil(p.sig.deliver(sig))
 	}
-	return p.helper.SendSignal(int64(pid), sig)
+	err := p.helper.SendSignal(int64(pid), sig)
+	if err == api.ETIMEDOUT {
+		// The timeout already dropped the cached route to the target, so a
+		// single retry re-resolves through the (possibly new) leader — the
+		// signal lands if the target moved or the partition healed. A second
+		// timeout means the target really is unreachable; surface it rather
+		// than blocking the caller in an open-ended retry loop.
+		err = p.helper.SendSignal(int64(pid), sig)
+	}
+	return err
 }
 
 // Setpgid moves this process (pid must be 0 or the caller's PID) into
