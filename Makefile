@@ -5,15 +5,18 @@ PKGS := ./...
 # The RPC hot path: host byte streams and the IPC coordination framework.
 HOT_PKGS := ./internal/host/... ./internal/ipc/...
 
-.PHONY: build test race vet bench bench-fig5 chaos all
+.PHONY: build test race vet bench bench-fig5 chaos cover fuzz all
 
 all: build vet test
 
 build:
 	$(GO) build $(PKGS)
 
+# -shuffle=on randomizes test order within each package so hidden
+# inter-test state (shared registries, leftover leader processes) fails
+# loudly instead of depending on source order.
 test:
-	$(GO) test $(PKGS)
+	$(GO) test -shuffle=on $(PKGS)
 
 # Race-detect the concurrency-heavy packages (ring buffers, flush
 # combining, sharded caches, SysV migration).
@@ -30,6 +33,18 @@ vet:
 # interleavings — flakes here mean a real ordering bug, not test noise.
 chaos:
 	$(GO) test -race -count=3 -run 'Chaos|Partition' ./internal/ipc/ ./internal/host/
+
+# Coverage profile over every package; CI uploads coverage.out as an
+# artifact. -covermode=atomic because the suites are concurrency-heavy.
+cover:
+	$(GO) test -shuffle=on -covermode=atomic -coverprofile=coverage.out $(PKGS)
+	$(GO) tool cover -func=coverage.out | tail -n 1
+
+# Short smoke run of the frame-codec fuzzers (the checked-in corpus under
+# internal/ipc/testdata/fuzz always runs as part of `make test`).
+fuzz:
+	$(GO) test -run XXX -fuzz FuzzFrameCodec -fuzztime 30s ./internal/ipc/
+	$(GO) test -run XXX -fuzz FuzzFrameDecode -fuzztime 30s ./internal/ipc/
 
 # Microbenchmarks with allocation accounting for the hot path.
 bench:

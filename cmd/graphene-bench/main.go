@@ -6,7 +6,9 @@
 // Experiments: table4, fig4, table5, table6, table7, fig5, table8,
 // security, all (default). With -json, each measured experiment also
 // writes a machine-readable BENCH_<experiment>.json in the current
-// directory.
+// directory. With -metrics, the per-syscall and per-RPC latency
+// histograms recorded by the flight recorder are printed after the
+// runs, showing the latency distribution behind the table means.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced iteration counts for a fast pass")
 	jsonOut := flag.Bool("json", false, "also write BENCH_<experiment>.json files")
+	metricsOut := flag.Bool("metrics", false, "print per-syscall/per-RPC latency histograms after the runs")
 	flag.Parse()
 	which := flag.Args()
 	if len(which) == 0 {
@@ -128,5 +131,8 @@ func main() {
 		fmt.Print(out)
 		return nil
 	})
+	if *metricsOut {
+		fmt.Printf("=== metrics ===\n%s\n", bench.RenderMetrics())
+	}
 	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
 }

@@ -47,6 +47,11 @@ net_connect *:*
 `
 
 func main() {
+	// Subcommands are intercepted before flag parsing; everything else is
+	// the original flag-based launcher interface.
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		os.Exit(traceCmd(os.Args[2:]))
+	}
 	manifestPath := flag.String("manifest", "", "manifest file (Graphene personality only)")
 	personality := flag.String("personality", "graphene", "graphene, native, or kvm")
 	checkpointTo := flag.String("checkpoint", "", "checkpoint the program to FILE instead of waiting for exit")

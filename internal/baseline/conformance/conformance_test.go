@@ -422,6 +422,186 @@ func TestConformanceTimeAndRandom(t *testing.T) {
 	})
 }
 
+// TestConformanceSigchldOnCrashedChild pins wait(2)/signal(7) semantics
+// for a child killed by a signal: the parent's waiter sees status
+// 128+signo with the terminating signal reported, and SIGCHLD is
+// delivered to the parent ("SIGCHLD ... Child stopped or terminated",
+// signal(7); "if the child terminated by a signal", wait(2)).
+func TestConformanceSigchldOnCrashedChild(t *testing.T) {
+	runEverywhere(t, nil, func(p api.OS, argv []string) int {
+		chld := make(chan struct{}, 4)
+		if err := p.Sigaction(api.SIGCHLD, func(api.Signal) { chld <- struct{}{} }, ""); err != nil {
+			return 1
+		}
+		pid, err := p.Fork(func(c api.OS) {
+			for { // spin until killed
+				time.Sleep(time.Millisecond)
+				c.SignalsDrain()
+			}
+		})
+		if err != nil {
+			return 2
+		}
+		time.Sleep(10 * time.Millisecond)
+		if err := p.Kill(pid, api.SIGKILL); err != nil {
+			return 3
+		}
+		res, err := p.Wait(pid)
+		if err != nil {
+			return 4
+		}
+		if res.ExitCode != 128+int(api.SIGKILL) {
+			return 5
+		}
+		if res.Signaled != api.SIGKILL {
+			return 6
+		}
+		p.SignalsDrain()
+		select {
+		case <-chld:
+		default:
+			return 7
+		}
+		return 0
+	})
+}
+
+// TestConformanceMsgrcvEidrmWakeup pins msgrcv(2): "EIDRM: While the
+// process was sleeping to receive a message, the message queue was
+// removed." A receiver blocked on an empty queue must wake with EIDRM —
+// not hang, not EINVAL — when another process removes the queue.
+func TestConformanceMsgrcvEidrmWakeup(t *testing.T) {
+	runEverywhere(t, nil, func(p api.OS, argv []string) int {
+		qid, err := p.Msgget(0x1D12, api.IPCCreat)
+		if err != nil {
+			return 1
+		}
+		r, w, err := p.Pipe()
+		if err != nil {
+			return 2
+		}
+		pid, err := p.Fork(func(c api.OS) {
+			if _, err := c.Write(w, []byte("r")); err != nil {
+				c.Exit(101)
+			}
+			// Blocks: the queue is empty. Only the parent's rmid ends this.
+			_, _, err := c.Msgrcv(qid, 0, nil, 0)
+			if api.ToErrno(err) != api.EIDRM {
+				c.Exit(102)
+			}
+			c.Exit(0)
+		})
+		if err != nil {
+			return 3
+		}
+		if _, err := p.Read(r, make([]byte, 1)); err != nil {
+			return 4
+		}
+		// Give the child time to park inside msgrcv. (If rmid still wins the
+		// race, the child sees EIDRM on entry — same errno, weaker test.)
+		time.Sleep(10 * time.Millisecond)
+		if err := p.MsgctlRmid(qid); err != nil {
+			return 5
+		}
+		res, err := p.Wait(pid)
+		if err != nil || res.ExitCode != 0 {
+			return 6
+		}
+		return 0
+	})
+}
+
+// TestConformanceSemopEidrmWakeup is the semaphore side of the same
+// contract — semop(2): "EIDRM: The semaphore set was removed from the
+// system" while a process was sleeping in a blocking semop.
+func TestConformanceSemopEidrmWakeup(t *testing.T) {
+	runEverywhere(t, nil, func(p api.OS, argv []string) int {
+		sid, err := p.Semget(0x1D13, 1, api.IPCCreat)
+		if err != nil {
+			return 1
+		}
+		r, w, err := p.Pipe()
+		if err != nil {
+			return 2
+		}
+		pid, err := p.Fork(func(c api.OS) {
+			if _, err := c.Write(w, []byte("r")); err != nil {
+				c.Exit(101)
+			}
+			// The semaphore is zero, so a decrement blocks.
+			err := c.Semop(sid, []api.SemBuf{{Num: 0, Op: -1}})
+			if api.ToErrno(err) != api.EIDRM {
+				c.Exit(102)
+			}
+			c.Exit(0)
+		})
+		if err != nil {
+			return 3
+		}
+		if _, err := p.Read(r, make([]byte, 1)); err != nil {
+			return 4
+		}
+		time.Sleep(10 * time.Millisecond)
+		if err := p.SemctlRmid(sid); err != nil {
+			return 5
+		}
+		res, err := p.Wait(pid)
+		if err != nil || res.ExitCode != 0 {
+			return 6
+		}
+		return 0
+	})
+}
+
+// TestConformanceForkExecFDInheritance pins fork(2) ("The child inherits
+// copies of the parent's set of open file descriptors") composed with
+// execve(2) ("By default, file descriptors remain open across an
+// execve()"): a pipe write end dup2'd to a well-known descriptor before
+// exec must still be writable in the exec'd image.
+func TestConformanceForkExecFDInheritance(t *testing.T) {
+	const inheritedFD = 7
+	extra := map[string]api.Program{
+		"/bin/fdwriter": func(p api.OS, argv []string) int {
+			// The descriptor came from the pre-exec image; nothing in this
+			// program opened it.
+			if _, err := p.Write(inheritedFD, []byte("across-exec")); err != nil {
+				return 21
+			}
+			if err := p.Close(inheritedFD); err != nil {
+				return 22
+			}
+			return 0
+		},
+	}
+	runEverywhere(t, extra, func(p api.OS, argv []string) int {
+		r, w, err := p.Pipe()
+		if err != nil {
+			return 1
+		}
+		pid, err := p.Fork(func(c api.OS) {
+			if _, err := c.Dup2(w, inheritedFD); err != nil {
+				c.Exit(101)
+			}
+			if err := c.Exec("/bin/fdwriter", []string{"/bin/fdwriter"}); err != nil {
+				c.Exit(102)
+			}
+		})
+		if err != nil {
+			return 2
+		}
+		buf := make([]byte, 16)
+		n, err := p.Read(r, buf)
+		if err != nil || string(buf[:n]) != "across-exec" {
+			return 3
+		}
+		res, err := p.Wait(pid)
+		if err != nil || res.ExitCode != 0 {
+			return 4
+		}
+		return 0
+	})
+}
+
 // pgrouper is the optional process-group surface.
 type pgrouper interface {
 	Setpgid(pid, pgid int) error
@@ -469,6 +649,68 @@ func TestConformanceProcessGroups(t *testing.T) {
 		// Empty group: ESRCH everywhere.
 		if err := p.Kill(-987654, api.SIGTERM); api.ToErrno(err) != api.ESRCH {
 			return 8
+		}
+		return 0
+	})
+}
+
+// TestConformanceSignalPgroupFanout pins kill(2): "If pid is less than
+// -1, then sig is sent to every process in the process group whose ID is
+// -pid" — one negative-pid kill reaches the caller and every forked
+// member of the group, and each delivery runs that process's handler.
+func TestConformanceSignalPgroupFanout(t *testing.T) {
+	runEverywhere(t, nil, func(p api.OS, argv []string) int {
+		pg, ok := p.(pgrouper)
+		if !ok {
+			return 1
+		}
+		if err := pg.Setpgid(0, 0); err != nil {
+			return 2
+		}
+		hits := make(chan int, 8) // buffered: handlers run on member goroutines
+		child := func(id int) func(api.OS) {
+			return func(c api.OS) {
+				got := make(chan struct{}, 1)
+				c.Sigaction(api.SIGUSR1, func(api.Signal) { got <- struct{}{} }, "")
+				for {
+					time.Sleep(time.Millisecond)
+					c.SignalsDrain()
+					select {
+					case <-got:
+						hits <- id
+						c.Exit(0)
+					default:
+					}
+				}
+			}
+		}
+		pid1, err := p.Fork(child(1))
+		if err != nil {
+			return 3
+		}
+		pid2, err := p.Fork(child(2))
+		if err != nil {
+			return 4
+		}
+		p.Sigaction(api.SIGUSR1, func(api.Signal) { hits <- 0 }, "")
+		time.Sleep(10 * time.Millisecond) // let both children enter their drain loops
+		if err := p.Kill(-pg.Getpgid(), api.SIGUSR1); err != nil {
+			return 5
+		}
+		for _, pid := range []int{pid1, pid2} {
+			if res, err := p.Wait(pid); err != nil || res.ExitCode != 0 {
+				return 6
+			}
+		}
+		p.SignalsDrain()
+		seen := map[int]bool{}
+		for len(seen) < 3 {
+			select {
+			case id := <-hits:
+				seen[id] = true
+			default:
+				return 7 // a group member never saw the signal
+			}
 		}
 		return 0
 	})

@@ -1,0 +1,16 @@
+package bench
+
+import "graphene/internal/metrics"
+
+// ResetMetrics clears the process-wide latency histograms so a metrics
+// report covers exactly the experiments run after the call.
+func ResetMetrics() { metrics.Default.Reset() }
+
+// RenderMetrics reports the registry accumulated while the experiments
+// ran — per-syscall and per-RPC-type latency histograms from the traced
+// Graphene workloads (the paper's tables give per-benchmark means; this
+// is the latency *shape* behind them, p50/p90/p99 per primitive).
+func RenderMetrics() string {
+	return "Latency histograms (per traced primitive, this run)\n" +
+		metrics.Default.Snapshot().Text()
+}

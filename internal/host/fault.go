@@ -144,6 +144,11 @@ func (p *Picoprocess) Fault(point string) FaultAction {
 		return faultNone
 	}
 	r := fp.eval(point)
+	if r.Action != faultNone {
+		// Record the fire before applying the action: a FaultKill's recorder
+		// is retired by Exit, so the event must land first.
+		p.TraceFault(point)
+	}
 	switch r.Action {
 	case FaultDelay:
 		time.Sleep(r.Delay)

@@ -59,6 +59,15 @@ const (
 	SysRmdir         = 84
 	SysUnlink        = 87
 	SysGettimeofday  = 96
+	SysSemget        = 64
+	SysSemop         = 65
+	SysSemctl        = 66
+	SysMsgget        = 68
+	SysMsgsnd        = 69
+	SysMsgrcv        = 70
+	SysMsgctl        = 71
+	SysSetpgid       = 109
+	SysGetpgid       = 121
 	SysPrctl         = 157
 	SysArchPrctl     = 158
 	SysGettid        = 186
@@ -158,6 +167,32 @@ type Kernel struct {
 
 	// syscallCount is a diagnostic counter of gate entries.
 	syscallCount atomic.Int64
+
+	// traceRing is the default flight-recorder capacity for new root
+	// picoprocesses (children inherit the parent's configured capacity).
+	traceRing atomic.Int64
+
+	// retired holds recently exited picoprocesses' flight recorders so a
+	// post-mortem dump covers the processes a chaos kill just took out.
+	retired []retiredRec
+}
+
+// SetTraceRing sets the default flight-recorder capacity (events) for
+// picoprocesses created from now on: 0 restores DefaultTraceRing, a
+// negative value disables recording by default.
+func (k *Kernel) SetTraceRing(n int) { k.traceRing.Store(int64(n)) }
+
+// newProcRing resolves the ring capacity for a fresh picoprocess.
+func (k *Kernel) newProcRing(parent *Picoprocess) int {
+	if parent != nil {
+		if n := parent.traceRing.Load(); n != 0 {
+			return int(n)
+		}
+	}
+	if n := k.traceRing.Load(); n != 0 {
+		return int(n)
+	}
+	return DefaultTraceRing
 }
 
 // BroadcastOf returns the broadcast channel of the given sandbox, creating
@@ -245,6 +280,12 @@ func (k *Kernel) CreateProcess(parent *Picoprocess, newSandbox bool) (*Picoproce
 	}
 	k.procs[p.ID] = p
 	k.mu.Unlock()
+	if ring := k.newProcRing(parent); ring > 0 {
+		p.traceRing.Store(int64(ring))
+		p.rec.Store(NewFlightRecorder(ring))
+	} else {
+		p.traceRing.Store(int64(ring))
+	}
 	k.Policy().OnProcessCreate(parent, p, newSandbox)
 	return p, nil
 }
@@ -268,6 +309,7 @@ func (k *Kernel) Processes() []*Picoprocess {
 }
 
 func (k *Kernel) onProcessExit(p *Picoprocess) {
+	k.retireRecorder(p)
 	k.mu.Lock()
 	delete(k.procs, p.ID)
 	bc := k.broadcasts[p.SandboxID]
@@ -288,6 +330,12 @@ func (k *Kernel) Gate(p *Picoprocess, nr int, fromPAL bool) error {
 	if p.dead.Load() {
 		// A crashed picoprocess cannot enter the host kernel again.
 		return api.ESRCH
+	}
+	if TraceVerboseEnabled() {
+		// Gate entries are recorded only at the verbose level: the gate sits
+		// on every PAL call and a default-level event here would distort the
+		// syscall-latency figures the recorder exists to explain.
+		p.TraceRecord(TraceEvent{TS: TraceNow(), Kind: EvGate, Code: uint32(nr)})
 	}
 	if p.HasFaultPlan() {
 		if p.Fault("sys."+strconv.Itoa(nr)) == FaultKill {

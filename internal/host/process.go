@@ -38,6 +38,11 @@ type Picoprocess struct {
 	// faults is the installed fault-injection plan (nil almost always).
 	faults atomic.Pointer[FaultPlan]
 
+	// rec is the flight recorder (nil when the sandbox disabled tracing);
+	// traceRing remembers the configured capacity so children inherit it.
+	rec       atomic.Pointer[FlightRecorder]
+	traceRing atomic.Int64
+
 	// Exec-time metadata consumed by the libOS layer.
 	Entry interface{} // opaque payload (checkpoint blob / program spec)
 }

@@ -241,12 +241,32 @@ func (s *Stream) Read(p []byte) (int, error) {
 			return 0, api.EBADF
 		}
 		if s.part.any() {
+			// Partition gate. When the read actually stalls, record how long
+			// (partitions only exist under chaos, so the extra Blocked probe
+			// never runs on healthy-path reads).
+			stallStart := int64(0)
+			if TraceEnabled() && s.part.Blocked(s.RemotePID, s.LocalPID) {
+				stallStart = TraceNow()
+			}
 			s.part.waitUnblocked(s.RemotePID, s.LocalPID, func() bool {
 				return s.closed.Load() || s.in.readClosed()
 			})
+			if stallStart != 0 {
+				if owner := s.faultOwner.Load(); owner != nil {
+					owner.TraceRecord(TraceEvent{
+						TS: stallStart, Kind: EvPartitionStall,
+						Arg: uint64(s.RemotePID), Dur: TraceNow() - stallStart,
+					})
+				}
+			}
 		}
 		n, err := s.in.read(p, s.part, s.RemotePID, s.LocalPID)
 		if err != errReadGated {
+			if n > 0 && TraceVerboseEnabled() {
+				if owner := s.faultOwner.Load(); owner != nil {
+					owner.TraceRecord(TraceEvent{TS: TraceNow(), Kind: EvStreamRead, Arg: uint64(n)})
+				}
+			}
 			return n, err
 		}
 		// A partition was installed while this reader was parked waiting
@@ -272,6 +292,11 @@ func (s *Stream) Write(p []byte) (int, error) {
 		case FaultKill:
 			// The owner just exited; this endpoint is closing underneath us.
 			return 0, api.EPIPE
+		}
+	}
+	if TraceVerboseEnabled() {
+		if owner := s.faultOwner.Load(); owner != nil {
+			owner.TraceRecord(TraceEvent{TS: TraceNow(), Kind: EvStreamWrite, Arg: uint64(len(p))})
 		}
 	}
 	return s.out.write(p)

@@ -24,6 +24,9 @@ func (h *Helper) dispatch(f Frame, respond func(Frame)) {
 // by an injected crash or reset is still recorded and the sender's retry
 // replays it instead of re-executing.
 func (h *Helper) dispatchOn(s *host.Stream, f Frame, respond func(Frame)) {
+	// Serve span first, before the fault layer: a dispatch killed by an
+	// injected crash still appears in the victim's flight recorder.
+	h.serveSpan(&f)
 	if p := h.pal.Proc(); p.HasFaultPlan() {
 		point := "rpc." + f.Type.String()
 		switch p.Fault(point + ".enter") {

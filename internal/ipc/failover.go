@@ -163,8 +163,12 @@ func leaderOnly(t MsgType) bool {
 // pipeline described at the top of the file.
 func (h *Helper) callLeader(f Frame) (Frame, error) {
 	f.From = h.Addr
+	// enclosing is the caller's span (a syscall-level trace root, usually);
+	// each retry attempt gets its own sibling span under it.
+	enclosing := f.Span
 	var lastErr error
 	for attempt := 0; attempt <= failoverAttempts; attempt++ {
+		f.Span = enclosing
 		h.mu.Lock()
 		leaderAddr := h.leaderAddr
 		isLeader := h.leader != nil
@@ -198,6 +202,7 @@ func (h *Helper) callLeader(f Frame) (Frame, error) {
 				if down {
 					return Frame{}, err
 				}
+				h.traceElection(f.Trace, enclosing, epoch)
 				if ferr := h.failover(epoch); ferr != nil {
 					return Frame{}, ferr
 				}
@@ -206,10 +211,12 @@ func (h *Helper) callLeader(f Frame) (Frame, error) {
 			leaderAddr = addr
 		}
 		var resp Frame
+		start, parent := h.beginSpan(&f)
 		c, err := h.dial(leaderAddr)
 		if err == nil {
 			resp, err = c.CallTimeout(f, rpcCallTimeout)
 		}
+		h.endSpan(&f, start, parent, err)
 		if err == nil {
 			return resp, nil
 		}
@@ -234,6 +241,7 @@ func (h *Helper) callLeader(f Frame) (Frame, error) {
 			// cleanup RPCs are best-effort.
 			return Frame{}, err
 		}
+		h.traceElection(f.Trace, enclosing, epoch)
 		if ferr := h.failover(epoch); ferr != nil {
 			return Frame{}, ferr
 		}

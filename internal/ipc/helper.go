@@ -504,7 +504,9 @@ func (h *Helper) ResolvePID(pid int64) (string, error) {
 		return addr, nil
 	}
 
-	resp, err := h.callLeader(Frame{Type: MsgNSQuery, A: NSPid, B: pid})
+	q := Frame{Type: MsgNSQuery, A: NSPid, B: pid}
+	q.Trace, q.Span = traceRoot()
+	resp, err := h.callLeader(q)
 	if err != nil {
 		return "", err
 	}
@@ -518,7 +520,10 @@ func (h *Helper) ResolvePID(pid int64) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		resp, err = c.CallTimeout(Frame{Type: MsgNSQuery, A: NSPid, B: pid}, rpcCallTimeout)
+		hf := Frame{Type: MsgNSQuery, A: NSPid, B: pid, Trace: q.Trace, Span: q.Span}
+		start, parent := h.beginSpan(&hf)
+		resp, err = c.CallTimeout(hf, rpcCallTimeout)
+		h.endSpan(&hf, start, parent, err)
 		if err != nil {
 			return "", err
 		}
@@ -554,7 +559,12 @@ func (h *Helper) SendSignal(pid int64, sig api.Signal) error {
 		h.InvalidatePID(pid)
 		return api.ESRCH
 	}
-	if _, err := c.CallTimeout(Frame{Type: MsgSignal, A: pid, B: int64(sig)}, rpcCallTimeout); err != nil {
+	f := Frame{Type: MsgSignal, A: pid, B: int64(sig)}
+	f.Trace, f.Span = traceRoot()
+	start, parent := h.beginSpan(&f)
+	_, err = c.CallTimeout(f, rpcCallTimeout)
+	h.endSpan(&f, start, parent, err)
+	if err != nil {
 		if err == api.EPIPE {
 			h.InvalidatePID(pid)
 			return api.ESRCH
@@ -609,7 +619,10 @@ func (h *Helper) Ping(addr string) error {
 	if err != nil {
 		return err
 	}
-	_, err = c.Call(Frame{Type: MsgPing})
+	f := Frame{Type: MsgPing}
+	start, parent := h.beginSpan(&f)
+	_, err = c.Call(f)
+	h.endSpan(&f, start, parent, err)
 	return err
 }
 

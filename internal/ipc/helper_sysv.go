@@ -69,6 +69,9 @@ func (h *Helper) sysvKey(kind int, key int64, flags int) (int64, string, error) 
 			return id, owner, err
 		}
 	}
+	// One trace spans the whole key resolution: the leader round trip and
+	// any lease-holder redirect hop render as siblings under this root.
+	trace, root := traceRoot()
 	h.mu.Lock()
 	leader := h.leader
 	h.mu.Unlock()
@@ -100,7 +103,7 @@ func (h *Helper) sysvKey(kind int, key int64, flags int) (int64, string, error) 
 			if err != nil {
 				return 0, "", err
 			}
-			id, owner, err := h.keyFromHolder(kind, key, flags, proposed, r.indirect)
+			id, owner, err := h.keyFromHolder(kind, key, flags, proposed, r.indirect, trace, root)
 			if err == errHolderGone {
 				continue
 			}
@@ -118,7 +121,7 @@ func (h *Helper) sysvKey(kind int, key int64, flags int) (int64, string, error) 
 	}
 	for attempt := 0; attempt < sysvRetries; attempt++ {
 		migrationBackoff(attempt)
-		resp, err := h.callLeader(Frame{Type: MsgKeyGet, A: int64(kind), B: key, C: reqFlags, D: proposed})
+		resp, err := h.callLeader(Frame{Type: MsgKeyGet, A: int64(kind), B: key, C: reqFlags, D: proposed, Trace: trace, Span: root})
 		if err != nil {
 			return 0, "", err
 		}
@@ -147,7 +150,7 @@ func (h *Helper) sysvKey(kind int, key int64, flags int) (int64, string, error) 
 			// The block is leased to another helper whose local cache is
 			// authoritative (it may hold keys it has not yet registered at
 			// the leader); ask it directly.
-			id, owner, err := h.keyFromHolder(kind, key, flags, proposed, resp.S)
+			id, owner, err := h.keyFromHolder(kind, key, flags, proposed, resp.S, trace, root)
 			if err == errHolderGone {
 				continue
 			}
@@ -164,8 +167,9 @@ func (h *Helper) sysvKey(kind int, key int64, flags int) (int64, string, error) 
 var errHolderGone = fmt.Errorf("ipc: lease holder unreachable")
 
 // keyFromHolder asks the block's lease holder to resolve (or create on
-// our behalf) a key the leader redirected us to.
-func (h *Helper) keyFromHolder(kind int, key int64, flags int, proposed int64, holder string) (int64, string, error) {
+// our behalf) a key the leader redirected us to. trace/root tie the hop
+// into the originating operation's trace tree.
+func (h *Helper) keyFromHolder(kind int, key int64, flags int, proposed int64, holder string, trace, root uint64) (int64, string, error) {
 	c, derr := h.dial(holder)
 	if derr != nil {
 		// The holder died; release its lease on its behalf so the leader
@@ -178,7 +182,10 @@ func (h *Helper) keyFromHolder(kind int, key int64, flags int, proposed int64, h
 	// to the caller (default branch) rather than evicting the lease — the
 	// holder is not provably dead, and stealing its block would mint a
 	// second live ID for any key it already created.
-	r2, cerr := c.CallTimeout(Frame{Type: MsgKeyGet, A: int64(kind), B: key, C: int64(flags), D: proposed}, rpcCallTimeout)
+	hf := Frame{Type: MsgKeyGet, A: int64(kind), B: key, C: int64(flags), D: proposed, Trace: trace, Span: root}
+	start, parent := h.beginSpan(&hf)
+	r2, cerr := c.CallTimeout(hf, rpcCallTimeout)
+	h.endSpan(&hf, start, parent, cerr)
 	switch cerr {
 	case nil:
 		return r2.A, r2.S, nil

@@ -81,6 +81,9 @@ func newTestGroup(t *testing.T) *testGroup {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Any failure — invariant violations included — dumps every involved
+	// picoprocess's flight recorder into the test log.
+	host.DumpTracesOnFailure(t, k)
 	return &testGroup{k: k, m: m, t: t, mf: mf}
 }
 

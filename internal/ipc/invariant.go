@@ -29,10 +29,10 @@ type helperSnapshot struct {
 	addr        string
 	isLeader    bool
 	leaderEpoch int64
-	selfPIDs    []int64              // PIDs this helper claims as locally allocated
-	leases      map[int][]int64      // kind -> leased key blocks
+	selfPIDs    []int64                 // PIDs this helper claims as locally allocated
+	leases      map[int][]int64         // kind -> leased key blocks
 	keyCache    map[int]map[int64]int64 // kind -> key -> id (cached under leases)
-	liveIDs     map[int][]int64      // kind -> IDs of live, unmigrated objects here
+	liveIDs     map[int][]int64         // kind -> IDs of live, unmigrated objects here
 	// leader-only tables (nil otherwise)
 	ranges       map[int][]idRange
 	leaderKeys   map[int]map[int64]int64 // kind -> key -> id

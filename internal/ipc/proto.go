@@ -190,6 +190,16 @@ type Frame struct {
 	// From is the sender's helper address (for reply routing/caching).
 	From string
 
+	// Trace and Span carry the flight-recorder trace context across
+	// picoprocesses: Trace identifies the whole operation (minted once at
+	// the originating syscall), Span the sending hop. A dispatcher records
+	// the request's Span as its parent and mints a fresh Span for the work
+	// it does downstream, so one guest syscall's RPC fan-out — caller →
+	// helper → leader → reply, including failover hops — reassembles into a
+	// single tree. 0 means untraced.
+	Trace uint64
+	Span  uint64
+
 	Err        api.Errno
 	A, B, C, D int64
 	S          string
@@ -224,8 +234,9 @@ func (f *Frame) IsResponse() bool { return f.isResponse }
 const maxFrameSize = 1 << 20
 
 // minFrameBody is the fixed part of a frame body: 2 header + 8 seq +
-// 8 reqid + 8 epoch + 4 errno + 32 scalars + 3×4 length fields.
-const minFrameBody = 74
+// 8 reqid + 8 epoch + 8 trace + 8 span + 4 errno + 32 scalars +
+// 3×4 length fields.
+const minFrameBody = 90
 
 // frameBodySize returns the encoded body length of f (without the 4-byte
 // length prefix).
@@ -249,6 +260,8 @@ func AppendFrame(dst []byte, f *Frame) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, f.Seq)
 	dst = binary.LittleEndian.AppendUint64(dst, f.ReqID)
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(f.Epoch))
+	dst = binary.LittleEndian.AppendUint64(dst, f.Trace)
+	dst = binary.LittleEndian.AppendUint64(dst, f.Span)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.Err))
 	for _, v := range [4]int64{f.A, f.B, f.C, f.D} {
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
@@ -329,6 +342,10 @@ func decodeFrameBody(body []byte, from *interner) (Frame, error) {
 	f.ReqID = binary.LittleEndian.Uint64(body[off:])
 	off += 8
 	f.Epoch = int64(binary.LittleEndian.Uint64(body[off:]))
+	off += 8
+	f.Trace = binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	f.Span = binary.LittleEndian.Uint64(body[off:])
 	off += 8
 	f.Err = api.Errno(binary.LittleEndian.Uint32(body[off:]))
 	off += 4

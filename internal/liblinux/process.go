@@ -210,6 +210,13 @@ func (p *Process) doExit(code int, killedBy api.Signal) {
 // Wait blocks until the child with guest PID pid exits (pid > 0) or any
 // child exits (pid == -1), then reaps it.
 func (p *Process) Wait(pid int) (api.WaitResult, error) {
+	start := p.sysEnter()
+	res, err := p.waitInternal(pid)
+	p.sysExit(start, host.SysWait4, uint64(uint(pid)), err)
+	return res, err
+}
+
+func (p *Process) waitInternal(pid int) (api.WaitResult, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for {
@@ -250,10 +257,13 @@ func (p *Process) Wait(pid int) (api.WaitResult, error) {
 // LibOS instance restores it (§5, "Implementing fork by (ab)using
 // checkpoints"). Returns the child's guest PID.
 func (p *Process) Fork(childFn func(api.OS)) (int, error) {
-	return p.forkInternal(func(child *Process) int {
+	start := p.sysEnter()
+	pid, err := p.forkInternal(func(child *Process) int {
 		childFn(child)
 		return 0
 	})
+	p.sysExit(start, host.SysFork, uint64(pid), err)
+	return pid, err
 }
 
 // Spawn is fork+exec of path in the child, the common shell pattern. It
@@ -502,11 +512,16 @@ func (p *Process) Kill(pid int, sig api.Signal) error {
 	if sig <= 0 || sig >= api.NumSignals {
 		return api.EINVAL
 	}
+	start := p.sysEnter()
 	if pid < 0 {
-		return p.helper.SignalGroup(int64(-pid), sig)
+		err := p.helper.SignalGroup(int64(-pid), sig)
+		p.sysExit(start, host.SysKill, uint64(uint(pid)), err)
+		return err
 	}
 	if int64(pid) == p.pid {
-		return errnoOrNil(p.sig.deliver(sig))
+		err := errnoOrNil(p.sig.deliver(sig))
+		p.sysExit(start, host.SysKill, uint64(pid), err)
+		return err
 	}
 	err := p.helper.SendSignal(int64(pid), sig)
 	if err == api.ETIMEDOUT {
@@ -517,6 +532,7 @@ func (p *Process) Kill(pid int, sig api.Signal) error {
 		// than blocking the caller in an open-ended retry loop.
 		err = p.helper.SendSignal(int64(pid), sig)
 	}
+	p.sysExit(start, host.SysKill, uint64(pid), err)
 	return err
 }
 
@@ -537,7 +553,10 @@ func (p *Process) Setpgid(pid, pgid int) error {
 	if old == target {
 		return nil
 	}
-	if err := p.helper.JoinGroup(target, p.pid); err != nil {
+	start := p.sysEnter()
+	err := p.helper.JoinGroup(target, p.pid)
+	p.sysExit(start, host.SysSetpgid, uint64(target), err)
+	if err != nil {
 		return err
 	}
 	p.mu.Lock()

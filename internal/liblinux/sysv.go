@@ -2,16 +2,21 @@ package liblinux
 
 import (
 	"graphene/internal/api"
+	"graphene/internal/host"
 )
 
 // System V IPC system calls delegate to the coordination framework
 // (internal/ipc): key mappings are managed by the sandbox leader, contents
 // are stored at the owning picoprocess, and ownership migrates toward the
-// heaviest user (§4.2, Table 2).
+// heaviest user (§4.2, Table 2). Each shim records a flight-recorder
+// syscall event (entry/exit latency, key or ID digest, errno) so a dump
+// shows the guest-visible operation above the RPC spans it fanned into.
 
 // Msgget maps key to a message queue ID.
 func (p *Process) Msgget(key int, flags int) (int, error) {
+	start := p.sysEnter()
 	id, err := p.helper.Msgget(int64(key), flags)
+	p.sysExit(start, host.SysMsgget, uint64(key), err)
 	if err != nil {
 		return 0, err
 	}
@@ -21,13 +26,18 @@ func (p *Process) Msgget(key int, flags int) (int, error) {
 // Msgsnd sends a message (asynchronously when the queue is remote).
 func (p *Process) Msgsnd(id int, mtype int64, data []byte, flags int) error {
 	defer p.sig.drain()
-	return p.helper.Msgsnd(int64(id), mtype, data, flags)
+	start := p.sysEnter()
+	err := p.helper.Msgsnd(int64(id), mtype, data, flags)
+	p.sysExit(start, host.SysMsgsnd, uint64(id), err)
+	return err
 }
 
 // Msgrcv receives the first message matching mtype.
 func (p *Process) Msgrcv(id int, mtype int64, buf []byte, flags int) (int64, []byte, error) {
 	defer p.sig.drain()
+	start := p.sysEnter()
 	mt, data, err := p.helper.Msgrcv(int64(id), mtype, flags)
+	p.sysExit(start, host.SysMsgrcv, uint64(id), err)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -39,12 +49,17 @@ func (p *Process) Msgrcv(id int, mtype int64, buf []byte, flags int) (int64, []b
 
 // MsgctlRmid destroys a message queue.
 func (p *Process) MsgctlRmid(id int) error {
-	return p.helper.MsgRmid(int64(id))
+	start := p.sysEnter()
+	err := p.helper.MsgRmid(int64(id))
+	p.sysExit(start, host.SysMsgctl, uint64(id), err)
+	return err
 }
 
 // Semget maps key to a semaphore set ID.
 func (p *Process) Semget(key int, nsems int, flags int) (int, error) {
+	start := p.sysEnter()
 	id, err := p.helper.Semget(int64(key), nsems, flags)
+	p.sysExit(start, host.SysSemget, uint64(key), err)
 	if err != nil {
 		return 0, err
 	}
@@ -54,10 +69,16 @@ func (p *Process) Semget(key int, nsems int, flags int) (int, error) {
 // Semop performs sembuf operations, blocking as needed.
 func (p *Process) Semop(id int, ops []api.SemBuf) error {
 	defer p.sig.drain()
-	return p.helper.Semop(int64(id), ops)
+	start := p.sysEnter()
+	err := p.helper.Semop(int64(id), ops)
+	p.sysExit(start, host.SysSemop, uint64(id), err)
+	return err
 }
 
 // SemctlRmid destroys a semaphore set.
 func (p *Process) SemctlRmid(id int) error {
-	return p.helper.SemRmid(int64(id))
+	start := p.sysEnter()
+	err := p.helper.SemRmid(int64(id))
+	p.sysExit(start, host.SysSemctl, uint64(id), err)
+	return err
 }

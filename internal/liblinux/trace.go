@@ -1,0 +1,46 @@
+package liblinux
+
+import (
+	"sync"
+
+	"graphene/internal/api"
+	"graphene/internal/host"
+	"graphene/internal/metrics"
+)
+
+// Syscall shim tracing: every instrumented libLinux entry point records
+// one EvSyscall event (number, primary-argument digest, flattened errno,
+// shim latency) into the calling picoprocess's flight recorder and feeds
+// the latency into the per-syscall histogram. With tracing off the entry
+// hook is one atomic load and the exit hook returns immediately.
+
+// sysEnter returns the start timestamp for a shim invocation, 0 when
+// tracing is off (the exit hook then skips both the ring write and the
+// second clock read).
+func (p *Process) sysEnter() int64 { return host.TraceStart() }
+
+// sysExit records the completed shim invocation begun at start.
+func (p *Process) sysExit(start int64, nr int, arg uint64, err error) {
+	if start == 0 {
+		return
+	}
+	dur := host.TraceNow() - start
+	p.pal.Proc().TraceRecord(host.TraceEvent{
+		TS: start, Kind: host.EvSyscall, Code: uint32(nr), Arg: arg,
+		Errno: int32(api.ToErrno(err)), Dur: dur,
+	})
+	sysHist(nr).Observe(dur)
+}
+
+// sysHists caches per-syscall histograms so the hot path never builds a
+// "sys.<name>" string.
+var sysHists sync.Map // int -> *metrics.Histogram
+
+func sysHist(nr int) *metrics.Histogram {
+	if h, ok := sysHists.Load(nr); ok {
+		return h.(*metrics.Histogram)
+	}
+	h := metrics.Default.Histogram("sys." + host.SyscallName(nr))
+	actual, _ := sysHists.LoadOrStore(nr, h)
+	return actual.(*metrics.Histogram)
+}

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBucketIndexExactBelow32(t *testing.T) {
+	for v := int64(0); v < 32; v++ {
+		if got := bucketIndex(v); got != int(v) {
+			t.Fatalf("bucketIndex(%d) = %d, want exact", v, got)
+		}
+		if got := bucketLow(int(v)); got != v {
+			t.Fatalf("bucketLow(%d) = %d, want exact", v, got)
+		}
+	}
+}
+
+func TestBucketIndexMonotoneAndBounded(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 31, 32, 33, 47, 48, 63, 64, 100, 1000, 1 << 20, 1 << 40, math.MaxInt64} {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone: bucketIndex(%d) = %d < %d", v, i, prev)
+		}
+		if i >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range %d", v, i, histBuckets)
+		}
+		// bucketLow must round-trip into the same bucket.
+		if got := bucketIndex(bucketLow(i)); got != i {
+			t.Fatalf("bucketLow(%d)=%d maps to bucket %d", i, bucketLow(i), got)
+		}
+		prev = i
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 1000)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Max() != 100000 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	if mean := h.Mean(); mean < 50000 || mean > 51000 {
+		t.Fatalf("Mean = %v, want ~50500", mean)
+	}
+	// log-linear error is ~6%; allow 10% slop on the median.
+	if p50 := h.Quantile(0.5); p50 < 45000 || p50 > 55000 {
+		t.Fatalf("P50 = %d, want ~50000", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 90000 || p99 > 100000 {
+		t.Fatalf("P99 = %d, want ~99000", p99)
+	}
+	h.Observe(-5) // clamps, must not panic
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); i < 1000; i++ {
+				h.Observe(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+	if h.Max() != 999 {
+		t.Fatalf("Max = %d, want 999", h.Max())
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("rpc.ping").Observe(2300)
+	r.Histogram("sys.msgget").Observe(5000)
+	r.Histogram("empty") // zero observations: excluded from snapshots
+	val := int64(7)
+	r.RegisterGauge("election.epoch", func() int64 { return val })
+
+	s := r.Snapshot()
+	if len(s.Histograms) != 2 {
+		t.Fatalf("snapshot has %d histograms, want 2 (empty excluded)", len(s.Histograms))
+	}
+	if s.Histograms[0].Name != "rpc.ping" || s.Histograms[1].Name != "sys.msgget" {
+		t.Fatalf("histograms not name-sorted: %q, %q", s.Histograms[0].Name, s.Histograms[1].Name)
+	}
+	if len(s.Gauges) != 1 || s.Gauges[0].Value != 7 {
+		t.Fatalf("gauges = %+v", s.Gauges)
+	}
+
+	var parsed RegistrySnapshot
+	if err := json.Unmarshal([]byte(s.JSON()), &parsed); err != nil {
+		t.Fatalf("JSON output does not parse: %v", err)
+	}
+	if len(parsed.Histograms) != 2 {
+		t.Fatalf("round-tripped %d histograms", len(parsed.Histograms))
+	}
+	txt := s.Text()
+	for _, want := range []string{"rpc.ping", "sys.msgget", "election.epoch"} {
+		if !strings.Contains(txt, want) {
+			t.Fatalf("Text() missing %q:\n%s", want, txt)
+		}
+	}
+
+	r.UnregisterGauge("election.epoch")
+	if got := r.Snapshot(); len(got.Gauges) != 0 {
+		t.Fatalf("gauge survived unregister: %+v", got.Gauges)
+	}
+	r.Reset()
+	if got := r.Snapshot(); len(got.Histograms) != 0 {
+		t.Fatal("Reset must drop histograms")
+	}
+}
+
+func TestRegistrySameInstance(t *testing.T) {
+	r := NewRegistry()
+	if r.Histogram("x") != r.Histogram("x") {
+		t.Fatal("Histogram must return a stable instance per name")
+	}
+}
+
+func TestFmtNS(t *testing.T) {
+	cases := map[int64]string{
+		512:           "512ns",
+		2_300:         "2.30µs",
+		4_500_000:     "4.50ms",
+		2_000_000_000: "2.00s",
+	}
+	for in, want := range cases {
+		if got := fmtNS(in); got != want {
+			t.Fatalf("fmtNS(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -32,6 +32,13 @@ type Manifest struct {
 	// component may be "*".
 	NetListen  []string
 	NetConnect []string
+
+	// TraceRing caps the flight-recorder ring (events per picoprocess) for
+	// processes launched under this manifest: 0 keeps the host default,
+	// a negative value disables recording for the sandbox entirely.
+	// Children inherit the cap, so per-sandbox recorder memory is bounded
+	// by processes × ring size regardless of what the guest does.
+	TraceRing int
 }
 
 // Mount is one entry in the manifest's union view.
@@ -48,6 +55,7 @@ type Mount struct {
 //	allow_write <guest-prefix>
 //	net_listen <host:port>
 //	net_connect <host:port>
+//	trace_buffer <events>
 func ParseManifest(name, text string) (*Manifest, error) {
 	m := &Manifest{Name: name}
 	for lineNo, line := range strings.Split(text, "\n") {
@@ -82,11 +90,39 @@ func ParseManifest(name, text string) (*Manifest, error) {
 				return nil, fmt.Errorf("manifest %s:%d: net_connect wants 1 arg", name, lineNo+1)
 			}
 			m.NetConnect = append(m.NetConnect, fields[1])
+		case "trace_buffer":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("manifest %s:%d: trace_buffer wants 1 arg", name, lineNo+1)
+			}
+			n, err := parseTraceBuffer(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("manifest %s:%d: %v", name, lineNo+1, err)
+			}
+			m.TraceRing = n
 		default:
 			return nil, fmt.Errorf("manifest %s:%d: unknown directive %q", name, lineNo+1, fields[0])
 		}
 	}
 	return m, nil
+}
+
+// parseTraceBuffer parses the trace_buffer argument: a non-negative event
+// count ("0" = host default), or "off" to disable recording.
+func parseTraceBuffer(s string) (int, error) {
+	if s == "off" {
+		return -1, nil
+	}
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("trace_buffer wants an event count or \"off\", got %q", s)
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<20 {
+			return 0, fmt.Errorf("trace_buffer %q too large (max %d events)", s, 1<<20)
+		}
+	}
+	return n, nil
 }
 
 // pathAllowed reports whether path falls under one of the given prefixes.
@@ -187,6 +223,7 @@ func (m *Manifest) Restrict(fsView []string) *Manifest {
 		Mounts:     append([]Mount(nil), m.Mounts...),
 		NetListen:  append([]string(nil), m.NetListen...),
 		NetConnect: append([]string(nil), m.NetConnect...),
+		TraceRing:  m.TraceRing,
 	}
 	for _, p := range fsView {
 		p = host.CleanPath(p)

@@ -86,6 +86,11 @@ func (m *Monitor) Launch(manifest *Manifest) (*host.Picoprocess, *Sandbox, error
 	if err := proc.SetFilter(m.filter); err != nil {
 		return nil, nil, err
 	}
+	if manifest.TraceRing != 0 {
+		// The manifest caps (or disables) the sandbox's flight-recorder
+		// memory; children inherit the setting through the host kernel.
+		proc.SetTraceRing(manifest.TraceRing)
+	}
 	sb := m.newSandbox(manifest)
 	m.addMember(sb, proc)
 	return proc, sb, nil

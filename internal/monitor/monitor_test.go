@@ -44,11 +44,63 @@ func TestParseManifestErrors(t *testing.T) {
 		"allow_write a b",
 		"net_listen",
 		"frobnicate /x",
+		"trace_buffer",
+		"trace_buffer -3",
+		"trace_buffer lots",
+		"trace_buffer 99999999",
 	}
 	for _, text := range bad {
 		if _, err := ParseManifest("bad", text); err == nil {
 			t.Errorf("ParseManifest accepted %q", text)
 		}
+	}
+}
+
+func TestManifestTraceBuffer(t *testing.T) {
+	cases := map[string]int{
+		"trace_buffer 512": 512,
+		"trace_buffer off": -1,
+		"trace_buffer 0":   0,
+		"":                 0,
+	}
+	for text, want := range cases {
+		m, err := ParseManifest("tb", text)
+		if err != nil {
+			t.Fatalf("ParseManifest(%q): %v", text, err)
+		}
+		if m.TraceRing != want {
+			t.Errorf("ParseManifest(%q).TraceRing = %d, want %d", text, m.TraceRing, want)
+		}
+	}
+	// Restrict keeps the cap: a child sandbox cannot grow its recorder.
+	m, _ := ParseManifest("tb", "trace_buffer 128")
+	if got := m.Restrict(nil).TraceRing; got != 128 {
+		t.Errorf("Restrict dropped TraceRing: got %d", got)
+	}
+}
+
+func TestLaunchAppliesTraceRing(t *testing.T) {
+	k := host.NewKernel()
+	mon := New(k)
+	m, err := ParseManifest("tb", "mount / /\nallow_read /\ntrace_buffer 64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, _, err := mon.Launch(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := proc.TraceRecorder().Cap(); got != 64 {
+		t.Fatalf("launched proc ring cap = %d, want 64", got)
+	}
+
+	moff, _ := ParseManifest("tb", "mount / /\nallow_read /\ntrace_buffer off")
+	poff, _, err := mon.Launch(moff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poff.TraceRecorder() != nil {
+		t.Fatal("trace_buffer off must disable the launched proc's recorder")
 	}
 }
 
