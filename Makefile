@@ -5,7 +5,7 @@ PKGS := ./...
 # The RPC hot path: host byte streams and the IPC coordination framework.
 HOT_PKGS := ./internal/host/... ./internal/ipc/...
 
-.PHONY: build test race vet bench bench-fig5 chaos cover fuzz all
+.PHONY: build test race vet bench bench-fig5 chaos chaos-shard cover fuzz all
 
 all: build vet test
 
@@ -33,6 +33,14 @@ vet:
 # interleavings — flakes here mean a real ordering bug, not test noise.
 chaos:
 	$(GO) test -race -count=3 -run 'Chaos|Partition' ./internal/ipc/ ./internal/host/
+
+# Sharded namespace plane under fault: the 4-shard chaos suites (kill
+# one shard's coordinator, partition a shard subset, leader flap during
+# cross-shard reclaim) plus the shard-routing determinism and rebalance
+# properties, under the race detector. Same fixed-seed discipline as
+# `make chaos`.
+chaos-shard:
+	$(GO) test -race -count=3 -run 'Shard' ./internal/ipc/
 
 # Coverage profile over every package; CI uploads coverage.out as an
 # artifact. -covermode=atomic because the suites are concurrency-heavy.

@@ -61,6 +61,15 @@ func main() {
 	t7N, t7Iters := 500, 3
 	fig5Counts := []int{2, 4, 8, 12, 16, 24, 32}
 	fig5Msgs := 10000
+	fig5ShardProcs := []int{64, 128, 256, 512}
+	fig5ShardCounts := []int{1, 2, 4, 8}
+	// Total standing keys / total removals across the whole sandbox
+	// (per-worker share = total/procs; see Fig5Shards). Sized as large as
+	// the measurement tolerates: bigger standing populations sharpen the
+	// shard speedup (the per-removal scan is the work the shards divide)
+	// but past ~50k keys GC stalls at the 512-proc position start tripping
+	// the failover detector and the windows measure elections instead.
+	fig5Keys, fig5Churn := 49_152, 2048
 	t5 := bench.DefaultTable5Scale()
 	if *quick {
 		iters = 3
@@ -68,6 +77,10 @@ func main() {
 		t7N, t7Iters = 200, 1
 		fig5Counts = []int{2, 4, 8}
 		fig5Msgs = 2000
+		// Shard smoke: one x-position, single-coordinator vs 2 shards.
+		fig5ShardProcs = []int{64}
+		fig5ShardCounts = []int{1, 2}
+		fig5Keys, fig5Churn = 4096, 1024
 		t5 = bench.Table5Scale{Iters: 1, CompileKLoC: 2, HTTPReqs: 100, ShellIters: 3}
 	}
 
@@ -117,7 +130,19 @@ func main() {
 			return err
 		}
 		fmt.Print(bench.RenderFig5(points))
-		return emit("fig5", bench.Fig5JSON(points))
+		shardPoints, err := bench.Fig5Shards(fig5ShardProcs, fig5ShardCounts, fig5Keys, fig5Churn)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderFig5Shards(shardPoints))
+		if !*jsonOut {
+			return nil
+		}
+		// Merge rather than clobber: a partial sweep (quick mode, or a
+		// single re-measured configuration) refreshes only the series it
+		// ran; everything else in the archive survives.
+		merged := bench.MergeFig5JSON("BENCH_fig5.json", append(points, shardPoints...))
+		return bench.WriteJSON("BENCH_fig5.json", merged)
 	})
 	run("table8", func() error {
 		fmt.Print(bench.RenderTable8())

@@ -5,6 +5,8 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"runtime/pprof"
 	"time"
 
 	"graphene/internal/api"
@@ -86,7 +88,24 @@ func (e *GrapheneEnv) Run(path string, argv ...string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return waitResult(res.Done, func() int { return res.ExitCode() })
+	return waitResult(res.Done, func() int { return res.ExitCode() }, workloadDeadline)
+}
+
+// RunSharded launches on an N-shard namespace plane and waits.
+func (e *GrapheneEnv) RunSharded(shards int, path string, argv ...string) (int, error) {
+	return e.RunShardedFor(workloadDeadline, shards, path, argv...)
+}
+
+// RunShardedFor is RunSharded with a caller-chosen hang deadline, for
+// drivers that run the same workload many times and know how long a
+// healthy run takes — a sweep should not burn the default ten minutes
+// discovering that one of its forty windows wedged.
+func (e *GrapheneEnv) RunShardedFor(deadline time.Duration, shards int, path string, argv ...string) (int, error) {
+	res, err := e.Runtime.LaunchSharded(e.Manifest, path, append([]string{path}, argv...), shards)
+	if err != nil {
+		return 0, err
+	}
+	return waitResult(res.Done, func() int { return res.ExitCode() }, deadline)
 }
 
 // ResidentBytes sums the footprint of every picoprocess on the host.
@@ -123,7 +142,7 @@ func (e *NativeEnv) Run(path string, argv ...string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return waitResult(res.Done, func() int { return res.ExitCode() })
+	return waitResult(res.Done, func() int { return res.ExitCode() }, workloadDeadline)
 }
 
 // ResidentBytes is the native column of Figure 4.
@@ -154,17 +173,25 @@ func (e *KVMEnv) Run(path string, argv ...string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return waitResult(res.Done, func() int { return res.ExitCode() })
+	return waitResult(res.Done, func() int { return res.ExitCode() }, workloadDeadline)
 }
 
 // ResidentBytes is the KVM column of Figure 4.
 func (e *KVMEnv) ResidentBytes() uint64 { return e.VM.ResidentBytes() }
 
-func waitResult(done chan struct{}, code func() int) (int, error) {
+// workloadDeadline is the default hang watchdog for Run/RunSharded.
+const workloadDeadline = 10 * time.Minute
+
+func waitResult(done chan struct{}, code func() int, deadline time.Duration) (int, error) {
 	select {
 	case <-done:
 		return code(), nil
-	case <-time.After(10 * time.Minute):
+	case <-time.After(deadline):
+		// A hung workload is a coordination bug. Dump every goroutine
+		// before reporting it so the wedged call — the parked Msgrcv, the
+		// RPC that never completed — lands in the bench log instead of
+		// vanishing when the process exits.
+		pprof.Lookup("goroutine").WriteTo(os.Stderr, 1)
 		return 0, fmt.Errorf("bench: workload hung")
 	}
 }

@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"os"
+	"sort"
 
 	"graphene/internal/metrics"
 )
@@ -143,15 +144,64 @@ func Table7JSON(rows []Table7Result) any {
 
 type fig5JSON struct {
 	Processes int     `json:"processes"`
-	PipesUS   float64 `json:"linux_pipes_us"`
+	Shards    int     `json:"shards"`
+	PipesUS   float64 `json:"linux_pipes_us,omitempty"`
 	RPCUS     float64 `json:"graphene_rpc_us"`
 }
 
-// Fig5JSON projects Figure 5 points for WriteJSON.
+// Fig5JSON projects Figure 5 points for WriteJSON. A zero Shards (points
+// produced before the sharded namespace plane existed) normalizes to 1,
+// the single-coordinator design.
 func Fig5JSON(points []Fig5Point) any {
 	out := make([]fig5JSON, 0, len(points))
 	for _, p := range points {
-		out = append(out, fig5JSON{Processes: p.Processes, PipesUS: p.PipesUS, RPCUS: p.RPCUS})
+		shards := p.Shards
+		if shards == 0 {
+			shards = 1
+		}
+		out = append(out, fig5JSON{Processes: p.Processes, Shards: shards, PipesUS: p.PipesUS, RPCUS: p.RPCUS})
 	}
 	return out
+}
+
+// MergeFig5JSON merges freshly measured Figure 5 points into the series
+// already archived at path: an existing point with the same (processes,
+// shards) coordinate is overwritten by its new measurement, every other
+// archived point is preserved, and the result is sorted by (processes,
+// shards). A partial sweep therefore refreshes only what it ran instead
+// of clobbering the whole file; a missing or unreadable archive degrades
+// to just the new points.
+func MergeFig5JSON(path string, points []Fig5Point) any {
+	merged := []fig5JSON{}
+	if data, err := os.ReadFile(path); err == nil {
+		var old []fig5JSON
+		if json.Unmarshal(data, &old) == nil {
+			merged = old
+		}
+	}
+	for i := range merged {
+		if merged[i].Shards == 0 {
+			merged[i].Shards = 1
+		}
+	}
+	for _, np := range Fig5JSON(points).([]fig5JSON) {
+		replaced := false
+		for i, op := range merged {
+			if op.Processes == np.Processes && op.Shards == np.Shards {
+				merged[i] = np
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			merged = append(merged, np)
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Processes != merged[j].Processes {
+			return merged[i].Processes < merged[j].Processes
+		}
+		return merged[i].Shards < merged[j].Shards
+	})
+	return merged
 }

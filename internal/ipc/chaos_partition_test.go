@@ -311,13 +311,13 @@ func TestChaosRecoverStuckBehindPartition(t *testing.T) {
 	g.k.Partition(p1.Proc().ID, lp.Proc().ID)
 
 	start := time.Now()
-	m1.sendRecoverState(lh.Addr) // synchronous: returns only when done
+	m1.sendRecoverState(&m1.shardGroup, lh.Addr) // synchronous: returns only when done
 	elapsed := time.Since(start)
 
 	// The loop must stop at its absolute deadline (plus at most one
-	// in-flight attempt), not run the full 10-attempt schedule at one RPC
-	// timeout each.
-	if limit := recoverDeadline + 2*rpcCallTimeout; elapsed > limit {
+	// in-flight attempt), not run the full 10-attempt schedule at one
+	// attempt timeout each.
+	if limit := recoverDeadline + 2*recoverAttemptTimeout; elapsed > limit {
 		t.Fatalf("recover loop ran %v, deadline limit %v", elapsed, limit)
 	}
 	after := ReadFailoverCounters()

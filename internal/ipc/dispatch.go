@@ -54,16 +54,19 @@ func (h *Helper) dispatchOn(s *host.Stream, f Frame, respond func(Frame)) {
 	}
 	// Epoch fence: a request stamped with a higher epoch than this
 	// leader's own is proof of demotion — the sender accepted a newer
-	// leader this helper never heard about (partition). Step down before
-	// dispatching; the request then bounces with EPERM from the
-	// leader-only handlers and the sender's failover loop re-resolves.
+	// leader for that shard this helper never heard about (partition).
+	// Step down before dispatching; the request then bounces with EPERM
+	// from the leader-only handlers and the sender's failover loop
+	// re-resolves. The fence is per shard group: a newer epoch on shard 2
+	// says nothing about our claim on shard 0.
 	if !f.IsResponse() && f.Epoch != 0 {
 		h.mu.Lock()
-		fenced := h.leader != nil && f.Epoch > h.leaderEpoch
+		g := h.groupFor(f.Shard)
+		fenced := g != nil && g.leader != nil && f.Epoch > g.leaderEpoch
 		h.mu.Unlock()
 		if fenced {
 			statFencedRequests.Add(1)
-			h.stepDown(f.Epoch, "")
+			h.stepDownShard(g, f.Epoch, "")
 		}
 	}
 	respond2, replayed := h.dedupCheck(&f, respond)
@@ -77,30 +80,68 @@ func (h *Helper) dispatchOn(s *host.Stream, f Frame, respond func(Frame)) {
 		respond(f.Response(Frame{}))
 
 	case MsgWhoIsLeader:
-		// Point-to-point notification carrying the leader's address (A is
-		// its election epoch).
+		// Point-to-point notification carrying one shard leader's address
+		// (A is its election epoch).
 		if f.S != "" {
 			h.mu.Lock()
-			if h.leaderAddr == "" {
-				h.setLeaderLocked(f.S, f.A)
+			if g := h.groupFor(f.Shard); g != nil && g.leaderAddr == "" {
+				h.setLeaderLocked(g, f.S, f.A)
 			}
 			h.mu.Unlock()
 		}
 
 	case MsgBye:
 		// Graceful departure: never reap this member when its streams die.
+		// The member says goodbye to every shard leader it knows; each led
+		// group here marks it departed.
 		h.mu.Lock()
-		leader := h.leader
+		var led []*leaderState
+		for _, g := range h.groups {
+			if g.leader != nil {
+				led = append(led, g.leader)
+			}
+		}
+		h.mu.Unlock()
+		for _, l := range led {
+			l.markDeparted(f.From)
+		}
+		respond(f.Response(Frame{}))
+
+	case MsgMemberDead:
+		// A peer observed a member's streams die and scattered the news so
+		// every shard leader reclaims the dead member's slice. Reap is
+		// idempotent; scatter=false stops a second fan-out round.
+		if f.S != "" && f.S != h.Addr {
+			go h.reapMember(f.S, false)
+		}
+
+	case MsgShardHandoff:
+		// Graceful shard transfer: the current shard leader asks us to take
+		// over under a pre-fenced epoch (A). Promote, announce, and install
+		// our own slice; members (including the old leader, which steps
+		// down on our announcement or on our response) reconcile as after
+		// any election — minus the settling window.
+		h.mu.Lock()
+		g := h.groupFor(f.Shard)
+		down := h.shutdown
+		h.mu.Unlock()
+		if g == nil || down {
+			respond(f.ErrResponse(api.EPERM))
+			return
+		}
+		h.promoteShard(g, f.A)
+		nf := Frame{Type: MsgNewLeader, A: f.A, Shard: f.Shard, From: h.Addr, S: h.Addr}
+		_ = h.pal.BroadcastSend(EncodeFrame(&nf))
+		h.mu.Lock()
+		leader := g.leader
 		h.mu.Unlock()
 		if leader != nil {
-			leader.markDeparted(f.From)
+			leader.installRecoverState(h.collectRecoverState(g.shard), h.Addr)
 		}
 		respond(f.Response(Frame{}))
 
 	case MsgNSAlloc:
-		h.mu.Lock()
-		leader := h.leader
-		h.mu.Unlock()
+		leader := h.ledStateFor(&f)
 		if leader == nil {
 			respond(f.ErrResponse(api.EPERM))
 			return
@@ -112,18 +153,16 @@ func (h *Helper) dispatchOn(s *host.Stream, f Frame, respond func(Frame)) {
 		}
 		lo, hi := leader.allocRange(int(f.A), n, f.From)
 		respond(f.Response(Frame{A: lo, B: hi}))
-		h.broadcastNSHwm(int(f.A), hi+1)
+		h.broadcastNSHwm(int(f.A), int(f.Shard), hi+1)
 
 	case MsgNSClaim:
-		h.mu.Lock()
-		leader := h.leader
-		h.mu.Unlock()
+		leader := h.ledStateFor(&f)
 		if leader == nil {
 			respond(f.ErrResponse(api.EPERM))
 			return
 		}
 		leader.claimRange(int(f.A), f.B, f.From)
-		h.broadcastNSHwm(int(f.A), f.B+1)
+		h.broadcastNSHwm(int(f.A), int(f.Shard), f.B+1)
 		if int(f.A) == NSPid {
 			// The claimed PID may sit inside the leader's own already-held
 			// batch; fence it off from local minting too.
@@ -166,9 +205,7 @@ func (h *Helper) dispatchOn(s *host.Stream, f Frame, respond func(Frame)) {
 		h.handleKeyGet(f, respond)
 
 	case MsgKeyRegister:
-		h.mu.Lock()
-		leader := h.leader
-		h.mu.Unlock()
+		leader := h.ledStateFor(&f)
 		if leader == nil {
 			respond(f.ErrResponse(api.EPERM))
 			return
@@ -193,9 +230,7 @@ func (h *Helper) dispatchOn(s *host.Stream, f Frame, respond func(Frame)) {
 		}
 		// Holder (or a peer acting for a dead holder) -> leader: release
 		// the block lease.
-		h.mu.Lock()
-		leader := h.leader
-		h.mu.Unlock()
+		leader := h.ledStateFor(&f)
 		if leader == nil {
 			respond(f.ErrResponse(api.EPERM))
 			return
@@ -204,9 +239,7 @@ func (h *Helper) dispatchOn(s *host.Stream, f Frame, respond func(Frame)) {
 		respond(f.Response(Frame{}))
 
 	case MsgKeyOwner:
-		h.mu.Lock()
-		leader := h.leader
-		h.mu.Unlock()
+		leader := h.ledStateFor(&f)
 		if leader == nil {
 			respond(f.ErrResponse(api.EPERM))
 			return
@@ -219,9 +252,7 @@ func (h *Helper) dispatchOn(s *host.Stream, f Frame, respond func(Frame)) {
 		respond(f.Response(Frame{S: owner}))
 
 	case MsgKeyChown:
-		h.mu.Lock()
-		leader := h.leader
-		h.mu.Unlock()
+		leader := h.ledStateFor(&f)
 		if leader == nil {
 			respond(f.ErrResponse(api.EPERM))
 			return
@@ -230,9 +261,7 @@ func (h *Helper) dispatchOn(s *host.Stream, f Frame, respond func(Frame)) {
 		respond(f.Response(Frame{}))
 
 	case MsgKeyRemove:
-		h.mu.Lock()
-		leader := h.leader
-		h.mu.Unlock()
+		leader := h.ledStateFor(&f)
 		if leader == nil {
 			respond(f.ErrResponse(api.EPERM))
 			return
@@ -267,8 +296,15 @@ func (h *Helper) dispatchOn(s *host.Stream, f Frame, respond func(Frame)) {
 		h.handleQRecv(f, respond)
 
 	case MsgQDelete:
-		h.removeLocalQueue(f.A)
-		respond(f.Response(Frame{}))
+		// Off the read loop: removeLocalQueue makes a synchronous RPC to
+		// the key's authoritative shard, and when that shard's leader is
+		// the peer this frame arrived from, the reply lands on the very
+		// read loop running this handler. Inline dispatch would deadlock
+		// on the shared connection until the call timed out.
+		go func() {
+			h.removeLocalQueue(f.A)
+			respond(f.Response(Frame{}))
+		}()
 
 	case MsgQDeleted:
 		// Deletion notification: drop caches so later ops fail fast.
@@ -333,8 +369,11 @@ func (h *Helper) dispatchOn(s *host.Stream, f Frame, respond func(Frame)) {
 		h.handleSemOp(f, respond)
 
 	case MsgSemDelete:
-		h.removeLocalSem(f.A)
-		respond(f.Response(Frame{}))
+		// Same shared-connection hazard as MsgQDelete.
+		go func() {
+			h.removeLocalSem(f.A)
+			respond(f.Response(Frame{}))
+		}()
 
 	case MsgSemMigrate:
 		key, vals, err := decodeSemSet(f.Blob)
@@ -391,9 +430,7 @@ func (h *Helper) dispatchOn(s *host.Stream, f Frame, respond func(Frame)) {
 		respond(f.Response(Frame{}))
 
 	case MsgPgJoin:
-		h.mu.Lock()
-		leader := h.leader
-		h.mu.Unlock()
+		leader := h.ledStateFor(&f)
 		if leader == nil {
 			respond(f.ErrResponse(api.EPERM))
 			return
@@ -406,9 +443,7 @@ func (h *Helper) dispatchOn(s *host.Stream, f Frame, respond func(Frame)) {
 		respond(f.Response(Frame{}))
 
 	case MsgPgLeave:
-		h.mu.Lock()
-		leader := h.leader
-		h.mu.Unlock()
+		leader := h.ledStateFor(&f)
 		if leader == nil {
 			respond(f.ErrResponse(api.EPERM))
 			return
@@ -417,9 +452,7 @@ func (h *Helper) dispatchOn(s *host.Stream, f Frame, respond func(Frame)) {
 		respond(f.Response(Frame{}))
 
 	case MsgPgMembers:
-		h.mu.Lock()
-		leader := h.leader
-		h.mu.Unlock()
+		leader := h.ledStateFor(&f)
 		if leader == nil {
 			respond(f.ErrResponse(api.EPERM))
 			return
@@ -427,9 +460,7 @@ func (h *Helper) dispatchOn(s *host.Stream, f Frame, respond func(Frame)) {
 		respond(f.Response(Frame{Blob: encodeMembers(leader.pgs.members(f.A))}))
 
 	case MsgRecoverState:
-		h.mu.Lock()
-		leader := h.leader
-		h.mu.Unlock()
+		leader := h.ledStateFor(&f)
 		if leader == nil {
 			respond(f.ErrResponse(api.EPERM))
 			return
@@ -462,8 +493,11 @@ func (h *Helper) handleKeyGet(f Frame, respond func(Frame)) {
 	if requester == "" {
 		requester = h.Addr
 	}
+	// Resolve the key's authoritative shard from the key itself rather
+	// than trusting the frame's stamp: requests forwarded by lease
+	// holders, or dialed point-to-point, may carry shard 0.
 	h.mu.Lock()
-	leader := h.leader
+	leader := h.groups[h.keyShardOf(kind, key)].leader
 	h.mu.Unlock()
 
 	if leader == nil {
@@ -550,7 +584,7 @@ func (h *Helper) handleNSQuery(f Frame, respond func(Frame)) {
 	}
 	h.mu.Lock()
 	addr, ok := h.localPIDs[f.B]
-	leader := h.leader
+	leader := h.groups[shardOfID(f.B, h.shards)].leader
 	h.mu.Unlock()
 	if ok {
 		respond(f.Response(Frame{S: addr}))

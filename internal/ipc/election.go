@@ -205,24 +205,45 @@ func decodeRecover(blob []byte) (recoverPayload, error) {
 	return r, nil
 }
 
-// collectRecoverState gathers this helper's slice of distributed state.
-func (h *Helper) collectRecoverState() recoverPayload {
+// collectRecoverState gathers this helper's slice of distributed state
+// belonging to one shard: the PIDs in that shard's slabs, the batches it
+// granted, the owned objects whose IDs it owns, the key-block leases it
+// granted, and the process group it places.
+func (h *Helper) collectRecoverState(shard int) recoverPayload {
 	h.mu.Lock()
-	r := recoverPayload{pid: h.GuestPID, pgid: h.ownPgid}
+	r := recoverPayload{pid: h.GuestPID}
+	if h.ownPgid != 0 && h.ring.pgShard(h.ownPgid) == shard {
+		r.pgid = h.ownPgid
+	}
 	for pid, addr := range h.localPIDs {
-		r.pids = append(r.pids, pgMember{PID: pid, Addr: addr})
+		if shardOfID(pid, h.shards) == shard {
+			r.pids = append(r.pids, pgMember{PID: pid, Addr: addr})
+		}
 	}
 	// Report the larger of our own batch high-water mark and the last
 	// cursor heard in a MsgNSHwm broadcast: the broadcast is how grants to
 	// helpers that cannot report (the old leader's own batch above all)
-	// still advance the new leader's cursor past every minted ID.
-	r.batchHi = []int64{h.pidBatch.hi, h.idBatches[NSSysVMsg].hi, h.idBatches[NSSysVSem].hi}
+	// still advance the new leader's cursor past every minted ID. Only
+	// batches this shard granted count — another shard's cursor says
+	// nothing about this one's slabs.
+	r.batchHi = []int64{0, 0, 0}
+	if h.pidBatch.shard == shard {
+		r.batchHi[0] = h.pidBatch.hi
+	}
+	for i, kind := range []int{NSSysVMsg, NSSysVSem} {
+		if b := h.idBatches[idbKey{kind: kind, shard: shard}]; b != nil {
+			r.batchHi[i+1] = b.hi
+		}
+	}
 	for i, kind := range []int{NSPid, NSSysVMsg, NSSysVSem} {
-		if hwm := h.nsHwm[kind] - 1; hwm > r.batchHi[i] {
+		if hwm := h.nsHwm[idbKey{kind: kind, shard: shard}] - 1; hwm > r.batchHi[i] {
 			r.batchHi[i] = hwm
 		}
 	}
 	for id, q := range h.queues {
+		if shardOfID(id, h.shards) != shard {
+			continue
+		}
 		q.mu.Lock()
 		live := !q.removed && q.movedTo == ""
 		key, ep := q.key, q.epoch
@@ -232,6 +253,9 @@ func (h *Helper) collectRecoverState() recoverPayload {
 		}
 	}
 	for id, s := range h.sems {
+		if shardOfID(id, h.shards) != shard {
+			continue
+		}
 		s.mu.Lock()
 		live := !s.removed && s.movedTo == ""
 		key, ep := s.key, s.epoch
@@ -246,7 +270,9 @@ func (h *Helper) collectRecoverState() recoverPayload {
 	// entry created on another helper's behalf is reported by that owner).
 	for kind, m := range h.keyLeases {
 		for block := range m {
-			r.leases = append(r.leases, recoverLease{Kind: kind, Block: block})
+			if h.ring.keyShard(kind, block) == shard {
+				r.leases = append(r.leases, recoverLease{Kind: kind, Block: block})
+			}
 		}
 	}
 	h.mu.Unlock()
@@ -340,14 +366,23 @@ func (l *leaderState) installRecoverState(r recoverPayload, fromAddr string) []r
 // computes the same minimum over the broadcast exchange. Each round
 // carries an election epoch one above the last accepted leader's, so a
 // slow announcement from an earlier round can never clobber a newer
-// leader (see handleNewLeaderBroadcast).
+// leader (see handleNewLeaderBroadcast). In a sharded plane this elects
+// shard 0's leader; each shard runs its own independent rounds through
+// electShard.
 func (h *Helper) ElectLeader() (string, error) {
+	return h.electShard(&h.shardGroup)
+}
+
+// electShard runs one shard's election round. Every frame in the
+// exchange carries the shard index, so concurrent elections on different
+// shards never fold into each other's rounds.
+func (h *Helper) electShard(g *shardGroup) (string, error) {
 	h.mu.Lock()
-	if h.election == nil {
-		h.election = &electionState{}
+	if g.election == nil {
+		g.election = &electionState{}
 	}
-	e := h.election
-	roundEpoch := h.leaderEpoch + 1
+	e := g.election
+	roundEpoch := g.leaderEpoch + 1
 	h.mu.Unlock()
 
 	e.mu.Lock()
@@ -355,7 +390,7 @@ func (h *Helper) ElectLeader() (string, error) {
 		done := e.done
 		e.mu.Unlock()
 		<-done
-		return h.awaitNewLeader(10 * electionWindow)
+		return h.awaitNewLeader(g, 10*electionWindow)
 	}
 	e.active = true
 	if roundEpoch > e.epoch {
@@ -370,20 +405,20 @@ func (h *Helper) ElectLeader() (string, error) {
 	e.mu.Unlock()
 	// The old leader is dead; forget it so stale reads cannot win races.
 	h.mu.Lock()
-	if h.leader == nil {
-		h.clearLeaderLocked()
+	if g.leader == nil {
+		h.clearLeaderLocked(g)
 	}
 	h.mu.Unlock()
 
 	// Announce our candidacy; peers answer with their own (handled in
 	// handleElectionBroadcast, which also folds their PIDs into e).
-	f := Frame{Type: MsgElection, A: roundEpoch, B: h.GuestPID, From: h.Addr, S: h.Addr}
+	f := Frame{Type: MsgElection, A: roundEpoch, B: h.GuestPID, Shard: int32(g.shard), From: h.Addr, S: h.Addr}
 	if err := h.pal.BroadcastSend(EncodeFrame(&f)); err != nil {
 		e.finish()
 		return "", err
 	}
 	h.electionWait(announced)
-	return h.settleElection(e)
+	return h.settleElection(g, e)
 }
 
 // electionWait holds the settling window open, resolving early when a
@@ -401,7 +436,7 @@ func (h *Helper) electionWait(announced chan struct{}) {
 // settleElection resolves an election round after its settling window:
 // promote and announce if we hold the lowest PID (and nobody announced
 // first), otherwise wait for the winner's announcement.
-func (h *Helper) settleElection(e *electionState) (string, error) {
+func (h *Helper) settleElection(g *shardGroup, e *electionState) (string, error) {
 	e.mu.Lock()
 	won := e.lowest == h.GuestPID
 	epoch := e.epoch
@@ -414,33 +449,41 @@ func (h *Helper) settleElection(e *electionState) (string, error) {
 	e.mu.Unlock()
 
 	if won {
-		h.promoteToLeader(epoch)
-		nf := Frame{Type: MsgNewLeader, A: epoch, From: h.Addr, S: h.Addr}
+		h.promoteShard(g, epoch)
+		nf := Frame{Type: MsgNewLeader, A: epoch, Shard: int32(g.shard), From: h.Addr, S: h.Addr}
 		_ = h.pal.BroadcastSend(EncodeFrame(&nf))
 		// Install our own state; peers send theirs on MsgNewLeader.
 		h.mu.Lock()
-		leader := h.leader
+		leader := g.leader
 		h.mu.Unlock()
-		leader.installRecoverState(h.collectRecoverState(), h.Addr)
+		if leader == nil {
+			// Deposed between promotion and here: a higher-epoch winner's
+			// announcement (or a fenced request) already stepped us down
+			// and nilled the leaderState. The replacement collects our
+			// state through the reconcile report like any member's.
+			e.finish()
+			return h.awaitNewLeader(g, 10*electionWindow)
+		}
+		leader.installRecoverState(h.collectRecoverState(g.shard), h.Addr)
 		e.finish()
 		return h.Addr, nil
 	}
 	// Wait for the winner's announcement (handled by broadcastLoop).
-	addr, err := h.awaitNewLeader(10 * electionWindow)
+	addr, err := h.awaitNewLeader(g, 10*electionWindow)
 	e.finish()
 	return addr, err
 }
 
-// awaitNewLeader blocks until a leader address is known (set by our own
-// promotion or a MsgNewLeader broadcast, both of which signal the
-// leader-change channel) or the deadline passes.
-func (h *Helper) awaitNewLeader(timeout time.Duration) (string, error) {
+// awaitNewLeader blocks until the shard's leader address is known (set by
+// our own promotion or a MsgNewLeader broadcast, both of which signal the
+// group's leader-change channel) or the deadline passes.
+func (h *Helper) awaitNewLeader(g *shardGroup, timeout time.Duration) (string, error) {
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	for {
 		h.mu.Lock()
-		addr := h.leaderAddr
-		ch := h.leaderChange
+		addr := g.leaderAddr
+		ch := g.leaderChange
 		h.mu.Unlock()
 		if addr != "" {
 			return addr, nil
@@ -462,49 +505,54 @@ func (e *electionState) finish() {
 	e.mu.Unlock()
 }
 
-// promoteToLeader turns this helper into the namespace leader with a
-// fresh, reconstructable state, under the given election epoch.
-func (h *Helper) promoteToLeader(epoch int64) {
+// promoteShard turns this helper into one shard's leader with a fresh,
+// reconstructable state, under the given election epoch.
+func (h *Helper) promoteShard(g *shardGroup, epoch int64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.leader != nil {
-		if epoch > h.leaderEpoch {
-			h.leaderEpoch = epoch
+	if g.leader != nil {
+		if epoch > g.leaderEpoch {
+			g.leaderEpoch = epoch
 		}
 		return
 	}
-	h.leader = newLeaderState()
+	g.leader = newLeaderStateShard(g.shard, h.shards)
 	// A fresh leaderState starts a fresh dedup generation: replays minted
 	// against a previous incarnation's tables must re-execute here.
-	h.leaderStateEpoch = epoch
-	h.setLeaderLocked(h.Addr, epoch)
-	h.startHeartbeatLocked()
-	// Never re-issue IDs below our own high-water marks.
-	h.leader.mu.Lock()
-	if h.pidBatch.hi >= h.leader.next[NSPid] {
-		h.leader.next[NSPid] = h.pidBatch.hi + 1
+	g.leaderStateEpoch = epoch
+	h.setLeaderLocked(g, h.Addr, epoch)
+	h.startHeartbeatLocked(g)
+	// Never re-issue IDs below our own high-water marks — but only batches
+	// this shard granted say anything about its slabs.
+	g.leader.mu.Lock()
+	if h.pidBatch.shard == g.shard && h.pidBatch.hi >= g.leader.next[NSPid] {
+		g.leader.next[NSPid] = h.pidBatch.hi + 1
 	}
-	if b := h.idBatches[NSSysVMsg]; b.hi >= h.leader.next[NSSysVMsg] {
-		h.leader.next[NSSysVMsg] = b.hi + 1
+	for _, kind := range []int{NSSysVMsg, NSSysVSem} {
+		if b := h.idBatches[idbKey{kind: kind, shard: g.shard}]; b != nil && b.hi >= g.leader.next[kind] {
+			g.leader.next[kind] = b.hi + 1
+		}
 	}
-	if b := h.idBatches[NSSysVSem]; b.hi >= h.leader.next[NSSysVSem] {
-		h.leader.next[NSSysVSem] = b.hi + 1
-	}
-	h.leader.mu.Unlock()
+	g.leader.mu.Unlock()
 }
 
 // handleElectionBroadcast folds a peer's candidacy into any local round
 // and answers with our own PID so the peer's round sees us.
 func (h *Helper) handleElectionBroadcast(f Frame) {
 	h.mu.Lock()
-	if h.election == nil {
-		h.election = &electionState{}
+	g := h.groupFor(f.Shard)
+	if g == nil {
+		h.mu.Unlock()
+		return
 	}
-	e := h.election
+	if g.election == nil {
+		g.election = &electionState{}
+	}
+	e := g.election
 	shutdown := h.shutdown
-	isLeader := h.leader != nil
-	curEpoch := h.leaderEpoch
-	haveLeader := h.leaderAddr != ""
+	isLeader := g.leader != nil
+	curEpoch := g.leaderEpoch
+	haveLeader := g.leaderAddr != ""
 	h.mu.Unlock()
 	if shutdown {
 		return
@@ -514,12 +562,12 @@ func (h *Helper) handleElectionBroadcast(f Frame) {
 		// wrong (a single torn stream, not a crash). Re-assert leadership,
 		// claiming the sender's round epoch so the round resolves to us.
 		h.mu.Lock()
-		if f.A > h.leaderEpoch {
-			h.leaderEpoch = f.A
+		if f.A > g.leaderEpoch {
+			g.leaderEpoch = f.A
 		}
-		epoch := h.leaderEpoch
+		epoch := g.leaderEpoch
 		h.mu.Unlock()
-		nf := Frame{Type: MsgNewLeader, A: epoch, From: h.Addr, S: h.Addr}
+		nf := Frame{Type: MsgNewLeader, A: epoch, Shard: f.Shard, From: h.Addr, S: h.Addr}
 		_ = h.pal.BroadcastSend(EncodeFrame(&nf))
 		return
 	}
@@ -553,17 +601,17 @@ func (h *Helper) handleElectionBroadcast(f Frame) {
 	e.mu.Unlock()
 	if joinRound {
 		h.mu.Lock()
-		if h.leader == nil {
-			h.clearLeaderLocked() // the old leader is being replaced
+		if g.leader == nil {
+			h.clearLeaderLocked(g) // the old leader is being replaced
 		}
 		h.mu.Unlock()
 		// Announce ourselves so the initiator sees us, then resolve the
 		// round on our side too.
 		go func() {
-			cf := Frame{Type: MsgElection, A: roundEpoch, B: h.GuestPID, From: h.Addr, S: h.Addr}
+			cf := Frame{Type: MsgElection, A: roundEpoch, B: h.GuestPID, Shard: f.Shard, From: h.Addr, S: h.Addr}
 			_ = h.pal.BroadcastSend(EncodeFrame(&cf))
 			h.electionWait(announced)
-			_, _ = h.settleElection(e)
+			_, _ = h.settleElection(g, e)
 		}()
 	}
 }
@@ -585,22 +633,23 @@ func (h *Helper) handleNewLeaderBroadcast(f Frame) {
 		return
 	}
 	h.mu.Lock()
-	if h.shutdown {
+	g := h.groupFor(f.Shard)
+	if g == nil || h.shutdown {
 		h.mu.Unlock()
 		return
 	}
-	if h.leader != nil {
-		myEpoch := h.leaderEpoch
+	if g.leader != nil {
+		myEpoch := g.leaderEpoch
 		h.mu.Unlock()
 		if f.A > myEpoch || (f.A == myEpoch && f.S < h.Addr) {
-			h.stepDown(f.A, f.S)
+			h.stepDownShard(g, f.A, f.S)
 			return
 		}
-		nf := Frame{Type: MsgNewLeader, A: myEpoch, From: h.Addr, S: h.Addr}
+		nf := Frame{Type: MsgNewLeader, A: myEpoch, Shard: f.Shard, From: h.Addr, S: h.Addr}
 		_ = h.pal.BroadcastSend(EncodeFrame(&nf))
 		return
 	}
-	if f.A == h.leaderEpoch && h.leaderAddr == f.S {
+	if f.A == g.leaderEpoch && g.leaderAddr == f.S {
 		// Idempotent duplicate: the leader's heartbeat, or a delayed copy
 		// of the announcement we already accepted. Not a stale announcement
 		// — but if our recover report to this leader never landed (it was
@@ -608,15 +657,15 @@ func (h *Helper) handleNewLeaderBroadcast(f Frame) {
 		// heartbeat is the retry trigger: without the report the leader has
 		// no idea our objects and leases exist, and we never hear which of
 		// them lost a conflict.
-		needReport := h.reportedTo != f.S && f.S != h.Addr && !h.shutdown
+		needReport := g.reportedTo != f.S && f.S != h.Addr && !h.shutdown
 		h.mu.Unlock()
 		if needReport {
-			go h.memberReconcile(f.S)
+			go h.memberReconcile(g, f.S)
 		}
 		return
 	}
-	if f.A < h.leaderEpoch ||
-		(f.A == h.leaderEpoch && h.leaderAddr != "" && f.S >= h.leaderAddr) {
+	if f.A < g.leaderEpoch ||
+		(f.A == g.leaderEpoch && g.leaderAddr != "" && f.S >= g.leaderAddr) {
 		// Older epoch, or an equal-epoch claim losing the address
 		// tie-break against the leader we already accepted: a delayed
 		// announcement surviving a heal must not clobber the newer leader.
@@ -624,13 +673,13 @@ func (h *Helper) handleNewLeaderBroadcast(f Frame) {
 		statStaleAnnounces.Add(1)
 		return
 	}
-	h.setLeaderLocked(f.S, f.A)
-	e := h.election
+	h.setLeaderLocked(g, f.S, f.A)
+	e := g.election
 	h.mu.Unlock()
 	if e != nil {
 		e.noteAnnouncement(f.A)
 	}
-	go h.memberReconcile(f.S)
+	go h.memberReconcile(g, f.S)
 }
 
 // recoverDeadline caps one member's whole recover-state exchange. Without
@@ -639,6 +688,14 @@ func (h *Helper) handleNewLeaderBroadcast(f Frame) {
 // full RPC-timeout cost each, re-reporting long after yet another leader
 // took over.
 const recoverDeadline = 20 * electionWindow
+
+// recoverAttemptTimeout bounds one report delivery. Deliberately looser
+// than rpcCallTimeout: reports are background reconciliation, not
+// failover detection, and after a leader change on a large sandbox the
+// new leader serves a whole herd of them — a report abandoned at the
+// tight deadline still gets executed, so impatient callers only add
+// duplicate work to the very queue they are stuck in.
+const recoverAttemptTimeout = 2 * rpcCallTimeout
 
 // sendRecoverState reports this member's slice of distributed state to a
 // newly announced leader, retrying with backoff: a member whose report is
@@ -649,20 +706,22 @@ const recoverDeadline = 20 * electionWindow
 // forever. Returns whether the report landed; a delivered report is
 // remembered (reportedTo) so the heartbeat path knows this leader has our
 // state and a failed one is retried off the next heartbeat.
-func (h *Helper) sendRecoverState(to string) bool {
+func (h *Helper) sendRecoverState(g *shardGroup, to string) bool {
 	var lastErr error
 	deadline := time.Now().Add(recoverDeadline)
 	for attempt := 0; attempt < 10; attempt++ {
 		if attempt > 0 {
 			statRecoverRetries.Add(1)
-			time.Sleep(time.Duration(attempt) * time.Millisecond)
+			// Quadratic: a linear 1ms backoff re-forms the herd almost
+			// immediately when hundreds of members retry in lockstep.
+			time.Sleep(time.Duration(attempt*attempt) * 5 * time.Millisecond)
 		}
 		if time.Now().After(deadline) {
 			break
 		}
 		h.mu.Lock()
 		down := h.shutdown
-		stale := h.leaderAddr != to
+		stale := g.leaderAddr != to
 		h.mu.Unlock()
 		if down || stale {
 			return false // shutting down, or yet another leader took over
@@ -670,9 +729,9 @@ func (h *Helper) sendRecoverState(to string) bool {
 		c, err := h.dial(to)
 		if err == nil {
 			var resp Frame
-			if resp, err = c.CallTimeout(Frame{Type: MsgRecoverState, Blob: encodeRecover(h.collectRecoverState())}, rpcCallTimeout); err == nil {
+			if resp, err = c.CallTimeout(Frame{Type: MsgRecoverState, Shard: int32(g.shard), From: h.Addr, Blob: encodeRecover(h.collectRecoverState(g.shard))}, recoverAttemptTimeout); err == nil {
 				h.mu.Lock()
-				h.reportedTo = to
+				g.reportedTo = to
 				h.mu.Unlock()
 				// The response names the lease blocks the new leader refused
 				// to honor (granted to someone else while we were cut off);

@@ -49,6 +49,8 @@ var (
 	statReconciled     atomic.Int64
 	statReconcileTombs atomic.Int64
 	statLeaseRevoked   atomic.Int64
+	statRouteHits      atomic.Int64
+	statRouteMisses    atomic.Int64
 )
 
 // FailoverCounters is a snapshot of the failover pipeline's counters.
@@ -88,6 +90,10 @@ type FailoverCounters struct {
 	// leader had already granted the block to another helper by the time the
 	// holder's recover-state report arrived (partition-heal lease conflict).
 	LeasesRevoked int64
+	// RouteHits / RouteMisses count shard routings that found a cached
+	// shard-leader address vs. ones that fell back to broadcast discovery.
+	RouteHits   int64
+	RouteMisses int64
 }
 
 // ReadFailoverCounters snapshots the pipeline counters.
@@ -105,6 +111,8 @@ func ReadFailoverCounters() FailoverCounters {
 		ReconciledObjects:         statReconciled.Load(),
 		ReconcileTombstoned:       statReconcileTombs.Load(),
 		LeasesRevoked:             statLeaseRevoked.Load(),
+		RouteHits:                 statRouteHits.Load(),
+		RouteMisses:               statRouteMisses.Load(),
 	}
 }
 
@@ -124,6 +132,8 @@ func ResetFailoverCounters() {
 	statReconciled.Store(0)
 	statReconcileTombs.Store(0)
 	statLeaseRevoked.Store(0)
+	statRouteHits.Store(0)
+	statRouteMisses.Store(0)
 }
 
 // deadLeaderErr classifies transport errors that mean "the peer at the
@@ -158,11 +168,27 @@ func leaderOnly(t MsgType) bool {
 	return false
 }
 
-// callLeader performs an RPC against the leader, short-circuiting when
-// this helper is the leader, and rides through leader failures per the
-// pipeline described at the top of the file.
+// callLeader performs an RPC against the authoritative coordinator for
+// the frame: the routing layer resolves which shard serves the request's
+// key and callShard carries it out. In a 1-shard topology this is the
+// classic call-the-leader path, byte for byte.
 func (h *Helper) callLeader(f Frame) (Frame, error) {
+	return h.callShard(h.routeShard(&f), f)
+}
+
+// callShard performs an RPC against one shard's leader, short-circuiting
+// when this helper leads that shard, and rides through that shard's
+// leader failures per the pipeline described at the top of the file.
+// Failures are classified per shard: a dead shard triggers a
+// single-flight election for that shard alone, and traffic routed to the
+// other shards never notices.
+func (h *Helper) callShard(shard int, f Frame) (Frame, error) {
+	g := h.groupFor(int32(shard))
+	if g == nil {
+		return Frame{}, api.EINVAL
+	}
 	f.From = h.Addr
+	f.Shard = int32(shard)
 	// enclosing is the caller's span (a syscall-level trace root, usually);
 	// each retry attempt gets its own sibling span under it.
 	enclosing := f.Span
@@ -170,15 +196,15 @@ func (h *Helper) callLeader(f Frame) (Frame, error) {
 	for attempt := 0; attempt <= failoverAttempts; attempt++ {
 		f.Span = enclosing
 		h.mu.Lock()
-		leaderAddr := h.leaderAddr
-		isLeader := h.leader != nil
+		leaderAddr := g.leaderAddr
+		isLeader := g.leader != nil
 		down := h.shutdown
-		epoch := h.failEpoch
-		// Fence the request with the epoch of the leader we accepted: a
-		// deposed leader that receives a newer epoch than its own learns of
-		// its demotion from the request itself and steps down instead of
+		epoch := g.failEpoch
+		// Fence the request with the epoch of the shard leader we accepted:
+		// a deposed leader that receives a newer epoch than its own learns
+		// of its demotion from the request itself and steps down instead of
 		// executing (see dispatchOn).
-		f.Epoch = h.leaderEpoch
+		f.Epoch = g.leaderEpoch
 		h.mu.Unlock()
 
 		if isLeader {
@@ -196,19 +222,24 @@ func (h *Helper) callLeader(f Frame) (Frame, error) {
 			f.ReqID = h.reqSeq.Add(1)
 		}
 		if leaderAddr == "" {
-			addr, err := h.DiscoverLeader()
+			h.routeMisses.Add(1)
+			statRouteMisses.Add(1)
+			addr, err := h.discoverShard(g)
 			if err != nil {
 				lastErr = err
 				if down {
 					return Frame{}, err
 				}
 				h.traceElection(f.Trace, enclosing, epoch)
-				if ferr := h.failover(epoch); ferr != nil {
+				if ferr := h.failover(g, epoch); ferr != nil {
 					return Frame{}, ferr
 				}
 				continue
 			}
 			leaderAddr = addr
+		} else if attempt == 0 {
+			h.routeHits.Add(1)
+			statRouteHits.Add(1)
 		}
 		var resp Frame
 		start, parent := h.beginSpan(&f)
@@ -225,10 +256,10 @@ func (h *Helper) callLeader(f Frame) (Frame, error) {
 		}
 		lastErr = err
 		if err == api.EPERM && leaderOnly(f.Type) {
-			// The peer answered but is not the leader: stale address.
+			// The peer answered but does not lead this shard: stale address.
 			h.mu.Lock()
-			if h.leaderAddr == leaderAddr {
-				h.clearLeaderLocked()
+			if g.leaderAddr == leaderAddr {
+				h.clearLeaderLocked(g)
 			}
 			h.mu.Unlock()
 			continue
@@ -242,44 +273,44 @@ func (h *Helper) callLeader(f Frame) (Frame, error) {
 			return Frame{}, err
 		}
 		h.traceElection(f.Trace, enclosing, epoch)
-		if ferr := h.failover(epoch); ferr != nil {
+		if ferr := h.failover(g, epoch); ferr != nil {
 			return Frame{}, ferr
 		}
 	}
 	return Frame{}, lastErr
 }
 
-// failover runs the leader election exactly once per failure epoch.
-// observed is the epoch the caller read before its RPC failed: if the
-// epoch has already advanced past it, someone else completed failover for
-// this failure and the caller can simply retry. Otherwise one caller
-// becomes the runner and the rest block until it finishes.
-func (h *Helper) failover(observed int64) error {
+// failover runs one shard's leader election exactly once per failure
+// epoch. observed is the epoch the caller read before its RPC failed: if
+// the shard's epoch has already advanced past it, someone else completed
+// failover for this failure and the caller can simply retry. Otherwise
+// one caller becomes the runner and the rest block until it finishes.
+func (h *Helper) failover(g *shardGroup, observed int64) error {
 	h.mu.Lock()
 	for {
-		if h.failEpoch > observed {
+		if g.failEpoch > observed {
 			h.mu.Unlock()
 			return nil
 		}
-		if !h.failActive {
+		if !g.failActive {
 			break
 		}
-		done := h.failDone
+		done := g.failDone
 		h.mu.Unlock()
 		<-done
 		h.mu.Lock()
 	}
-	h.failActive = true
+	g.failActive = true
 	done := make(chan struct{})
-	h.failDone = done
+	g.failDone = done
 	h.mu.Unlock()
 
 	statFailovers.Add(1)
-	_, err := h.ElectLeader()
+	_, err := h.electShard(g)
 
 	h.mu.Lock()
-	h.failEpoch++
-	h.failActive = false
+	g.failEpoch++
+	g.failActive = false
 	h.mu.Unlock()
 	close(done)
 	return err
@@ -293,9 +324,10 @@ func (h *Helper) failover(observed int64) error {
 // re-execute there rather than replay a response minted against tables
 // that no longer exist.
 type dedupKey struct {
-	from string
-	id   uint64
-	gen  int64
+	from  string
+	id    uint64
+	shard int
+	gen   int64
 }
 
 // dedupCacheSize bounds the replay cache (FIFO eviction). Replays arrive
@@ -311,8 +343,12 @@ func (h *Helper) dedupCheck(f *Frame, respond func(Frame)) (func(Frame), bool) {
 	if f.ReqID == 0 || f.From == "" || f.IsResponse() {
 		return respond, false
 	}
+	gengrp := h.groupFor(f.Shard)
+	if gengrp == nil {
+		gengrp = &h.shardGroup
+	}
 	h.mu.Lock()
-	k := dedupKey{from: f.From, id: f.ReqID, gen: h.leaderStateEpoch}
+	k := dedupKey{from: f.From, id: f.ReqID, shard: int(f.Shard), gen: gengrp.leaderStateEpoch}
 	if r, ok := h.dedup[k]; ok {
 		h.mu.Unlock()
 		statReplaysDeduped.Add(1)
@@ -337,21 +373,45 @@ func (h *Helper) dedupCheck(f *Frame, respond func(Frame)) (func(Frame), bool) {
 	}, false
 }
 
-// reapMember reclaims a crashed member's slice of the distributed state:
-// its PID ranges, key-block leases, owned System V objects (tombstoned so
-// parked waiters resolve to EIDRM instead of retrying forever), and its
-// process-group membership. Graceful departures (MsgBye) are never
-// reaped; reap itself is idempotent per address.
-func (h *Helper) reapMember(addr string) {
+// reapMember reclaims a crashed member's slice of the distributed state
+// on every shard this helper leads: its PID ranges, key-block leases,
+// owned System V objects (tombstoned so parked waiters resolve to EIDRM
+// instead of retrying forever), and its process-group membership.
+// Graceful departures (MsgBye) are never reaped; reap itself is
+// idempotent per address and shard.
+//
+// With scatter set, a first-time reap also fans MsgMemberDead out to the
+// other shards' leaders so each sweeps its own slice — the member's
+// streams to those coordinators may never have existed, so their own
+// failure detectors cannot be relied on. The receivers reap without
+// re-scattering (idempotence stops a second round), so the fan-out
+// converges in one hop.
+func (h *Helper) reapMember(addr string, scatter bool) {
 	h.mu.Lock()
-	leader := h.leader
 	down := h.shutdown
+	var led []*leaderState
+	peerAddrs := make(map[string]struct{})
+	for _, g := range h.groups {
+		if g.leader != nil {
+			led = append(led, g.leader)
+		} else if g.leaderAddr != "" && g.leaderAddr != h.Addr && g.leaderAddr != addr {
+			peerAddrs[g.leaderAddr] = struct{}{}
+		}
+	}
 	h.mu.Unlock()
-	if leader == nil || down || addr == "" || addr == h.Addr {
+	if len(led) == 0 || down || addr == "" || addr == h.Addr {
 		return
 	}
-	notes, reaped := leader.reap(addr)
-	if !reaped {
+	var notes []keyEvictNote
+	reapedAny := false
+	for _, l := range led {
+		ns, reaped := l.reap(addr)
+		if reaped {
+			reapedAny = true
+			notes = append(notes, ns...)
+		}
+	}
+	if !reapedAny {
 		return
 	}
 	statMembersReaped.Add(1)
@@ -386,5 +446,20 @@ func (h *Helper) reapMember(addr string) {
 				_ = c.Notify(Frame{Type: MsgKeyEvict, A: int64(note.kind), B: note.key, C: 1})
 			}
 		})
+	}
+	// Cross-shard scatter: the dead member's PIDs, leases, and objects are
+	// striped over the whole plane; every other shard leader sweeps its own
+	// slice. Best-effort notifications with per-shard connections — a
+	// partitioned shard leader reaps later, when its own detector fires or
+	// a healed heartbeat resurfaces the death.
+	if scatter && len(peerAddrs) > 0 {
+		for peer := range peerAddrs {
+			to := peer
+			h.bgGo(func() {
+				if c, err := h.dial(to); err == nil {
+					_ = c.Notify(Frame{Type: MsgMemberDead, S: addr, From: h.Addr})
+				}
+			})
+		}
 	}
 }

@@ -77,6 +77,10 @@ func AddrForHostPID(hostPID int) string {
 
 type idBatch struct {
 	next, hi int64 // next free and inclusive upper bound; empty if next > hi
+	// shard is the namespace shard that granted this batch. A shard
+	// step-down must drop only the batches that shard granted; the others
+	// stay valid.
+	shard int
 }
 
 // Helper is the per-picoprocess IPC helper thread (§4.1): it services RPCs
@@ -94,35 +98,35 @@ type Helper struct {
 	listener *host.Handle
 	bsub     *host.BroadcastSub
 
-	mu         sync.Mutex
-	leaderAddr string       // "" until discovered; == Addr when leader
-	leader     *leaderState // non-nil on the leader
-	// leaderEpoch is the election epoch of the accepted leader (0 for the
-	// sandbox's original leader). Elections propose leaderEpoch+1; stale
-	// MsgNewLeader announcements (lower epoch) are rejected.
-	leaderEpoch int64
-	// leaderStateEpoch is the epoch at which this helper's current
-	// leaderState was created (0 for the original leader; meaningless while
-	// not leader). It keys the replay-dedup cache: re-assert epoch bumps
-	// leave it unchanged (same state, replays must hit), while a fresh
-	// promotion after a step-down starts a new dedup generation (a
-	// pre-partition retry must re-execute against the fresh tables).
-	leaderStateEpoch int64
-	// hbStop, while non-nil, stops the leader heartbeat goroutine — the
-	// periodic MsgNewLeader re-assert that lets a deposed leader stranded
-	// behind a partition learn of the newer epoch once the partition heals.
-	hbStop chan struct{}
-	// leaderChange is closed (and replaced) whenever leaderAddr is set,
-	// waking awaitNewLeader waiters without polling.
-	leaderChange chan struct{}
+	mu sync.Mutex
+	// shardGroup is shard 0's coordination state — leader tracking
+	// (leaderAddr/leader/leaderEpoch/leaderStateEpoch), the heartbeat and
+	// leader-change channels, single-flight failover epochs, the election
+	// round, and reconcile bookkeeping. The embedding keeps the classic
+	// single-coordinator field names (h.leaderAddr, h.leaderEpoch, ...)
+	// meaning what they always did: shard 0 is the whole namespace in a
+	// 1-shard topology. In a sharded topology groups[i] holds shard i's
+	// copy of the same machinery; groups[0] aliases this embedded struct.
+	// Every shardGroup field is guarded by mu.
+	shardGroup
+	groups []*shardGroup
 
-	// Failure epochs make RPC-path failover single-flight: failEpoch
-	// counts completed failovers, and of all callers that observed the
-	// same epoch when their leader RPC died, exactly one runs ElectLeader
-	// (failActive/failDone serialize them; see Helper.failover).
-	failEpoch  int64
-	failActive bool
-	failDone   chan struct{}
+	// Fixed topology: shard count, the consistent-hash ring placing key
+	// blocks and pgroups, and this helper's home shard (where its PID and
+	// anonymous-ID batches come from).
+	shards    int
+	ring      *shardRing
+	homeShard int
+
+	// routeHits/routeMisses count shard routings served from a cached
+	// shard-leader address vs. ones that needed broadcast discovery.
+	routeHits   atomic.Uint64
+	routeMisses atomic.Uint64
+
+	// rpcShardHistNames pre-renders "rpc.<type>.s<N>" per-shard histogram
+	// names ([shard][msgtype]; empty in single-shard topologies) so
+	// endSpan's per-shard observation never concatenates.
+	rpcShardHistNames [][]string
 
 	// reqSeq mints ReqIDs for non-idempotent leader requests; dedup (with
 	// FIFO eviction order dedupOrder) is the leader-side replay cache.
@@ -146,13 +150,14 @@ type Helper struct {
 	// via MsgNSClaim after this batch was granted); AllocPID skips them.
 	pidSkip map[int64]struct{}
 
-	idBatches map[int]*idBatch // NSSysVMsg / NSSysVSem local batches
+	idBatches map[idbKey]*idBatch // NSSysVMsg / NSSysVSem local batches, per granting shard
 	// nsHwm is the highest namespace allocation cursor heard in a MsgNSHwm
 	// broadcast (or captured from our own leaderState at step-down), per
-	// kind. Recover-state reports fold it into batchHi so a new leader's
-	// cursor clears batches granted to helpers that cannot report — the
-	// dead or partitioned-away old leader's own batch in particular.
-	nsHwm map[int]int64
+	// (kind, shard). Recover-state reports fold it into batchHi so a new
+	// shard leader's cursor clears batches granted to helpers that cannot
+	// report — the dead or partitioned-away old leader's own batch in
+	// particular.
+	nsHwm map[idbKey]int64
 
 	queues      map[int64]*msgQueue
 	qOwnerCache map[int64]string
@@ -183,16 +188,8 @@ type Helper struct {
 	bg sync.WaitGroup
 
 	// ownPgid is this process's group for recovery re-registration.
-	ownPgid  int64
-	election *electionState
-
-	// reportedTo is the leader address our last successful recover-state
-	// report reached ("" after any leader change); reconciling makes the
-	// member reconcile pass single-flight. Both under mu. A heartbeat from
-	// a leader we have not reported to re-triggers the reconcile — the
-	// report may have hit its deadline mid-partition.
-	reportedTo  string
-	reconciling bool
+	// (election, reportedTo, and reconciling live in each shardGroup.)
+	ownPgid int64
 
 	shutdown bool
 }
@@ -200,7 +197,7 @@ type Helper struct {
 // NewLeader creates the sandbox's first helper, which acts as the
 // namespace leader. guestPID is the process's PID (1 for an init process).
 func NewLeader(p *pal.PAL, svc Service, guestPID int64) (*Helper, error) {
-	h, err := newHelper(p, svc, guestPID)
+	h, err := newHelper(p, svc, guestPID, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +211,51 @@ func NewLeader(p *pal.PAL, svc Service, guestPID int64) (*Helper, error) {
 	h.pidBatch = idBatch{next: lo, hi: hi}
 	h.localPIDs[guestPID] = h.Addr
 	h.mu.Lock()
-	h.startHeartbeatLocked()
+	h.startHeartbeatLocked(&h.shardGroup)
+	h.mu.Unlock()
+	return h, nil
+}
+
+// NewShardLeader creates a coordinator picoprocess that leads one shard
+// of an nshards-wide namespace plane. peers[i] is the believed leader
+// address of shard i ("" when unknown — shards booted later are found by
+// broadcast discovery or their heartbeats).
+func NewShardLeader(p *pal.PAL, svc Service, guestPID int64, shard, nshards int, peers []string) (*Helper, error) {
+	if nshards < 1 {
+		nshards = 1
+	}
+	if shard < 0 || shard >= nshards {
+		return nil, api.EINVAL
+	}
+	h, err := newHelper(p, svc, guestPID, nshards)
+	if err != nil {
+		return nil, err
+	}
+	g := h.groups[shard]
+	g.leader = newLeaderStateShard(shard, nshards)
+	g.leaderAddr = h.Addr
+	for i, addr := range peers {
+		if i < len(h.groups) && i != shard && addr != "" {
+			h.groups[i].leaderAddr = addr
+			h.groups[i].reportedTo = addr
+		}
+	}
+	h.localPIDs[guestPID] = h.Addr
+	// Claim this process's PID at the shard owning its slab; seed the PID
+	// batch eagerly only when the home shard is the one led here.
+	if shardOfID(guestPID, nshards) == shard {
+		g.leader.claimRange(NSPid, guestPID, h.Addr)
+	} else if guestPID != 0 {
+		if _, err := h.callLeader(Frame{Type: MsgNSClaim, A: NSPid, B: guestPID}); err != nil {
+			log.Printf("ipc: %s: pid claim for %d failed: %v", h.Addr, guestPID, err)
+		}
+	}
+	if h.homeShard == shard {
+		lo, hi := g.leader.allocRange(NSPid, PIDBatchSize, h.Addr)
+		h.pidBatch = idBatch{next: lo, hi: hi, shard: shard}
+	}
+	h.mu.Lock()
+	h.startHeartbeatLocked(g)
 	h.mu.Unlock()
 	return h, nil
 }
@@ -222,25 +263,40 @@ func NewLeader(p *pal.PAL, svc Service, guestPID int64) (*Helper, error) {
 // NewMember creates a helper that joins an existing sandbox coordination
 // group, with the leader's address learned from the parent's checkpoint.
 func NewMember(p *pal.PAL, svc Service, guestPID int64, leaderAddr string) (*Helper, error) {
-	h, err := newHelper(p, svc, guestPID)
+	return NewShardMember(p, svc, guestPID, []string{leaderAddr})
+}
+
+// NewShardMember creates a helper that joins a sharded sandbox;
+// shardAddrs[i] is the believed leader address of shard i (the topology's
+// shard count is len(shardAddrs); entries may be "" and are then found by
+// discovery). A single-entry slice is the classic single-leader join.
+func NewShardMember(p *pal.PAL, svc Service, guestPID int64, shardAddrs []string) (*Helper, error) {
+	nshards := len(shardAddrs)
+	if nshards < 1 {
+		nshards = 1
+	}
+	h, err := newHelper(p, svc, guestPID, nshards)
 	if err != nil {
 		return nil, err
 	}
-	h.leaderAddr = leaderAddr
-	// A fresh member has no distributed state the leader could be missing —
-	// its PID is claimed explicitly below. Marking the leader as already
-	// reported-to keeps the heartbeat path from shipping a pointless
-	// recover report on the first re-assert after every join; a later
-	// *leader change* resets this and triggers the real reconcile.
-	h.reportedTo = leaderAddr
+	for i, addr := range shardAddrs {
+		// A fresh member has no distributed state the shard leaders could
+		// be missing — its PID is claimed explicitly below. Marking each
+		// known leader as already reported-to keeps the heartbeat path from
+		// shipping a pointless recover report on the first re-assert after
+		// every join; a later *leader change* resets this and triggers the
+		// real reconcile.
+		h.groups[i].leaderAddr = addr
+		h.groups[i].reportedTo = addr
+	}
 	h.localPIDs[guestPID] = h.Addr
-	// Reserve this process's PID in the leader's allocator. A forked
+	// Reserve this process's PID in its owning shard's allocator. A forked
 	// child's PID was already drawn from the parent's batch, but an
 	// adopted, restored, or externally assigned PID is unknown to the
 	// leader — without the claim, AllocPID could mint it a second time.
 	// Best-effort: a member joining without a reachable leader is covered
 	// later by the recover-state report, which reserves every local PID.
-	if leaderAddr != "" && guestPID != 0 {
+	if guestPID != 0 && shardAddrs[shardOfID(guestPID, nshards)] != "" {
 		if _, err := h.callLeader(Frame{Type: MsgNSClaim, A: NSPid, B: guestPID}); err != nil {
 			log.Printf("ipc: %s: pid claim for %d failed: %v", h.Addr, guestPID, err)
 		}
@@ -248,25 +304,46 @@ func NewMember(p *pal.PAL, svc Service, guestPID int64, leaderAddr string) (*Hel
 	return h, nil
 }
 
-func newHelper(p *pal.PAL, svc Service, guestPID int64) (*Helper, error) {
+func newHelper(p *pal.PAL, svc Service, guestPID int64, nshards int) (*Helper, error) {
 	h := &Helper{
-		pal:          p,
-		svc:          svc,
-		Addr:         AddrForHostPID(p.Proc().ID),
-		GuestPID:     guestPID,
-		leaderChange: make(chan struct{}),
-		conns:        newShardedMap[*Conn](),
-		pidOwner:     newShardedIntMap[string](),
-		localPIDs:    make(map[int64]string),
-		pidSkip:      make(map[int64]struct{}),
-		nsHwm:        make(map[int]int64),
-		idBatches:    map[int]*idBatch{NSSysVMsg: {}, NSSysVSem: {}},
-		queues:       make(map[int64]*msgQueue),
-		qOwnerCache:  make(map[int64]string),
-		sems:         make(map[int64]*semSet),
-		semOwner:     make(map[int64]string),
-		keyLeases:    map[int]map[int64]struct{}{NSSysVMsg: {}, NSSysVSem: {}},
-		keyCache:     map[int]map[int64]keyEntry{NSSysVMsg: {}, NSSysVSem: {}},
+		pal:         p,
+		svc:         svc,
+		Addr:        AddrForHostPID(p.Proc().ID),
+		GuestPID:    guestPID,
+		conns:       newShardedMap[*Conn](),
+		pidOwner:    newShardedIntMap[string](),
+		localPIDs:   make(map[int64]string),
+		pidSkip:     make(map[int64]struct{}),
+		nsHwm:       make(map[idbKey]int64),
+		idBatches:   make(map[idbKey]*idBatch),
+		queues:      make(map[int64]*msgQueue),
+		qOwnerCache: make(map[int64]string),
+		sems:        make(map[int64]*semSet),
+		semOwner:    make(map[int64]string),
+		keyLeases:   map[int]map[int64]struct{}{NSSysVMsg: {}, NSSysVSem: {}},
+		keyCache:    map[int]map[int64]keyEntry{NSSysVMsg: {}, NSSysVSem: {}},
+		shards:      nshards,
+		ring:        newShardRing(nshards),
+	}
+	h.groups = make([]*shardGroup, nshards)
+	h.groups[0] = &h.shardGroup
+	for i := 1; i < nshards; i++ {
+		h.groups[i] = &shardGroup{shard: i}
+	}
+	for _, g := range h.groups {
+		g.leaderChange = make(chan struct{})
+	}
+	h.homeShard = h.ring.addrShard(h.Addr)
+	if nshards > 1 {
+		h.rpcShardHistNames = make([][]string, nshards)
+		for s := 0; s < nshards; s++ {
+			names := make([]string, len(msgTypeNames))
+			suffix := gaugeName(".s", int64(s))
+			for t := 1; t < len(msgTypeNames); t++ {
+				names[t] = rpcHistNames[t] + suffix
+			}
+			h.rpcShardHistNames[s] = names
+		}
 	}
 	l, err := p.DkStreamOpen("pipe.srv:"+h.Addr, 0, 0)
 	if err != nil {
@@ -315,24 +392,29 @@ func (h *Helper) broadcastLoop() {
 		}
 		switch f.Type {
 		case MsgWhoIsLeader:
-			if h.isLeader() && f.From != "" {
+			g := h.groupFor(f.Shard)
+			if g == nil || f.From == "" {
+				continue
+			}
+			h.mu.Lock()
+			leading := g.leader != nil
+			epoch := g.leaderEpoch
+			h.mu.Unlock()
+			if leading {
 				// Respond point-to-point so the requester learns our address
-				// (and the epoch we lead under).
-				h.mu.Lock()
-				epoch := h.leaderEpoch
-				h.mu.Unlock()
-				go func(to string) {
+				// (and the epoch we lead the shard under).
+				go func(to string, shard int32, epoch int64) {
 					if c, err := h.dial(to); err == nil {
-						_ = c.Notify(Frame{Type: MsgWhoIsLeader, A: epoch, S: h.Addr})
+						_ = c.Notify(Frame{Type: MsgWhoIsLeader, Shard: shard, A: epoch, S: h.Addr})
 					}
-				}(f.From)
+				}(f.From, f.Shard, epoch)
 			}
 		case MsgElection:
 			h.handleElectionBroadcast(f)
 		case MsgNewLeader:
 			h.handleNewLeaderBroadcast(f)
 		case MsgNSHwm:
-			h.noteNSHwm(int(f.A), f.B)
+			h.noteNSHwm(int(f.A), int(f.Shard), f.B)
 		}
 	}
 }
@@ -353,19 +435,21 @@ func (r *sliceReader) Read(p []byte) (int, error) {
 }
 
 // noteNSHwm records a broadcast namespace cursor (see MsgNSHwm).
-func (h *Helper) noteNSHwm(kind int, next int64) {
+func (h *Helper) noteNSHwm(kind, shard int, next int64) {
+	k := idbKey{kind: kind, shard: shard}
 	h.mu.Lock()
-	if next > h.nsHwm[kind] {
-		h.nsHwm[kind] = next
+	if next > h.nsHwm[k] {
+		h.nsHwm[k] = next
 	}
 	h.mu.Unlock()
 }
 
-// broadcastNSHwm announces the leader's allocation cursor for kind after a
-// grant or claim moved it. Best-effort: a lost broadcast only widens the
-// window in which a failover cursor could lag, it never corrupts state.
-func (h *Helper) broadcastNSHwm(kind int, next int64) {
-	f := Frame{Type: MsgNSHwm, A: int64(kind), B: next, From: h.Addr}
+// broadcastNSHwm announces a shard leader's allocation cursor for kind
+// after a grant or claim moved it. Best-effort: a lost broadcast only
+// widens the window in which a failover cursor could lag, it never
+// corrupts state.
+func (h *Helper) broadcastNSHwm(kind, shard int, next int64) {
+	f := Frame{Type: MsgNSHwm, A: int64(kind), B: next, Shard: int32(shard), From: h.Addr}
 	_ = h.pal.BroadcastSend(EncodeFrame(&f))
 }
 
@@ -375,59 +459,77 @@ func (h *Helper) isLeader() bool {
 	return h.leader != nil
 }
 
-// DiscoverLeader broadcasts a who-is-leader query and waits (bounded) for
-// the leader's point-to-point reply — the recovery path when a process
-// lost its leader address. ETIMEDOUT means no live leader answered; the
-// caller decides whether to elect.
-func (h *Helper) DiscoverLeader() (string, error) {
+// leadsAny reports whether this helper currently leads any shard.
+func (h *Helper) leadsAny() bool {
 	h.mu.Lock()
-	if h.leaderAddr != "" {
-		addr := h.leaderAddr
+	defer h.mu.Unlock()
+	for _, g := range h.groups {
+		if g.leader != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// DiscoverLeader discovers shard 0's leader (the whole namespace in a
+// 1-shard topology).
+func (h *Helper) DiscoverLeader() (string, error) {
+	return h.discoverShard(&h.shardGroup)
+}
+
+// discoverShard broadcasts a who-is-leader query for one shard and waits
+// (bounded) for that shard leader's point-to-point reply — the recovery
+// path when a process lost a shard's leader address. ETIMEDOUT means no
+// live leader answered; the caller decides whether to elect.
+func (h *Helper) discoverShard(g *shardGroup) (string, error) {
+	h.mu.Lock()
+	if g.leaderAddr != "" {
+		addr := g.leaderAddr
 		h.mu.Unlock()
 		return addr, nil
 	}
 	h.mu.Unlock()
-	f := Frame{Type: MsgWhoIsLeader, From: h.Addr}
+	f := Frame{Type: MsgWhoIsLeader, Shard: int32(g.shard), From: h.Addr}
 	if err := h.pal.BroadcastSend(EncodeFrame(&f)); err != nil {
 		return "", err
 	}
-	return h.awaitNewLeader(10 * electionWindow)
+	return h.awaitNewLeader(g, 10*electionWindow)
 }
 
-// setLeaderLocked records addr as the sandbox leader under epoch and wakes
+// setLeaderLocked records addr as a shard's leader under epoch and wakes
 // awaitNewLeader waiters. Caller holds h.mu.
-func (h *Helper) setLeaderLocked(addr string, epoch int64) {
-	if addr != h.leaderAddr {
+func (h *Helper) setLeaderLocked(g *shardGroup, addr string, epoch int64) {
+	if addr != g.leaderAddr {
 		// A leader we reported to in an earlier reign has a fresh
 		// leaderState now; the report must be re-sent (heartbeat-triggered)
 		// even if the address is one we have reported to before.
-		h.reportedTo = ""
+		g.reportedTo = ""
 	}
-	h.leaderAddr = addr
-	if epoch > h.leaderEpoch {
-		h.leaderEpoch = epoch
+	g.leaderAddr = addr
+	if epoch > g.leaderEpoch {
+		g.leaderEpoch = epoch
 	}
-	close(h.leaderChange)
-	h.leaderChange = make(chan struct{})
+	close(g.leaderChange)
+	g.leaderChange = make(chan struct{})
 }
 
-// clearLeaderLocked forgets the leader address (it is presumed dead or
-// stale). Caller holds h.mu.
-func (h *Helper) clearLeaderLocked() {
-	h.leaderAddr = ""
+// clearLeaderLocked forgets a shard's leader address (it is presumed dead
+// or stale). Caller holds h.mu.
+func (h *Helper) clearLeaderLocked(g *shardGroup) {
+	g.leaderAddr = ""
 }
 
 // dropConn runs when a peer stream dies: the conn leaves the dial cache,
-// and — when we are the leader — a peer that never said MsgBye is treated
+// and — when we lead a shard — a peer that never said MsgBye is treated
 // as crashed and reaped (the RPC-disconnection failure detector of §4.2,
 // pointed at members instead of the leader).
 func (h *Helper) dropConn(c *Conn) {
 	h.conns.deleteValue(func(cc *Conn) bool { return cc == c })
 	addr := c.remote()
-	if addr == "" || addr == h.Addr || !h.isLeader() {
+	if addr == "" || addr == h.Addr || !h.leadsAny() {
 		return
 	}
-	go h.reapMember(addr)
+	go h.reapMember(addr, true)
 }
 
 // dial returns a cached or fresh point-to-point stream to addr (§4.3,
@@ -468,7 +570,7 @@ func (h *Helper) AllocPID(childAddr string) (int64, error) {
 				return 0, err
 			}
 			h.mu.Lock()
-			h.pidBatch = idBatch{next: resp.A, hi: resp.B}
+			h.pidBatch = idBatch{next: resp.A, hi: resp.B, shard: h.homeShard}
 		}
 		pid := h.pidBatch.next
 		h.pidBatch.next++
@@ -626,11 +728,22 @@ func (h *Helper) Ping(addr string) error {
 	return err
 }
 
-// LeaderAddr returns the current leader address ("" if undiscovered).
+// LeaderAddr returns shard 0's current leader address ("" if
+// undiscovered) — the whole namespace's leader in a 1-shard topology.
 func (h *Helper) LeaderAddr() string {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.leaderAddr
+}
+
+// shardLeaderAddr returns the believed leader address of one shard.
+func (h *Helper) shardLeaderAddr(shard int) string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if g := h.groupFor(int32(shard)); g != nil {
+		return g.leaderAddr
+	}
+	return ""
 }
 
 // bgGo runs fn as a tracked background task unless shutdown has begun.
@@ -662,7 +775,9 @@ func (h *Helper) Shutdown() {
 		return
 	}
 	h.shutdown = true
-	h.stopHeartbeatLocked()
+	for _, g := range h.groups {
+		h.stopHeartbeatLocked(g)
+	}
 	queues := make([]*msgQueue, 0, len(h.queues))
 	for _, q := range h.queues {
 		queues = append(queues, q)
@@ -671,15 +786,36 @@ func (h *Helper) Shutdown() {
 	for _, s := range h.sems {
 		sems = append(sems, s)
 	}
-	leaderAddr := h.leaderAddr
-	isLeader := h.leader != nil
+	// Snapshot the shard-leader view: the distinct coordinator addresses
+	// (excluding ourselves) get a goodbye each, and every owned semaphore
+	// set migrates back to its owning shard's leader.
+	shardAddr := make([]string, len(h.groups))
+	ledShard := make([]bool, len(h.groups))
+	byeAddrs := make([]string, 0, len(h.groups))
+	for i, g := range h.groups {
+		shardAddr[i] = g.leaderAddr
+		ledShard[i] = g.leader != nil
+		if g.leaderAddr != "" && g.leaderAddr != h.Addr {
+			dup := false
+			for _, a := range byeAddrs {
+				if a == g.leaderAddr {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				byeAddrs = append(byeAddrs, g.leaderAddr)
+			}
+		}
+	}
 	h.mu.Unlock()
 
-	// Say goodbye first, synchronously: once any of our streams tears
-	// down, the leader's failure detector would otherwise race us into a
-	// crash verdict and reap the objects we are about to persist/migrate.
-	if !isLeader && leaderAddr != "" {
-		if c, err := h.dial(leaderAddr); err == nil {
+	// Say goodbye first, synchronously, to every shard coordinator: once
+	// any of our streams tears down, a shard leader's failure detector
+	// would otherwise race us into a crash verdict and reap the objects we
+	// are about to persist/migrate.
+	for _, addr := range byeAddrs {
+		if c, err := h.dial(addr); err == nil {
 			// Deadline-bounded: a leader stuck behind a partition must not
 			// wedge this process's exit — after the timeout we proceed to
 			// persist/migrate and accept the (inherent) reap race.
@@ -691,15 +827,18 @@ func (h *Helper) Shutdown() {
 	h.bg.Wait()
 
 	// System V objects survive their owner: queues serialize to disk
-	// (§4.2); semaphore sets migrate back to the sandbox leader so other
+	// (§4.2); semaphore sets migrate back to their shard's leader so other
 	// picoprocesses can keep operating on them.
 	for _, q := range queues {
 		h.persistQueue(q)
 	}
-	if !isLeader && leaderAddr != "" {
-		for _, s := range sems {
-			h.evictSemOnShutdown(s, leaderAddr)
+	for _, s := range sems {
+		os := shardOfID(s.id, h.shards)
+		if os < len(ledShard) && !ledShard[os] && shardAddr[os] != "" {
+			h.evictSemOnShutdown(s, shardAddr[os])
 		}
+	}
+	if len(byeAddrs) > 0 {
 		h.flushKeyLeases()
 	}
 

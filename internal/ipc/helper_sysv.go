@@ -21,31 +21,46 @@ func migrationBackoff(attempt int) {
 	}
 }
 
-// allocID draws a System V ID from the local batch for the given
-// namespace kind, refilling from the leader when exhausted.
-func (h *Helper) allocID(kind int) (int64, error) {
-	h.mu.Lock()
-	b := h.idBatches[kind]
-	if b == nil {
-		h.mu.Unlock()
+// allocID draws a System V ID of the given namespace kind from the local
+// batch granted by the given shard, refilling from that shard's leader
+// when exhausted. Allocating from a specific shard is what keeps keyed
+// objects single-shard-authoritative: the ID comes from the key's shard,
+// so every later by-ID operation (owner lookup, chown, migrate, remove)
+// routes to the same shard that holds the key mapping.
+func (h *Helper) allocID(kind, shard int) (int64, error) {
+	if kind != NSSysVMsg && kind != NSSysVSem {
 		return 0, api.EINVAL
 	}
+	k := idbKey{kind: kind, shard: shard}
+	h.mu.Lock()
+	b := h.idBatches[k]
+	if b == nil {
+		b = &idBatch{shard: shard}
+		h.idBatches[k] = b
+	}
 	if b.next == 0 || b.next > b.hi {
-		leader := h.leader
+		var leader *leaderState
+		if g := h.groupFor(int32(shard)); g != nil {
+			leader = g.leader
+		}
 		h.mu.Unlock()
 		var lo, hi int64
 		if leader != nil {
-			// The leader refills from its own range table directly.
+			// The shard leader refills from its own range table directly.
 			lo, hi = leader.allocRange(kind, idBatchSize, h.Addr)
 		} else {
-			resp, err := h.callLeader(Frame{Type: MsgNSAlloc, A: int64(kind), B: idBatchSize})
+			resp, err := h.callShard(shard, Frame{Type: MsgNSAlloc, A: int64(kind), B: idBatchSize})
 			if err != nil {
 				return 0, err
 			}
 			lo, hi = resp.A, resp.B
 		}
 		h.mu.Lock()
-		b = h.idBatches[kind]
+		b = h.idBatches[k]
+		if b == nil {
+			b = &idBatch{shard: shard}
+			h.idBatches[k] = b
+		}
 		b.next, b.hi = lo, hi
 	}
 	id := b.next
@@ -72,8 +87,9 @@ func (h *Helper) sysvKey(kind int, key int64, flags int) (int64, string, error) 
 	// One trace spans the whole key resolution: the leader round trip and
 	// any lease-holder redirect hop render as siblings under this root.
 	trace, root := traceRoot()
+	ks := h.sysvShardOf(kind, key)
 	h.mu.Lock()
-	leader := h.leader
+	leader := h.groups[ks].leader
 	h.mu.Unlock()
 	if leader != nil {
 		// The leader resolves against its own authoritative tables with
@@ -99,7 +115,7 @@ func (h *Helper) sysvKey(kind int, key int64, flags int) (int64, string, error) 
 				leader.releaseLease(kind, keyBlock(key))
 				continue
 			}
-			proposed, err := h.allocID(kind)
+			proposed, err := h.allocID(kind, ks)
 			if err != nil {
 				return 0, "", err
 			}
@@ -111,7 +127,7 @@ func (h *Helper) sysvKey(kind int, key int64, flags int) (int64, string, error) 
 		}
 		return 0, "", api.EIDRM
 	}
-	proposed, err := h.allocID(kind)
+	proposed, err := h.allocID(kind, ks)
 	if err != nil {
 		return 0, "", err
 	}
@@ -222,7 +238,7 @@ func (h *Helper) keyFromLease(kind int, key int64, flags int) (id int64, owner s
 	if flags&api.IPCCreat == 0 {
 		return 0, "", true, api.ENOENT
 	}
-	proposed, aerr := h.allocID(kind)
+	proposed, aerr := h.allocID(kind, h.sysvShardOf(kind, key))
 	if aerr != nil {
 		return 0, "", true, aerr
 	}
@@ -254,7 +270,7 @@ func (h *Helper) keyFromLease(kind int, key int64, flags int) (id int64, owner s
 // asynchronously over RPC otherwise.
 func (h *Helper) registerKeyLazily(kind int, key, id int64, owner string) {
 	h.mu.Lock()
-	if leader := h.leader; leader != nil {
+	if leader := h.groups[h.sysvShardOf(kind, key)].leader; leader != nil {
 		// The leader's registration is a pair of plain map writes; do
 		// it synchronously (this path only runs for creates the leader
 		// performs on a requester's behalf under a recovered lease).
@@ -708,8 +724,12 @@ func (h *Helper) removeLocalQueue(id int64) {
 				_ = c.Notify(Frame{Type: MsgQDeleted, A: id})
 			}
 		}
-		_, _ = h.callLeader(Frame{Type: MsgKeyRemove, A: NSSysVMsg, B: id})
 	})
+	// The authoritative-shard tombstone is synchronous: once Rmid returns,
+	// no other picoprocess can resolve the key to the dead ID (an async
+	// notify left a window where a concurrent create handed out the stale
+	// mapping). Accessor notifications above stay best-effort async.
+	_, _ = h.callLeader(Frame{Type: MsgKeyRemove, A: NSSysVMsg, B: id})
 }
 
 func (h *Helper) invalidateQ(id int64) {
@@ -806,14 +826,17 @@ func (h *Helper) migrateQueue(id int64, to string) {
 	// could split ownership; instead forward ours to the sandbox leader,
 	// which is where a dying receiver's eviction converges too.
 	uncertain := func() {
-		if h.isLeader() {
+		os := shardOfID(id, h.shards)
+		if h.leadsShard(os) {
 			abort() // we are the convergence point; keep the copy
 			return
 		}
 		// callLeader rides through a concurrent leader failover and mints
 		// a ReqID, so a replayed handoff cannot double-install the queue.
+		// It routes by the queue's ID, so the convergence point is the
+		// shard leader authoritative for this object.
 		if _, err := h.callLeader(Frame{Type: MsgQMigrate, A: id, Blob: blob, D: nextEpoch}); err == nil {
-			if owner := h.LeaderAddr(); owner != "" && owner != h.Addr {
+			if owner := h.shardLeaderAddr(os); owner != "" && owner != h.Addr {
 				commit(owner)
 				return
 			}
@@ -1003,8 +1026,10 @@ func (h *Helper) removeLocalSem(id int64) {
 				_ = c.Notify(Frame{Type: MsgQDeleted, A: id, B: 1})
 			}
 		}
-		_, _ = h.callLeader(Frame{Type: MsgKeyRemove, A: NSSysVSem, B: id})
 	})
+	// Synchronous for the same reason as removeLocalQueue: the key must
+	// not resolve to the dead ID after Rmid returns.
+	_, _ = h.callLeader(Frame{Type: MsgKeyRemove, A: NSSysVSem, B: id})
 }
 
 func (h *Helper) invalidateSem(id int64) {
@@ -1050,13 +1075,15 @@ func (h *Helper) migrateSem(id int64, to string) {
 	// uncertain: see migrateQueue — never resurrect a copy the receiver
 	// might also hold; converge on the leader instead.
 	uncertain := func() {
-		if h.isLeader() {
+		os := shardOfID(id, h.shards)
+		if h.leadsShard(os) {
 			abort()
 			return
 		}
-		// As in migrateQueue: failover-aware and replay-deduplicated.
+		// As in migrateQueue: failover-aware, replay-deduplicated, and
+		// routed to the object's authoritative shard leader.
 		if _, err := h.callLeader(Frame{Type: MsgSemMigrate, A: id, Blob: blob, D: nextEpoch}); err == nil {
-			if owner := h.LeaderAddr(); owner != "" && owner != h.Addr {
+			if owner := h.shardLeaderAddr(os); owner != "" && owner != h.Addr {
 				commit(owner)
 				return
 			}

@@ -101,6 +101,23 @@ func (g *testGroup) leader(svc Service) (*Helper, *pal.PAL) {
 	return h, p
 }
 
+// forkPAL forks a bare child picoprocess from parent and returns its PAL
+// (the child thread parks for the test's duration).
+func (g *testGroup) forkPAL(parent *pal.PAL) *pal.PAL {
+	done := make(chan struct{})
+	var childPAL *pal.PAL
+	_, _, err := parent.DkProcessCreate(func(c *pal.PAL, initial *host.Stream) {
+		childPAL = c
+		close(done)
+		select {}
+	}, false)
+	if err != nil {
+		g.t.Fatal(err)
+	}
+	<-done
+	return childPAL
+}
+
 // member forks a child picoprocess from parent and joins the group.
 func (g *testGroup) member(parent *pal.PAL, leaderAddr string, guestPID int64, svc Service) (*Helper, *pal.PAL) {
 	done := make(chan struct{})

@@ -11,45 +11,67 @@ import (
 // partitions, heals) settles, the sandbox must be in a state the paper's
 // coordination protocols promise regardless of the schedule:
 //
-//   - at most one accepted leader per election epoch (fencing: a deposed
-//     leader steps down rather than coexisting);
-//   - no PID handed out twice (batch ranges never overlap, and no PID is
+//   - at most one accepted leader per (shard, election epoch) — fencing:
+//     a deposed shard leader steps down rather than coexisting;
+//   - no PID handed out twice (batch ranges never overlap — within one
+//     shard leader's table or across shard leaders — and no PID is
 //     claimed as locally allocated by two helpers);
 //   - no System V key resolving to two live IDs (first-writer-wins
 //     registration plus post-heal tombstoning of loser copies);
-//   - no key-block lease held by two helpers at once.
+//   - no key-block lease held by two helpers at once;
+//   - sharded placement: every key mapping, lease grant, and ID range a
+//     shard leader holds belongs to that shard (keys and leases by the
+//     consistent-hash ring, ID ranges by slab arithmetic), so a name
+//     always has exactly one authoritative shard.
 //
 // CheckInvariants inspects live helper state directly (same package) and
 // returns one human-readable string per violation; the chaos harness
 // fails the test on any non-empty result.
 
-// helperSnapshot is one helper's state copied out under its locks, so
-// cross-helper checks run without holding any helper's mutex.
-type helperSnapshot struct {
-	addr        string
+// shardSnap is one helper's led-or-member view of one shard group.
+type shardSnap struct {
+	shard       int
 	isLeader    bool
 	leaderEpoch int64
-	selfPIDs    []int64                 // PIDs this helper claims as locally allocated
-	leases      map[int][]int64         // kind -> leased key blocks
-	keyCache    map[int]map[int64]int64 // kind -> key -> id (cached under leases)
-	liveIDs     map[int][]int64         // kind -> IDs of live, unmigrated objects here
-	// leader-only tables (nil otherwise)
+	// leader-only tables (nil when not leading this shard)
 	ranges       map[int][]idRange
 	leaderKeys   map[int]map[int64]int64 // kind -> key -> id
 	leaderLeases map[int]map[int64]string
 	removed      map[int]map[int64]struct{}
 }
 
+// helperSnapshot is one helper's state copied out under its locks, so
+// cross-helper checks run without holding any helper's mutex.
+type helperSnapshot struct {
+	addr     string
+	shards   int
+	ring     *shardRing
+	groups   []shardSnap
+	selfPIDs []int64                 // PIDs this helper claims as locally allocated
+	leases   map[int][]int64         // kind -> leased key blocks
+	keyCache map[int]map[int64]int64 // kind -> key -> id (cached under leases)
+	liveIDs  map[int][]int64         // kind -> IDs of live, unmigrated objects here
+}
+
 func snapshotHelper(h *Helper) helperSnapshot {
 	s := helperSnapshot{
 		addr:     h.Addr,
+		shards:   h.shards,
+		ring:     h.ring,
 		leases:   make(map[int][]int64),
 		keyCache: make(map[int]map[int64]int64),
 		liveIDs:  make(map[int][]int64),
 	}
 	h.mu.Lock()
-	s.isLeader = h.leader != nil
-	s.leaderEpoch = h.leaderEpoch
+	leaders := make([]*leaderState, len(h.groups))
+	for i, g := range h.groups {
+		s.groups = append(s.groups, shardSnap{
+			shard:       g.shard,
+			isLeader:    g.leader != nil,
+			leaderEpoch: g.leaderEpoch,
+		})
+		leaders[i] = g.leader
+	}
 	for pid, owner := range h.localPIDs {
 		if owner == h.Addr {
 			s.selfPIDs = append(s.selfPIDs, pid)
@@ -77,10 +99,6 @@ func snapshotHelper(h *Helper) helperSnapshot {
 	for id, ss := range h.sems {
 		sems[id] = ss
 	}
-	var leader *leaderState
-	if s.isLeader {
-		leader = h.leader
-	}
 	h.mu.Unlock()
 
 	for id, q := range queues {
@@ -98,35 +116,39 @@ func snapshotHelper(h *Helper) helperSnapshot {
 		ss.mu.Unlock()
 	}
 
-	if leader != nil {
-		leader.mu.RLock()
-		s.ranges = make(map[int][]idRange)
-		for kind, rs := range leader.ranges {
-			s.ranges[kind] = append([]idRange(nil), rs...)
+	for i, leader := range leaders {
+		if leader == nil {
+			continue
 		}
-		s.leaderKeys = make(map[int]map[int64]int64)
+		g := &s.groups[i]
+		leader.mu.RLock()
+		g.ranges = make(map[int][]idRange)
+		for kind, rs := range leader.ranges {
+			g.ranges[kind] = append([]idRange(nil), rs...)
+		}
+		g.leaderKeys = make(map[int]map[int64]int64)
 		for kind, m := range leader.keys {
 			dst := make(map[int64]int64, len(m))
 			for k, e := range m {
 				dst[k] = e.id
 			}
-			s.leaderKeys[kind] = dst
+			g.leaderKeys[kind] = dst
 		}
-		s.leaderLeases = make(map[int]map[int64]string)
+		g.leaderLeases = make(map[int]map[int64]string)
 		for kind, m := range leader.leases {
 			dst := make(map[int64]string, len(m))
 			for b, holder := range m {
 				dst[b] = holder
 			}
-			s.leaderLeases[kind] = dst
+			g.leaderLeases[kind] = dst
 		}
-		s.removed = make(map[int]map[int64]struct{})
+		g.removed = make(map[int]map[int64]struct{})
 		for kind, m := range leader.removed {
 			dst := make(map[int64]struct{}, len(m))
 			for id := range m {
 				dst[id] = struct{}{}
 			}
-			s.removed[kind] = dst
+			g.removed[kind] = dst
 		}
 		leader.mu.RUnlock()
 	}
@@ -148,17 +170,40 @@ func CheckInvariants(helpers []*Helper) []string {
 		violations = append(violations, fmt.Sprintf(format, args...))
 	}
 
-	// Invariant 1: at most one accepted leader per epoch.
-	leadersByEpoch := make(map[int64][]string)
+	// Invariant 0: every helper sees the same topology. Placement checks
+	// below use the first helper's ring; a disagreement would make the
+	// "one authoritative shard per key" question ill-posed.
+	nshards := 1
+	var ring *shardRing
+	if len(snaps) > 0 {
+		nshards = snaps[0].shards
+		ring = snaps[0].ring
+	}
 	for _, s := range snaps {
-		if s.isLeader {
-			leadersByEpoch[s.leaderEpoch] = append(leadersByEpoch[s.leaderEpoch], s.addr)
+		if s.shards != nshards {
+			bad("topology split: %s runs %d shards, %s runs %d",
+				snaps[0].addr, nshards, s.addr, s.shards)
 		}
 	}
-	for epoch, addrs := range leadersByEpoch {
+
+	// Invariant 1: at most one accepted leader per (shard, epoch).
+	type shardEpoch struct {
+		shard int
+		epoch int64
+	}
+	leadersByEpoch := make(map[shardEpoch][]string)
+	for _, s := range snaps {
+		for _, g := range s.groups {
+			if g.isLeader {
+				se := shardEpoch{g.shard, g.leaderEpoch}
+				leadersByEpoch[se] = append(leadersByEpoch[se], s.addr)
+			}
+		}
+	}
+	for se, addrs := range leadersByEpoch {
 		if len(addrs) > 1 {
 			sort.Strings(addrs)
-			bad("epoch %d has %d accepted leaders: %v", epoch, len(addrs), addrs)
+			bad("shard %d epoch %d has %d accepted leaders: %v", se.shard, se.epoch, len(addrs), addrs)
 		}
 	}
 
@@ -173,19 +218,51 @@ func CheckInvariants(helpers []*Helper) []string {
 			}
 		}
 	}
-	// Invariant 2b: no leader's ID range table contains overlapping
-	// batches (a batch handed out twice would let two helpers mint the
-	// same PID without ever colliding in 2a's maps).
+	// Invariant 2b: no ID range granted twice — neither within one shard
+	// leader's table nor across shard leaders (a batch handed out twice
+	// would let two helpers mint the same PID without ever colliding in
+	// 2a's maps). All led groups' ranges per kind are checked globally;
+	// slab striping should make cross-shard overlap impossible, so any
+	// hit is a routing or alignment bug.
+	type taggedRange struct {
+		r     idRange
+		shard int
+		addr  string
+	}
+	globalRanges := make(map[int][]taggedRange)
 	for _, s := range snaps {
-		for kind, rs := range s.ranges {
-			sorted := append([]idRange(nil), rs...)
-			sort.Slice(sorted, func(i, j int) bool { return sorted[i].lo < sorted[j].lo })
-			for i := 1; i < len(sorted); i++ {
-				if sorted[i].lo <= sorted[i-1].hi {
-					bad("leader %s kind %d: ranges [%d,%d](%s) and [%d,%d](%s) overlap",
-						s.addr, kind,
-						sorted[i-1].lo, sorted[i-1].hi, sorted[i-1].owner,
-						sorted[i].lo, sorted[i].hi, sorted[i].owner)
+		for _, g := range s.groups {
+			for kind, rs := range g.ranges {
+				for _, r := range rs {
+					globalRanges[kind] = append(globalRanges[kind], taggedRange{r: r, shard: g.shard, addr: s.addr})
+				}
+			}
+		}
+	}
+	for kind, rs := range globalRanges {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].r.lo < rs[j].r.lo })
+		for i := 1; i < len(rs); i++ {
+			if rs[i].r.lo <= rs[i-1].r.hi {
+				bad("kind %d: ranges [%d,%d](%s, shard %d @%s) and [%d,%d](%s, shard %d @%s) overlap",
+					kind,
+					rs[i-1].r.lo, rs[i-1].r.hi, rs[i-1].r.owner, rs[i-1].shard, rs[i-1].addr,
+					rs[i].r.lo, rs[i].r.hi, rs[i].r.owner, rs[i].shard, rs[i].addr)
+			}
+		}
+	}
+	// Invariant 2c: in a sharded plane, every range a shard leader granted
+	// lies inside that shard's own slabs — the arithmetic that lets any
+	// helper route an ID without asking anyone.
+	if nshards > 1 {
+		for _, s := range snaps {
+			for _, g := range s.groups {
+				for kind, rs := range g.ranges {
+					for _, r := range rs {
+						if shardOfID(r.lo, nshards) != g.shard || shardOfID(r.hi, nshards) != g.shard {
+							bad("shard %d leader %s kind %d: range [%d,%d] strays outside the shard's slabs",
+								g.shard, s.addr, kind, r.lo, r.hi)
+						}
+					}
 				}
 			}
 		}
@@ -205,9 +282,11 @@ func CheckInvariants(helpers []*Helper) []string {
 	}
 	tombstoned := func(kind int, id int64) bool {
 		for _, s := range snaps {
-			if s.removed != nil {
-				if _, dead := s.removed[kind][id]; dead {
-					return true
+			for _, g := range s.groups {
+				if g.removed != nil {
+					if _, dead := g.removed[kind][id]; dead {
+						return true
+					}
 				}
 			}
 		}
@@ -231,9 +310,20 @@ func CheckInvariants(helpers []*Helper) []string {
 		}
 	}
 	for _, s := range snaps {
-		for kind, m := range s.leaderKeys {
-			for key, id := range m {
-				record(kind, key, id, "leader "+s.addr)
+		for _, g := range s.groups {
+			for kind, m := range g.leaderKeys {
+				for key, id := range m {
+					record(kind, key, id, fmt.Sprintf("shard %d leader %s", g.shard, s.addr))
+					// Placement: the mapping must live on the shard the
+					// ring assigns the key's block to — a key has exactly
+					// one authoritative shard.
+					if nshards > 1 && key != api.IPCPrivate {
+						if want := ring.keyShard(kind, keyBlock(key)); want != g.shard {
+							bad("kind %d key %d recorded at shard %d (%s) but hashes to shard %d",
+								kind, key, g.shard, s.addr, want)
+						}
+					}
+				}
 			}
 		}
 		for kind, m := range s.keyCache {
@@ -253,7 +343,9 @@ func CheckInvariants(helpers []*Helper) []string {
 		}
 	}
 
-	// Invariant 4: no key-block lease held by two helpers at once.
+	// Invariant 4: no key-block lease held by two helpers at once, and
+	// every lease a shard leader granted is for a block the ring places on
+	// that shard.
 	type blockRef struct {
 		kind  int
 		block int64
@@ -267,6 +359,20 @@ func CheckInvariants(helpers []*Helper) []string {
 					bad("kind %d key block %d leased to both %s and %s", kind, b, prev, s.addr)
 				} else {
 					holders[r] = s.addr
+				}
+			}
+		}
+	}
+	if nshards > 1 {
+		for _, s := range snaps {
+			for _, g := range s.groups {
+				for kind, m := range g.leaderLeases {
+					for b := range m {
+						if want := ring.keyShard(kind, b); want != g.shard {
+							bad("kind %d block %d lease recorded at shard %d (%s) but hashes to shard %d",
+								kind, b, g.shard, s.addr, want)
+						}
+					}
 				}
 			}
 		}

@@ -84,10 +84,20 @@ type leaderState struct {
 	// already reaped (reap once per address).
 	departed map[string]struct{}
 	pgs      *pgroupState
+	// shard/nshards place this leaderState in a sharded plane: its
+	// allocation cursors only ever mint IDs from slabs where
+	// slab%nshards == shard (see alignCursorLocked). The classic
+	// single-coordinator plane is shard 0 of 1.
+	shard   int
+	nshards int
 }
 
 func newLeaderState() *leaderState {
-	return &leaderState{
+	return newLeaderStateShard(0, 1)
+}
+
+func newLeaderStateShard(shard, nshards int) *leaderState {
+	l := &leaderState{
 		ranges:   make(map[int][]idRange),
 		next:     map[int]int64{NSPid: 1, NSSysVMsg: 1, NSSysVSem: 1},
 		keys:     map[int]map[int64]keyEntry{NSSysVMsg: {}, NSSysVSem: {}},
@@ -96,7 +106,40 @@ func newLeaderState() *leaderState {
 		removed:  map[int]map[int64]struct{}{NSSysVMsg: {}, NSSysVSem: {}},
 		departed: make(map[string]struct{}),
 		pgs:      newPgroupState(),
+		shard:    shard,
+		nshards:  nshards,
 	}
+	for _, kind := range []int{NSPid, NSSysVMsg, NSSysVSem} {
+		l.alignCursorLocked(kind, 1)
+	}
+	return l
+}
+
+// alignCursorLocked moves the cursor of one namespace kind to the start
+// of this shard's next owned slab when the cursor sits in a foreign slab
+// or an n-wide grant would cross out of the current one. A no-op in the
+// 1-shard plane and whenever the grant fits inside an owned slab — the
+// common case, so sharding costs the allocator nothing per grant. Caller
+// holds l.mu (or owns l exclusively during construction).
+func (l *leaderState) alignCursorLocked(kind int, n int64) {
+	if l.nshards <= 1 {
+		return
+	}
+	next := l.next[kind]
+	if next < 1 {
+		next = 1
+	}
+	slab := (next - 1) / slabWidth
+	owned := int(slab%int64(l.nshards)) == l.shard
+	fits := next+n-1 <= (slab+1)*slabWidth
+	if owned && fits {
+		return
+	}
+	s := slab + 1
+	for int(s%int64(l.nshards)) != l.shard {
+		s++
+	}
+	l.next[kind] = s*slabWidth + 1
 }
 
 // cursor reports the next unallocated ID of the given kind.
@@ -110,6 +153,7 @@ func (l *leaderState) cursor(kind int) int64 {
 func (l *leaderState) allocRange(kind int, n int64, owner string) (lo, hi int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.alignCursorLocked(kind, n)
 	lo = l.next[kind]
 	hi = lo + n - 1
 	l.next[kind] = hi + 1
@@ -264,6 +308,7 @@ func (l *leaderState) keyResolve(kind int, key int64, flags int, proposedID int6
 			return keyResult{}, api.ENOENT
 		}
 		if proposedID == 0 {
+			l.alignCursorLocked(kind, 1)
 			proposedID = l.next[kind]
 			l.next[kind]++
 		}
@@ -291,6 +336,7 @@ func (l *leaderState) keyResolve(kind int, key int64, flags int, proposedID int6
 		return keyResult{id: proposedID, owner: requester}, 0
 	}
 	if proposedID == 0 {
+		l.alignCursorLocked(kind, 1)
 		proposedID = l.next[kind]
 		l.next[kind]++
 	}

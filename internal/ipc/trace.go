@@ -68,6 +68,20 @@ func rpcHist(t MsgType) *metrics.Histogram {
 	return metrics.Default.Histogram("rpc.other")
 }
 
+// rpcHistFor picks the latency histogram for one completed client hop. In
+// a sharded topology coordination RPCs observe into a per-shard series
+// ("rpc.<type>.s<N>", names pre-rendered at helper construction) so a
+// slow or recovering shard is visible in isolation; single-shard
+// topologies keep the classic aggregate names.
+func (h *Helper) rpcHistFor(t MsgType, shard int32) *metrics.Histogram {
+	if h.shards > 1 && int(shard) >= 0 && int(shard) < len(h.rpcShardHistNames) {
+		if names := h.rpcShardHistNames[shard]; int(t) < len(names) && names[t] != "" {
+			return metrics.Default.Histogram(names[t])
+		}
+	}
+	return rpcHist(t)
+}
+
 // traceRoot mints a trace ID and root span for a guest-syscall-level
 // operation (0, 0 when tracing is off). Frames stamped with the root as
 // their Span before beginSpan make sibling hops of one operation share a
@@ -108,7 +122,7 @@ func (h *Helper) endSpan(f *Frame, start int64, parent uint64, err error) {
 		Errno: int32(api.ToErrno(err)), Dur: dur,
 		Trace: f.Trace, Span: f.Span, Parent: parent,
 	})
-	rpcHist(f.Type).Observe(dur)
+	h.rpcHistFor(f.Type, f.Shard).Observe(dur)
 }
 
 // serveSpan records the server side of a traced request in dispatchOn and
@@ -120,8 +134,15 @@ func (h *Helper) serveSpan(f *Frame) {
 	}
 	parent := f.Span
 	f.Span = newSpanID()
+	// Arg carries shard+1 on sharded topologies (0 = classic single-shard,
+	// keeping legacy dumps byte-identical); tracedump renders "shard=N".
+	var shardArg uint64
+	if h.shards > 1 {
+		shardArg = uint64(f.Shard) + 1
+	}
 	h.pal.Proc().TraceRecord(host.TraceEvent{
 		TS: host.TraceNow(), Kind: host.EvRPCServe, Code: uint32(f.Type),
+		Arg: shardArg,
 		Trace: f.Trace, Span: f.Span, Parent: parent,
 	})
 }
@@ -139,23 +160,46 @@ func (h *Helper) traceElection(trace, parent uint64, epoch int64) {
 }
 
 // RegisterGauges installs this helper's live-state gauges — accepted
-// election epoch and held key-block leases — into the default metrics
-// registry under the helper's guest PID, returning an unregister func for
-// test teardown.
+// election epoch (shard 0, plus one gauge per extra shard), held
+// key-block leases, live shard count, and the leader-routing cache hit
+// rate — into the default metrics registry under the helper's guest PID,
+// returning an unregister func for test teardown.
 func (h *Helper) RegisterGauges() func() {
-	epochName := gaugeName("ipc.election_epoch.pid", h.GuestPID)
-	leaseName := gaugeName("ipc.live_leases.pid", h.GuestPID)
-	metrics.Default.RegisterGauge(epochName, func() int64 {
+	var names []string
+	reg := func(name string, fn func() int64) {
+		metrics.Default.RegisterGauge(name, fn)
+		names = append(names, name)
+	}
+	reg(gaugeName("ipc.election_epoch.pid", h.GuestPID), func() int64 {
 		h.mu.Lock()
 		defer h.mu.Unlock()
 		return h.leaderEpoch
 	})
-	metrics.Default.RegisterGauge(leaseName, func() int64 {
+	reg(gaugeName("ipc.live_leases.pid", h.GuestPID), func() int64 {
 		return int64(h.leaseCount.Load())
 	})
+	reg(gaugeName("ipc.live_shards.pid", h.GuestPID), func() int64 {
+		return int64(h.LiveShards())
+	})
+	reg(gaugeName("ipc.route_hit_pct.pid", h.GuestPID), func() int64 {
+		hits, misses := int64(h.routeHits.Load()), int64(h.routeMisses.Load())
+		if hits+misses == 0 {
+			return 100
+		}
+		return 100 * hits / (hits + misses)
+	})
+	if h.shards > 1 {
+		for s := 1; s < h.shards; s++ {
+			shard := s
+			reg(gaugeName(gaugeName("ipc.shard_epoch.s", int64(shard))+".pid", h.GuestPID), func() int64 {
+				return h.ShardEpoch(shard)
+			})
+		}
+	}
 	return func() {
-		metrics.Default.UnregisterGauge(epochName)
-		metrics.Default.UnregisterGauge(leaseName)
+		for _, n := range names {
+			metrics.Default.UnregisterGauge(n)
+		}
 	}
 }
 

@@ -35,6 +35,10 @@ type Checkpoint struct {
 	PGID        int64
 	ParentAddr  string
 	LeaderAddr  string
+	// ShardAddrs is the per-shard coordinator address table when the parent
+	// runs on a sharded namespace plane (nil / single entry = classic
+	// one-coordinator topology; the child then joins via LeaderAddr).
+	ShardAddrs  []string
 	ProgramPath string
 	Argv        []string
 	Cwd         string
@@ -69,6 +73,7 @@ func (p *Process) checkpointMeta() (*Checkpoint, []*host.Handle, error) {
 		PGID:        p.pgid,
 		ParentAddr:  p.helperAddr(),
 		LeaderAddr:  p.leaderAddrLocked(),
+		ShardAddrs:  p.shardAddrsLocked(),
 		ProgramPath: p.programPath,
 		Argv:        append([]string(nil), p.argv...),
 		Cwd:         p.cwd,
@@ -110,6 +115,15 @@ func (p *Process) helperAddr() string {
 		return p.helper.Addr
 	}
 	return ""
+}
+
+// shardAddrsLocked snapshots the parent helper's per-shard leader table
+// for checkpoint capture; nil on the classic single-coordinator plane.
+func (p *Process) shardAddrsLocked() []string {
+	if p.helper != nil && p.helper.Shards() > 1 {
+		return p.helper.ShardLeaderAddrs()
+	}
+	return nil
 }
 
 func (p *Process) leaderAddrLocked() string {
@@ -176,6 +190,7 @@ const (
 type ckMetaSection struct {
 	PID, PPID, PGID        int64
 	ParentAddr, LeaderAddr string
+	ShardAddrs             []string
 	ProgramPath            string
 	Argv                   []string
 	Cwd                    string
@@ -374,7 +389,12 @@ func restoreChild(rt *Runtime, c *pal.PAL, initial *host.Stream, store *host.Han
 			return nil, err
 		}
 	}
-	helper, err := ipc.NewMember(c, child.svc(), meta.PID, meta.LeaderAddr)
+	var helper *ipc.Helper
+	if len(meta.ShardAddrs) > 1 {
+		helper, err = ipc.NewShardMember(c, child.svc(), meta.PID, meta.ShardAddrs)
+	} else {
+		helper, err = ipc.NewMember(c, child.svc(), meta.PID, meta.LeaderAddr)
+	}
 	if err != nil {
 		return nil, err
 	}

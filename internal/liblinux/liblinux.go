@@ -154,6 +154,85 @@ func (r *Runtime) Launch(man *monitor.Manifest, path string, argv []string) (*La
 	return res, nil
 }
 
+// coordService is the upcall surface of a dedicated coordinator
+// picoprocess: it hosts no application, so signals and exit reports aimed
+// at it are dropped and /proc reads answer ENOENT.
+type coordService struct{}
+
+func (coordService) DeliverSignal(int64, api.Signal) api.Errno  { return 0 }
+func (coordService) NotifyExit(int64, int64, api.Signal)        {}
+func (coordService) ProcMeta(int64, string) (string, api.Errno) { return "", api.ENOENT }
+
+// LaunchSharded boots path's program as the root of a sandbox whose
+// namespace plane is partitioned across `shards` coordinator
+// picoprocesses. The root doubles as shard 0's coordinator (guest PID 1,
+// like the classic leader); shards 1..N-1 are dedicated coordinator
+// picoprocesses forked before the program starts, holding guest PIDs
+// 2..N. Children forked by the application inherit the full shard
+// address table through the checkpoint meta. shards <= 1 degenerates to
+// the classic single-coordinator Launch.
+func (r *Runtime) LaunchSharded(man *monitor.Manifest, path string, argv []string, shards int) (*LaunchResult, error) {
+	if shards <= 1 {
+		return r.Launch(man, path, argv)
+	}
+	prog, ok := r.lookupProgram(path)
+	if !ok {
+		return nil, api.ENOENT
+	}
+	proc, _, err := r.mon.Launch(man)
+	if err != nil {
+		return nil, err
+	}
+	p := pal.New(r.kernel, proc, r.mon)
+	lib, err := newProcess(r, p, 1, 0, "", "")
+	if err != nil {
+		proc.Exit(127)
+		return nil, err
+	}
+	addrs := make([]string, shards)
+	helper, err := ipc.NewShardLeader(p, lib.svc(), 1, 0, shards, addrs)
+	if err != nil {
+		proc.Exit(127)
+		return nil, err
+	}
+	addrs[0] = helper.Addr
+	lib.helper = helper
+	coords := []*ipc.Helper{helper}
+	for i := 1; i < shards; i++ {
+		ready := make(chan *pal.PAL, 1)
+		if _, _, err := p.DkProcessCreate(func(c *pal.PAL, _ *host.Stream) {
+			ready <- c
+			select {} // coordinators serve from their helper thread forever
+		}, false); err != nil {
+			proc.Exit(127)
+			return nil, err
+		}
+		cp := <-ready
+		ch, err := ipc.NewShardLeader(cp, coordService{}, int64(i+1), i, shards, addrs)
+		if err != nil {
+			proc.Exit(127)
+			return nil, err
+		}
+		addrs[i] = ch.Addr
+		// Back-fill the routing tables of the shards booted before this one.
+		for _, c := range coords {
+			c.SetShardLeader(i, ch.Addr)
+		}
+		coords = append(coords, ch)
+	}
+	lib.programPath = path
+	lib.argv = argv
+
+	res := &LaunchResult{Process: lib, Done: make(chan struct{})}
+	proc.NewThread(func(tid int) {
+		code := lib.runProgram(prog, path, argv)
+		lib.doExit(code, 0)
+		res.exitCode = lib.exitCode
+		close(res.Done)
+	})
+	return res, nil
+}
+
 // execRequest is panicked by Exec and recovered by runProgram, modeling
 // execve's replace-the-image semantics on a Go stack.
 type execRequest struct {

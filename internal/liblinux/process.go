@@ -379,7 +379,7 @@ func (p *Process) shipCheckpoint(store *host.Handle, ck *Checkpoint, handles []*
 	}
 	meta := ckMetaSection{
 		PID: childPID, PPID: p.pid, PGID: ck.PGID,
-		ParentAddr: ck.ParentAddr, LeaderAddr: ck.LeaderAddr,
+		ParentAddr: ck.ParentAddr, LeaderAddr: ck.LeaderAddr, ShardAddrs: ck.ShardAddrs,
 		ProgramPath: ck.ProgramPath, Argv: ck.Argv, Cwd: ck.Cwd, Env: ck.Env,
 	}
 	if err := writeSection(parentStream, secMeta, gobBytes(&meta)); err != nil {
