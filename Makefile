@@ -5,7 +5,7 @@ PKGS := ./...
 # The RPC hot path: host byte streams and the IPC coordination framework.
 HOT_PKGS := ./internal/host/... ./internal/ipc/...
 
-.PHONY: build test race vet bench bench-fig5 chaos chaos-shard cover fuzz all
+.PHONY: build test race vet bench bench-fig5 chaos chaos-shard chaos-ring cover fuzz all
 
 all: build vet test
 
@@ -41,6 +41,14 @@ chaos:
 # `make chaos`.
 chaos-shard:
 	$(GO) test -race -count=3 -run 'Shard' ./internal/ipc/
+
+# Kernel-bypass ring datapath under fault: the host segment protocol
+# (seal fences, revocation, concurrent produce/consume) and the ipc-layer
+# chaos suites (owner killed mid-send, sandbox split revoking a parked
+# recv, ownership migration while attached), under the race detector.
+# Same fixed-seed discipline as `make chaos`.
+chaos-ring:
+	$(GO) test -race -count=3 -run 'Ring' ./internal/ipc/ ./internal/host/
 
 # Coverage profile over every package; CI uploads coverage.out as an
 # artifact. -covermode=atomic because the suites are concurrency-heavy.

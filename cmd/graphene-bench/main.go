@@ -49,11 +49,15 @@ func main() {
 		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(t0).Seconds())
 	}
 	// emit writes the experiment's machine-readable twin when -json is on.
-	emit := func(name string, v any) error {
+	// merge receives the archive path and returns fresh rows folded into
+	// whatever is already there (coordinate-keyed, see bench.Merge*JSON),
+	// so a partial or -quick run refreshes only the cells it measured.
+	emit := func(name string, merge func(path string) any) error {
 		if !*jsonOut {
 			return nil
 		}
-		return bench.WriteJSON("BENCH_"+name+".json", v)
+		path := "BENCH_" + name + ".json"
+		return bench.WriteJSON(path, merge(path))
 	}
 
 	iters := 10
@@ -90,7 +94,7 @@ func main() {
 			return err
 		}
 		fmt.Print(bench.RenderTable4(rows))
-		return emit("table4", bench.Table4JSON(rows))
+		return emit("table4", func(p string) any { return bench.MergeTable4JSON(p, rows) })
 	})
 	run("fig4", func() error {
 		rows, err := bench.Fig4()
@@ -98,7 +102,7 @@ func main() {
 			return err
 		}
 		fmt.Print(bench.RenderFig4(rows))
-		return emit("fig4", bench.Fig4JSON(rows))
+		return emit("fig4", func(p string) any { return bench.MergeFig4JSON(p, rows) })
 	})
 	run("table5", func() error {
 		rows, err := bench.Table5(t5)
@@ -106,7 +110,7 @@ func main() {
 			return err
 		}
 		fmt.Print(bench.RenderTable5(rows))
-		return emit("table5", bench.Table5JSON(rows))
+		return emit("table5", func(p string) any { return bench.MergeTable5JSON(p, rows) })
 	})
 	run("table6", func() error {
 		rows, err := bench.Table6(t6Iters, t6Scale)
@@ -114,7 +118,7 @@ func main() {
 			return err
 		}
 		fmt.Print(bench.RenderTable6(rows))
-		return emit("table6", bench.Table6JSON(rows))
+		return emit("table6", func(p string) any { return bench.MergeTable6JSON(p, rows) })
 	})
 	run("table7", func() error {
 		rows, err := bench.Table7(t7N, t7Iters)
@@ -122,7 +126,7 @@ func main() {
 			return err
 		}
 		fmt.Print(bench.RenderTable7(rows))
-		return emit("table7", bench.Table7JSON(rows))
+		return emit("table7", func(p string) any { return bench.MergeTable7JSON(p, rows) })
 	})
 	run("fig5", func() error {
 		points, err := bench.Fig5(fig5Counts, fig5Msgs)
@@ -135,14 +139,8 @@ func main() {
 			return err
 		}
 		fmt.Print(bench.RenderFig5Shards(shardPoints))
-		if !*jsonOut {
-			return nil
-		}
-		// Merge rather than clobber: a partial sweep (quick mode, or a
-		// single re-measured configuration) refreshes only the series it
-		// ran; everything else in the archive survives.
-		merged := bench.MergeFig5JSON("BENCH_fig5.json", append(points, shardPoints...))
-		return bench.WriteJSON("BENCH_fig5.json", merged)
+		allPoints := append(points, shardPoints...)
+		return emit("fig5", func(p string) any { return bench.MergeFig5JSON(p, allPoints) })
 	})
 	run("table8", func() error {
 		fmt.Print(bench.RenderTable8())

@@ -553,6 +553,115 @@ func TestConformanceSemopEidrmWakeup(t *testing.T) {
 	})
 }
 
+// TestConformanceMsgrcvEintrOnSignal pins msgrcv(2): "EINTR: Sleeping on
+// receipt of a message, the process caught a signal." A receiver blocked
+// on an empty queue must wake with EINTR — not hang — when a caught
+// signal arrives, and the handler must run. The queue is created by the
+// parent, so on Graphene the child's park is a deferred remote RPC and
+// the interruption exercises the cross-process cancel path.
+func TestConformanceMsgrcvEintrOnSignal(t *testing.T) {
+	runEverywhere(t, nil, func(p api.OS, argv []string) int {
+		qid, err := p.Msgget(0x1E14, api.IPCCreat)
+		if err != nil {
+			return 1
+		}
+		r, w, err := p.Pipe()
+		if err != nil {
+			return 2
+		}
+		pid, err := p.Fork(func(c api.OS) {
+			got := make(chan api.Signal, 1)
+			if err := c.Sigaction(api.SIGTERM, func(s api.Signal) { got <- s }, ""); err != nil {
+				c.Exit(101)
+			}
+			if _, err := c.Write(w, []byte("r")); err != nil {
+				c.Exit(102)
+			}
+			// Blocks: the queue stays empty. Only the signal ends this.
+			_, _, err := c.Msgrcv(qid, 0, nil, 0)
+			if api.ToErrno(err) != api.EINTR {
+				c.Exit(103)
+			}
+			c.SignalsDrain()
+			select {
+			case <-got:
+			default:
+				c.Exit(104) // EINTR without the handler having run
+			}
+			c.Exit(0)
+		})
+		if err != nil {
+			return 3
+		}
+		if _, err := p.Read(r, make([]byte, 1)); err != nil {
+			return 4
+		}
+		// Give the child time to park inside msgrcv.
+		time.Sleep(10 * time.Millisecond)
+		if err := p.Kill(pid, api.SIGTERM); err != nil {
+			return 5
+		}
+		res, err := p.Wait(pid)
+		if err != nil || res.ExitCode != 0 {
+			return 6
+		}
+		return 0
+	})
+}
+
+// TestConformanceSemopEintrOnSignal is the semaphore side — semop(2):
+// "EINTR: While blocked in this system call, the thread caught a
+// signal." The child creates the set itself, so on Graphene the park is
+// owner-local and the interruption exercises the in-process cancel path.
+func TestConformanceSemopEintrOnSignal(t *testing.T) {
+	runEverywhere(t, nil, func(p api.OS, argv []string) int {
+		r, w, err := p.Pipe()
+		if err != nil {
+			return 1
+		}
+		pid, err := p.Fork(func(c api.OS) {
+			got := make(chan api.Signal, 1)
+			if err := c.Sigaction(api.SIGTERM, func(s api.Signal) { got <- s }, ""); err != nil {
+				c.Exit(101)
+			}
+			sid, err := c.Semget(api.IPCPrivate, 1, api.IPCCreat)
+			if err != nil {
+				c.Exit(102)
+			}
+			if _, err := c.Write(w, []byte("r")); err != nil {
+				c.Exit(103)
+			}
+			// The semaphore is zero and nobody posts: blocks until signaled.
+			err = c.Semop(sid, []api.SemBuf{{Num: 0, Op: -1}})
+			if api.ToErrno(err) != api.EINTR {
+				c.Exit(104)
+			}
+			c.SignalsDrain()
+			select {
+			case <-got:
+			default:
+				c.Exit(105)
+			}
+			c.Exit(0)
+		})
+		if err != nil {
+			return 2
+		}
+		if _, err := p.Read(r, make([]byte, 1)); err != nil {
+			return 3
+		}
+		time.Sleep(10 * time.Millisecond)
+		if err := p.Kill(pid, api.SIGTERM); err != nil {
+			return 4
+		}
+		res, err := p.Wait(pid)
+		if err != nil || res.ExitCode != 0 {
+			return 5
+		}
+		return 0
+	})
+}
+
 // TestConformanceForkExecFDInheritance pins fork(2) ("The child inherits
 // copies of the parent's set of open file descriptors") composed with
 // execve(2) ("By default, file descriptors remain open across an

@@ -70,6 +70,12 @@ type Process struct {
 	handlers map[api.Signal]api.SigHandler
 	disp     map[api.Signal]string
 	pending  []api.Signal
+	// intrSeq counts interrupting signal deliveries (caught or fatal);
+	// a blocked syscall snapshots it at park time and returns EINTR when
+	// it changes. parked holds the condition variables such syscalls are
+	// sleeping on, so deliverSignal can wake them.
+	intrSeq int64
+	parked  map[*sync.Cond]int
 
 	exitOnce      sync.Once
 	exitCode      int
@@ -371,6 +377,7 @@ func (p *Process) deliverSignal(sig api.Signal) {
 		switch p.disp[sig] {
 		case "handler":
 			p.pending = append(p.pending, sig)
+			p.interruptLocked()
 			p.mu.Unlock()
 			return
 		case api.SigIgn:
@@ -379,10 +386,60 @@ func (p *Process) deliverSignal(sig api.Signal) {
 		}
 	}
 	fatal := sig != api.SIGCHLD && sig != api.SIGCONT && sig != api.SIGSTOP
+	if fatal {
+		p.interruptLocked()
+	}
 	p.mu.Unlock()
 	if fatal {
 		go p.doExit(128+int(sig), sig)
 	}
+}
+
+// interruptLocked records an interrupting delivery and wakes every parked
+// blocking syscall so it can return EINTR. Caller holds p.mu; the
+// broadcasts run after it is released (cv.L is the sleeping object's own
+// mutex, and p.mu never nests inside one of those).
+func (p *Process) interruptLocked() {
+	p.intrSeq++
+	cvs := make([]*sync.Cond, 0, len(p.parked))
+	for cv := range p.parked {
+		cvs = append(cvs, cv)
+	}
+	if len(cvs) == 0 {
+		return
+	}
+	go func() {
+		for _, cv := range cvs {
+			cv.L.Lock()
+			cv.Broadcast()
+			cv.L.Unlock()
+		}
+	}()
+}
+
+// sigSeq snapshots the interruption counter for a blocking syscall.
+func (p *Process) sigSeq() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.intrSeq
+}
+
+// parkOn registers cv as interruptible while a syscall sleeps on it.
+func (p *Process) parkOn(cv *sync.Cond) {
+	p.mu.Lock()
+	if p.parked == nil {
+		p.parked = make(map[*sync.Cond]int)
+	}
+	p.parked[cv]++
+	p.mu.Unlock()
+}
+
+func (p *Process) unparkFrom(cv *sync.Cond) {
+	p.mu.Lock()
+	if p.parked[cv]--; p.parked[cv] <= 0 {
+		delete(p.parked, cv)
+	}
+	p.mu.Unlock()
 }
 
 // Sigaction installs a handler or disposition.

@@ -130,6 +130,9 @@ func (p *Process) Msgrcv(id int, mtype int64, buf []byte, flags int) (int64, []b
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	p.parkOn(q.cv)
+	defer p.unparkFrom(q.cv)
+	seq := p.sigSeq()
 	for {
 		if q.removed {
 			return 0, nil, api.EIDRM
@@ -145,6 +148,10 @@ func (p *Process) Msgrcv(id int, mtype int64, buf []byte, flags int) (int64, []b
 		}
 		if flags&api.IPCNoWait != 0 {
 			return 0, nil, api.ENOMSG
+		}
+		// Interrupted by a signal while sleeping: msgrcv(2) EINTR.
+		if p.sigSeq() != seq {
+			return 0, nil, api.EINTR
 		}
 		q.cv.Wait()
 	}
@@ -224,6 +231,9 @@ func (p *Process) Semop(id int, ops []api.SemBuf) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	p.parkOn(s.cv)
+	defer p.unparkFrom(s.cv)
+	seq := p.sigSeq()
 	for {
 		if s.removed {
 			return api.EIDRM
@@ -238,6 +248,10 @@ func (p *Process) Semop(id int, ops []api.SemBuf) error {
 		}
 		if noWait {
 			return api.EAGAIN
+		}
+		// Interrupted by a signal while sleeping: semop(2) EINTR.
+		if p.sigSeq() != seq {
+			return api.EINTR
 		}
 		s.cv.Wait()
 	}

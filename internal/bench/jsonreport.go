@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"sort"
 
@@ -164,39 +165,92 @@ func Fig5JSON(points []Fig5Point) any {
 	return out
 }
 
-// MergeFig5JSON merges freshly measured Figure 5 points into the series
-// already archived at path: an existing point with the same (processes,
-// shards) coordinate is overwritten by its new measurement, every other
-// archived point is preserved, and the result is sorted by (processes,
-// shards). A partial sweep therefore refreshes only what it ran instead
-// of clobbering the whole file; a missing or unreadable archive degrades
-// to just the new points.
-func MergeFig5JSON(path string, points []Fig5Point) any {
-	merged := []fig5JSON{}
+// mergeRows is the shared merge-by-coordinate engine behind every
+// Merge*JSON projection: a row archived at path whose key matches a fresh
+// row is overwritten by the new measurement, every other archived row is
+// preserved, and fresh rows with no archived counterpart append in run
+// order. A partial sweep therefore refreshes only what it ran instead of
+// clobbering the whole file; a missing or unreadable archive degrades to
+// just the new rows. fix, if non-nil, normalizes archived rows before
+// matching (schema back-compat, e.g. Fig5's pre-shard points).
+func mergeRows[T any](path string, fresh []T, key func(T) string, fix func([]T)) []T {
+	merged := []T{}
 	if data, err := os.ReadFile(path); err == nil {
-		var old []fig5JSON
+		var old []T
 		if json.Unmarshal(data, &old) == nil {
 			merged = old
 		}
 	}
-	for i := range merged {
-		if merged[i].Shards == 0 {
-			merged[i].Shards = 1
-		}
+	if fix != nil {
+		fix(merged)
 	}
-	for _, np := range Fig5JSON(points).([]fig5JSON) {
+	for _, nr := range fresh {
 		replaced := false
-		for i, op := range merged {
-			if op.Processes == np.Processes && op.Shards == np.Shards {
-				merged[i] = np
+		for i := range merged {
+			if key(merged[i]) == key(nr) {
+				merged[i] = nr
 				replaced = true
 				break
 			}
 		}
 		if !replaced {
-			merged = append(merged, np)
+			merged = append(merged, nr)
 		}
 	}
+	return merged
+}
+
+// MergeTable4JSON merges fresh Table 4 rows into the archive at path,
+// keyed by system.
+func MergeTable4JSON(path string, rows []Table4Result) any {
+	return mergeRows(path, Table4JSON(rows).([]table4JSON),
+		func(r table4JSON) string { return r.System }, nil)
+}
+
+// MergeFig4JSON merges fresh Figure 4 rows into the archive at path,
+// keyed by (workload, system).
+func MergeFig4JSON(path string, rows []Fig4Result) any {
+	return mergeRows(path, Fig4JSON(rows).([]fig4JSON),
+		func(r fig4JSON) string { return r.Workload + "|" + r.System }, nil)
+}
+
+// MergeTable5JSON merges fresh Table 5 rows into the archive at path,
+// keyed by workload.
+func MergeTable5JSON(path string, rows []Table5Result) any {
+	return mergeRows(path, Table5JSON(rows).([]table5JSON),
+		func(r table5JSON) string { return r.Workload }, nil)
+}
+
+// MergeTable6JSON merges fresh Table 6 rows into the archive at path,
+// keyed by test name.
+func MergeTable6JSON(path string, rows []Table6Result) any {
+	return mergeRows(path, Table6JSON(rows).([]table6JSON),
+		func(r table6JSON) string { return r.Test }, nil)
+}
+
+// MergeTable7JSON merges fresh Table 7 rows into the archive at path,
+// keyed by (op, mode) — so an archive written before the kernel-bypass
+// datapath existed gains the "inter process (ring)" rows without losing
+// its other cells.
+func MergeTable7JSON(path string, rows []Table7Result) any {
+	return mergeRows(path, Table7JSON(rows).([]table7JSON),
+		func(r table7JSON) string { return r.Op + "|" + r.Mode }, nil)
+}
+
+// MergeFig5JSON merges freshly measured Figure 5 points into the series
+// already archived at path, keyed by (processes, shards) and sorted on
+// that coordinate. Archived points from before the sharded namespace
+// plane carry Shards == 0 and normalize to 1 before matching.
+func MergeFig5JSON(path string, points []Fig5Point) any {
+	merged := mergeRows(path, Fig5JSON(points).([]fig5JSON),
+		func(p fig5JSON) string { return fmt.Sprintf("%d|%d", p.Processes, p.Shards) },
+		func(old []fig5JSON) {
+			for i := range old {
+				if old[i].Shards == 0 {
+					old[i].Shards = 1
+				}
+			}
+		})
 	sort.Slice(merged, func(i, j int) bool {
 		if merged[i].Processes != merged[j].Processes {
 			return merged[i].Processes < merged[j].Processes

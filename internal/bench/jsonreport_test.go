@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+
+	"graphene/internal/metrics"
+)
+
+func sampleOf(vs ...float64) *metrics.Sample {
+	s := &metrics.Sample{}
+	for _, v := range vs {
+		s.Add(v)
+	}
+	return s
+}
+
+// TestMergeTable7JSON exercises the coordinate merge on the table with the
+// richest key (op, mode): a re-measured cell replaces its archived twin, a
+// row the archive predates (the kernel-bypass ring mode) appends, and
+// untouched archive rows survive.
+func TestMergeTable7JSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_table7.json")
+
+	first := []Table7Result{
+		{Op: "msgsnd", Mode: "in process", Graphene: sampleOf(400)},
+		{Op: "msgsnd", Mode: "inter process", Graphene: sampleOf(1000)},
+	}
+	if err := WriteJSON(path, MergeTable7JSON(path, first)); err != nil {
+		t.Fatal(err)
+	}
+
+	second := []Table7Result{
+		{Op: "msgsnd", Mode: "inter process", Graphene: sampleOf(1100)},
+		{Op: "msgsnd", Mode: "inter process (ring)", Graphene: sampleOf(600)},
+	}
+	merged, ok := MergeTable7JSON(path, second).([]table7JSON)
+	if !ok {
+		t.Fatalf("MergeTable7JSON returned %T", MergeTable7JSON(path, second))
+	}
+	if len(merged) != 3 {
+		t.Fatalf("merged rows = %d, want 3: %+v", len(merged), merged)
+	}
+	byKey := map[string]table7JSON{}
+	for _, r := range merged {
+		byKey[r.Op+"|"+r.Mode] = r
+	}
+	if r := byKey["msgsnd|in process"]; r.Graphene == nil || r.Graphene.Mean != 400 {
+		t.Errorf("untouched archive row lost or altered: %+v", r)
+	}
+	if r := byKey["msgsnd|inter process"]; r.Graphene == nil || r.Graphene.Mean != 1100 {
+		t.Errorf("re-measured row not replaced: %+v", r)
+	}
+	if r, found := byKey["msgsnd|inter process (ring)"]; !found || r.Graphene.Mean != 600 {
+		t.Errorf("new ring row not appended: %+v", r)
+	}
+}
+
+func TestMergeTable6JSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_table6.json")
+	first := []Table6Result{
+		{Test: "syscall", Linux: sampleOf(40), Graphene: sampleOf(10), GrapheneRM: sampleOf(12)},
+		{Test: "read", Linux: sampleOf(90), Graphene: sampleOf(120), GrapheneRM: sampleOf(130)},
+	}
+	if err := WriteJSON(path, MergeTable6JSON(path, first)); err != nil {
+		t.Fatal(err)
+	}
+	second := []Table6Result{
+		{Test: "read", Linux: sampleOf(91), Graphene: sampleOf(121), GrapheneRM: sampleOf(131)},
+	}
+	merged := MergeTable6JSON(path, second).([]table6JSON)
+	if len(merged) != 2 {
+		t.Fatalf("merged rows = %d, want 2", len(merged))
+	}
+	for _, r := range merged {
+		switch r.Test {
+		case "syscall":
+			if r.Graphene.Mean != 10 {
+				t.Errorf("syscall row altered: %+v", r)
+			}
+		case "read":
+			if r.Graphene.Mean != 121 {
+				t.Errorf("read row not refreshed: %+v", r)
+			}
+		default:
+			t.Errorf("unexpected row %q", r.Test)
+		}
+	}
+}
+
+// TestMergeJSONMissingArchive checks the degradation path: no archive (or
+// an unreadable one) merges to exactly the fresh rows.
+func TestMergeJSONMissingArchive(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope.json")
+	rows := []Table4Result{{System: "Graphene", StartupUS: sampleOf(641)}}
+	merged := MergeTable4JSON(path, rows).([]table4JSON)
+	if len(merged) != 1 || merged[0].System != "Graphene" {
+		t.Fatalf("merged = %+v", merged)
+	}
+}
+
+// TestMergeFig5JSONNormalizesShards pins the schema back-compat path: an
+// archive written before the sharded namespace plane (Shards omitted,
+// unmarshals as 0) matches a fresh single-coordinator point at Shards 1
+// instead of duplicating the coordinate.
+func TestMergeFig5JSONNormalizesShards(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_fig5.json")
+	if err := WriteJSON(path, []map[string]any{
+		{"processes": 4, "linux_pipes_us": 10.0, "graphene_rpc_us": 20.0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	merged := MergeFig5JSON(path, []Fig5Point{
+		{Processes: 4, Shards: 1, PipesUS: 11, RPCUS: 19},
+		{Processes: 2, Shards: 1, PipesUS: 5, RPCUS: 9},
+	}).([]fig5JSON)
+	if len(merged) != 2 {
+		t.Fatalf("merged points = %d, want 2 (pre-shard archive point must match, not duplicate): %+v", len(merged), merged)
+	}
+	// Sorted by (processes, shards).
+	if merged[0].Processes != 2 || merged[1].Processes != 4 {
+		t.Fatalf("not sorted: %+v", merged)
+	}
+	if merged[1].RPCUS != 19 {
+		t.Errorf("archived pre-shard point not replaced: %+v", merged[1])
+	}
+}

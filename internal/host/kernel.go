@@ -157,6 +157,13 @@ type Kernel struct {
 	nextSID  int
 	nextSand int
 
+	// rings / semSegs are the kernel-bypass SysV segments (ring.go). One
+	// ID space covers both flavors; revocation sweeps run on process exit
+	// and sandbox splits.
+	rings    map[int]*RingSegment
+	semSegs  map[int]*SemSeg
+	nextRing int
+
 	console    *Console
 	broadcasts map[int]*BroadcastChannel // per-sandbox coordination channels
 
@@ -222,6 +229,8 @@ func NewKernel() *Kernel {
 		streams: newStreamRegistry(),
 		procs:   make(map[int]*Picoprocess),
 		stores:  make(map[int]*IPCStore),
+		rings:   make(map[int]*RingSegment),
+		semSegs: make(map[int]*SemSeg),
 	}
 	k.partitions = newPartitionTable()
 	k.streams.part = k.partitions
@@ -312,6 +321,11 @@ func (k *Kernel) onProcessExit(p *Picoprocess) {
 	k.retireRecorder(p)
 	k.mu.Lock()
 	delete(k.procs, p.ID)
+	// A dead endpoint revokes its kernel-bypass rings: the survivor's
+	// drainer wakes, reclaims undrained messages, and falls back to RPC.
+	k.revokeRingsLocked(func(creator, client int) bool {
+		return creator != p.ID && client != p.ID
+	})
 	bc := k.broadcasts[p.SandboxID]
 	k.mu.Unlock()
 	if bc != nil {
@@ -497,6 +511,136 @@ func (k *Kernel) IPCStoreByID(id int) *IPCStore {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	return k.stores[id]
+}
+
+// --- kernel-bypass SysV rings ---
+
+// CreateRingSegment allocates a message ring granted by owner p to the
+// picoprocess clientPID (ring.go). The grant itself is owner-local; the
+// monitor's policy check runs when the client maps it (MapRingSegment),
+// mirroring the gipc create/map split.
+func (k *Kernel) CreateRingSegment(p *Picoprocess, clientPID int) (*RingSegment, error) {
+	if err := k.Gate(p, SysMmap, true); err != nil {
+		return nil, err
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.nextRing++
+	r := newRingSegment(k.nextRing, p.ID, clientPID)
+	k.rings[r.ID] = r
+	return r, nil
+}
+
+// CreateSemSegment allocates a semaphore fast-path segment granted by
+// owner p to clientPID, seeded with the semaphore's current value.
+func (k *Kernel) CreateSemSegment(p *Picoprocess, clientPID int, initial int64) (*SemSeg, error) {
+	if err := k.Gate(p, SysMmap, true); err != nil {
+		return nil, err
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.nextRing++
+	s := newSemSeg(k.nextRing, p.ID, clientPID, initial)
+	k.semSegs[s.ID] = s
+	return s, nil
+}
+
+// MapRingSegment maps a granted message ring into the calling
+// picoprocess. The reference monitor's bulk-IPC rule applies: only the
+// granted client, and only while it shares a sandbox with the creator.
+func (k *Kernel) MapRingSegment(p *Picoprocess, id int) (*RingSegment, error) {
+	if err := k.Gate(p, SysMmap, true); err != nil {
+		return nil, err
+	}
+	k.mu.Lock()
+	r := k.rings[id]
+	k.mu.Unlock()
+	if r == nil || r.Revoked() {
+		return nil, api.ENOENT
+	}
+	if p.ID != r.ClientPID {
+		return nil, api.EPERM
+	}
+	if err := k.Policy().CheckBulkIPC(p, r.CreatorPID); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// MapSemSegment is MapRingSegment for semaphore segments.
+func (k *Kernel) MapSemSegment(p *Picoprocess, id int) (*SemSeg, error) {
+	if err := k.Gate(p, SysMmap, true); err != nil {
+		return nil, err
+	}
+	k.mu.Lock()
+	s := k.semSegs[id]
+	k.mu.Unlock()
+	if s == nil || s.Revoked() {
+		return nil, api.ENOENT
+	}
+	if p.ID != s.ClientPID {
+		return nil, api.EPERM
+	}
+	if err := k.Policy().CheckBulkIPC(p, s.CreatorPID); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ReleaseRingSegment drops a fully revoked segment from the registry
+// (either flavor). The owner calls this after reclaiming ring contents.
+func (k *Kernel) ReleaseRingSegment(id int) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if r := k.rings[id]; r != nil && r.Revoked() {
+		delete(k.rings, id)
+	}
+	if s := k.semSegs[id]; s != nil && s.Revoked() {
+		delete(k.semSegs, id)
+	}
+}
+
+// revokeRingsLocked revokes every live segment failing keep. Caller holds
+// k.mu; revocation itself is lock-free (atomic flag + doorbell).
+func (k *Kernel) revokeRingsLocked(keep func(creator, client int) bool) {
+	for _, r := range k.rings {
+		if !r.Revoked() && !keep(r.CreatorPID, r.ClientPID) {
+			r.Revoke()
+		}
+	}
+	for _, s := range k.semSegs {
+		if !s.Revoked() && !keep(s.CreatorPID, s.ClientPID) {
+			s.Revoke()
+		}
+	}
+}
+
+// RevokeCrossSandboxRings revokes every ring whose endpoints no longer
+// share a sandbox (or are dead) — the ring-datapath analogue of
+// SeverCrossSandboxStreams, run on every sandbox split. The revocation is
+// what the paper's security argument needs: after a split, no shared
+// memory bridges the two sides.
+func (k *Kernel) RevokeCrossSandboxRings() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.revokeRingsLocked(func(creator, client int) bool {
+		cp, cl := k.procs[creator], k.procs[client]
+		return cp != nil && cl != nil && cp.SandboxID == cl.SandboxID
+	})
+}
+
+// RingSegments snapshots the segment registry for invariant checks.
+func (k *Kernel) RingSegments() []RingInfo {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]RingInfo, 0, len(k.rings)+len(k.semSegs))
+	for _, r := range k.rings {
+		out = append(out, RingInfo{ID: r.ID, CreatorPID: r.CreatorPID, ClientPID: r.ClientPID, Revoked: r.Revoked()})
+	}
+	for _, s := range k.semSegs {
+		out = append(out, RingInfo{ID: s.ID, CreatorPID: s.CreatorPID, ClientPID: s.ClientPID, Sem: true, Revoked: s.Revoked()})
+	}
+	return out
 }
 
 // --- misc host services ---

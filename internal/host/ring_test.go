@@ -1,0 +1,236 @@
+package host
+
+import (
+	"testing"
+
+	"graphene/internal/api"
+)
+
+// Unit tests for the kernel-bypass SysV segments: the SPSC descriptor
+// ring's sequence protocol (including wraparound and full/empty edges),
+// the revoke+seal fences, and the semaphore segment's CAS/sentinel
+// protocol. The ipc-level tests exercise the grant/drain/fallback
+// machinery; these pin the host primitives in isolation.
+
+func TestRingPushPopFIFO(t *testing.T) {
+	r := newRingSegment(1, 10, 11)
+	buf := make([]byte, RingSlotData)
+	// Three laps so the cursors wrap the slot array and the sequence words
+	// advance through their second and third epochs.
+	for lap := 0; lap < 3; lap++ {
+		for i := 0; i < RingSlots; i++ {
+			if !r.TryPush(int64(i+1), []byte{byte(i), byte(lap)}) {
+				t.Fatalf("lap %d: push %d failed on a non-full ring", lap, i)
+			}
+		}
+		if r.TryPush(99, []byte("x")) {
+			t.Fatal("push succeeded on a full ring")
+		}
+		if got := r.Pending(); got != RingSlots {
+			t.Fatalf("Pending = %d, want %d", got, RingSlots)
+		}
+		for i := 0; i < RingSlots; i++ {
+			mt, n, ok := r.TryPop(buf)
+			if !ok || mt != int64(i+1) || n != 2 || buf[0] != byte(i) || buf[1] != byte(lap) {
+				t.Fatalf("lap %d: pop %d = (%d, %d, %v) data=%v", lap, i, mt, n, ok, buf[:n])
+			}
+		}
+		if _, _, ok := r.TryPop(buf); ok {
+			t.Fatal("pop succeeded on an empty ring")
+		}
+	}
+}
+
+func TestRingOversizeRejected(t *testing.T) {
+	r := newRingSegment(1, 10, 11)
+	if r.TryPush(1, make([]byte, RingSlotData+1)) {
+		t.Fatal("oversize payload accepted")
+	}
+	// The rejection must not corrupt the ring.
+	if !r.TryPush(2, []byte("ok")) {
+		t.Fatal("push after oversize rejection failed")
+	}
+	buf := make([]byte, RingSlotData)
+	if mt, n, ok := r.TryPop(buf); !ok || mt != 2 || string(buf[:n]) != "ok" {
+		t.Fatalf("pop after oversize rejection = (%d, %q, %v)", mt, buf[:n], ok)
+	}
+}
+
+func TestRingRevokeSealReclaim(t *testing.T) {
+	r := newRingSegment(1, 10, 11)
+	if !r.TryPush(7, []byte("pending")) {
+		t.Fatal("push failed")
+	}
+	r.Revoke()
+	r.Seal()
+	if !r.Revoked() {
+		t.Fatal("Revoked() false after Revoke")
+	}
+	if r.TryPush(8, []byte("late")) {
+		t.Fatal("push succeeded on a revoked ring")
+	}
+	// The client consumer refuses revoked rings; the owner's drain does
+	// not, so the published-but-undelivered message is recoverable.
+	buf := make([]byte, RingSlotData)
+	if _, _, ok := r.TryPopClient(buf); ok {
+		t.Fatal("client pop succeeded on a revoked ring")
+	}
+	mt, n, ok := r.TryPop(buf)
+	if !ok || mt != 7 || string(buf[:n]) != "pending" {
+		t.Fatalf("owner drain after seal = (%d, %q, %v)", mt, buf[:n], ok)
+	}
+	r.Revoke() // idempotent
+}
+
+func TestRingRevokeWakesDoorbell(t *testing.T) {
+	r := newRingSegment(1, 10, 11)
+	ch := make(chan struct{}, 1)
+	r.Doorbell.Register(ch)
+	defer r.Doorbell.Unregister(ch)
+	r.Revoke()
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Revoke did not ring the doorbell")
+	}
+}
+
+func TestRingConcurrentProducerConsumer(t *testing.T) {
+	r := newRingSegment(1, 10, 11)
+	const total = 5000
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, RingSlotData)
+		for i := 0; i < total; {
+			mt, _, ok := r.TryPop(buf)
+			if !ok {
+				continue
+			}
+			if mt != int64(i) {
+				done <- api.EINVAL
+				return
+			}
+			i++
+		}
+		done <- nil
+	}()
+	msg := []byte("payload")
+	for i := 0; i < total; {
+		if r.TryPush(int64(i), msg) {
+			i++
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal("consumer observed out-of-order mtype")
+	}
+}
+
+func TestSemSegApply(t *testing.T) {
+	s := newSemSeg(2, 10, 11, 1)
+	// Acquire succeeds, second acquire would block, zero-wait would block.
+	if applied, _, errno := s.TryApply([]api.SemBuf{{Num: 0, Op: -1}}); !applied || errno != 0 {
+		t.Fatalf("acquire: applied=%v errno=%v", applied, errno)
+	}
+	if applied, wouldBlock, _ := s.TryApply([]api.SemBuf{{Num: 0, Op: -1}}); applied || !wouldBlock {
+		t.Fatalf("acquire on zero: applied=%v wouldBlock=%v", applied, wouldBlock)
+	}
+	if applied, wouldBlock, _ := s.TryApply([]api.SemBuf{{Num: 0, Op: 1}, {Num: 0, Op: 0}}); applied || !wouldBlock {
+		t.Fatalf("post+wait-for-zero vector: applied=%v wouldBlock=%v", applied, wouldBlock)
+	}
+	// A post rings the doorbell.
+	ch := make(chan struct{}, 1)
+	s.Doorbell.Register(ch)
+	defer s.Doorbell.Unregister(ch)
+	if applied, _, _ := s.TryApply([]api.SemBuf{{Num: 0, Op: 2}}); !applied {
+		t.Fatal("post failed")
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("post did not ring the doorbell")
+	}
+	if got := s.Load(); got != 2 {
+		t.Fatalf("value = %d, want 2", got)
+	}
+	// Out-of-range semaphore index: the segment only models nsems == 1.
+	if _, _, errno := s.TryApply([]api.SemBuf{{Num: 1, Op: 1}}); errno != api.EINVAL {
+		t.Fatalf("Num=1 errno = %v, want EINVAL", errno)
+	}
+}
+
+func TestSemSegSealSentinel(t *testing.T) {
+	s := newSemSeg(2, 10, 11, 3)
+	v, ok := s.Seal()
+	if !ok || v != 3 {
+		t.Fatalf("Seal = (%d, %v), want (3, true)", v, ok)
+	}
+	if _, ok := s.Seal(); ok {
+		t.Fatal("second Seal claimed the value again")
+	}
+	if _, _, errno := s.TryApply([]api.SemBuf{{Num: 0, Op: 1}}); errno != api.EAGAIN {
+		t.Fatalf("TryApply after seal errno = %v, want EAGAIN", errno)
+	}
+	s.Revoke()
+	if !s.Revoked() {
+		t.Fatal("Revoked() false after Revoke")
+	}
+}
+
+// TestRingDatapathAllocFree pins the acceptance criterion directly: the
+// steady-state push/pop/apply paths perform zero heap allocations.
+func TestRingDatapathAllocFree(t *testing.T) {
+	r := newRingSegment(1, 10, 11)
+	buf := make([]byte, RingSlotData)
+	msg := []byte("0 allocs on the fast path")
+	if n := testing.AllocsPerRun(200, func() {
+		if !r.TryPush(1, msg) {
+			t.Fatal("push failed")
+		}
+		if _, _, ok := r.TryPop(buf); !ok {
+			t.Fatal("pop failed")
+		}
+	}); n != 0 {
+		t.Fatalf("ring push+pop allocates %v times per op, want 0", n)
+	}
+	s := newSemSeg(2, 10, 11, 0)
+	up := []api.SemBuf{{Num: 0, Op: 1}}
+	down := []api.SemBuf{{Num: 0, Op: -1}}
+	if n := testing.AllocsPerRun(200, func() {
+		if applied, _, _ := s.TryApply(up); !applied {
+			t.Fatal("post failed")
+		}
+		if applied, _, _ := s.TryApply(down); !applied {
+			t.Fatal("acquire failed")
+		}
+	}); n != 0 {
+		t.Fatalf("sem apply allocates %v times per op, want 0", n)
+	}
+}
+
+func BenchmarkRingPushPop(b *testing.B) {
+	r := newRingSegment(1, 10, 11)
+	buf := make([]byte, RingSlotData)
+	msg := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !r.TryPush(1, msg) {
+			b.Fatal("push failed")
+		}
+		if _, _, ok := r.TryPop(buf); !ok {
+			b.Fatal("pop failed")
+		}
+	}
+}
+
+func BenchmarkSemSegApply(b *testing.B) {
+	s := newSemSeg(2, 10, 11, 0)
+	up := []api.SemBuf{{Num: 0, Op: 1}}
+	down := []api.SemBuf{{Num: 0, Op: -1}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.TryApply(up)
+		s.TryApply(down)
+	}
+}

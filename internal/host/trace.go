@@ -104,6 +104,10 @@ const (
 	// EvElection is a leader-failover hop on the RPC path: Arg=the failure
 	// epoch observed, Trace links it into the operation that rode through.
 	EvElection
+	// EvRingBypass is a kernel-bypass ring lifecycle event (grant, map,
+	// revoke — the datapath itself is untraced to stay allocation-free):
+	// Code=1 grant, 2 map, 3 revoke/reclaim; Arg=segment ID.
+	EvRingBypass
 )
 
 var eventKindNames = [...]string{
@@ -111,7 +115,7 @@ var eventKindNames = [...]string{
 	EvRPCCall: "rpc-call", EvRPCServe: "rpc-serve",
 	EvStreamRead: "stream-read", EvStreamWrite: "stream-write",
 	EvFault: "fault", EvPartitionStall: "partition-stall",
-	EvElection: "election",
+	EvElection: "election", EvRingBypass: "ring-bypass",
 }
 
 // String names the event kind.

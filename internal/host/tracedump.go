@@ -126,6 +126,16 @@ func eventDetail(ev TraceEvent, rec *FlightRecorder) string {
 		fmt.Fprintf(&b, "peer=%d", ev.Arg)
 	case EvElection:
 		fmt.Fprintf(&b, "epoch=%d", ev.Arg)
+	case EvRingBypass:
+		switch ev.Code {
+		case 1:
+			b.WriteString("grant")
+		case 2:
+			b.WriteString("map")
+		default:
+			b.WriteString("revoke")
+		}
+		fmt.Fprintf(&b, " seg=%d", ev.Arg)
 	}
 	if ev.Errno != 0 {
 		fmt.Fprintf(&b, " errno=%d", ev.Errno)

@@ -3,9 +3,12 @@ package ipc
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"graphene/internal/api"
 	"graphene/internal/host"
+	"graphene/internal/monitor"
+	"graphene/internal/pal"
 )
 
 func BenchmarkFrameEncode(b *testing.B) {
@@ -39,7 +42,7 @@ func BenchmarkLocalQueueSendRecv(b *testing.B) {
 			b.Fatal(errno)
 		}
 		delivered := false
-		q.recv(0, false, func(int64, []byte, api.Errno) { delivered = true })
+		q.recv(0, false, "", 0, func(int64, []byte, api.Errno) { delivered = true })
 		if !delivered {
 			b.Fatal("recv missed")
 		}
@@ -54,7 +57,7 @@ func BenchmarkSemOpLocal(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ok := false
-		s.semop(ops, false, func(errno api.Errno) { ok = errno == 0 })
+		s.semop(ops, false, "", 0, func(errno api.Errno) { ok = errno == 0 })
 		if !ok {
 			b.Fatal("semop failed")
 		}
@@ -112,5 +115,258 @@ func BenchmarkConnNotifyBurst(b *testing.B) {
 	}
 	if err := ca.Flush(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// benchPair builds an owner (leader) and a remote client helper sharing
+// one sandbox, for the kernel-bypass datapath benchmarks.
+func benchPair(b *testing.B) (owner, client *Helper) {
+	b.Helper()
+	k := host.NewKernel()
+	m := monitor.New(k)
+	mf, err := monitor.ParseManifest("ipc-bench", "mount / /\nallow_read /\nallow_write /\n")
+	if err != nil {
+		b.Fatal(err)
+	}
+	proc, _, err := m.Launch(mf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := pal.New(k, proc, m)
+	lh, err := NewLeader(p, newFakeService(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	var cp *pal.PAL
+	if _, _, err := p.DkProcessCreate(func(c *pal.PAL, initial *host.Stream) {
+		cp = c
+		close(done)
+		select {}
+	}, false); err != nil {
+		b.Fatal(err)
+	}
+	<-done
+	mh, err := NewMember(cp, newFakeService(), 2, lh.Addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return lh, mh
+}
+
+// benchAttachQ drives the client past the attach threshold and waits for
+// the send-ring grant (migration must already be disabled by the caller).
+func benchAttachQ(b *testing.B, client *Helper, id int64) {
+	b.Helper()
+	for i := 0; i < ringAttachThreshold; i++ {
+		if err := client.Msgsnd(id, 1, []byte{byte(i)}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		client.ringState.mu.Lock()
+		attached := client.ringState.q[id] != nil
+		client.ringState.mu.Unlock()
+		if attached {
+			return
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("ring attach never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// BenchmarkRingMsgsndRemote measures the steady-state inter-process send
+// with the kernel-bypass ring: client TryPush, owner drainer ingest. The
+// owner consumes concurrently so the ring drains; occasional full-ring
+// synchronous fallbacks are part of the measured steady state.
+func BenchmarkRingMsgsndRemote(b *testing.B) {
+	SetMigrationEnabled(false)
+	defer SetMigrationEnabled(true)
+	lh, mh := benchPair(b)
+	id, err := lh.Msgget(61, api.IPCCreat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchAttachQ(b, mh, id)
+	payload := []byte("0123456789abcdef")
+	// Batched pipeline, half the ring per batch: the client streams pushes
+	// and the owner drains, so each iteration measures one remote send
+	// plus one owner receive — the same work HelperMsgsndLocal does fully
+	// in-process — without the ring ever filling.
+	const batch = host.RingSlots / 2
+	b.ReportAllocs()
+	b.ResetTimer()
+	pending := 0
+	for i := 0; i < b.N; i++ {
+		if err := mh.Msgsnd(id, 1, payload, 0); err != nil {
+			b.Fatal(err)
+		}
+		if pending++; pending == batch {
+			for j := 0; j < batch; j++ {
+				if _, _, err := lh.Msgrcv(id, 0, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			pending = 0
+		}
+	}
+	for j := 0; j < pending; j++ {
+		if _, _, err := lh.Msgrcv(id, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRPCMsgsndRemote is the ablation baseline: the same remote send
+// with the bypass disabled (pure async-RPC plane, the pre-ring datapath).
+func BenchmarkRPCMsgsndRemote(b *testing.B) {
+	SetRingBypass(false)
+	defer SetRingBypass(true)
+	SetMigrationEnabled(false)
+	defer SetMigrationEnabled(true)
+	lh, mh := benchPair(b)
+	id, err := lh.Msgget(62, api.IPCCreat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte("0123456789abcdef")
+	const batch = host.RingSlots / 2
+	b.ReportAllocs()
+	b.ResetTimer()
+	pending := 0
+	for i := 0; i < b.N; i++ {
+		if err := mh.Msgsnd(id, 1, payload, 0); err != nil {
+			b.Fatal(err)
+		}
+		if pending++; pending == batch {
+			for j := 0; j < batch; j++ {
+				if _, _, err := lh.Msgrcv(id, 0, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			pending = 0
+		}
+	}
+	for j := 0; j < pending; j++ {
+		if _, _, err := lh.Msgrcv(id, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRingSemopRemote measures the inter-process semop fast path: a
+// post+acquire pair, each a CAS on the shared segment.
+func BenchmarkRingSemopRemote(b *testing.B) {
+	SetMigrationEnabled(false)
+	defer SetMigrationEnabled(true)
+	lh, mh := benchPair(b)
+	id, err := lh.Semget(63, 1, api.IPCCreat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	up := []api.SemBuf{{Num: 0, Op: 1}}
+	down := []api.SemBuf{{Num: 0, Op: -1}}
+	for i := 0; i < ringAttachThreshold; i++ {
+		if err := mh.Semop(id, up); err != nil {
+			b.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mh.ringState.mu.Lock()
+		attached := mh.ringState.sem[id] != nil
+		mh.ringState.mu.Unlock()
+		if attached {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("sem attach never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mh.Semop(id, up); err != nil {
+			b.Fatal(err)
+		}
+		if err := mh.Semop(id, down); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRPCSemopRemote is the ablation baseline for semop: every op a
+// synchronous RPC round trip to the owner.
+func BenchmarkRPCSemopRemote(b *testing.B) {
+	SetRingBypass(false)
+	defer SetRingBypass(true)
+	SetMigrationEnabled(false)
+	defer SetMigrationEnabled(true)
+	lh, mh := benchPair(b)
+	id, err := lh.Semget(64, 1, api.IPCCreat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	up := []api.SemBuf{{Num: 0, Op: 1}}
+	down := []api.SemBuf{{Num: 0, Op: -1}}
+	if err := mh.Semop(id, up); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mh.Semop(id, up); err != nil {
+			b.Fatal(err)
+		}
+		if err := mh.Semop(id, down); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHelperMsgsndLocal is the in-process baseline at the same API
+// layer as the remote benchmarks: owner-local send + receive through the
+// full Helper path (owner resolution, queue locking, waiter bookkeeping).
+func BenchmarkHelperMsgsndLocal(b *testing.B) {
+	lh, _ := benchPair(b)
+	id, err := lh.Msgget(65, api.IPCCreat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte("0123456789abcdef")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := lh.Msgsnd(id, 1, payload, 0); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := lh.Msgrcv(id, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHelperSemopLocal is the in-process semop baseline.
+func BenchmarkHelperSemopLocal(b *testing.B) {
+	lh, _ := benchPair(b)
+	id, err := lh.Semget(66, 1, api.IPCCreat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	up := []api.SemBuf{{Num: 0, Op: 1}}
+	down := []api.SemBuf{{Num: 0, Op: -1}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := lh.Semop(id, up); err != nil {
+			b.Fatal(err)
+		}
+		if err := lh.Semop(id, down); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

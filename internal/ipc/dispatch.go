@@ -302,7 +302,13 @@ func (h *Helper) dispatchOn(s *host.Stream, f Frame, respond func(Frame)) {
 		// read loop running this handler. Inline dispatch would deadlock
 		// on the shared connection until the call timed out.
 		go func() {
-			h.removeLocalQueue(f.A)
+			// EXDEV: the queue migrated away — bounce so the rmid
+			// re-resolves and chases the live copy instead of this
+			// stale owner tombstoning its key mapping.
+			if errno := h.removeLocalQueue(f.A); errno != 0 {
+				respond(f.ErrResponse(errno))
+				return
+			}
 			respond(f.Response(Frame{}))
 		}()
 
@@ -343,7 +349,9 @@ func (h *Helper) dispatchOn(s *host.Stream, f Frame, respond func(Frame)) {
 			if live {
 				// Merge into the live copy rather than orphaning its
 				// parked waiters (a crash-recovery duplicate converging
-				// here, §4.2's disconnection tolerance).
+				// here, §4.2's disconnection tolerance). Bypass rings are
+				// collapsed first so the merged order is well-defined.
+				existing.collapseRingsLocked()
 				existing.msgs = append(existing.msgs, msgs...)
 				if f.D > existing.epoch {
 					existing.epoch = f.D
@@ -365,13 +373,41 @@ func (h *Helper) dispatchOn(s *host.Stream, f Frame, respond func(Frame)) {
 		h.mu.Unlock()
 		respond(f.Response(Frame{}))
 
+	case MsgQRecvCancel:
+		// Signal interruption: withdraw the sender's parked receive (matched
+		// by From+cookie) and answer its deferred MsgQRecv with EINTR. Async;
+		// a delivery that already won the race simply leaves nothing to find.
+		h.mu.Lock()
+		q := h.queues[f.A]
+		h.mu.Unlock()
+		if q != nil {
+			q.cancelRecvRemote(f.From, f.D)
+		}
+
+	case MsgSemOpCancel:
+		h.mu.Lock()
+		s := h.sems[f.A]
+		h.mu.Unlock()
+		if s != nil {
+			s.cancelSemRemote(f.From, f.D)
+		}
+
 	case MsgSemOp:
 		h.handleSemOp(f, respond)
 
+	case MsgRingAttach:
+		h.handleRingAttach(f, respond)
+
+	case MsgRingDetach:
+		h.handleRingDetach(f, respond)
+
 	case MsgSemDelete:
-		// Same shared-connection hazard as MsgQDelete.
+		// Same shared-connection hazard and EXDEV bounce as MsgQDelete.
 		go func() {
-			h.removeLocalSem(f.A)
+			if errno := h.removeLocalSem(f.A); errno != 0 {
+				respond(f.ErrResponse(errno))
+				return
+			}
 			respond(f.Response(Frame{}))
 		}()
 
@@ -403,7 +439,9 @@ func (h *Helper) dispatchOn(s *host.Stream, f Frame, respond func(Frame)) {
 			if live {
 				// Merge values into the live copy rather than orphaning
 				// its parked waiters; permits carried by the incoming
-				// copy become available here.
+				// copy become available here. A bypass segment holds the
+				// authoritative value of sem 0 — seal it back first.
+				existing.reclaimSegLocked()
 				for i := range existing.vals {
 					if i < len(vals) {
 						existing.vals[i] += vals[i]
@@ -677,7 +715,7 @@ func (h *Helper) handleQRecv(f Frame, respond func(Frame)) {
 	q.mu.Unlock()
 
 	wait := f.C == 1
-	q.recv(f.B, wait, func(mt int64, data []byte, errno api.Errno) {
+	q.recv(f.B, wait, from, f.D, func(mt int64, data []byte, errno api.Errno) {
 		if errno != 0 {
 			respond(f.ErrResponse(errno))
 			return
@@ -737,7 +775,7 @@ func (h *Helper) handleSemOp(f Frame, respond func(Frame)) {
 		s.mu.Unlock()
 	}
 	wait := f.C == 1
-	s.semop(ops, wait, func(errno api.Errno) {
+	s.semop(ops, wait, from, f.D, func(errno api.Errno) {
 		if errno != 0 {
 			respond(f.ErrResponse(errno))
 			return

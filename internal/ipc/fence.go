@@ -175,7 +175,17 @@ func (h *Helper) memberReconcile(g *shardGroup, addr string) {
 	// runs inside the single-flight section so duplicate triggers
 	// collapse before, not after, the wait.
 	if d := time.Duration(h.GuestPID%128) * 2 * time.Millisecond; d > 0 {
-		time.Sleep(d)
+		// Interruptible: the stagger can reach ~254ms and Shutdown must not
+		// block a process exit behind it. The delay value itself stays the
+		// deterministic PID-keyed function above, so chaos replays see the
+		// same report ordering.
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-h.shutdownCh:
+			t.Stop()
+			return
+		}
 		h.mu.Lock()
 		stale := g.leaderAddr != addr || h.shutdown
 		h.mu.Unlock()

@@ -187,11 +187,25 @@ type Helper struct {
 	// lose the leader's MsgKeyRemove to the teardown race.
 	bg sync.WaitGroup
 
+	// ringState is the client side of the kernel-bypass SysV datapath
+	// (ring.go): per-object attach counters and mapped segments.
+	// ringHits/ringMisses count fast-path operations served from a ring
+	// vs. ones that had to fall back (full ring, revocation, unmodeled
+	// ops); both sides' gauges ride RegisterGauges.
+	ringState  ringClientState
+	ringHits   atomic.Uint64
+	ringMisses atomic.Uint64
+
 	// ownPgid is this process's group for recovery re-registration.
 	// (election, reportedTo, and reconciling live in each shardGroup.)
 	ownPgid int64
 
 	shutdown bool
+	// shutdownCh is closed exactly once when Shutdown begins, so sleeps on
+	// background paths (the post-election reconcile stagger, ring drainers)
+	// can select against it instead of blocking a process exit behind a
+	// timer.
+	shutdownCh chan struct{}
 }
 
 // NewLeader creates the sandbox's first helper, which acts as the
@@ -324,6 +338,7 @@ func newHelper(p *pal.PAL, svc Service, guestPID int64, nshards int) (*Helper, e
 		keyCache:    map[int]map[int64]keyEntry{NSSysVMsg: {}, NSSysVSem: {}},
 		shards:      nshards,
 		ring:        newShardRing(nshards),
+		shutdownCh:  make(chan struct{}),
 	}
 	h.groups = make([]*shardGroup, nshards)
 	h.groups[0] = &h.shardGroup
@@ -775,6 +790,7 @@ func (h *Helper) Shutdown() {
 		return
 	}
 	h.shutdown = true
+	close(h.shutdownCh)
 	for _, g := range h.groups {
 		h.stopHeartbeatLocked(g)
 	}
@@ -823,7 +839,13 @@ func (h *Helper) Shutdown() {
 		}
 	}
 
+	// Detach kernel-bypass rings while the streams still work, so owners
+	// fold ring contents back before this process disappears.
+	h.ringShutdown()
+
 	// Let in-flight removal fan-out finish while the streams still work.
+	// Ring drainer goroutines saw shutdownCh close, collapsed their rings,
+	// and exit here — before persistQueue serializes below.
 	h.bg.Wait()
 
 	// System V objects survive their owner: queues serialize to disk

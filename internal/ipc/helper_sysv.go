@@ -2,10 +2,17 @@ package ipc
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"graphene/internal/api"
 )
+
+// cancelCookie mints unique tags for blocking receive/semop calls so a
+// signal-interruption cancel (MsgQRecvCancel/MsgSemOpCancel) names the
+// exact parked waiter it withdraws. Process-global: uniqueness per sender
+// address is all the owner-side match needs.
+var cancelCookie atomic.Int64
 
 // sysvRetries bounds how long a System V operation chases a migrating
 // object: ownership migration is asynchronous, so a request can race the
@@ -530,6 +537,23 @@ func (h *Helper) Msgsnd(id int64, mtype int64, data []byte, flags int) error {
 			}
 			return nil
 		}
+		// Kernel-bypass fast path: push straight into the owner-granted
+		// ring. Failure falls through to RPC — synchronously when the
+		// attachment is still live (full ring, oversize message), because
+		// a later ring push must not overtake the in-flight RPC send; see
+		// qRingSend. A revoked ring is dropped and the plain async path
+		// resumes (the owner collapsed it under q.mu, so ordering holds).
+		syncFallback := false
+		if rc := h.qRingGet(id, owner); rc != nil {
+			if h.qRingSend(rc, mtype, data) {
+				return nil
+			}
+			if rc.send.Revoked() {
+				h.qRingDrop(id)
+			} else {
+				syncFallback = true
+			}
+		}
 		c, err := h.dial(owner)
 		if err != nil {
 			// Owner died: adopt the persisted queue if it exists, else
@@ -539,10 +563,28 @@ func (h *Helper) Msgsnd(id int64, mtype int64, data []byte, flags int) error {
 			}
 			continue
 		}
+		if syncFallback {
+			_, err := c.CallTimeout(Frame{Type: MsgQSend, A: id, B: mtype, Blob: data}, rpcCallTimeout)
+			switch err {
+			case nil:
+				return nil
+			case api.EXDEV:
+				h.invalidateQ(id)
+				continue
+			case api.EPIPE:
+				if !h.adoptQueue(id) {
+					h.invalidateQ(id)
+				}
+				continue
+			default:
+				return err
+			}
+		}
 		if err := c.Notify(Frame{Type: MsgQSend, A: id, B: mtype, C: 1, Blob: data}); err != nil {
 			h.invalidateQ(id)
 			continue
 		}
+		h.noteRemoteQOp(id, owner)
 		return nil
 	}
 	return api.EIDRM
@@ -596,6 +638,15 @@ func (h *Helper) MsgsndSync(id int64, mtype int64, data []byte) error {
 // receives on remote queues are deferred at the owner until a message
 // arrives; queue migration surfaces as EXDEV and is retried transparently.
 func (h *Helper) Msgrcv(id int64, mtype int64, flags int) (int64, []byte, error) {
+	return h.MsgrcvIntr(id, mtype, flags, nil)
+}
+
+// MsgrcvIntr is Msgrcv with signal interruption: intr (may be nil) is
+// closed when the guest receives an interrupting signal, and a receive
+// parked at that moment returns EINTR per msgrcv(2). The interruption is
+// race-free in both directions — a message delivered before the cancel
+// lands is returned normally, never dropped.
+func (h *Helper) MsgrcvIntr(id int64, mtype int64, flags int, intr <-chan struct{}) (int64, []byte, error) {
 	wait := flags&api.IPCNoWait == 0
 	for attempt := 0; attempt < sysvRetries; attempt++ {
 		migrationBackoff(attempt)
@@ -620,10 +671,23 @@ func (h *Helper) Msgrcv(id int64, mtype int64, flags int) (int64, []byte, error)
 				errno api.Errno
 			}
 			ch := make(chan res, 1)
-			q.recv(mtype, wait, func(mt int64, data []byte, errno api.Errno) {
+			w := q.recv(mtype, wait, "", 0, func(mt int64, data []byte, errno api.Errno) {
 				ch <- res{mt, data, errno}
 			})
-			r := <-ch
+			var r res
+			if w == nil || intr == nil {
+				r = <-ch
+			} else {
+				select {
+				case r = <-ch:
+				case <-intr:
+					if q.cancelRecv(w) {
+						return 0, nil, api.EINTR
+					}
+					// Delivery won the race; take the result.
+					r = <-ch
+				}
+			}
 			if r.errno == api.EXDEV {
 				h.invalidateQ(id)
 				continue
@@ -632,6 +696,26 @@ func (h *Helper) Msgrcv(id int64, mtype int64, flags int) (int64, []byte, error)
 				return 0, nil, r.errno
 			}
 			return r.mtype, r.data, nil
+		}
+		// Kernel-bypass fast path: FIFO receives (mtype==0) pop from the
+		// owner-granted receive ring; selective receives stay on RPC
+		// (the ring cannot reorder, and the first RPC receive makes the
+		// owner reclaim it).
+		if mtype == 0 {
+			if rc := h.qRingGet(id, owner); rc != nil {
+				mt, data, errno, handled := h.qRingRecv(rc, wait, intr)
+				if handled {
+					if errno != 0 {
+						return 0, nil, errno
+					}
+					return mt, data, nil
+				}
+				// Receive ring revoked (owner reclaimed it); the send
+				// ring may still be live — keep the attachment.
+				rc.mu.Lock()
+				rc.recv = nil
+				rc.mu.Unlock()
+			}
 		}
 		c, err := h.dial(owner)
 		if err != nil {
@@ -649,12 +733,13 @@ func (h *Helper) Msgrcv(id int64, mtype int64, flags int) (int64, []byte, error)
 		// the owner answers immediately — rides the RPC deadline.
 		var resp Frame
 		if wait {
-			resp, err = c.Call(Frame{Type: MsgQRecv, A: id, B: mtype, C: waitFlag})
+			resp, err = h.callIntr(c, Frame{Type: MsgQRecv, A: id, B: mtype, C: waitFlag}, MsgQRecvCancel, intr)
 		} else {
 			resp, err = c.CallTimeout(Frame{Type: MsgQRecv, A: id, B: mtype, C: waitFlag}, rpcCallTimeout)
 		}
 		switch err {
 		case nil:
+			h.noteRemoteQOp(id, owner)
 			return resp.B, resp.Blob, nil
 		case api.EXDEV:
 			h.invalidateQ(id)
@@ -669,6 +754,36 @@ func (h *Helper) Msgrcv(id int64, mtype int64, flags int) (int64, []byte, error)
 	return 0, nil, api.EIDRM
 }
 
+// callIntr issues a blocking owner-side call that a guest signal can
+// withdraw. The request carries a cancel cookie in D; on interruption the
+// matching cancel type is sent asynchronously and the caller KEEPS
+// waiting on the original call — the owner answers it either with the
+// delivered result (delivery won the race) or with EINTR (cancel won), so
+// no message or permit is ever lost to a signal.
+func (h *Helper) callIntr(c *Conn, f Frame, cancel MsgType, intr <-chan struct{}) (Frame, error) {
+	if intr == nil {
+		return c.Call(f)
+	}
+	f.D = cancelCookie.Add(1)
+	type callRes struct {
+		resp Frame
+		err  error
+	}
+	rc := make(chan callRes, 1)
+	go func() {
+		resp, err := c.Call(f)
+		rc <- callRes{resp, err}
+	}()
+	select {
+	case r := <-rc:
+		return r.resp, r.err
+	case <-intr:
+		_ = c.Notify(Frame{Type: cancel, A: f.A, D: f.D})
+		r := <-rc
+		return r.resp, r.err
+	}
+}
+
 // MsgRmid destroys queue id, notifying prior accessors (§4.2). A dead
 // owner (dial failure or a cached connection that dies mid-call) degrades
 // to removing the persisted copy and the leader mapping.
@@ -677,10 +792,18 @@ func (h *Helper) MsgRmid(id int64) error {
 		migrationBackoff(attempt)
 		owner, err := h.qOwner(id)
 		if err != nil {
+			if err == api.EIDRM && attempt > 0 {
+				// Lost-reply idempotency, as in SemRmid: a prior attempt
+				// deleted the queue but the reply died with the owner.
+				return nil
+			}
 			return err
 		}
 		if owner == h.Addr {
-			h.removeLocalQueue(id)
+			if h.removeLocalQueue(id) == api.EXDEV {
+				h.invalidateQ(id) // migrated under us; chase the live copy
+				continue
+			}
 			return nil
 		}
 		c, err := h.dial(owner)
@@ -704,15 +827,29 @@ func (h *Helper) MsgRmid(id int64) error {
 	return api.EIDRM
 }
 
-func (h *Helper) removeLocalQueue(id int64) {
-	h.dropKeyCache(NSSysVMsg, id)
+// removeLocalQueue destroys the locally owned queue; EXDEV (touching
+// nothing) when the queue has migrated away — a stale-owner rmid must
+// chase the live copy, not tombstone its key mapping out from under the
+// current owner.
+func (h *Helper) removeLocalQueue(id int64) api.Errno {
 	h.mu.Lock()
 	q := h.queues[id]
+	h.mu.Unlock()
+	if q != nil {
+		q.mu.Lock()
+		moved := q.movedTo
+		q.mu.Unlock()
+		if moved != "" {
+			return api.EXDEV
+		}
+	}
+	h.dropKeyCache(NSSysVMsg, id)
+	h.mu.Lock()
 	delete(h.queues, id)
 	delete(h.qOwnerCache, id)
 	h.mu.Unlock()
 	if q == nil {
-		return
+		return 0
 	}
 	accessors := q.remove()
 	h.bgGo(func() {
@@ -730,12 +867,16 @@ func (h *Helper) removeLocalQueue(id int64) {
 	// notify left a window where a concurrent create handed out the stale
 	// mapping). Accessor notifications above stay best-effort async.
 	_, _ = h.callLeader(Frame{Type: MsgKeyRemove, A: NSSysVMsg, B: id})
+	return 0
 }
 
 func (h *Helper) invalidateQ(id int64) {
 	h.mu.Lock()
 	delete(h.qOwnerCache, id)
 	h.mu.Unlock()
+	// Ownership is moving: any ring granted by the old owner is dead (its
+	// collapse rides the migration's critical section).
+	h.qRingDrop(id)
 }
 
 // adoptQueue loads a queue persisted by a dead owner and takes ownership,
@@ -788,6 +929,11 @@ func (h *Helper) migrateQueue(id int64, to string) {
 		return
 	}
 	q.migrating = true
+	// Fold the kernel-bypass rings back under the same critical section
+	// that snapshots the blob: the attach/detach protocol rides the
+	// migration epoch, and a client push sealed out here re-routes to RPC
+	// and surfaces as EXDEV → retry against the new owner.
+	q.collapseRingsLocked()
 	blob := encodeMessages(q.key, q.msgs)
 	nextEpoch := q.epoch + 1
 	q.msgs = nil
@@ -921,6 +1067,14 @@ func (h *Helper) semOwnerOf(id int64) (string, error) {
 // IPCNoWait is set. Remote operations are RPCs to the owner, with
 // ownership migrating to the most frequent acquirer (§4.2).
 func (h *Helper) Semop(id int64, ops []api.SemBuf) error {
+	return h.SemopIntr(id, ops, nil)
+}
+
+// SemopIntr is Semop with signal interruption; intr (may be nil) is
+// closed when the guest receives an interrupting signal, and a parked
+// blocking semop returns EINTR per semop(2). Race rules as MsgrcvIntr: an
+// operation that completed before the cancel landed reports success.
+func (h *Helper) SemopIntr(id int64, ops []api.SemBuf, intr <-chan struct{}) error {
 	wait := true
 	for _, op := range ops {
 		if int(op.Flg)&api.IPCNoWait != 0 {
@@ -945,8 +1099,20 @@ func (h *Helper) Semop(id int64, ops []api.SemBuf) error {
 			s.localAcqs++
 			s.mu.Unlock()
 			ch := make(chan api.Errno, 1)
-			s.semop(ops, wait, func(errno api.Errno) { ch <- errno })
-			errno := <-ch
+			w := s.semop(ops, wait, "", 0, func(errno api.Errno) { ch <- errno })
+			var errno api.Errno
+			if w == nil || intr == nil {
+				errno = <-ch
+			} else {
+				select {
+				case errno = <-ch:
+				case <-intr:
+					if s.cancelSem(w) {
+						return api.EINTR
+					}
+					errno = <-ch
+				}
+			}
 			if errno == api.EXDEV {
 				h.invalidateSem(id)
 				continue
@@ -955,6 +1121,17 @@ func (h *Helper) Semop(id int64, ops []api.SemBuf) error {
 				return errno
 			}
 			return nil
+		}
+		// Kernel-bypass fast path: plain single-semaphore ops CAS the
+		// shared value directly — zero RPCs, zero allocations. Unmodeled
+		// ops and blocking parks stay on RPC.
+		if sc := h.semRingGet(id, owner); sc != nil {
+			if handled, errno := h.semRingOp(id, sc, ops, wait); handled {
+				if errno != 0 {
+					return errno
+				}
+				return nil
+			}
 		}
 		c, err := h.dial(owner)
 		if err != nil {
@@ -971,12 +1148,13 @@ func (h *Helper) Semop(id int64, ops []api.SemBuf) error {
 		// non-blocking variant is answered immediately and rides the RPC
 		// deadline so a partitioned owner cannot wedge the caller.
 		if wait {
-			_, err = c.Call(Frame{Type: MsgSemOp, A: id, C: waitFlag, Blob: encodeSemOps(ops)})
+			_, err = h.callIntr(c, Frame{Type: MsgSemOp, A: id, C: waitFlag, Blob: encodeSemOps(ops)}, MsgSemOpCancel, intr)
 		} else {
 			_, err = c.CallTimeout(Frame{Type: MsgSemOp, A: id, C: waitFlag, Blob: encodeSemOps(ops)}, rpcCallTimeout)
 		}
 		switch err {
 		case nil:
+			h.noteRemoteSemOp(id, owner)
 			return nil
 		case api.EXDEV, api.EPIPE:
 			h.invalidateSem(id)
@@ -987,34 +1165,73 @@ func (h *Helper) Semop(id int64, ops []api.SemBuf) error {
 	return api.EIDRM
 }
 
-// SemRmid destroys semaphore set id.
+// SemRmid destroys semaphore set id. Same shape as MsgRmid: a cached
+// connection dying mid-call (the owner exiting right after eviction
+// migrated the set away) re-resolves ownership and retries instead of
+// surfacing EPIPE to the guest — the set usually lands at the sandbox
+// leader, where the retry deletes it.
 func (h *Helper) SemRmid(id int64) error {
-	owner, err := h.semOwnerOf(id)
-	if err != nil {
-		return err
+	for attempt := 0; attempt < sysvRetries; attempt++ {
+		migrationBackoff(attempt)
+		owner, err := h.semOwnerOf(id)
+		if err != nil {
+			if err == api.EIDRM && attempt > 0 {
+				// A previous attempt's delete landed but its reply was
+				// lost with the dying connection; the id being gone IS
+				// the outcome rmid wanted.
+				return nil
+			}
+			return err
+		}
+		if owner == h.Addr {
+			if h.removeLocalSem(id) == api.EXDEV {
+				h.invalidateSem(id) // migrated under us; chase the live copy
+				continue
+			}
+			return nil
+		}
+		c, err := h.dial(owner)
+		if err != nil {
+			// Owner fully gone; drop the leader mapping (eviction-on-exit
+			// migrates live sets before the streams close, so reaching
+			// here means there is no surviving copy to delete).
+			_, _ = h.callLeader(Frame{Type: MsgKeyRemove, A: NSSysVSem, B: id})
+			return nil
+		}
+		_, err = c.CallTimeout(Frame{Type: MsgSemDelete, A: id}, rpcCallTimeout)
+		switch err {
+		case nil:
+			return nil
+		case api.EPIPE, api.EXDEV:
+			h.invalidateSem(id)
+		default:
+			return err
+		}
 	}
-	if owner == h.Addr {
-		h.removeLocalSem(id)
-		return nil
-	}
-	c, err := h.dial(owner)
-	if err != nil {
-		_, _ = h.callLeader(Frame{Type: MsgKeyRemove, A: NSSysVSem, B: id})
-		return nil
-	}
-	_, err = c.CallTimeout(Frame{Type: MsgSemDelete, A: id}, rpcCallTimeout)
-	return err
+	return api.EIDRM
 }
 
-func (h *Helper) removeLocalSem(id int64) {
-	h.dropKeyCache(NSSysVSem, id)
+// removeLocalSem destroys the locally owned set; EXDEV (touching
+// nothing) when the set has migrated away, mirroring removeLocalQueue.
+func (h *Helper) removeLocalSem(id int64) api.Errno {
 	h.mu.Lock()
 	s := h.sems[id]
+	h.mu.Unlock()
+	if s != nil {
+		s.mu.Lock()
+		moved := s.movedTo
+		s.mu.Unlock()
+		if moved != "" {
+			return api.EXDEV
+		}
+	}
+	h.dropKeyCache(NSSysVSem, id)
+	h.mu.Lock()
 	delete(h.sems, id)
 	delete(h.semOwner, id)
 	h.mu.Unlock()
 	if s == nil {
-		return
+		return 0
 	}
 	accessors := s.remove()
 	h.bgGo(func() {
@@ -1030,12 +1247,14 @@ func (h *Helper) removeLocalSem(id int64) {
 	// Synchronous for the same reason as removeLocalQueue: the key must
 	// not resolve to the dead ID after Rmid returns.
 	_, _ = h.callLeader(Frame{Type: MsgKeyRemove, A: NSSysVSem, B: id})
+	return 0
 }
 
 func (h *Helper) invalidateSem(id int64) {
 	h.mu.Lock()
 	delete(h.semOwner, id)
 	h.mu.Unlock()
+	h.semRingDrop(id) // see invalidateQ
 }
 
 // migrateSem transfers ownership of semaphore set id to addr (§4.2,
@@ -1048,15 +1267,28 @@ func (h *Helper) migrateSem(id int64, to string) {
 		return
 	}
 	s.mu.Lock()
-	if s.removed || s.movedTo != "" || s.migrating || len(s.waiters) > 0 {
-		// Never strand parked waiters mid-migration; retry later.
+	if s.removed || s.movedTo != "" || s.migrating {
 		s.mu.Unlock()
 		return
 	}
+	// Quiesce rather than defer: a permanently parked blocking waiter
+	// (e.g. a receiver whose permit never arrives locally) would otherwise
+	// starve the migration forever. Bounced waiters re-issue against the
+	// new owner via the client-side EXDEV retry loop, exactly like queue
+	// receivers in migrateQueue.
 	s.migrating = true
+	// Seal the kernel-bypass segment back into vals before the snapshot;
+	// see migrateQueue. Waiters satisfiable by the sealed value are
+	// delivered here, the rest are bounced below.
+	s.reclaimSegLocked()
 	blob := encodeSemState(s.key, s.vals)
 	nextEpoch := s.epoch + 1
+	waiters := s.waiters
+	s.waiters = nil
 	s.mu.Unlock()
+	for _, w := range waiters {
+		w.deliver(api.EXDEV)
+	}
 	abort := func() {
 		s.mu.Lock()
 		s.migrating = false

@@ -655,6 +655,60 @@ func TestSemaphoreMigratesToFrequentAcquirer(t *testing.T) {
 	}
 }
 
+func TestSemMigrationNotStarvedByParkedWaiter(t *testing.T) {
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	mh, _ := g.member(lp, lh.Addr, 2, newFakeService())
+	id, _ := lh.Semget(902, 1, api.IPCCreat)
+	// Park a blocking acquire at the owner; nothing ever satisfies it
+	// there, so before the quiesce fix the waiter blocked migration
+	// forever (the gate bailed while len(s.waiters) > 0).
+	done := make(chan error, 1)
+	go func() { done <- mh.Semop(id, []api.SemBuf{{Num: 0, Op: -1}}) }()
+	deadline := time.After(2 * time.Second)
+	for {
+		lh.mu.Lock()
+		s := lh.sems[id]
+		lh.mu.Unlock()
+		parked := false
+		if s != nil {
+			s.mu.Lock()
+			parked = len(s.waiters) > 0
+			s.mu.Unlock()
+		}
+		if parked {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("remote acquire never parked at the owner")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Force the migration the heuristic would eventually request.
+	lh.migrateSem(id, mh.Addr)
+	mh.mu.Lock()
+	_, owned := mh.sems[id]
+	mh.mu.Unlock()
+	if !owned {
+		t.Fatal("migration did not complete with a parked waiter")
+	}
+	// The bounced waiter re-issued against the new owner; a permit
+	// released there must complete it.
+	if err := lh.Semop(id, []api.SemBuf{{Num: 0, Op: 1}}); err != nil {
+		t.Fatalf("release after migration: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("bounced waiter completed with error: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("bounced waiter never completed against the new owner")
+	}
+}
+
 func TestSemRmid(t *testing.T) {
 	g := newTestGroup(t)
 	lh, _ := g.leader(newFakeService())
@@ -664,6 +718,50 @@ func TestSemRmid(t *testing.T) {
 	}
 	if err := lh.Semop(id, []api.SemBuf{{Num: 0, Op: 1}}); err != api.EIDRM {
 		t.Fatalf("op after rmid err = %v, want EIDRM", err)
+	}
+}
+
+// TestSemRmidDuringOwnerExit pins the SemRmid retry loop: removing a set
+// whose owner exits concurrently must never surface the transport error
+// to the guest (the stress suite caught a raw EPIPE here once migration
+// stopped being starved by parked waiters). Eviction-on-exit moves the
+// set to the leader, so the re-resolve either deletes it there or finds
+// the owner fully gone and tombstones the mapping — both succeed.
+func TestSemRmidDuringOwnerExit(t *testing.T) {
+	for i := 0; i < 6; i++ {
+		g := newTestGroup(t)
+		lh, lp := g.leader(newFakeService())
+		mh, mhp := g.member(lp, lh.Addr, 2, newFakeService())
+		id, err := lh.Semget(api.IPCPrivate, 1, api.IPCCreat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lh.Semop(id, []api.SemBuf{{Num: 0, Op: 100}}); err != nil {
+			t.Fatal(err)
+		}
+		// Migrate ownership to the member, then race its clean exit
+		// against the leader's rmid.
+		for j := 0; j < migrateThreshold+3; j++ {
+			if err := mh.Semop(id, []api.SemBuf{{Num: 0, Op: -1}}); err != nil {
+				t.Fatalf("acquire %d: %v", j, err)
+			}
+		}
+		waitFor(t, 2*time.Second, "semaphore migration to member", func() bool {
+			mh.mu.Lock()
+			_, owned := mh.sems[id]
+			mh.mu.Unlock()
+			return owned
+		})
+		exited := make(chan struct{})
+		go func() {
+			mh.Shutdown()
+			mhp.Proc().Exit(0)
+			close(exited)
+		}()
+		if err := lh.SemRmid(id); err != nil {
+			t.Fatalf("iteration %d: SemRmid racing owner exit: %v", i, err)
+		}
+		<-exited
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"graphene/internal/api"
+	"graphene/internal/host"
 )
 
 // Chaos invariant checker. After a chaos schedule (kills, resets, drops,
@@ -374,6 +375,50 @@ func CheckInvariants(helpers []*Helper) []string {
 						}
 					}
 				}
+			}
+		}
+	}
+
+	// Invariant 5: no kernel-bypass ring segment bridges two sandboxes or
+	// outlives an endpoint — "no ring mapped across a split". A live (non-
+	// revoked) segment requires both its processes alive and co-sandboxed;
+	// the monitor's split hook and the kernel's exit hook revoke anything
+	// else. Checked against the kernel registry with one re-read: a
+	// process exiting between the snapshot and the liveness probe revokes
+	// its segments atomically under the kernel lock, so a segment that
+	// still looks bad on the second read is a real violation.
+	kernels := make(map[*host.Kernel]struct{})
+	for _, h := range helpers {
+		if h != nil {
+			kernels[h.pal.Kernel()] = struct{}{}
+		}
+	}
+	for k := range kernels {
+		for _, ri := range k.RingSegments() {
+			if ri.Revoked {
+				continue
+			}
+			cp, cl := k.Process(ri.CreatorPID), k.Process(ri.ClientPID)
+			if cp != nil && cl != nil && cp.SandboxID == cl.SandboxID {
+				continue
+			}
+			stillBad := true
+			for _, ri2 := range k.RingSegments() {
+				if ri2.ID == ri.ID && ri2.Revoked {
+					stillBad = false
+					break
+				}
+			}
+			if !stillBad {
+				continue
+			}
+			switch {
+			case cp == nil || cl == nil:
+				bad("ring segment %d (creator pid %d, client pid %d) live with a dead endpoint",
+					ri.ID, ri.CreatorPID, ri.ClientPID)
+			default:
+				bad("ring segment %d bridges sandboxes %d and %d (creator pid %d, client pid %d)",
+					ri.ID, cp.SandboxID, cl.SandboxID, ri.CreatorPID, ri.ClientPID)
 			}
 		}
 	}

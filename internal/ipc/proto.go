@@ -143,6 +143,31 @@ const (
 	// already marked the member departed reaps nothing and does not
 	// re-scatter, so the fan-out converges in one round.
 	MsgMemberDead
+
+	// MsgQRecvCancel: withdraw a parked blocking receive at the owner
+	// (guest signal interruption). A=qid, D=cancel cookie; the waiter is
+	// matched by (sender address, cookie) and its parked MsgQRecv call is
+	// answered with EINTR if it has not already been satisfied.
+	// Asynchronous: the canceller keeps waiting on the original call, so a
+	// message delivery that races the cancel is never lost.
+	MsgQRecvCancel
+	// MsgSemOpCancel: withdraw a parked blocking semop. A=semid,
+	// D=cancel cookie. Same matching and race rules as MsgQRecvCancel.
+	MsgSemOpCancel
+
+	// MsgRingAttach: request a kernel-bypass ring for a queue or
+	// semaphore the receiver owns. A=object id, B=1 for semaphores,
+	// C=requester's host PID. Resp: A=host segment ID of the send ring
+	// (or the SemSeg), B=segment ID of the receive ring when the owner
+	// also granted one (0 otherwise: queue non-empty or waiters parked
+	// at grant time), D=the object's migration epoch at grant time.
+	// EAGAIN when the owner declines (migrating, removed, contended);
+	// the client falls back to RPC and may retry later.
+	MsgRingAttach
+	// MsgRingDetach: epoch-fenced detach notification. A=object id,
+	// B=1 for semaphores, D=ring segment ID. Sent by a client tearing
+	// down; the owner revokes and drains the segment.
+	MsgRingDetach
 )
 
 // msgTypeNames indexes MsgType (1-based) for String.
@@ -161,6 +186,8 @@ var msgTypeNames = [...]string{
 	MsgKeyRegister: "MsgKeyRegister", MsgKeyEvict: "MsgKeyEvict",
 	MsgBye: "MsgBye", MsgNSClaim: "MsgNSClaim", MsgNSHwm: "MsgNSHwm",
 	MsgShardHandoff: "MsgShardHandoff", MsgMemberDead: "MsgMemberDead",
+	MsgQRecvCancel: "MsgQRecvCancel", MsgSemOpCancel: "MsgSemOpCancel",
+	MsgRingAttach: "MsgRingAttach", MsgRingDetach: "MsgRingDetach",
 }
 
 // String names the message type (fault-injection points are addressed by

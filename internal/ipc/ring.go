@@ -1,0 +1,647 @@
+package ipc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"graphene/internal/api"
+	"graphene/internal/host"
+)
+
+// Kernel-bypass SysV datapath, client + owner coordination (tentpole of
+// the "monitor-granted shared-memory rings" change; host/ring.go holds
+// the segments themselves, sysv.go the owner-side queue/sem hooks).
+//
+// Protocol: after ringAttachThreshold successful remote operations on one
+// object, the client asks the owner for a grant (MsgRingAttach). The
+// owner creates the segments through the PAL — the monitor's CheckBulkIPC
+// policy gates the client's mapping exactly like a gipc store — and
+// starts a drainer goroutine. From then on:
+//
+//   msgsnd  → TryPush on the send ring (owner drains under q.mu)
+//   msgrcv  → TryPopClient on the receive ring (mtype==0 only; granted
+//             only while the owner's backlog is empty with no waiters)
+//   semop   → CAS on the shared value (single-semaphore sets, plain ops)
+//
+// Everything else — and every disruption: ring full, oversize message,
+// migration, deletion, sandbox split, owner death, shutdown — falls back
+// to the classic RPC path. Fallback is always safe without coordination
+// because the owner ingests the send ring under q.mu before acting on any
+// RPC, so a client switching paths can never reorder its own messages.
+
+// ringAttachThreshold is how many successful remote operations on one
+// object trigger a grant request (same spirit as migrateThreshold: pay
+// the setup cost only for objects with steady cross-process traffic).
+const ringAttachThreshold = 8
+
+var ringEnabled atomic.Bool
+
+func init() { ringEnabled.Store(true) }
+
+// SetRingBypass toggles the kernel-bypass SysV datapath (ablation; off
+// keeps every operation on the RPC plane, the pre-ring behavior).
+func SetRingBypass(on bool) { ringEnabled.Store(on) }
+
+// qRingClient is the client side of one queue attachment.
+type qRingClient struct {
+	owner string
+	epoch int64
+	send  *host.RingSegment // client produces
+	recv  *host.RingSegment // client consumes; nil if the owner declined
+	mu    sync.Mutex        // serializes local consumers on popBuf
+	popBuf []byte
+}
+
+// semRingClient is the client side of one semaphore attachment.
+type semRingClient struct {
+	owner string
+	epoch int64
+	seg   *host.SemSeg
+}
+
+// ringClientState hangs off the Helper: per-object remote-op counters and
+// live attachments. Maps are lazy — helpers that never cross the
+// threshold pay one nil check.
+type ringClientState struct {
+	mu           sync.Mutex
+	qOps, semOps map[int64]int
+	q            map[int64]*qRingClient
+	sem          map[int64]*semRingClient
+	qAttaching   map[int64]bool
+	semAttaching map[int64]bool
+}
+
+// traceRing records a ring lifecycle event in the flight recorder
+// (code 1 grant, 2 map, 3 revoke/reclaim). Only lifecycle edges are
+// traced; the datapath itself stays untraced to remain allocation-free.
+func (h *Helper) traceRing(code uint32, segID int) {
+	if !host.TraceEnabled() {
+		return
+	}
+	h.pal.Proc().TraceRecord(host.TraceEvent{
+		TS: host.TraceNow(), Kind: host.EvRingBypass, Code: code, Arg: uint64(segID),
+	})
+}
+
+// ============================================================
+// Client side
+// ============================================================
+
+// qRingGet returns the live attachment for queue id at owner, dropping
+// stale state (revoked ring or ownership moved) on the way.
+func (h *Helper) qRingGet(id int64, owner string) *qRingClient {
+	if !ringEnabled.Load() {
+		return nil
+	}
+	rs := &h.ringState
+	rs.mu.Lock()
+	rc := rs.q[id]
+	rs.mu.Unlock()
+	if rc == nil {
+		return nil
+	}
+	if rc.owner != owner || rc.send.Revoked() {
+		h.qRingDrop(id)
+		return nil
+	}
+	return rc
+}
+
+func (h *Helper) qRingDrop(id int64) {
+	rs := &h.ringState
+	rs.mu.Lock()
+	delete(rs.q, id)
+	delete(rs.qOps, id)
+	rs.mu.Unlock()
+}
+
+func (h *Helper) semRingGet(id int64, owner string) *semRingClient {
+	if !ringEnabled.Load() {
+		return nil
+	}
+	rs := &h.ringState
+	rs.mu.Lock()
+	sc := rs.sem[id]
+	rs.mu.Unlock()
+	if sc == nil {
+		return nil
+	}
+	if sc.owner != owner || sc.seg.Revoked() {
+		h.semRingDrop(id)
+		return nil
+	}
+	return sc
+}
+
+func (h *Helper) semRingDrop(id int64) {
+	rs := &h.ringState
+	rs.mu.Lock()
+	delete(rs.sem, id)
+	delete(rs.semOps, id)
+	rs.mu.Unlock()
+}
+
+// noteRemoteQOp counts a successful remote queue operation and kicks off
+// an attach once the object crosses the threshold. The attach runs in the
+// background so the counted operation's latency is unaffected.
+func (h *Helper) noteRemoteQOp(id int64, owner string) {
+	if !ringEnabled.Load() {
+		return
+	}
+	rs := &h.ringState
+	rs.mu.Lock()
+	if rs.q[id] != nil || rs.qAttaching[id] {
+		rs.mu.Unlock()
+		return
+	}
+	if rs.qOps == nil {
+		rs.qOps = make(map[int64]int)
+	}
+	rs.qOps[id]++
+	if rs.qOps[id] < ringAttachThreshold {
+		rs.mu.Unlock()
+		return
+	}
+	rs.qOps[id] = 0
+	if rs.qAttaching == nil {
+		rs.qAttaching = make(map[int64]bool)
+	}
+	rs.qAttaching[id] = true
+	rs.mu.Unlock()
+	if !h.bgGo(func() { h.qRingAttach(id, owner) }) {
+		rs.mu.Lock()
+		delete(rs.qAttaching, id)
+		rs.mu.Unlock()
+	}
+}
+
+func (h *Helper) noteRemoteSemOp(id int64, owner string) {
+	if !ringEnabled.Load() {
+		return
+	}
+	rs := &h.ringState
+	rs.mu.Lock()
+	if rs.sem[id] != nil || rs.semAttaching[id] {
+		rs.mu.Unlock()
+		return
+	}
+	if rs.semOps == nil {
+		rs.semOps = make(map[int64]int)
+	}
+	rs.semOps[id]++
+	if rs.semOps[id] < ringAttachThreshold {
+		rs.mu.Unlock()
+		return
+	}
+	rs.semOps[id] = 0
+	if rs.semAttaching == nil {
+		rs.semAttaching = make(map[int64]bool)
+	}
+	rs.semAttaching[id] = true
+	rs.mu.Unlock()
+	if !h.bgGo(func() { h.semRingAttach(id, owner) }) {
+		rs.mu.Lock()
+		delete(rs.semAttaching, id)
+		rs.mu.Unlock()
+	}
+}
+
+// qRingAttach performs the grant handshake for queue id. Declines (owner
+// busy, migrating, already granted) and policy refusals (the monitor
+// vetoes cross-sandbox mappings) are silent: the counter restarts and the
+// client retries after another threshold's worth of traffic.
+func (h *Helper) qRingAttach(id int64, owner string) {
+	rs := &h.ringState
+	defer func() {
+		rs.mu.Lock()
+		delete(rs.qAttaching, id)
+		rs.mu.Unlock()
+	}()
+	c, err := h.dial(owner)
+	if err != nil {
+		return
+	}
+	resp, err := c.CallTimeout(Frame{Type: MsgRingAttach, A: id, C: int64(h.pal.Proc().ID)}, rpcCallTimeout)
+	if err != nil || resp.A == 0 {
+		return
+	}
+	detach := func() {
+		_, _ = c.CallTimeout(Frame{Type: MsgRingDetach, A: id, D: resp.A}, rpcCallTimeout)
+	}
+	send, err := h.pal.RingMapMsg(int(resp.A))
+	if err != nil {
+		// The monitor refused the mapping (e.g. a sandbox split landed
+		// between grant and map): tell the owner to reclaim.
+		detach()
+		return
+	}
+	rc := &qRingClient{owner: owner, epoch: resp.D, send: send, popBuf: make([]byte, host.RingSlotData)}
+	if resp.B != 0 {
+		rr, err := h.pal.RingMapMsg(int(resp.B))
+		if err != nil {
+			detach()
+			return
+		}
+		rc.recv = rr
+	}
+	rs.mu.Lock()
+	if rs.q == nil {
+		rs.q = make(map[int64]*qRingClient)
+	}
+	rs.q[id] = rc
+	rs.mu.Unlock()
+	h.traceRing(2, send.ID)
+}
+
+func (h *Helper) semRingAttach(id int64, owner string) {
+	rs := &h.ringState
+	defer func() {
+		rs.mu.Lock()
+		delete(rs.semAttaching, id)
+		rs.mu.Unlock()
+	}()
+	c, err := h.dial(owner)
+	if err != nil {
+		return
+	}
+	resp, err := c.CallTimeout(Frame{Type: MsgRingAttach, A: id, B: 1, C: int64(h.pal.Proc().ID)}, rpcCallTimeout)
+	if err != nil || resp.A == 0 {
+		return
+	}
+	seg, err := h.pal.RingMapSem(int(resp.A))
+	if err != nil {
+		_, _ = c.CallTimeout(Frame{Type: MsgRingDetach, A: id, B: 1, D: resp.A}, rpcCallTimeout)
+		return
+	}
+	rs.mu.Lock()
+	if rs.sem == nil {
+		rs.sem = make(map[int64]*semRingClient)
+	}
+	rs.sem[id] = &semRingClient{owner: owner, epoch: resp.D, seg: seg}
+	rs.mu.Unlock()
+	h.traceRing(2, seg.ID)
+}
+
+// qRingSend attempts the msgsnd fast path. False routes the caller to
+// RPC — and if the attachment is still live (full ring or oversize
+// message, rather than revocation), that fallback send MUST be
+// synchronous. Ordering across the switch has two halves: messages
+// already in the ring land first because the owner ingests the send ring
+// under q.mu before appending an RPC message; and no later ring push may
+// overtake the fallback — the drainer ingests concurrently with RPC
+// dispatch, so only blocking the sender until the owner has appended the
+// RPC message (the Call's ack) closes that window. Msgsnd implements
+// this by switching the fallback frame from Notify to Call.
+func (h *Helper) qRingSend(rc *qRingClient, mtype int64, data []byte) bool {
+	if rc.send.TryPush(mtype, data) {
+		h.ringHits.Add(1)
+		return true
+	}
+	h.ringMisses.Add(1)
+	return false
+}
+
+// qRingRecv attempts the msgrcv fast path on the receive ring (mtype==0
+// callers only — the ring is strictly FIFO). handled=false means the ring
+// is gone (revoked/reclaimed) and the caller must fall back to RPC. While
+// the ring is live, empty means the queue is empty (the owner routes
+// every message into it), so ENOMSG and blocking-park are answered
+// locally; intr interruption returns EINTR with nothing parked remotely.
+func (h *Helper) qRingRecv(rc *qRingClient, wait bool, intr <-chan struct{}) (mtype int64, data []byte, errno api.Errno, handled bool) {
+	rc.mu.Lock()
+	rr := rc.recv
+	rc.mu.Unlock()
+	if rr == nil {
+		return 0, nil, 0, false
+	}
+	var ch chan struct{}
+	for {
+		rc.mu.Lock()
+		mt, n, ok := rr.TryPopClient(rc.popBuf)
+		if ok {
+			data = append([]byte(nil), rc.popBuf[:n]...)
+		}
+		rc.mu.Unlock()
+		if ok {
+			if ch != nil {
+				rr.Doorbell.Unregister(ch)
+			}
+			h.ringHits.Add(1)
+			return mt, data, 0, true
+		}
+		if rr.Revoked() {
+			if ch != nil {
+				rr.Doorbell.Unregister(ch)
+			}
+			h.ringMisses.Add(1)
+			return 0, nil, 0, false
+		}
+		if !wait {
+			if ch != nil {
+				rr.Doorbell.Unregister(ch)
+			}
+			h.ringHits.Add(1)
+			return 0, nil, api.ENOMSG, true
+		}
+		if ch == nil {
+			// Register, then re-check: a push between the failed pop and
+			// the registration must not be missed.
+			ch = make(chan struct{}, 1)
+			rr.Doorbell.Register(ch)
+			continue
+		}
+		select {
+		case <-ch:
+		case <-intr: // nil intr never fires; revocation still wakes via ch
+			rr.Doorbell.Unregister(ch)
+			return 0, nil, api.EINTR, true
+		}
+	}
+}
+
+// semRingOp attempts the semop fast path. handled=false routes to RPC:
+// unmodeled ops (multi-semaphore indices, flags beyond IPC_NOWAIT),
+// revocation, or a would-block op the caller wants to sleep on (parking
+// lives at the owner). A non-blocking would-block is answered locally —
+// the segment is the authoritative value, so local EAGAIN is exact.
+func (h *Helper) semRingOp(id int64, sc *semRingClient, ops []api.SemBuf, wait bool) (handled bool, errno api.Errno) {
+	for _, op := range ops {
+		if op.Num != 0 || int(op.Flg)&^api.IPCNoWait != 0 {
+			return false, 0
+		}
+	}
+	applied, _, aerr := sc.seg.TryApply(ops)
+	switch {
+	case aerr == api.EAGAIN: // revoked or sealed
+		h.semRingDrop(id)
+		h.ringMisses.Add(1)
+		return false, 0
+	case aerr != 0:
+		h.ringHits.Add(1)
+		return true, aerr
+	case applied:
+		h.ringHits.Add(1)
+		return true, 0
+	case !wait:
+		h.ringHits.Add(1)
+		return true, api.EAGAIN
+	default:
+		h.ringMisses.Add(1)
+		return false, 0
+	}
+}
+
+// ringShutdown detaches every client attachment with a best-effort
+// synchronous call so owners reclaim promptly (without it they would
+// still converge: the kernel revokes the segments when this process
+// exits, and any classic receive reclaims a stranded receive ring).
+func (h *Helper) ringShutdown() {
+	rs := &h.ringState
+	rs.mu.Lock()
+	qs := rs.q
+	sems := rs.sem
+	rs.q, rs.sem, rs.qOps, rs.semOps = nil, nil, nil, nil
+	rs.mu.Unlock()
+	for id, rc := range qs {
+		if c, err := h.dial(rc.owner); err == nil {
+			_, _ = c.CallTimeout(Frame{Type: MsgRingDetach, A: id, D: int64(rc.send.ID)}, rpcCallTimeout)
+		}
+	}
+	for id, sc := range sems {
+		if c, err := h.dial(sc.owner); err == nil {
+			_, _ = c.CallTimeout(Frame{Type: MsgRingDetach, A: id, B: 1, D: int64(sc.seg.ID)}, rpcCallTimeout)
+		}
+	}
+}
+
+// ============================================================
+// Owner side
+// ============================================================
+
+// handleRingAttach services a grant request: f.A object id, f.B 1 for
+// semaphore sets, f.C the client's host PID. Response: A = send-ring /
+// segment ID, B = receive-ring ID (queues; 0 if declined), D = the
+// object's migration epoch. Any error is a decline — the client keeps
+// using RPC and may retry later.
+func (h *Helper) handleRingAttach(f Frame, respond func(Frame)) {
+	clientPID := int(f.C)
+	if clientPID <= 0 || !ringEnabled.Load() {
+		respond(f.ErrResponse(api.EAGAIN))
+		return
+	}
+	h.mu.Lock()
+	if h.shutdown {
+		h.mu.Unlock()
+		respond(f.ErrResponse(api.EAGAIN))
+		return
+	}
+	var q *msgQueue
+	var s *semSet
+	if f.B == 1 {
+		s = h.sems[f.A]
+	} else {
+		q = h.queues[f.A]
+	}
+	h.mu.Unlock()
+
+	if f.B == 1 {
+		if s == nil {
+			respond(f.ErrResponse(api.EIDRM))
+			return
+		}
+		s.mu.Lock()
+		if s.removed || s.movedTo != "" || s.migrating {
+			s.mu.Unlock()
+			respond(f.ErrResponse(api.EXDEV))
+			return
+		}
+		if len(s.vals) != 1 || s.seg != nil {
+			// Multi-semaphore sets are RPC-only; one bypass client at a time.
+			s.mu.Unlock()
+			respond(f.ErrResponse(api.EAGAIN))
+			return
+		}
+		seg, err := h.pal.RingCreateSem(clientPID, int64(s.vals[0]))
+		if err != nil {
+			s.mu.Unlock()
+			respond(f.ErrResponse(api.EAGAIN))
+			return
+		}
+		s.seg = seg
+		s.segFrom = f.From
+		epoch := s.epoch
+		s.mu.Unlock()
+		if !h.bgGo(func() { h.semSegDrainer(s, seg) }) {
+			s.mu.Lock()
+			s.reclaimSegLocked()
+			s.mu.Unlock()
+			h.pal.RingRelease(seg.ID)
+			respond(f.ErrResponse(api.EAGAIN))
+			return
+		}
+		h.traceRing(1, seg.ID)
+		respond(f.Response(Frame{A: int64(seg.ID), D: epoch}))
+		return
+	}
+
+	if q == nil {
+		respond(f.ErrResponse(api.EIDRM))
+		return
+	}
+	q.mu.Lock()
+	if q.removed || q.movedTo != "" || q.migrating {
+		q.mu.Unlock()
+		respond(f.ErrResponse(api.EXDEV))
+		return
+	}
+	if q.sendRing != nil {
+		q.mu.Unlock()
+		respond(f.ErrResponse(api.EAGAIN))
+		return
+	}
+	sr, err := h.pal.RingCreateMsg(clientPID)
+	if err != nil {
+		q.mu.Unlock()
+		respond(f.ErrResponse(api.EAGAIN))
+		return
+	}
+	var rr *host.RingSegment
+	if len(q.msgs) == 0 && len(q.waiters) == 0 {
+		// The receive ring is granted only from an empty, waiter-free
+		// state so ring deliveries can never overtake queued backlog.
+		rr, _ = h.pal.RingCreateMsg(clientPID)
+	}
+	q.sendRing, q.recvRing, q.ringFrom = sr, rr, f.From
+	epoch := q.epoch
+	q.mu.Unlock()
+	if !h.bgGo(func() { h.qRingDrainer(q, sr, rr) }) {
+		q.mu.Lock()
+		q.collapseRingsLocked()
+		q.mu.Unlock()
+		h.pal.RingRelease(sr.ID)
+		if rr != nil {
+			h.pal.RingRelease(rr.ID)
+		}
+		respond(f.ErrResponse(api.EAGAIN))
+		return
+	}
+	var rrID int64
+	if rr != nil {
+		rrID = int64(rr.ID)
+	}
+	h.traceRing(1, sr.ID)
+	respond(f.Response(Frame{A: int64(sr.ID), B: rrID, D: epoch}))
+}
+
+// handleRingDetach reclaims a grant at the client's request (synchronous:
+// when the response arrives, the owner has folded the ring contents back
+// and the client may safely switch to RPC). f.D names the segment so a
+// stale detach cannot tear down a newer grant.
+func (h *Helper) handleRingDetach(f Frame, respond func(Frame)) {
+	if f.B == 1 {
+		h.mu.Lock()
+		s := h.sems[f.A]
+		h.mu.Unlock()
+		if s != nil {
+			s.mu.Lock()
+			if s.seg != nil && int64(s.seg.ID) == f.D {
+				s.reclaimSegLocked()
+			}
+			s.mu.Unlock()
+		}
+	} else {
+		h.mu.Lock()
+		q := h.queues[f.A]
+		h.mu.Unlock()
+		if q != nil {
+			q.mu.Lock()
+			if q.sendRing != nil && int64(q.sendRing.ID) == f.D {
+				q.collapseRingsLocked()
+			}
+			q.mu.Unlock()
+		}
+	}
+	respond(f.Response(Frame{}))
+}
+
+// qRingDrainer is the owner-side consumer of a queue's send ring: parked
+// on the doorbell, it ingests client pushes under q.mu (waking parked
+// waiters) until the attachment dies — revocation, a collapse elsewhere
+// (migration/removal/detach), or helper shutdown. It releases the
+// segment IDs from the kernel registry on exit.
+func (h *Helper) qRingDrainer(q *msgQueue, sr, rr *host.RingSegment) {
+	ch := make(chan struct{}, 1)
+	sr.Doorbell.Register(ch)
+	defer sr.Doorbell.Unregister(ch)
+loop:
+	for {
+		q.mu.Lock()
+		if q.sendRing != sr {
+			q.mu.Unlock()
+			break
+		}
+		if sr.Revoked() {
+			q.collapseRingsLocked()
+			q.mu.Unlock()
+			break
+		}
+		q.ingestRingLocked()
+		q.drainWaitersLocked()
+		q.mu.Unlock()
+		select {
+		case <-ch:
+		case <-h.shutdownCh:
+			// Shutdown closes shutdownCh before waiting on h.bg, and
+			// persistQueue serializes afterward — collapsing here makes
+			// the persisted blob complete.
+			q.mu.Lock()
+			if q.sendRing == sr {
+				q.collapseRingsLocked()
+			}
+			q.mu.Unlock()
+			break loop
+		}
+	}
+	h.traceRing(3, sr.ID)
+	h.pal.RingRelease(sr.ID)
+	if rr != nil {
+		h.pal.RingRelease(rr.ID)
+	}
+}
+
+// semSegDrainer is the owner-side waker for a semaphore segment: each
+// client post rings the doorbell and parked RPC waiters re-evaluate
+// against the shared value. Exits (sealing the value back) on
+// revocation, reclaim elsewhere, or shutdown.
+func (h *Helper) semSegDrainer(s *semSet, seg *host.SemSeg) {
+	ch := make(chan struct{}, 1)
+	seg.Doorbell.Register(ch)
+	defer seg.Doorbell.Unregister(ch)
+loop:
+	for {
+		s.mu.Lock()
+		if s.seg != seg {
+			s.mu.Unlock()
+			break
+		}
+		if seg.Revoked() {
+			s.reclaimSegLocked()
+			s.mu.Unlock()
+			break
+		}
+		s.wakeWaitersLocked()
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-h.shutdownCh:
+			s.mu.Lock()
+			if s.seg == seg {
+				s.reclaimSegLocked()
+			}
+			s.mu.Unlock()
+			break loop
+		}
+	}
+	h.traceRing(3, seg.ID)
+	h.pal.RingRelease(seg.ID)
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"graphene/internal/api"
+	"graphene/internal/host"
 )
 
 // migrateThreshold is how many consecutive remote operations from one peer
@@ -20,8 +21,13 @@ type msgMessage struct {
 }
 
 // recvWaiter is a blocked receiver (local caller or deferred remote RPC).
+// from and cookie identify the waiter for signal-interruption cancel:
+// remote waiters carry the sender's address plus its per-call cookie
+// (matched by MsgQRecvCancel); local waiters are cancelled by pointer.
 type recvWaiter struct {
 	mtype   int64
+	from    string
+	cookie  int64
 	deliver func(mtype int64, data []byte, errno api.Errno)
 }
 
@@ -56,6 +62,18 @@ type msgQueue struct {
 	// while out-receiving the owner triggers consumer migration.
 	remoteRecvs map[string]int
 	localRecvs  int
+
+	// Kernel-bypass datapath (ring.go). sendRing carries client→owner
+	// messages; recvRing (granted only while the backlog is empty and no
+	// waiters are parked) carries owner→client deliveries for mtype==0
+	// receivers. ringFrom is the attached client's helper address. Both
+	// rings are strictly an optimization: collapseRingsLocked folds them
+	// back into q.msgs at any disruption (migration, removal, detach,
+	// shutdown, competing consumer).
+	sendRing *host.RingSegment
+	recvRing *host.RingSegment
+	ringFrom string
+	ringBuf  []byte // drain scratch, one slot's worth
 }
 
 func newMsgQueue(id, key int64) *msgQueue {
@@ -84,7 +102,10 @@ func matches(m msgMessage, mtype int64) bool {
 	}
 }
 
-// send appends a message and satisfies a compatible waiter.
+// send appends a message and satisfies a compatible waiter. Ring-attached
+// client pushes already in flight are ingested first so FIFO order holds,
+// and when a receive ring is granted the new message is routed straight
+// into it.
 func (q *msgQueue) send(mtype int64, data []byte) api.Errno {
 	q.mu.Lock()
 	if q.removed {
@@ -95,10 +116,107 @@ func (q *msgQueue) send(mtype int64, data []byte) api.Errno {
 		q.mu.Unlock()
 		return api.EXDEV
 	}
-	q.msgs = append(q.msgs, msgMessage{Type: mtype, Data: append([]byte(nil), data...)})
+	q.ingestRingLocked()
+	if !q.forwardToRecvRingLocked(mtype, data) { // TryPush copies into the arena
+		q.msgs = append(q.msgs, msgMessage{Type: mtype, Data: append([]byte(nil), data...)})
+	}
 	q.drainWaitersLocked()
 	q.mu.Unlock()
 	return 0
+}
+
+// ringBufLocked returns the drain scratch buffer. Caller holds q.mu.
+func (q *msgQueue) ringBufLocked() []byte {
+	if q.ringBuf == nil {
+		q.ringBuf = make([]byte, host.RingSlotData)
+	}
+	return q.ringBuf
+}
+
+// ingestRingLocked moves every message the ring client has published into
+// the owner's order: straight into the receive ring while one is attached
+// and eligible, otherwise into q.msgs. Popping under q.mu is what keeps a
+// racing migration from losing messages — the collapse in migrateQueue
+// runs under the same lock. Caller holds q.mu.
+func (q *msgQueue) ingestRingLocked() {
+	sr := q.sendRing
+	if sr == nil {
+		return
+	}
+	buf := q.ringBufLocked()
+	for {
+		mt, n, ok := sr.TryPop(buf)
+		if !ok {
+			return
+		}
+		data := append([]byte(nil), buf[:n]...)
+		if !q.forwardToRecvRingLocked(mt, data) {
+			q.msgs = append(q.msgs, msgMessage{Type: mt, Data: data})
+		}
+	}
+}
+
+// forwardToRecvRingLocked routes one arriving message into the receive
+// ring. False means the message must take the classic q.msgs path; any
+// condition that would let the ring overtake queued backlog or parked
+// waiters reclaims the ring first, so the client can never observe
+// reordering. Caller holds q.mu.
+func (q *msgQueue) forwardToRecvRingLocked(mtype int64, data []byte) bool {
+	rr := q.recvRing
+	if rr == nil {
+		return false
+	}
+	if len(q.waiters) > 0 || len(q.msgs) > 0 {
+		q.reclaimRecvRingLocked()
+		return false
+	}
+	if rr.Revoked() || !rr.TryPush(mtype, data) {
+		q.reclaimRecvRingLocked()
+		return false
+	}
+	return true
+}
+
+// reclaimRecvRingLocked revokes the receive ring and pulls every
+// undelivered message back to the FRONT of q.msgs: ring contents were
+// ordered before anything still queued. SealConsumer guarantees no client
+// pop is in flight, so nothing is lost or duplicated. Caller holds q.mu.
+func (q *msgQueue) reclaimRecvRingLocked() {
+	rr := q.recvRing
+	if rr == nil {
+		return
+	}
+	rr.Revoke()
+	rr.SealConsumer()
+	buf := q.ringBufLocked()
+	var tail []msgMessage
+	for {
+		mt, n, ok := rr.TryPop(buf)
+		if !ok {
+			break
+		}
+		tail = append(tail, msgMessage{Type: mt, Data: append([]byte(nil), buf[:n]...)})
+	}
+	if len(tail) > 0 {
+		q.msgs = append(tail, q.msgs...)
+	}
+	q.recvRing = nil
+}
+
+// collapseRingsLocked folds both rings back into q.msgs and revokes them
+// — the full detach used by migration, removal, explicit detach, and
+// shutdown. After it returns the queue is ring-free and q.msgs is the
+// complete FIFO state. Caller holds q.mu.
+func (q *msgQueue) collapseRingsLocked() {
+	q.reclaimRecvRingLocked()
+	if sr := q.sendRing; sr != nil {
+		sr.Revoke()
+		sr.Seal()
+		q.ingestRingLocked() // recvRing is nil now; drains into q.msgs
+		q.sendRing = nil
+		q.ringFrom = ""
+	}
+	q.drainWaitersLocked()
 }
 
 // drainWaitersLocked hands queued messages to compatible waiters in order.
@@ -127,31 +245,68 @@ func (q *msgQueue) drainWaitersLocked() {
 
 // recv pops the first matching message. If none and wait is set, deliver
 // is parked until a message arrives; otherwise ENOMSG is returned inline.
-// Returns true if deliver was (or will be) called.
-func (q *msgQueue) recv(mtype int64, wait bool, deliver func(int64, []byte, api.Errno)) bool {
+// Returns the parked waiter (for cancellation) or nil when deliver was
+// called inline. from/cookie tag remote waiters for MsgQRecvCancel.
+func (q *msgQueue) recv(mtype int64, wait bool, from string, cookie int64, deliver func(int64, []byte, api.Errno)) *recvWaiter {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.removed {
 		deliver(0, nil, api.EIDRM)
-		return true
+		return nil
 	}
 	if q.movedTo != "" || q.migrating {
 		deliver(0, nil, api.EXDEV)
-		return true
+		return nil
 	}
+	// Any receive through the classic path breaks the receive ring's
+	// sole-consumer discipline: reclaim it (FIFO-preserving) before
+	// matching, after ingesting pending ring sends.
+	q.ingestRingLocked()
+	q.reclaimRecvRingLocked()
 	for i, m := range q.msgs {
 		if matches(m, mtype) {
 			q.msgs = append(q.msgs[:i], q.msgs[i+1:]...)
 			deliver(m.Type, m.Data, 0)
-			return true
+			return nil
 		}
 	}
 	if !wait {
 		deliver(0, nil, api.ENOMSG)
-		return true
+		return nil
 	}
-	q.waiters = append(q.waiters, &recvWaiter{mtype: mtype, deliver: deliver})
-	return true
+	w := &recvWaiter{mtype: mtype, from: from, cookie: cookie, deliver: deliver}
+	q.waiters = append(q.waiters, w)
+	return w
+}
+
+// cancelRecv withdraws a still-parked waiter without delivering. Returns
+// false when the waiter was already satisfied (or bounced) — the caller
+// must then consume the delivered result instead of reporting EINTR.
+func (q *msgQueue) cancelRecv(w *recvWaiter) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, p := range q.waiters {
+		if p == w {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// cancelRecvRemote answers a MsgQRecvCancel: the matching parked remote
+// waiter (if still parked) is removed and its deferred MsgQRecv call is
+// answered with EINTR.
+func (q *msgQueue) cancelRecvRemote(from string, cookie int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, w := range q.waiters {
+		if w.from == from && w.cookie == cookie {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			w.deliver(0, nil, api.EINTR)
+			return
+		}
+	}
 }
 
 // remove marks the queue deleted, failing queued waiters with EIDRM and
@@ -159,6 +314,11 @@ func (q *msgQueue) recv(mtype int64, wait bool, deliver func(int64, []byte, api.
 func (q *msgQueue) remove() []string {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	// Revoke the bypass rings first: ring-side messages still satisfy
+	// parked waiters (they linearize before the removal), then the rest
+	// fail with EIDRM. The client observes the revocation and re-routes
+	// to RPC, where it learns the queue is gone.
+	q.collapseRingsLocked()
 	q.removed = true
 	for _, w := range q.waiters {
 		w.deliver(0, nil, api.EIDRM)
@@ -173,9 +333,11 @@ func (q *msgQueue) remove() []string {
 }
 
 // serialize encodes the queue's messages for migration or persistence.
+// The bypass rings are collapsed first so the blob is the complete state.
 func (q *msgQueue) serialize() []byte {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	q.collapseRingsLocked()
 	return encodeMessages(q.key, q.msgs)
 }
 
@@ -216,8 +378,11 @@ func decodeMessages(blob []byte) (key int64, msgs []msgMessage, err error) {
 // --- semaphores ---
 
 // semWaiter is a blocked semop (local caller or deferred remote RPC).
+// from/cookie: see recvWaiter.
 type semWaiter struct {
 	ops     []api.SemBuf
+	from    string
+	cookie  int64
 	deliver func(errno api.Errno)
 }
 
@@ -238,6 +403,13 @@ type semSet struct {
 	accessors  map[string]struct{}
 	remoteAcqs map[string]int
 	localAcqs  int
+
+	// seg is the kernel-bypass shared value (ring.go), granted only for
+	// single-semaphore sets. While attached it is the authoritative value
+	// of semaphore 0: owner-side ops route through it too, and
+	// reclaimSegLocked seals the final value back into vals[0].
+	seg     *host.SemSeg
+	segFrom string // attached client's helper address
 }
 
 func newSemSet(id, key int64, nsems int) *semSet {
@@ -254,7 +426,31 @@ func (s *semSet) noteAccessor(addr string) {
 }
 
 // applyLocked attempts the op list atomically; returns false if blocked.
+// While a bypass segment is attached it holds the authoritative value, so
+// owner-side ops go through the same CAS protocol the client uses; a
+// revoked segment is folded back inline (without waking waiters — callers
+// iterating s.waiters do that themselves).
 func (s *semSet) applyLocked(ops []api.SemBuf) (bool, api.Errno) {
+	if seg := s.seg; seg != nil {
+		applied, wouldBlock, errno := seg.TryApply(ops)
+		switch {
+		case errno == api.EAGAIN:
+			// Revoked underneath us: capture the sealed value and fall
+			// through to the classic path below.
+			if v, ok := seg.Seal(); ok {
+				s.vals[0] = int(v)
+			}
+			s.seg = nil
+			s.segFrom = ""
+		case errno != 0:
+			return false, errno
+		case applied:
+			return true, 0
+		default:
+			_ = wouldBlock
+			return false, 0
+		}
+	}
 	for _, op := range ops {
 		if op.Num < 0 || op.Num >= len(s.vals) {
 			return false, api.EINVAL
@@ -277,38 +473,87 @@ func (s *semSet) applyLocked(ops []api.SemBuf) (bool, api.Errno) {
 }
 
 // semop performs ops, parking deliver if they cannot complete and wait is
-// set. Returns via deliver exactly once.
-func (s *semSet) semop(ops []api.SemBuf, wait bool, deliver func(api.Errno)) {
+// set. Returns via deliver exactly once. Returns the parked waiter (for
+// cancellation) or nil when deliver was called inline; from/cookie tag
+// remote waiters for MsgSemOpCancel.
+func (s *semSet) semop(ops []api.SemBuf, wait bool, from string, cookie int64, deliver func(api.Errno)) *semWaiter {
 	s.mu.Lock()
 	if s.removed {
 		s.mu.Unlock()
 		deliver(api.EIDRM)
-		return
+		return nil
 	}
 	if s.movedTo != "" || s.migrating {
 		s.mu.Unlock()
 		deliver(api.EXDEV)
-		return
+		return nil
 	}
 	ok, errno := s.applyLocked(ops)
 	if errno != 0 {
 		s.mu.Unlock()
 		deliver(errno)
-		return
+		return nil
 	}
 	if ok {
 		s.wakeWaitersLocked()
 		s.mu.Unlock()
 		deliver(0)
-		return
+		return nil
 	}
 	if !wait {
 		s.mu.Unlock()
 		deliver(api.EAGAIN)
+		return nil
+	}
+	w := &semWaiter{ops: ops, from: from, cookie: cookie, deliver: deliver}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+	return w
+}
+
+// cancelSem withdraws a still-parked semop waiter; see cancelRecv.
+func (s *semSet) cancelSem(w *semWaiter) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, p := range s.waiters {
+		if p == w {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// cancelSemRemote answers a MsgSemOpCancel; see cancelRecvRemote.
+func (s *semSet) cancelSemRemote(from string, cookie int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, w := range s.waiters {
+		if w.from == from && w.cookie == cookie {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			w.deliver(api.EINTR)
+			return
+		}
+	}
+}
+
+// reclaimSegLocked revokes the bypass segment, seals its final value back
+// into vals[0], and retries parked waiters against it. Idempotent; caller
+// holds s.mu. (Not called from within applyLocked — the waiter-iteration
+// loops there fold the segment back inline instead, to avoid re-entrant
+// mutation of s.waiters.)
+func (s *semSet) reclaimSegLocked() {
+	seg := s.seg
+	if seg == nil {
 		return
 	}
-	s.waiters = append(s.waiters, &semWaiter{ops: ops, deliver: deliver})
-	s.mu.Unlock()
+	seg.Revoke()
+	if v, ok := seg.Seal(); ok {
+		s.vals[0] = int(v)
+	}
+	s.seg = nil
+	s.segFrom = ""
+	s.wakeWaitersLocked()
 }
 
 // wakeWaitersLocked retries parked operations after a value change.
@@ -340,6 +585,16 @@ func (s *semSet) wakeWaitersLocked() {
 func (s *semSet) remove() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Revoke the bypass segment so the client's CAS fast path fails and
+	// re-routes to RPC, where it observes EIDRM. Seal (not reclaim): the
+	// values are being destroyed, waking waiters against them first would
+	// just race the removal.
+	if seg := s.seg; seg != nil {
+		seg.Revoke()
+		seg.Seal()
+		s.seg = nil
+		s.segFrom = ""
+	}
 	s.removed = true
 	for _, w := range s.waiters {
 		w.deliver(api.EIDRM)
@@ -352,10 +607,12 @@ func (s *semSet) remove() []string {
 	return out
 }
 
-// serialize encodes values for migration.
+// serialize encodes values for migration. A live bypass segment is
+// reclaimed first so vals reflects every client CAS.
 func (s *semSet) serialize() []byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.reclaimSegLocked()
 	return encodeSemState(s.key, s.vals)
 }
 

@@ -188,6 +188,16 @@ func (h *Helper) RegisterGauges() func() {
 		}
 		return 100 * hits / (hits + misses)
 	})
+	reg(gaugeName("ipc.ring_ops.pid", h.GuestPID), func() int64 {
+		return int64(h.ringHits.Load() + h.ringMisses.Load())
+	})
+	reg(gaugeName("ipc.ring_hit_pct.pid", h.GuestPID), func() int64 {
+		hits, misses := int64(h.ringHits.Load()), int64(h.ringMisses.Load())
+		if hits+misses == 0 {
+			return 100
+		}
+		return 100 * hits / (hits + misses)
+	})
 	if h.shards > 1 {
 		for s := 1; s < h.shards; s++ {
 			shard := s

@@ -28,6 +28,12 @@ type signalState struct {
 	disposition map[api.Signal]string
 	pending     []api.Signal
 	terminating bool
+	// intr is closed (and replaced) on every interrupting delivery —
+	// a caught signal or a default-fatal one. Blocking syscalls grab the
+	// current channel at entry (interruptChan) and select against it
+	// while parked, so a signal wakes them with EINTR per signal(7).
+	// Ignored and default-ignored signals do not interrupt.
+	intr chan struct{}
 }
 
 func newSignalState(p *Process) *signalState {
@@ -35,7 +41,24 @@ func newSignalState(p *Process) *signalState {
 		proc:        p,
 		handlers:    make(map[api.Signal]api.SigHandler),
 		disposition: make(map[api.Signal]string),
+		intr:        make(chan struct{}),
 	}
+}
+
+// interruptChan returns the channel the next interrupting signal closes.
+// Grab it before parking: a delivery after the grab closes exactly this
+// channel, and the replacement rule means a channel obtained here is
+// never already stale from an earlier, drained signal.
+func (s *signalState) interruptChan() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.intr
+}
+
+// interruptLocked wakes parked blocking syscalls. Caller holds s.mu.
+func (s *signalState) interruptLocked() {
+	close(s.intr)
+	s.intr = make(chan struct{})
 }
 
 func (s *signalState) sigaction(sig api.Signal, handler api.SigHandler, disposition string) error {
@@ -81,6 +104,7 @@ func (s *signalState) deliver(sig api.Signal) api.Errno {
 		switch s.disposition[sig] {
 		case "handler":
 			s.pending = append(s.pending, sig)
+			s.interruptLocked()
 			s.mu.Unlock()
 			return 0
 		case api.SigIgn:
@@ -93,6 +117,7 @@ func (s *signalState) deliver(sig api.Signal) api.Errno {
 		return 0
 	}
 	s.terminating = true
+	s.interruptLocked()
 	s.mu.Unlock()
 	// Default disposition: terminate. Runs off the caller's goroutine so a
 	// remote kill never blocks the IPC helper (§4.1's deadlock rule).

@@ -32,11 +32,13 @@ func (p *Process) Msgsnd(id int, mtype int64, data []byte, flags int) error {
 	return err
 }
 
-// Msgrcv receives the first message matching mtype.
+// Msgrcv receives the first message matching mtype. A guest signal
+// delivered while blocked interrupts the park with EINTR (msgrcv(2));
+// the handler then runs in the deferred drain.
 func (p *Process) Msgrcv(id int, mtype int64, buf []byte, flags int) (int64, []byte, error) {
 	defer p.sig.drain()
 	start := p.sysEnter()
-	mt, data, err := p.helper.Msgrcv(int64(id), mtype, flags)
+	mt, data, err := p.helper.MsgrcvIntr(int64(id), mtype, flags, p.sig.interruptChan())
 	p.sysExit(start, host.SysMsgrcv, uint64(id), err)
 	if err != nil {
 		return 0, nil, err
@@ -66,11 +68,12 @@ func (p *Process) Semget(key int, nsems int, flags int) (int, error) {
 	return int(id), nil
 }
 
-// Semop performs sembuf operations, blocking as needed.
+// Semop performs sembuf operations, blocking as needed. Interruptible by
+// guest signals with EINTR, like Msgrcv.
 func (p *Process) Semop(id int, ops []api.SemBuf) error {
 	defer p.sig.drain()
 	start := p.sysEnter()
-	err := p.helper.Semop(int64(id), ops)
+	err := p.helper.SemopIntr(int64(id), ops, p.sig.interruptChan())
 	p.sysExit(start, host.SysSemop, uint64(id), err)
 	return err
 }

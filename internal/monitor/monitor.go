@@ -158,8 +158,11 @@ func (m *Monitor) Detach(proc *host.Picoprocess, fsView []string) (*Sandbox, err
 
 	sb := m.newSandbox(restricted)
 	m.addMember(sb, proc)
-	// Sever every stream bridging the two sandboxes.
+	// Sever every stream bridging the two sandboxes, and revoke every
+	// kernel-bypass SysV ring whose endpoints the split just separated —
+	// after a split no shared memory may bridge the two sides (§3).
 	m.kernel.SeverCrossSandboxStreams()
+	m.kernel.RevokeCrossSandboxRings()
 	return sb, nil
 }
 

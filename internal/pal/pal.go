@@ -856,6 +856,42 @@ func (p *PAL) DkPhysicalMemoryMapWait(h *host.Handle, addr uint64, timeout time.
 }
 
 // ============================================================
+// Kernel-bypass SysV rings (initialization support, not ABI surface)
+// ============================================================
+//
+// Like BroadcastSubscribe below, these are host support functions rather
+// than entries in the 43-call ABI: the paper's gipc module exposes its
+// grant/map pair through a device node, not the PAL surface, and the
+// SysV ring segments follow the same shape (create on the owner, map on
+// the client under the reference monitor's bulk-IPC rule).
+
+// RingCreateMsg grants a message ring from this (owner) picoprocess to
+// clientPID. The returned segment ID travels to the client over RPC.
+func (p *PAL) RingCreateMsg(clientPID int) (*host.RingSegment, error) {
+	return p.kernel.CreateRingSegment(p.proc, clientPID)
+}
+
+// RingCreateSem grants a semaphore fast-path segment seeded with the
+// set's current value.
+func (p *PAL) RingCreateSem(clientPID int, initial int64) (*host.SemSeg, error) {
+	return p.kernel.CreateSemSegment(p.proc, clientPID, initial)
+}
+
+// RingMapMsg maps a granted message ring into this (client) picoprocess;
+// the monitor permits it only within the creator's sandbox.
+func (p *PAL) RingMapMsg(id int) (*host.RingSegment, error) {
+	return p.kernel.MapRingSegment(p.proc, id)
+}
+
+// RingMapSem maps a granted semaphore segment.
+func (p *PAL) RingMapSem(id int) (*host.SemSeg, error) {
+	return p.kernel.MapSemSegment(p.proc, id)
+}
+
+// RingRelease drops a fully revoked segment from the kernel registry.
+func (p *PAL) RingRelease(id int) { p.kernel.ReleaseRingSegment(id) }
+
+// ============================================================
 // Sandboxing (1 ABI, added by Graphene)
 // ============================================================
 
