@@ -5,7 +5,7 @@ PKGS := ./...
 # The RPC hot path: host byte streams and the IPC coordination framework.
 HOT_PKGS := ./internal/host/... ./internal/ipc/...
 
-.PHONY: build test race vet bench bench-fig5 chaos chaos-shard chaos-ring cover fuzz all
+.PHONY: build test race vet bench bench-fig5 chaos chaos-shard chaos-ring chaos-fleet cover fuzz all
 
 all: build vet test
 
@@ -49,6 +49,15 @@ chaos-shard:
 # Same fixed-seed discipline as `make chaos`.
 chaos-ring:
 	$(GO) test -race -count=3 -run 'Ring' ./internal/ipc/ ./internal/host/
+
+# Self-healing prefork fleet under chaos: worker kills mid-request,
+# network partitions around quarantined workers, sandbox secession, and
+# the SLO acceptance run (sustained open-loop load with a worker killed
+# every 250 ms), on all three personalities, under the race detector.
+# The fleet master is threads + pipes + signals all the way down, so
+# -count=3 reruns the same scenarios against fresh interleavings.
+chaos-fleet:
+	$(GO) test -race -count=3 -run 'TestFleet' ./internal/apps/
 
 # Coverage profile over every package; CI uploads coverage.out as an
 # artifact. -covermode=atomic because the suites are concurrency-heavy.

@@ -3,8 +3,8 @@
 //
 //	graphene-bench [-quick] [-json] [experiment...]
 //
-// Experiments: table4, fig4, table5, table6, table7, fig5, table8,
-// security, all (default). With -json, each measured experiment also
+// Experiments: table4, fig4, table5, table6, table7, fig5, httpd,
+// table8, security, all (default). With -json, each measured experiment also
 // writes a machine-readable BENCH_<experiment>.json in the current
 // directory. With -metrics, the per-syscall and per-RPC latency
 // histograms recorded by the flight recorder are printed after the
@@ -75,6 +75,7 @@ func main() {
 	// the failover detector and the windows measure elections instead.
 	fig5Keys, fig5Churn := 49_152, 2048
 	t5 := bench.DefaultTable5Scale()
+	httpdScale := bench.DefaultHTTPDScale()
 	if *quick {
 		iters = 3
 		t6Iters, t6Scale = 1, 0.2
@@ -86,6 +87,7 @@ func main() {
 		fig5ShardCounts = []int{1, 2}
 		fig5Keys, fig5Churn = 4096, 1024
 		t5 = bench.Table5Scale{Iters: 1, CompileKLoC: 2, HTTPReqs: 100, ShellIters: 3}
+		httpdScale = bench.HTTPDScale{Workers: 2, RateRPS: 200, DurMS: 500, Conc: 4, TimeoutMS: 1000, ChaosMS: 250}
 	}
 
 	run("table4", func() error {
@@ -141,6 +143,14 @@ func main() {
 		fmt.Print(bench.RenderFig5Shards(shardPoints))
 		allPoints := append(points, shardPoints...)
 		return emit("fig5", func(p string) any { return bench.MergeFig5JSON(p, allPoints) })
+	})
+	run("httpd", func() error {
+		rows, err := bench.HTTPD(httpdScale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderHTTPD(rows))
+		return emit("httpd", func(p string) any { return bench.MergeHTTPDJSON(p, rows) })
 	})
 	run("table8", func() error {
 		fmt.Print(bench.RenderTable8())

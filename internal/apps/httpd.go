@@ -65,6 +65,13 @@ func handleRequest(p api.OS, conn int, docroot string) {
 	if err != nil {
 		return
 	}
+	serveRequestLine(p, conn, docroot, line)
+}
+
+// serveRequestLine serves one already-read request line. Split out so the
+// fleet worker can intercept its control paths before falling through to
+// the same file-serving core.
+func serveRequestLine(p api.OS, conn int, docroot, line string) {
 	fields := strings.Fields(line)
 	if len(fields) != 2 || fields[0] != "GET" {
 		_ = writeAll(p, conn, []byte("ERR 400\n"))
@@ -132,8 +139,21 @@ func ApacheMain(p api.OS, argv []string) int {
 		}
 		pipes[i] = workerPipes{r, w}
 		workerR := r
+		workerW := w
+		inherited := append([]workerPipes(nil), pipes[:i]...)
 		pid, err := p.Fork(func(c api.OS) {
 			r := workerR
+			// Descriptor hygiene: drop the listener, the parent's write
+			// end of our own dispatch pipe, and both ends of every
+			// earlier worker's pipe that rode along in the fork. A stray
+			// read-end reference would keep a dead sibling's pipe alive
+			// and mask the EPIPE the parent's dispatch loop relies on.
+			_ = c.Close(lfd)
+			_ = c.Close(workerW)
+			for _, wp := range inherited {
+				_ = c.Close(wp.r)
+				_ = c.Close(wp.w)
+			}
 			cp := c.(api.ConnPasser)
 			csem, err := c.Semget(0x41504143, 1, 0)
 			if err != nil {
@@ -160,40 +180,72 @@ func ApacheMain(p api.OS, argv []string) int {
 			return 1
 		}
 		workerPIDs = append(workerPIDs, pid)
+		// The parent never reads dispatch pipes: drop the read end so a
+		// worker's death leaves its pipe reader-less and PassConnection
+		// reports EPIPE instead of queueing into the void.
+		_ = p.Close(r)
 	}
 
-	// Dispatch loop: accept and round-robin to workers, backing off when
-	// a worker's dispatch pipe is momentarily full.
+	// Dispatch loop: accept and round-robin to live workers. A full
+	// dispatch pipe gets a bounded sleep (not a busy spin); a dead worker
+	// gets retired and the connection goes to the next worker instead of
+	// being dropped. When the last worker dies the master stops serving
+	// and tears down.
+	sleep := newPollSleeper(p)
 	next := 0
-	for {
+	alive := make([]bool, nworkers)
+	for i := range alive {
+		alive[i] = true
+	}
+	aliveCount := nworkers
+	for aliveCount > 0 {
 		conn, err := p.Accept(lfd)
 		if err != nil {
 			break
 		}
-		for tries := 0; ; tries++ {
-			err := passer.PassConnection(pipes[next].w, conn)
-			if err == nil {
-				break
-			}
-			if api.ToErrno(err) == api.EAGAIN && tries < 10000 {
+		tries := 0
+		for aliveCount > 0 && tries < 10000 {
+			if !alive[next] {
 				next = (next + 1) % nworkers
-				if d, derr := p.Gettimeofday(); derr == nil {
-					_ = d // yield via a tiny sleep on the host clock path
-				}
 				continue
 			}
-			p.Close(conn)
-			conn = -1
-			break
+			perr := passer.PassConnection(pipes[next].w, conn)
+			if perr == nil {
+				next = (next + 1) % nworkers
+				break
+			}
+			switch api.ToErrno(perr) {
+			case api.EAGAIN:
+				next = (next + 1) % nworkers
+				sleep.sleepUS(500)
+				tries++
+			case api.EPIPE, api.EBADF, api.ECONNRESET:
+				alive[next] = false
+				aliveCount--
+				_ = p.Close(pipes[next].w)
+				next = (next + 1) % nworkers
+			default:
+				tries = 10000
+			}
 		}
-		if conn >= 0 {
-			p.Close(conn)
+		p.Close(conn)
+	}
+
+	// Teardown: close the remaining dispatch pipes (each worker's
+	// ReceiveConnection fails and it exits), reap every worker so no
+	// zombies outlive the master, and remove the accept-mutex semaphore —
+	// System V IPC ids persist past process exit (svipc(7)) and would
+	// otherwise leak into the next server instance.
+	for i, wp := range pipes {
+		if alive[i] {
+			_ = p.Close(wp.w)
 		}
-		next = (next + 1) % nworkers
 	}
 	for _, pid := range workerPIDs {
-		_ = pid
+		_, _ = p.Wait(pid)
 	}
+	_ = p.SemctlRmid(semID)
+	_ = p.Close(lfd)
 	return 0
 }
 

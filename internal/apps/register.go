@@ -12,6 +12,10 @@ func RegisterAll(register func(path string, prog api.Program) error) error {
 	programs["/bin/sh"] = ShellMain
 	programs["/bin/lighttpd"] = LighttpdMain
 	programs["/bin/apache"] = ApacheMain
+	programs["/bin/httpd-fleet"] = FleetMain
+	programs["/bin/httpd-worker"] = FleetWorkerMain
+	programs["/bin/loadgen"] = LoadgenMain
+	programs["/bin/fleetchaos"] = FleetChaosMain
 	programs["/bin/ab"] = ABMain
 	programs["/bin/cc1"] = CC1Main
 	programs["/bin/ld"] = LDMain

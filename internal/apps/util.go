@@ -100,6 +100,70 @@ func readLine(p api.OS, fd int) (string, error) {
 	}
 }
 
+// pollSleeper provides bounded sleeps to programs on an api.OS, which has
+// no sleep syscall: Poll on a pipe that is never written returns
+// ETIMEDOUT after exactly the timeout. Both pipe ends stay open for the
+// program's lifetime so the read side never turns readable with EOF.
+// Safe for concurrent use from multiple threads (each Poll registers its
+// own waiter).
+type pollSleeper struct {
+	poller api.Poller
+	fds    []int
+}
+
+// newPollSleeper allocates the sleep pipe; returns nil when the
+// personality lacks Poll (callers then simply do not back off).
+func newPollSleeper(p api.OS) *pollSleeper {
+	poller, ok := p.(api.Poller)
+	if !ok {
+		return nil
+	}
+	r, _, err := p.Pipe()
+	if err != nil {
+		return nil
+	}
+	return &pollSleeper{poller: poller, fds: []int{r}}
+}
+
+func (s *pollSleeper) sleepUS(us int64) {
+	if s == nil || us <= 0 {
+		return
+	}
+	_, _ = s.poller.Poll(s.fds, us)
+}
+
+// nowUS reads the host clock in microseconds, 0 on error.
+func nowUS(p api.OS) int64 {
+	t, err := p.Gettimeofday()
+	if err != nil {
+		return 0
+	}
+	return t
+}
+
+// parseKV splits "key=value" extra arguments (fleet/loadgen tuning knobs);
+// bare words map to "".
+func parseKV(args []string) map[string]string {
+	out := make(map[string]string, len(args))
+	for _, a := range args {
+		if i := strings.IndexByte(a, '='); i >= 0 {
+			out[a[:i]] = a[i+1:]
+		} else {
+			out[a] = ""
+		}
+	}
+	return out
+}
+
+// kvInt reads an integer tuning knob with a default.
+func kvInt(kv map[string]string, key string, def int) int {
+	v, ok := kv[key]
+	if !ok {
+		return def
+	}
+	return atoiOr(v, def)
+}
+
 // touchHeap grows the heap by n bytes and touches every page, modeling an
 // application's working set (compilers' ASTs, servers' buffer caches) so
 // the Figure 4 footprint measurements see realistic memory use.

@@ -1,0 +1,198 @@
+package conformance
+
+import (
+	"testing"
+	"time"
+
+	"graphene/internal/api"
+)
+
+// These tests pin the descriptor-passing contract a preforked server
+// leans on when its workers die. Each behavior is the one Linux documents
+// for SCM_RIGHTS over Unix sockets (unix(7), recvmsg(2)) and for pipes
+// (pipe(7)); all three personalities must agree, because the fleet
+// master's recovery logic keys on exactly these errno values.
+
+// TestConformanceConnPassEpipeToDeadWorker: passing a connection to a
+// worker that was SIGKILLed and reaped fails with EPIPE. wait(2): after
+// the reap, the child's descriptors are gone, so the dispatch pipe has no
+// read-end holders left; pipe(7): "If all file descriptors referring to
+// the read end of a pipe have been closed, then a write(2) will ... fail
+// with the error EPIPE." The master depends on this fast failure to pull
+// a dead worker out of rotation instead of queueing connections at it.
+func TestConformanceConnPassEpipeToDeadWorker(t *testing.T) {
+	runEverywhere(t, nil, func(p api.OS, argv []string) int {
+		cp, ok := p.(api.ConnPasser)
+		if !ok {
+			return 90
+		}
+		r, w, err := p.Pipe()
+		if err != nil {
+			return 1
+		}
+		pid, err := p.Fork(func(c api.OS) {
+			_ = c.Close(w)
+			for { // hold the read end without receiving, until killed
+				time.Sleep(time.Millisecond)
+				c.SignalsDrain()
+			}
+		})
+		if err != nil {
+			return 2
+		}
+		_ = p.Close(r) // the worker now holds the only read end
+		lfd, err := p.Listen("127.0.0.1:7801")
+		if err != nil {
+			return 3
+		}
+		cfd, err := p.Connect("127.0.0.1:7801")
+		if err != nil {
+			return 4
+		}
+		conn, err := p.Accept(lfd)
+		if err != nil {
+			return 5
+		}
+		if err := p.Kill(pid, api.SIGKILL); err != nil {
+			return 6
+		}
+		res, err := p.Wait(pid)
+		if err != nil || res.Signaled != api.SIGKILL {
+			return 7
+		}
+		if err := cp.PassConnection(w, conn); api.ToErrno(err) != api.EPIPE {
+			return 8
+		}
+		_ = p.Close(cfd)
+		return 0
+	})
+}
+
+// TestConformanceConnPassInFlightClosedOnWorkerDeath: a connection that
+// was passed but never received is closed when the would-be receiver
+// dies. unix(7): "descriptors that are still in flight when the receiving
+// socket is closed are themselves closed" — without this, the client
+// behind the orphaned connection would block on read forever instead of
+// seeing EOF and retrying against a live worker.
+func TestConformanceConnPassInFlightClosedOnWorkerDeath(t *testing.T) {
+	runEverywhere(t, nil, func(p api.OS, argv []string) int {
+		cp, ok := p.(api.ConnPasser)
+		if !ok {
+			return 90
+		}
+		r, w, err := p.Pipe()
+		if err != nil {
+			return 1
+		}
+		pid, err := p.Fork(func(c api.OS) {
+			_ = c.Close(w)
+			for { // die before ever calling ReceiveConnection
+				time.Sleep(time.Millisecond)
+				c.SignalsDrain()
+			}
+		})
+		if err != nil {
+			return 2
+		}
+		_ = p.Close(r)
+		lfd, err := p.Listen("127.0.0.1:7802")
+		if err != nil {
+			return 3
+		}
+		clientDone := make(chan int, 1)
+		go func() {
+			cfd, err := p.Connect("127.0.0.1:7802")
+			if err != nil {
+				clientDone <- 101
+				return
+			}
+			buf := make([]byte, 8)
+			// Blocks until the in-flight copy dies with the worker.
+			if n, _ := p.Read(cfd, buf); n != 0 {
+				clientDone <- 102
+				return
+			}
+			clientDone <- 0
+		}()
+		conn, err := p.Accept(lfd)
+		if err != nil {
+			return 4
+		}
+		if err := cp.PassConnection(w, conn); err != nil {
+			return 5
+		}
+		// The in-flight handle is now the connection's only reference.
+		_ = p.Close(conn)
+		if err := p.Kill(pid, api.SIGKILL); err != nil {
+			return 6
+		}
+		if _, err := p.Wait(pid); err != nil {
+			return 7
+		}
+		return <-clientDone
+	})
+}
+
+// TestConformanceConnPassReceiverWakesOnMasterDeath: a worker blocked in
+// ReceiveConnection does not park forever when every holder of the send
+// side is gone — it fails with EPIPE. recvmsg(2) reports end-of-stream
+// (return 0) when a connection-mode peer has shut down; the analogue here
+// is the master dying while its workers wait for the next connection,
+// which must leave the workers able to exit rather than leak.
+func TestConformanceConnPassReceiverWakesOnMasterDeath(t *testing.T) {
+	runEverywhere(t, nil, func(p api.OS, argv []string) int {
+		r, w, err := p.Pipe()
+		if err != nil {
+			return 1
+		}
+		pid, err := p.Fork(func(c api.OS) {
+			_ = c.Close(w)
+			ccp, ok := c.(api.ConnPasser)
+			if !ok {
+				c.Exit(90)
+			}
+			if _, err := ccp.ReceiveConnection(r); api.ToErrno(err) != api.EPIPE {
+				c.Exit(9)
+			}
+			c.Exit(0)
+		})
+		if err != nil {
+			return 2
+		}
+		_ = p.Close(r)
+		// Let the worker block in the receive, then drop the last write end
+		// (the master's death, as the worker observes it).
+		time.Sleep(20 * time.Millisecond)
+		_ = p.Close(w)
+		res, err := p.Wait(pid)
+		if err != nil || res.ExitCode != 0 {
+			return 3
+		}
+		return 0
+	})
+}
+
+// TestConformanceConnPassNonSocketRejected: only accepted connections are
+// passable; handing the dispatch path a pipe fails at the sender with
+// EINVAL on every personality, so a miswired master cannot ship a worker
+// a descriptor it cannot serve.
+func TestConformanceConnPassNonSocketRejected(t *testing.T) {
+	runEverywhere(t, nil, func(p api.OS, argv []string) int {
+		cp, ok := p.(api.ConnPasser)
+		if !ok {
+			return 90
+		}
+		_, w, err := p.Pipe()
+		if err != nil {
+			return 1
+		}
+		r2, _, err := p.Pipe()
+		if err != nil {
+			return 2
+		}
+		if err := cp.PassConnection(w, r2); api.ToErrno(err) != api.EINVAL {
+			return 3
+		}
+		return 0
+	})
+}

@@ -924,6 +924,11 @@ func (p *Process) PassConnection(overFD, connFD int) error {
 	if !ok || conn.str == nil {
 		return api.EBADF
 	}
+	if conn.kind != fdSocket {
+		// Same sender-side check as liblinux: only accepted connections
+		// are passable, so the personalities fail identically.
+		return api.EINVAL
+	}
 	return over.str.SendHandle(&host.Handle{Kind: host.HandleStream, Stream: conn.str})
 }
 

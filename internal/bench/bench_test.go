@@ -163,6 +163,30 @@ func TestTable5Smoke(t *testing.T) {
 	_ = RenderTable5(rows)
 }
 
+func TestHTTPDSmoke(t *testing.T) {
+	sc := HTTPDScale{Workers: 2, RateRPS: 200, DurMS: 400, Conc: 4, TimeoutMS: 1000, ChaosMS: 150}
+	rows, err := HTTPD(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.OK <= 0 {
+			t.Errorf("%s served nothing: %+v", r.System, r)
+		}
+		if r.Kills == 0 {
+			t.Errorf("%s saw no chaos kills", r.System)
+		}
+		if r.P50US <= 0 || r.P99US < r.P50US {
+			t.Errorf("%s malformed latency row: %+v", r.System, r)
+		}
+	}
+	_ = RenderHTTPD(rows)
+	_ = MergeHTTPDJSON(t.TempDir()+"/httpd.json", rows)
+}
+
 func TestRenderTable8AndSecurity(t *testing.T) {
 	out := RenderTable8()
 	if !strings.Contains(out, "147") || !strings.Contains(out, "291") {

@@ -1,0 +1,356 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"graphene/internal/api"
+	"graphene/internal/apps"
+	"graphene/internal/host"
+	"graphene/internal/metrics"
+)
+
+// HTTPDScale sizes the fleet-serving experiment.
+type HTTPDScale struct {
+	Workers   int // fleet size
+	RateRPS   int // open-loop offered load
+	DurMS     int // load window
+	Conc      int // loadgen connections
+	TimeoutMS int // per-request client deadline
+	ChaosMS   int // worker-kill interval during the window; 0 disables chaos
+}
+
+// DefaultHTTPDScale matches the chaos acceptance run in the test suite.
+func DefaultHTTPDScale() HTTPDScale {
+	return HTTPDScale{Workers: 4, RateRPS: 400, DurMS: 1500, Conc: 8, TimeoutMS: 1000, ChaosMS: 250}
+}
+
+// HTTPDResult is one system's serving-continuity row: a supervised
+// prefork HTTP fleet under open-loop load while a chaos driver kills a
+// worker at a fixed interval. OK/Shed/Errs classify client outcomes
+// (shed = deliberate 503 backpressure, not a failure); the percentiles
+// are successful-request latency.
+type HTTPDResult struct {
+	System  string
+	OK      int64
+	Shed    int64
+	Errs    int64
+	Kills   int
+	P50US   int64
+	P99US   int64
+	P999US  int64
+	Crashes int
+}
+
+// httpdEnv abstracts one system for the fleet run. killOne injects one
+// worker kill and reports whether a victim existed; how depends on the
+// system (guest-level SIGKILL where processes share a kernel, host-level
+// termination for Graphene, whose sandboxes cannot signal each other by
+// design).
+type httpdEnv struct {
+	name    string
+	seed    func(path string, data []byte) error
+	read    func(path string) ([]byte, error)
+	launch  func(path string, argv []string) (wait func() (int, error), err error)
+	killOne func() bool
+}
+
+const httpdSB = "/bench-sb"
+
+// HTTPD runs the fleet experiment on all three systems.
+func HTTPD(sc HTTPDScale) ([]HTTPDResult, error) {
+	envs, err := httpdEnvs()
+	if err != nil {
+		return nil, err
+	}
+	var out []HTTPDResult
+	for _, e := range envs {
+		row, err := runHTTPDOn(e, sc)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.name, err)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func httpdEnvs() ([]httpdEnv, error) {
+	killPID := func(p api.OS, argv []string) int {
+		pid, _ := strconv.Atoi(argv[1])
+		if err := p.Kill(pid, api.SIGKILL); err != nil {
+			return 1
+		}
+		return 0
+	}
+
+	ge, err := NewGraphene()
+	if err != nil {
+		return nil, err
+	}
+	var masterHostID atomic.Int64
+	var victim atomic.Int64
+	graphene := httpdEnv{
+		name: "Graphene",
+		seed: func(path string, data []byte) error { return ge.Kernel.FS.WriteFile(path, data, 0644) },
+		read: func(path string) ([]byte, error) { return ge.Kernel.FS.ReadFile(path) },
+		launch: func(path string, argv []string) (func() (int, error), error) {
+			res, err := ge.Runtime.Launch(ge.Manifest, path, argv)
+			if err != nil {
+				return nil, err
+			}
+			if path == "/bin/httpd-fleet" {
+				masterHostID.Store(int64(res.Process.PAL().Proc().ID))
+			}
+			return func() (int, error) {
+				return waitResult(res.Done, func() int { return res.ExitCode() }, workloadDeadline)
+			}, nil
+		},
+		killOne: func() bool {
+			var procs []*host.Picoprocess
+			for _, pp := range ge.Kernel.Processes() {
+				if pp.ParentID == int(masterHostID.Load()) && !pp.Dead() {
+					procs = append(procs, pp)
+				}
+			}
+			if len(procs) == 0 {
+				return false
+			}
+			procs[int(victim.Add(1))%len(procs)].Exit(137)
+			return true
+		},
+	}
+
+	ne, err := NewNative()
+	if err != nil {
+		return nil, err
+	}
+	if err := ne.Kernel.RegisterProgram("/bin/killpid", killPID); err != nil {
+		return nil, err
+	}
+	native := httpdEnv{
+		name: "Linux",
+		seed: func(path string, data []byte) error { return ne.Kernel.FS.WriteFile(path, data, 0644) },
+		read: func(path string) ([]byte, error) { return ne.Kernel.FS.ReadFile(path) },
+		launch: func(path string, argv []string) (func() (int, error), error) {
+			res, err := ne.Kernel.Launch(path, argv)
+			if err != nil {
+				return nil, err
+			}
+			return func() (int, error) {
+				return waitResult(res.Done, func() int { return res.ExitCode() }, workloadDeadline)
+			}, nil
+		},
+	}
+	native.killOne = guestKillOne(&native)
+
+	ke, err := NewKVM()
+	if err != nil {
+		return nil, err
+	}
+	if err := ke.VM.RegisterProgram("/bin/killpid", killPID); err != nil {
+		return nil, err
+	}
+	gk := ke.VM.Guest()
+	kvmEnv := httpdEnv{
+		name: "KVM",
+		seed: func(path string, data []byte) error { return gk.FS.WriteFile(path, data, 0644) },
+		read: func(path string) ([]byte, error) { return gk.FS.ReadFile(path) },
+		launch: func(path string, argv []string) (func() (int, error), error) {
+			res, err := ke.VM.Launch(path, argv)
+			if err != nil {
+				return nil, err
+			}
+			return func() (int, error) {
+				return waitResult(res.Done, func() int { return res.ExitCode() }, workloadDeadline)
+			}, nil
+		},
+	}
+	kvmEnv.killOne = guestKillOne(&kvmEnv)
+
+	return []httpdEnv{graphene, native, kvmEnv}, nil
+}
+
+// guestKillOne kills a scoreboard-listed worker through a guest program —
+// the shared-kernel systems let any process signal any other, which is
+// the asymmetry §6.6 measures.
+func guestKillOne(e *httpdEnv) func() bool {
+	var victim atomic.Int64
+	return func() bool {
+		data, err := e.read(httpdSB)
+		if err != nil {
+			return false
+		}
+		pids := boardPIDs(string(data))
+		if len(pids) == 0 {
+			return false
+		}
+		pid := pids[int(victim.Add(1))%len(pids)]
+		wait, err := e.launch("/bin/killpid", []string{"killpid", strconv.Itoa(pid)})
+		if err != nil {
+			return false
+		}
+		code, err := wait()
+		return err == nil && code == 0
+	}
+}
+
+func runHTTPDOn(e httpdEnv, sc HTTPDScale) (HTTPDResult, error) {
+	if err := e.seed("/www-index", []byte(strings.Repeat("x", 200))); err != nil {
+		return HTTPDResult{}, err
+	}
+	const addr = "127.0.0.1:8390"
+	masterWait, err := e.launch("/bin/httpd-fleet", []string{
+		"httpd-fleet", addr, strconv.Itoa(sc.Workers), "/",
+		"sb=" + httpdSB, "cap=" + strconv.Itoa(sc.Workers),
+		"queue=128", "shed_ms=300",
+	})
+	if err != nil {
+		return HTTPDResult{}, err
+	}
+	if err := waitHTTPDBoard(e, 10*time.Second, func(l string) bool {
+		return boardField(l, "alive") == sc.Workers
+	}); err != nil {
+		return HTTPDResult{}, err
+	}
+
+	// Client outcomes flow through the loadgen sink into a fresh registry;
+	// only successful requests feed the latency histogram.
+	reg := metrics.NewRegistry()
+	var ok, shed, errs atomic.Int64
+	apps.SetLoadgenSink(func(class string, latencyUS int64) {
+		switch class {
+		case "ok":
+			ok.Add(1)
+			reg.Histogram("httpd.ok").Observe(latencyUS * 1000)
+		case "shed":
+			shed.Add(1)
+		default:
+			errs.Add(1)
+		}
+	})
+	defer apps.SetLoadgenSink(nil)
+
+	chaosStop := make(chan struct{})
+	chaosDone := make(chan int, 1)
+	go func() {
+		kills := 0
+		defer func() { chaosDone <- kills }()
+		if sc.ChaosMS <= 0 {
+			<-chaosStop
+			return
+		}
+		tick := time.NewTicker(time.Duration(sc.ChaosMS) * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-chaosStop:
+				return
+			case <-tick.C:
+				if e.killOne() {
+					kills++
+				}
+			}
+		}
+	}()
+
+	lgWait, err := e.launch("/bin/loadgen", []string{
+		"loadgen", addr, "/www-index", strconv.Itoa(sc.RateRPS),
+		strconv.Itoa(sc.DurMS), strconv.Itoa(sc.Conc),
+		"timeout_ms=" + strconv.Itoa(sc.TimeoutMS),
+	})
+	if err != nil {
+		close(chaosStop)
+		return HTTPDResult{}, err
+	}
+	code, err := lgWait()
+	close(chaosStop)
+	kills := <-chaosDone
+	if err != nil || code != 0 {
+		return HTTPDResult{}, fmt.Errorf("loadgen: code=%d err=%v", code, err)
+	}
+
+	// Continuity check before drain: the fleet is back at full strength.
+	if err := waitHTTPDBoard(e, 10*time.Second, func(l string) bool {
+		return boardField(l, "alive") == sc.Workers
+	}); err != nil {
+		return HTTPDResult{}, err
+	}
+	board, _ := e.read(httpdSB)
+	crashes := boardField(string(board), "crashes")
+
+	if err := e.seed(httpdSB+".stop", nil); err != nil {
+		return HTTPDResult{}, err
+	}
+	if code, err := masterWait(); err != nil || code != 0 {
+		return HTTPDResult{}, fmt.Errorf("fleet master exit: code=%d err=%v", code, err)
+	}
+
+	snap := reg.Histogram("httpd.ok").Snapshot()
+	return HTTPDResult{
+		System: e.name,
+		OK:     ok.Load(), Shed: shed.Load(), Errs: errs.Load(),
+		Kills:  kills,
+		P50US:  snap.P50 / 1e3, P99US: snap.P99 / 1e3, P999US: snap.P999 / 1e3,
+		Crashes: crashes,
+	}, nil
+}
+
+func waitHTTPDBoard(e httpdEnv, d time.Duration, cond func(line string) bool) error {
+	deadline := time.Now().Add(d)
+	last := "(missing)"
+	for time.Now().Before(deadline) {
+		if data, err := e.read(httpdSB); err == nil {
+			last = string(data)
+			if cond(last) {
+				return nil
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("scoreboard never converged; last: %s", strings.TrimSpace(last))
+}
+
+// boardField extracts an integer "key=value" field from a scoreboard
+// line, -1 if absent.
+func boardField(line, key string) int {
+	for _, f := range strings.Fields(line) {
+		if v, ok := strings.CutPrefix(f, key+"="); ok {
+			if n, err := strconv.Atoi(v); err == nil {
+				return n
+			}
+		}
+	}
+	return -1
+}
+
+// boardPIDs extracts the live worker PIDs from a scoreboard line.
+func boardPIDs(line string) []int {
+	for _, f := range strings.Fields(line) {
+		if v, ok := strings.CutPrefix(f, "pids="); ok {
+			var out []int
+			for _, s := range strings.Split(v, ",") {
+				if n, err := strconv.Atoi(s); err == nil && n > 0 {
+					out = append(out, n)
+				}
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// RenderHTTPD formats the fleet rows.
+func RenderHTTPD(rows []HTTPDResult) string {
+	var b strings.Builder
+	b.WriteString("HTTP fleet serving continuity under chaos (open-loop load, worker kills)\n")
+	b.WriteString(fmt.Sprintf("%-10s %8s %6s %6s %6s %8s %9s %9s %10s\n",
+		"System", "ok", "shed", "err", "kills", "crashes", "p50(us)", "p99(us)", "p999(us)"))
+	for _, r := range rows {
+		b.WriteString(fmt.Sprintf("%-10s %8d %6d %6d %6d %8d %9d %9d %10d\n",
+			r.System, r.OK, r.Shed, r.Errs, r.Kills, r.Crashes, r.P50US, r.P99US, r.P999US))
+	}
+	return b.String()
+}

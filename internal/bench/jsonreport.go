@@ -237,6 +237,38 @@ func MergeTable7JSON(path string, rows []Table7Result) any {
 		func(r table7JSON) string { return r.Op + "|" + r.Mode }, nil)
 }
 
+type httpdJSON struct {
+	System  string `json:"system"`
+	OK      int64  `json:"ok"`
+	Shed    int64  `json:"shed"`
+	Errs    int64  `json:"errs"`
+	Kills   int    `json:"kills"`
+	Crashes int    `json:"crashes"`
+	P50US   int64  `json:"p50_us"`
+	P99US   int64  `json:"p99_us"`
+	P999US  int64  `json:"p999_us"`
+}
+
+// HTTPDJSON projects fleet serving-continuity rows for WriteJSON.
+func HTTPDJSON(rows []HTTPDResult) any {
+	out := make([]httpdJSON, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, httpdJSON{
+			System: r.System, OK: r.OK, Shed: r.Shed, Errs: r.Errs,
+			Kills: r.Kills, Crashes: r.Crashes,
+			P50US: r.P50US, P99US: r.P99US, P999US: r.P999US,
+		})
+	}
+	return out
+}
+
+// MergeHTTPDJSON merges fresh fleet rows into the archive at path, keyed
+// by system.
+func MergeHTTPDJSON(path string, rows []HTTPDResult) any {
+	return mergeRows(path, HTTPDJSON(rows).([]httpdJSON),
+		func(r httpdJSON) string { return r.System }, nil)
+}
+
 // MergeFig5JSON merges freshly measured Figure 5 points into the series
 // already archived at path, keyed by (processes, shards) and sorted on
 // that coordinate. Archived points from before the sharded namespace

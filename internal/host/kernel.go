@@ -424,7 +424,7 @@ func (k *Kernel) StreamAccept(p *Picoprocess, l *Listener) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.LocalPID = p.ID
+	s.localPID.Store(int64(p.ID))
 	p.registerStream(s)
 	return s, nil
 }
@@ -456,8 +456,13 @@ func (k *Kernel) RemoveListener(l *Listener) {
 }
 
 // AdoptStream re-homes a received stream endpoint to p (handle passing).
+// The peer endpoint's view must follow: partition gating and the sandbox
+// sever walk both key on it, and leaving it pointing at the original
+// owner would let a passed pipe tunnel through a partition between its
+// real endpoint owners. Checkpoint restores blanket-adopt endpoints the
+// parent also keeps; ClaimOwner on the I/O path re-corrects those labels.
 func (k *Kernel) AdoptStream(p *Picoprocess, s *Stream) {
-	s.LocalPID = p.ID
+	s.ClaimOwner(p.ID)
 	p.registerStream(s)
 }
 
@@ -466,8 +471,8 @@ func (k *Kernel) AdoptStream(p *Picoprocess, s *Stream) {
 func (k *Kernel) SeverCrossSandboxStreams() {
 	for _, p := range k.Processes() {
 		for _, s := range p.OpenStreams() {
-			remote := k.Process(s.RemotePID)
-			if remote != nil && remote.SandboxID != p.SandboxID {
+			remote := k.Process(s.RemotePID())
+			if remote != nil && remote.SandboxID != p.SandboxID && !s.PeerClosed() {
 				s.ForceClose()
 			}
 		}

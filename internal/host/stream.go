@@ -179,10 +179,16 @@ func (q *byteQueue) close() {
 type Stream struct {
 	// Name is the stream's URI (e.g. "pipe:42") for GetName.
 	Name string
-	// LocalPID and RemotePID identify the endpoint owners for the reference
-	// monitor's sandbox checks; 0 means unowned (pre-accept server handle).
-	LocalPID  int
-	RemotePID int
+	// localPID and remotePID identify the endpoint owners for the
+	// reference monitor's sandbox checks and the partition gate; 0 means
+	// unowned (pre-accept server handle). With fork-style descriptor
+	// inheritance an endpoint can be co-held by several picoprocesses and
+	// a checkpoint restore blanket-adopts endpoints the parent keeps, so
+	// creation-time labels go stale; ClaimOwner refreshes them on the I/O
+	// path — ownership follows the process actually driving the endpoint.
+	// Atomic because claims race with the peer's gating reads.
+	localPID  atomic.Int64
+	remotePID atomic.Int64
 
 	in, out *byteQueue
 	peer    *Stream
@@ -208,16 +214,47 @@ type Stream struct {
 	refs int
 	// oob carries passed handles (SendHandle/ReceiveHandle ABI).
 	oob chan *Handle
+	// closedCh is closed exactly once when the endpoint closes. Receivers
+	// blocked in ReceiveHandle select on the PEER's closedCh: when every
+	// sender is gone no handle can ever arrive, and the blocked receiver
+	// must see EPIPE rather than park forever (recvmsg(2) returns 0 when
+	// the peer of a connection-mode socket has shut down).
+	closedCh chan struct{}
 }
 
 // NewStreamPair creates the two connected endpoints of a byte stream.
 func NewStreamPair(name string, pidA, pidB int) (*Stream, *Stream) {
 	ab := newByteQueue()
 	ba := newByteQueue()
-	a := &Stream{Name: name, LocalPID: pidA, RemotePID: pidB, in: ba, out: ab, refs: 1, oob: make(chan *Handle, 64)}
-	b := &Stream{Name: name, LocalPID: pidB, RemotePID: pidA, in: ab, out: ba, refs: 1, oob: make(chan *Handle, 64)}
+	a := &Stream{Name: name, in: ba, out: ab, refs: 1, oob: make(chan *Handle, 64), closedCh: make(chan struct{})}
+	b := &Stream{Name: name, in: ab, out: ba, refs: 1, oob: make(chan *Handle, 64), closedCh: make(chan struct{})}
+	a.localPID.Store(int64(pidA))
+	a.remotePID.Store(int64(pidB))
+	b.localPID.Store(int64(pidB))
+	b.remotePID.Store(int64(pidA))
 	a.peer, b.peer = b, a
 	return a, b
+}
+
+// LocalPID returns the endpoint's current owner label.
+func (s *Stream) LocalPID() int { return int(s.localPID.Load()) }
+
+// RemotePID returns the current owner label of the peer endpoint.
+func (s *Stream) RemotePID() int { return int(s.remotePID.Load()) }
+
+// ClaimOwner relabels this endpoint as owned by pid, updating the peer's
+// view of its remote. Called from the host ABI's I/O entry points: the
+// process performing reads and writes on an endpoint is its owner for
+// partition gating and sandbox severing, whatever stale label descriptor
+// inheritance left behind.
+func (s *Stream) ClaimOwner(pid int) {
+	if s == nil || pid <= 0 {
+		return
+	}
+	s.localPID.Store(int64(pid))
+	if s.peer != nil {
+		s.peer.remotePID.Store(int64(pid))
+	}
 }
 
 // Ref adds a holder to this endpoint (handle inheritance across fork).
@@ -240,27 +277,28 @@ func (s *Stream) Read(p []byte) (int, error) {
 		if s.closed.Load() {
 			return 0, api.EBADF
 		}
+		from, to := s.RemotePID(), s.LocalPID()
 		if s.part.any() {
 			// Partition gate. When the read actually stalls, record how long
 			// (partitions only exist under chaos, so the extra Blocked probe
 			// never runs on healthy-path reads).
 			stallStart := int64(0)
-			if TraceEnabled() && s.part.Blocked(s.RemotePID, s.LocalPID) {
+			if TraceEnabled() && s.part.Blocked(from, to) {
 				stallStart = TraceNow()
 			}
-			s.part.waitUnblocked(s.RemotePID, s.LocalPID, func() bool {
+			s.part.waitUnblocked(from, to, func() bool {
 				return s.closed.Load() || s.in.readClosed()
 			})
 			if stallStart != 0 {
 				if owner := s.faultOwner.Load(); owner != nil {
 					owner.TraceRecord(TraceEvent{
 						TS: stallStart, Kind: EvPartitionStall,
-						Arg: uint64(s.RemotePID), Dur: TraceNow() - stallStart,
+						Arg: uint64(from), Dur: TraceNow() - stallStart,
 					})
 				}
 			}
 		}
-		n, err := s.in.read(p, s.part, s.RemotePID, s.LocalPID)
+		n, err := s.in.read(p, s.part, from, to)
 		if err != errReadGated {
 			if n > 0 && TraceVerboseEnabled() {
 				if owner := s.faultOwner.Load(); owner != nil {
@@ -368,7 +406,9 @@ func (s *Stream) Close() {
 	}
 	s.closed.Store(true)
 	close(s.oob)
+	close(s.closedCh)
 	s.mu.Unlock()
+	s.drainOOB()
 	s.out.close()
 	s.in.close()
 	// Wake readers stalled behind a partition so they observe the close.
@@ -387,14 +427,39 @@ func (s *Stream) ForceClose() {
 	s.refs = 0
 	s.closed.Store(true)
 	close(s.oob)
+	close(s.closedCh)
 	s.mu.Unlock()
+	s.drainOOB()
 	s.out.close()
 	s.in.close()
 	s.part.poke()
 }
 
+// drainOOB disposes of handles that were passed to this endpoint but never
+// received. Each passed stream handle carries a transferred reference
+// (SendHandle), so dropping the queue without closing them would leave the
+// underlying connections half-open forever — the client behind a passed
+// connection would block on read instead of seeing EOF. Linux has the same
+// rule for SCM_RIGHTS: descriptors still in flight when the receiving
+// socket is closed are themselves closed (unix(7)). Racing receivers are
+// fine: channel receive is atomic, so a handle is either drained here or
+// delivered there, never both.
+func (s *Stream) drainOOB() {
+	for h := range s.oob {
+		if h != nil && h.Kind == HandleStream && h.Stream != nil {
+			h.Stream.Close()
+		}
+	}
+}
+
 // Closed reports whether this endpoint has been closed locally.
 func (s *Stream) Closed() bool { return s.closed.Load() }
+
+// PeerClosed reports whether the peer endpoint is gone. An endpoint whose
+// peer is closed no longer bridges two processes: whatever sits in its
+// queue was written before the peer went away, like pipe data surviving a
+// dead writer. The sandbox-split sever path leaves such endpoints alone.
+func (s *Stream) PeerClosed() bool { return s.peer == nil || s.peer.closed.Load() }
 
 // SendHandle passes a host handle out-of-band to the peer endpoint,
 // implementing the PAL's handle-inheritance ABI. A passed stream handle
@@ -403,6 +468,24 @@ func (s *Stream) Closed() bool { return s.closed.Load() }
 func (s *Stream) SendHandle(h *Handle) error {
 	if s.closed.Load() {
 		return api.EBADF
+	}
+	// "stream.sendhandle" is the dispatch-path fault point: chaos plans
+	// target the Nth handle pass to kill or sever a prefork master's
+	// dispatch mid-flight (the conn-pass analogue of "stream.write").
+	if owner := s.faultOwner.Load(); owner != nil && owner.HasFaultPlan() {
+		switch owner.Fault("stream.sendhandle") {
+		case FaultReset:
+			s.ForceClose()
+			return api.ECONNRESET
+		case FaultDrop:
+			// Swallowed in flight: the sender believes the pass went out.
+			// The handle's transferred reference was never taken, so the
+			// connection itself stays with the sender.
+			return nil
+		case FaultKill:
+			// The owner just exited; this endpoint is closing underneath us.
+			return api.EPIPE
+		}
 	}
 	peer := s.peer
 	peer.mu.Lock()
@@ -425,13 +508,34 @@ func (s *Stream) SendHandle(h *Handle) error {
 }
 
 // ReceiveHandle receives a handle passed by the peer, blocking until one
-// arrives or the stream closes.
+// arrives, this endpoint closes, or the peer endpoint closes. The last
+// case is the preforked-worker idle path: when every holder of the send
+// side is gone, no handle can ever arrive, and blocking forever would
+// wedge the worker — EPIPE instead, matching recvmsg(2)'s end-of-stream
+// report for a connection-mode peer that shut down.
 func (s *Stream) ReceiveHandle() (*Handle, error) {
-	h, ok := <-s.oob
-	if !ok || h == nil {
+	var peerClosed <-chan struct{}
+	if s.peer != nil {
+		peerClosed = s.peer.closedCh
+	}
+	select {
+	case h, ok := <-s.oob:
+		if !ok || h == nil {
+			return nil, api.EPIPE
+		}
+		return h, nil
+	case <-peerClosed:
+		// Handles queued before the sender died are still deliverable —
+		// EOF comes after buffered data, as with pipes (pipe(7)).
+		select {
+		case h, ok := <-s.oob:
+			if ok && h != nil {
+				return h, nil
+			}
+		default:
+		}
 		return nil, api.EPIPE
 	}
-	return h, nil
 }
 
 // TryReceiveHandle is the non-blocking variant.

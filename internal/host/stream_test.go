@@ -119,6 +119,79 @@ func TestStreamConcurrentPingPong(t *testing.T) {
 	wg.Wait()
 }
 
+// TestCloseDrainsInFlightHandles pins the SCM_RIGHTS rule from unix(7):
+// a descriptor still in flight when the receiving endpoint closes is
+// itself closed. The passed connection's far side must observe EOF, not
+// hang on a reference buried in a dead endpoint's queue.
+func TestCloseDrainsInFlightHandles(t *testing.T) {
+	a, b := NewStreamPair("pipe:drain", 1, 2)
+	conn, farSide := NewStreamPair("pipe:conn", 1, 3)
+	if err := a.SendHandle(&Handle{Kind: HandleStream, Stream: conn}); err != nil {
+		t.Fatalf("SendHandle: %v", err)
+	}
+	conn.Close() // sender drops its reference; the in-flight ref remains
+	b.Close()    // receiver dies with the handle still queued
+	buf := make([]byte, 8)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if n, err := farSide.Read(buf); n != 0 || err != nil {
+			t.Errorf("far side read: n=%d err=%v, want clean EOF", n, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("far side of an in-flight connection hung after receiver close")
+	}
+}
+
+// TestForceCloseDrainsInFlightHandles covers the sandbox-split sever path.
+func TestForceCloseDrainsInFlightHandles(t *testing.T) {
+	a, b := NewStreamPair("pipe:fdrain", 1, 2)
+	conn, farSide := NewStreamPair("pipe:fconn", 1, 3)
+	if err := a.SendHandle(&Handle{Kind: HandleStream, Stream: conn}); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	b.ForceClose()
+	if _, err := farSide.Write([]byte("x")); err != api.EPIPE {
+		t.Fatalf("far side write = %v, want EPIPE", err)
+	}
+}
+
+func TestFaultResetSendHandle(t *testing.T) {
+	k := NewKernel()
+	p1, _ := k.CreateProcess(nil, false)
+	p2, _ := k.CreateProcess(nil, false)
+	s1, _ := k.StreamPair(p1, p2)
+	conn, _ := NewStreamPair("pipe:fp", 1, 3)
+	plan := NewFaultPlan().Rule("stream.sendhandle", 1, FaultReset)
+	p1.SetFaultPlan(plan)
+	err := s1.SendHandle(&Handle{Kind: HandleStream, Stream: conn})
+	if err != api.ECONNRESET {
+		t.Fatalf("SendHandle = %v, want ECONNRESET", err)
+	}
+	if !s1.Closed() {
+		t.Fatal("reset must sever the dispatch stream")
+	}
+}
+
+func TestFaultDropSendHandle(t *testing.T) {
+	k := NewKernel()
+	p1, _ := k.CreateProcess(nil, false)
+	p2, _ := k.CreateProcess(nil, false)
+	s1, s2 := k.StreamPair(p1, p2)
+	conn, _ := NewStreamPair("pipe:fd", 1, 3)
+	p1.SetFaultPlan(NewFaultPlan().Rule("stream.sendhandle", 1, FaultDrop))
+	if err := s1.SendHandle(&Handle{Kind: HandleStream, Stream: conn}); err != nil {
+		t.Fatalf("dropped SendHandle must report success, got %v", err)
+	}
+	if _, ok := s2.TryReceiveHandle(); ok {
+		t.Fatal("dropped handle must not arrive")
+	}
+}
+
 func TestHandlePassing(t *testing.T) {
 	a, b := NewStreamPair("pipe:hp", 1, 2)
 	inner, _ := NewStreamPair("pipe:inner", 1, 3)

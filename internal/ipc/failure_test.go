@@ -82,6 +82,59 @@ func TestSignalToDeadProcessESRCH(t *testing.T) {
 	}
 }
 
+// TestSignalToCrashedProcessESRCHFast crashes the target with no shutdown
+// handshake — its streams just die — and requires each signal attempt to
+// come back within the RPC call timeout, converging on ESRCH (kill(2):
+// "The target process or process group does not exist"). A supervisor's
+// kill-retry loop leans on this bound: retried kills against a worker
+// that already died must not park the killer for a full timeout each.
+func TestSignalToCrashedProcessESRCHFast(t *testing.T) {
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	mh, _ := g.member(lp, lh.Addr, 0, newFakeService())
+	pid, _ := lh.AllocPID(mh.Addr)
+	mh.RegisterPID(pid, mh.Addr)
+	if err := lh.SendSignal(pid, api.SIGUSR1); err != nil {
+		t.Fatalf("priming signal: %v", err)
+	}
+
+	mh.pal.Proc().Exit(137) // crash: no Shutdown, nothing deregistered
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		start := time.Now()
+		err := lh.SendSignal(pid, api.SIGUSR1)
+		if elapsed := time.Since(start); elapsed > rpcCallTimeout {
+			t.Fatalf("signal attempt took %v (timeout budget %v), err=%v", elapsed, rpcCallTimeout, err)
+		}
+		if api.ToErrno(err) == api.ESRCH {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never converged on ESRCH; last err=%v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestSignalToUnknownPIDESRCH: a PID that was never allocated resolves to
+// no owner at the namespace leader; the sender gets ESRCH immediately,
+// with no dial and no timeout.
+func TestSignalToUnknownPIDESRCH(t *testing.T) {
+	g := newTestGroup(t)
+	lh, lp := g.leader(newFakeService())
+	mh, _ := g.member(lp, lh.Addr, 2, newFakeService())
+	_ = lh
+	start := time.Now()
+	err := mh.SendSignal(999_999, api.SIGUSR1)
+	if api.ToErrno(err) != api.ESRCH {
+		t.Fatalf("signal to unknown pid: %v, want ESRCH", err)
+	}
+	if elapsed := time.Since(start); elapsed > rpcCallTimeout {
+		t.Fatalf("unknown-pid ESRCH took %v (budget %v)", elapsed, rpcCallTimeout)
+	}
+}
+
 func TestSemaphoreWaiterSurvivesOwnerExit(t *testing.T) {
 	g := newTestGroup(t)
 	lh, lp := g.leader(newFakeService())

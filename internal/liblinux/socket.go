@@ -55,6 +55,12 @@ func (p *Process) PassConnection(overFD, connFD int) error {
 	if over.kind != fdPipe && over.kind != fdSocket {
 		return api.ENOTSOCK
 	}
+	if conn.kind != fdSocket {
+		// Only accepted connections travel this path; catching a stray fd
+		// at the sender beats handing the worker a descriptor it cannot
+		// serve (the receiver installs whatever arrives as a socket).
+		return api.EINVAL
+	}
 	return p.pal.DkSendHandle(over.handle, conn.handle)
 }
 

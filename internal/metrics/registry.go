@@ -122,6 +122,7 @@ type HistSnapshot struct {
 	P50   int64   `json:"p50_ns"`
 	P90   int64   `json:"p90_ns"`
 	P99   int64   `json:"p99_ns"`
+	P999  int64   `json:"p999_ns"`
 	Max   int64   `json:"max_ns"`
 }
 
@@ -134,6 +135,7 @@ func (h *Histogram) Snapshot() HistSnapshot {
 		P50:   h.Quantile(0.50),
 		P90:   h.Quantile(0.90),
 		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
 		Max:   h.max.Load(),
 	}
 }
@@ -242,11 +244,11 @@ func (s RegistrySnapshot) JSON() string {
 func (s RegistrySnapshot) Text() string {
 	var b strings.Builder
 	if len(s.Histograms) > 0 {
-		fmt.Fprintf(&b, "%-28s %10s %12s %10s %10s %10s %12s\n",
-			"histogram", "count", "mean", "p50", "p90", "p99", "max")
+		fmt.Fprintf(&b, "%-28s %10s %12s %10s %10s %10s %10s %12s\n",
+			"histogram", "count", "mean", "p50", "p90", "p99", "p999", "max")
 		for _, h := range s.Histograms {
-			fmt.Fprintf(&b, "%-28s %10d %12s %10s %10s %10s %12s\n",
-				h.Name, h.Count, fmtNS(int64(h.Mean)), fmtNS(h.P50), fmtNS(h.P90), fmtNS(h.P99), fmtNS(h.Max))
+			fmt.Fprintf(&b, "%-28s %10d %12s %10s %10s %10s %10s %12s\n",
+				h.Name, h.Count, fmtNS(int64(h.Mean)), fmtNS(h.P50), fmtNS(h.P90), fmtNS(h.P99), fmtNS(h.P999), fmtNS(h.Max))
 		}
 	}
 	if len(s.Gauges) > 0 {

@@ -61,6 +61,27 @@ func TestHistogramBasics(t *testing.T) {
 	h.Observe(-5) // clamps, must not panic
 }
 
+// TestHistogramP999 pins the tail quantile the fleet SLO gates read: with
+// 1000 observations and one far outlier, p99.9 must land on the outlier
+// while p99 stays in the body.
+func TestHistogramP999(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 999; i++ {
+		h.Observe(1000)
+	}
+	h.Observe(5_000_000)
+	snap := h.Snapshot()
+	if snap.P999 < 4_500_000 {
+		t.Fatalf("P999 = %d, want ~5000000 (the outlier)", snap.P999)
+	}
+	if snap.P99 > 2000 {
+		t.Fatalf("P99 = %d, want ~1000 (the body)", snap.P99)
+	}
+	if snap.P999 < snap.P99 {
+		t.Fatalf("quantiles not monotone: p99=%d p999=%d", snap.P99, snap.P999)
+	}
+}
+
 func TestHistogramConcurrent(t *testing.T) {
 	var h Histogram
 	var wg sync.WaitGroup

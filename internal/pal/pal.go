@@ -395,6 +395,9 @@ func (p *PAL) DkStreamRead(h *host.Handle, buf []byte) (int, error) {
 	case h == nil:
 		return 0, api.EINVAL
 	case h.Kind == host.HandleStream:
+		// Inherited descriptors carry stale owner labels; the reader is
+		// this picoprocess, whatever the checkpoint restore recorded.
+		h.Stream.ClaimOwner(p.proc.ID)
 		return h.Stream.Read(buf)
 	case h.Kind == host.HandleFile && h.File != nil:
 		return h.File.Read(buf)
@@ -426,6 +429,7 @@ func (p *PAL) DkStreamWrite(h *host.Handle, data []byte) (int, error) {
 	case h == nil:
 		return 0, api.EINVAL
 	case h.Kind == host.HandleStream:
+		h.Stream.ClaimOwner(p.proc.ID)
 		return h.Stream.Write(data)
 	case h.Kind == host.HandleFile && h.File != nil:
 		return h.File.Write(data)
