@@ -5,7 +5,7 @@ PKGS := ./...
 # The RPC hot path: host byte streams and the IPC coordination framework.
 HOT_PKGS := ./internal/host/... ./internal/ipc/...
 
-.PHONY: build test race vet bench bench-fig5 chaos chaos-shard chaos-ring chaos-fleet cover fuzz all
+.PHONY: build test race vet bench bench-fig5 chaos chaos-shard chaos-ring chaos-fleet chaos-elastic cover fuzz all
 
 all: build vet test
 
@@ -58,6 +58,19 @@ chaos-ring:
 # -count=3 reruns the same scenarios against fresh interleavings.
 chaos-fleet:
 	$(GO) test -race -count=3 -run 'TestFleet' ./internal/apps/
+
+# Elastic fleet + hot-standby master: the fake-clock supervisor sim
+# (backoff/breaker/quarantine timing policy, p2c placement properties,
+# drain-before-retire, scaler decision determinism under fault plans —
+# zero real sleeps), the live elastic/standby integration tests
+# (scale-up/down on a real fleet, master killed at a fault point mid-load,
+# takeover inside the election window), and the listener-handover
+# conformance contract on all three personalities. -count=3 because the
+# sim is deterministic by construction — any run-to-run diff is a real
+# nondeterminism bug — and the live tests are interleaving-heavy.
+chaos-elastic:
+	$(GO) test -race -count=3 -run 'TestSim|TestFleetElastic|TestFleetStandby|TestFleetTakeover' ./internal/apps/
+	$(GO) test -race -count=3 -run 'TestConformanceListener' ./internal/baseline/conformance/
 
 # Coverage profile over every package; CI uploads coverage.out as an
 # artifact. -covermode=atomic because the suites are concurrency-heavy.

@@ -149,7 +149,20 @@ func main() {
 		if err != nil {
 			return err
 		}
+		scaleRows, err := bench.HTTPDScaleSweep(bench.HTTPDSweepScales(*quick))
+		if err != nil {
+			return err
+		}
+		failRow, err := bench.HTTPDFailover(bench.DefaultHTTPDFailoverScale(*quick))
+		if err != nil {
+			return err
+		}
+		rows = append(rows, scaleRows...)
+		rows = append(rows, failRow)
 		fmt.Print(bench.RenderHTTPD(rows))
+		if err := bench.CheckHTTPDSLO(rows, bench.DefaultHTTPDSLO()); err != nil {
+			return fmt.Errorf("SLO gate: %w", err)
+		}
 		return emit("httpd", func(p string) any { return bench.MergeHTTPDJSON(p, rows) })
 	})
 	run("table8", func() error {

@@ -138,6 +138,29 @@ type ConnPasser interface {
 	ReceiveConnection(overFD int) (int, error)
 }
 
+// FaultPointer is the optional fault-injection surface: applications name
+// decision points ("fleet.scale.up", "fleet.master.kill") and a host
+// FaultPlan decides deterministically whether the Nth hit fires. On
+// personalities without a fault layer the call is a no-op, so apps can
+// evaluate points unconditionally.
+type FaultPointer interface {
+	// FaultPoint evaluates the named point against the active fault plan.
+	// Kill/Delay/Partition actions are applied by the host before this
+	// returns; the returned code (the host's FaultAction value, 0 = none)
+	// lets the application apply caller-side actions such as Drop —
+	// suppress the decision the point guards — itself.
+	FaultPoint(name string) int
+}
+
+// Elector is the optional takeover-election surface. A hot-standby master
+// that detects its primary's death runs one epoch-fenced election round
+// before adopting shared state; the returned epoch fences its writes
+// against any stale primary. Personalities without a coordination plane
+// back this with a kernel-global epoch counter.
+type Elector interface {
+	ElectEpoch() (int64, error)
+}
+
 // SandboxCreator is implemented by personalities supporting dynamic sandbox
 // detach (Graphene's sandbox_create library call, §3 and §6.6 of the paper).
 type SandboxCreator interface {

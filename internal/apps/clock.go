@@ -1,0 +1,66 @@
+package apps
+
+import (
+	"sync"
+
+	"graphene/internal/api"
+)
+
+// appClock is the time source application-level supervisors run on. The
+// live fleet master reads the guest clock and parks on a poll sleeper;
+// the test harness substitutes a virtual clock so every timing decision
+// (respawn backoff, breaker cooldown, quarantine grace, scaler cooldown)
+// is exercised deterministically, with zero real sleeps.
+type appClock interface {
+	nowUS() int64
+	sleepUS(us int64)
+}
+
+// osClock is the production clock: guest gettimeofday + poll-based sleep.
+type osClock struct {
+	p     api.OS
+	sleep *pollSleeper
+}
+
+func newOSClock(p api.OS) *osClock {
+	return &osClock{p: p, sleep: newPollSleeper(p)}
+}
+
+func (c *osClock) nowUS() int64     { return nowUS(c.p) }
+func (c *osClock) sleepUS(us int64) { c.sleep.sleepUS(us) }
+
+// fakeClock is a deterministic virtual clock for single-threaded
+// supervisor simulations: sleeping advances virtual time instantly, so a
+// simulated hour of backoff/cooldown schedules runs in microseconds of
+// wall clock and two runs with the same inputs see byte-identical
+// timestamps. The mutex only guards against accidental cross-thread use;
+// the harness itself is single-threaded by construction.
+type fakeClock struct {
+	mu  sync.Mutex
+	now int64
+}
+
+func newFakeClock(startUS int64) *fakeClock { return &fakeClock{now: startUS} }
+
+func (c *fakeClock) nowUS() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) sleepUS(us int64) {
+	if us <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += us
+	c.mu.Unlock()
+}
+
+// advance moves virtual time forward without a sleeper (the harness's
+// "world tick").
+func (c *fakeClock) advance(us int64) {
+	c.mu.Lock()
+	c.now += us
+	c.mu.Unlock()
+}

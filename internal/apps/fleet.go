@@ -37,7 +37,7 @@ import (
 // fleetConfig is the master's tuning, argv-overridable via key=value.
 type fleetConfig struct {
 	addr     api.SockAddr
-	nworkers int
+	nworkers int // minimum (and initial) worker count
 	docroot  string
 
 	queueDepth   int   // master accept queue bound
@@ -54,9 +54,26 @@ type fleetConfig struct {
 	backoffBase  int64 // respawn backoff base
 	backoffMax   int64 // respawn backoff cap
 
+	maxWorkers     int   // elastic ceiling; == nworkers disables scaling
+	scaleUpQueue   int   // accept-queue depth that signals pressure
+	upCooldownUS   int64 // min gap between scale-up decisions
+	idleUS         int64 // sustained fully-idle window before scale-down
+	downCooldownUS int64 // min gap between scale-down decisions
+	seed           int64 // p2c dispatch RNG seed (determinism gate)
+
+	standby bool  // run a hot-standby master
+	hbUS    int64 // primary→standby heartbeat interval
+
 	runUS      int64  // serve duration; 0 = until stop file appears
 	scoreboard string // scoreboard path; stop file is scoreboard+".stop"
 	drainUS    int64  // drain deadline
+
+	// Standby-role plumbing (set by the primary on the standby's argv).
+	role      string // "" = primary, "standby" = hot standby
+	hbFD      int    // standby: heartbeat pipe read end
+	ctlFD     int    // standby: control pipe read end (listener handover)
+	takeovers int    // takeover generation this master inherited
+	maxFDHint int    // standby: hygiene sweep bound (primary's maxFD)
 }
 
 func fleetConfigFrom(argv []string) (fleetConfig, bool) {
@@ -66,26 +83,42 @@ func fleetConfigFrom(argv []string) (fleetConfig, bool) {
 	kv := parseKV(argv[4:])
 	ms := func(key string, defMS int) int64 { return int64(kvInt(kv, key, defMS)) * 1000 }
 	cfg := fleetConfig{
-		addr:         api.SockAddr(argv[1]),
-		nworkers:     atoiOr(argv[2], 4),
-		docroot:      argv[3],
-		queueDepth:   kvInt(kv, "queue", 256),
-		perWorkerCap: kvInt(kv, "cap", 8),
-		shedUS:       ms("shed_ms", 400),
-		wedgeUS:      ms("wedge_ms", 1000),
-		killGraceUS:  ms("kill_grace_ms", 300),
-		killRetryUS:  ms("kill_retry_ms", 500),
-		minHealthyUS: ms("min_healthy_ms", 150),
-		breakerTrips: kvInt(kv, "breaker", 3),
-		cooldownUS:   ms("cooldown_ms", 400),
-		backoffBase:  ms("backoff_ms", 10),
-		backoffMax:   ms("backoff_max_ms", 500),
-		runUS:        ms("run_ms", 0),
-		scoreboard:   kv["sb"],
-		drainUS:      ms("drain_ms", 2000),
+		addr:           api.SockAddr(argv[1]),
+		nworkers:       atoiOr(argv[2], 4),
+		docroot:        argv[3],
+		queueDepth:     kvInt(kv, "queue", 256),
+		perWorkerCap:   kvInt(kv, "cap", 8),
+		shedUS:         ms("shed_ms", 400),
+		wedgeUS:        ms("wedge_ms", 1000),
+		killGraceUS:    ms("kill_grace_ms", 300),
+		killRetryUS:    ms("kill_retry_ms", 500),
+		minHealthyUS:   ms("min_healthy_ms", 150),
+		breakerTrips:   kvInt(kv, "breaker", 3),
+		cooldownUS:     ms("cooldown_ms", 400),
+		backoffBase:    ms("backoff_ms", 10),
+		backoffMax:     ms("backoff_max_ms", 500),
+		maxWorkers:     kvInt(kv, "max", 0),
+		scaleUpQueue:   kvInt(kv, "scale_up_queue", 8),
+		upCooldownUS:   ms("up_cooldown_ms", 50),
+		idleUS:         ms("idle_ms", 500),
+		downCooldownUS: ms("down_cooldown_ms", 200),
+		seed:           int64(kvInt(kv, "seed", 1)),
+		standby:        kvInt(kv, "standby", 0) != 0,
+		hbUS:           ms("hb_ms", 20),
+		runUS:          ms("run_ms", 0),
+		scoreboard:     kv["sb"],
+		drainUS:        ms("drain_ms", 2000),
+		role:           kv["role"],
+		hbFD:           kvInt(kv, "hb", -1),
+		ctlFD:          kvInt(kv, "ctl", -1),
+		takeovers:      kvInt(kv, "takeover", 0),
+		maxFDHint:      kvInt(kv, "maxfd", 0),
 	}
 	if cfg.scoreboard == "" {
 		cfg.scoreboard = "/run/httpd-scoreboard"
+	}
+	if cfg.maxWorkers < cfg.nworkers {
+		cfg.maxWorkers = cfg.nworkers
 	}
 	return cfg, true
 }
@@ -107,6 +140,10 @@ type fleetSlot struct {
 	quarantinedAtUS int64
 	nextKillUS      int64
 
+	// retiring marks a worker draining toward a scale-down SIGTERM: no
+	// new dispatch, terminated once its in-flight requests complete.
+	retiring bool
+
 	fastCrashes    int
 	breakerOpen    bool
 	breakerUntilUS int64
@@ -124,24 +161,25 @@ type fleetMaster struct {
 	p        api.OS
 	passer   api.ConnPasser
 	threader api.Threader
-	sleep    *pollSleeper
+	clock    appClock
 	cfg      fleetConfig
 
 	queue  chan connItem
 	killCh chan killReq
 
-	mu         sync.Mutex
-	slots      []*fleetSlot
-	maxFD      int
-	draining   bool
-	stopped    bool
-	spawns     int
-	crashes    int
-	dispatched int
-	completed  int
-	shed       int
-	passErr    int
-	gen        int
+	mu       sync.Mutex
+	core     *fleetCore
+	maxFD    int
+	draining bool
+	stopped  bool
+	gen      int
+
+	// Standby wiring: the primary's heartbeat pipe write end (-1 = no
+	// standby), and the takeover lineage this master carries — epoch is
+	// the election fence a takeover ran under, takeovers counts handovers.
+	hbW       int
+	epoch     int64
+	takeovers int
 
 	supDone chan struct{}
 	done    chan struct{}
@@ -187,13 +225,16 @@ func FleetWorkerMain(p api.OS, argv []string) int {
 	if _, err := p.Stat(docroot + "/.poison-" + strconv.Itoa(slot)); err == nil {
 		return 3
 	}
+	// The sleeper backs /__work_<us> synthetic service time; allocated
+	// after fd hygiene so its pipe survives the close sweep.
+	sleep := newPollSleeper(p)
 	_ = writeAll(p, sfd, []byte{'r'})
 	for {
 		conn, err := cp.ReceiveConnection(rfd)
 		if err != nil {
 			return 0 // master died or drained the pipe
 		}
-		fleetServe(p, conn, docroot)
+		fleetServe(p, sleep, conn, docroot)
 		_ = p.Close(conn)
 		if err := writeAll(p, sfd, []byte{'d'}); err != nil {
 			return 0
@@ -202,13 +243,28 @@ func FleetWorkerMain(p api.OS, argv []string) int {
 }
 
 // fleetServe handles one request, with the worker's chaos control paths.
-func fleetServe(p api.OS, conn int, docroot string) {
+func fleetServe(p api.OS, sleep *pollSleeper, conn int, docroot string) {
 	line, err := readLine(p, conn)
 	if err != nil {
 		return
 	}
 	fields := strings.Fields(line)
 	if len(fields) == 2 && fields[0] == "GET" {
+		if arg, ok := strings.CutPrefix(fields[1], "/__work_"); ok {
+			// Synthetic service time for capacity experiments: hold the
+			// worker's credit for the requested microseconds (capped so a
+			// typo cannot wedge a slot past the quarantine window), then
+			// answer like a one-byte hit.
+			us, _ := strconv.Atoi(arg)
+			if us > 100_000 {
+				us = 100_000
+			}
+			if us > 0 {
+				sleep.sleepUS(int64(us))
+			}
+			_ = writeAll(p, conn, []byte("OK 1\nx"))
+			return
+		}
 		switch fields[1] {
 		case "/__wedge":
 			// Stop making progress without exiting: spin until killed (or
@@ -250,53 +306,74 @@ func fleetServe(p api.OS, conn int, docroot string) {
 //
 // Knobs: queue, cap, shed_ms, wedge_ms, kill_grace_ms, kill_retry_ms,
 // min_healthy_ms, breaker, cooldown_ms, backoff_ms, backoff_max_ms,
-// run_ms, drain_ms, sb (scoreboard path; "<sb>.stop" triggers drain).
+// run_ms, drain_ms, sb (scoreboard path; "<sb>.stop" triggers drain);
+// elastic scaling: max (worker ceiling; > NWORKERS enables the scaler),
+// scale_up_queue, up_cooldown_ms, idle_ms, down_cooldown_ms, seed (p2c
+// dispatch RNG); standby=1 runs a hot-standby master that adopts the
+// listen socket and scoreboard when the primary dies (hb_ms heartbeat).
 func FleetMain(p api.OS, argv []string) int {
 	cfg, ok := fleetConfigFrom(argv)
 	if !ok {
 		printf(p, "usage: httpd-fleet ADDR NWORKERS DOCROOT [k=v ...]\n")
 		return 2
 	}
-	passer, okP := p.(api.ConnPasser)
-	threader, okT := p.(api.Threader)
-	if !okP || !okT {
+	if _, okP := p.(api.ConnPasser); !okP {
 		return 1
 	}
-	m := &fleetMaster{
-		p:        p,
-		passer:   passer,
-		threader: threader,
-		sleep:    newPollSleeper(p),
-		cfg:      cfg,
-		queue:    make(chan connItem, cfg.queueDepth),
-		killCh:   make(chan killReq, 64),
-		supDone:  make(chan struct{}),
-		done:     make(chan struct{}),
+	if _, okT := p.(api.Threader); !okT {
+		return 1
 	}
-	for i := 0; i < cfg.nworkers; i++ {
-		m.slots = append(m.slots, &fleetSlot{id: i, dispatchW: -1, statusR: -1})
+	if cfg.role == "standby" {
+		return standbyMain(p, cfg)
 	}
-
 	lfd, err := p.Listen(cfg.addr)
 	if err != nil {
 		printf(p, "httpd-fleet: listen: "+err.Error()+"\n")
 		return 1
 	}
+	return runFleet(p, cfg, lfd, 0, cfg.takeovers)
+}
+
+// runFleet is the master proper, entered by a fresh primary with the
+// listener it bound, or by a promoted standby with the listener it
+// adopted (and the election epoch fencing its takeover).
+func runFleet(p api.OS, cfg fleetConfig, lfd int, epoch int64, takeovers int) int {
+	m := &fleetMaster{
+		p:         p,
+		passer:    p.(api.ConnPasser),
+		threader:  p.(api.Threader),
+		clock:     newOSClock(p),
+		cfg:       cfg,
+		queue:     make(chan connItem, cfg.queueDepth),
+		killCh:    make(chan killReq, 64),
+		hbW:       -1,
+		epoch:     epoch,
+		takeovers: takeovers,
+		supDone:   make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	startUS := m.now()
+	m.core = newFleetCore(cfg, startUS)
+	if fp, ok := p.(api.FaultPointer); ok {
+		m.core.fault = fp.FaultPoint
+	}
 	m.noteFD(lfd)
 	// Parent configuration and module state, shared COW with workers.
 	touchHeap(p, 4<<20)
 
-	startUS := nowUS(p)
-	if err := threader.SpawnThread(m.supervisor); err != nil {
+	if cfg.standby {
+		m.spawnStandby(lfd)
+	}
+	if err := m.threader.SpawnThread(m.supervisor); err != nil {
 		return 1
 	}
-	if err := threader.SpawnThread(m.dispatcher); err != nil {
+	if err := m.threader.SpawnThread(m.dispatcher); err != nil {
 		return 1
 	}
-	if err := threader.SpawnThread(m.killer); err != nil {
+	if err := m.threader.SpawnThread(m.killer); err != nil {
 		return 1
 	}
-	if err := threader.SpawnThread(func() { m.maintenance(startUS) }); err != nil {
+	if err := m.threader.SpawnThread(func() { m.maintenance(startUS) }); err != nil {
 		return 1
 	}
 
@@ -320,11 +397,26 @@ func FleetMain(p api.OS, argv []string) int {
 		}
 	}
 	close(m.queue)
+	if !m.alive() {
+		// Killed by the host (chaos or a fault point): the standby owns
+		// the fleet now. Unblock helper threads parked on done and leave;
+		// there is nothing left to drain through a dead picoprocess.
+		close(m.done)
+		return 1
+	}
 	m.drain()
 	return 0
 }
 
-func (m *fleetMaster) now() int64 { return nowUS(m.p) }
+func (m *fleetMaster) now() int64 { return m.clock.nowUS() }
+
+// alive reports whether the master's process can still enter the host
+// kernel. A master killed at a fault point keeps its guest threads; they
+// must notice and stand down rather than spin on instantly-failing calls.
+func (m *fleetMaster) alive() bool {
+	_, err := m.p.Gettimeofday()
+	return err == nil
+}
 
 func (m *fleetMaster) isDraining() bool {
 	m.mu.Lock()
@@ -354,24 +446,15 @@ func (m *fleetMaster) shed503(fd int) {
 	_ = writeAll(m.p, fd, []byte("ERR 503\n"))
 	_ = m.p.Close(fd)
 	m.mu.Lock()
-	m.shed++
+	m.core.shed++
 	m.mu.Unlock()
 }
 
-// pickSlot returns the least-loaded eligible worker, nil when none.
+// pickSlot picks a dispatch target by power-of-two-choices (fleetCore.pick).
 func (m *fleetMaster) pickSlot() *fleetSlot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	var best *fleetSlot
-	for _, s := range m.slots {
-		if !s.alive || s.quarantined || s.breakerOpen || s.inflight >= m.cfg.perWorkerCap {
-			continue
-		}
-		if best == nil || s.inflight < best.inflight {
-			best = s
-		}
-	}
-	return best
+	return m.core.pick()
 }
 
 // dispatcher moves connections from the accept queue to workers,
@@ -384,20 +467,24 @@ func (m *fleetMaster) dispatcher() {
 
 func (m *fleetMaster) dispatchOne(item connItem) {
 	for {
+		if !m.alive() {
+			_ = m.p.Close(item.fd)
+			return
+		}
 		if m.now()-item.arrivalUS > m.cfg.shedUS {
 			m.shed503(item.fd)
 			return
 		}
 		s := m.pickSlot()
 		if s == nil {
-			m.sleep.sleepUS(1000)
+			m.clock.sleepUS(1000)
 			continue
 		}
 		err := m.passer.PassConnection(s.dispatchW, item.fd)
 		if err == nil {
 			m.mu.Lock()
 			s.inflight++
-			m.dispatched++
+			m.core.dispatched++
 			m.mu.Unlock()
 			_ = m.p.Close(item.fd)
 			return
@@ -410,12 +497,12 @@ func (m *fleetMaster) dispatchOne(item connItem) {
 			// does the respawn bookkeeping.
 			m.mu.Lock()
 			s.alive = false
-			m.passErr++
+			m.core.passErr++
 			m.mu.Unlock()
 		case api.EAGAIN:
 			// Dispatch pipe momentarily full: bounded backoff, then retry
 			// (possibly on another worker).
-			m.sleep.sleepUS(1000)
+			m.clock.sleepUS(1000)
 		default:
 			m.shed503(item.fd)
 			return
@@ -428,6 +515,9 @@ func (m *fleetMaster) supervisor() {
 	for {
 		wr, err := m.p.Wait(-1)
 		if err != nil {
+			if api.ToErrno(err) == api.ESRCH || !m.alive() {
+				return // master killed: nothing left to supervise
+			}
 			// ECHILD: no children right now (all reaped, respawns pending).
 			m.mu.Lock()
 			stopping := m.stopped || (m.draining && m.aliveLocked() == 0)
@@ -436,7 +526,7 @@ func (m *fleetMaster) supervisor() {
 				close(m.supDone)
 				return
 			}
-			m.sleep.sleepUS(5000)
+			m.clock.sleepUS(5000)
 			continue
 		}
 		m.onChildExit(wr.PID)
@@ -445,7 +535,7 @@ func (m *fleetMaster) supervisor() {
 
 func (m *fleetMaster) aliveLocked() int {
 	n := 0
-	for _, s := range m.slots {
+	for _, s := range m.core.slots {
 		if s.alive {
 			n++
 		}
@@ -453,14 +543,16 @@ func (m *fleetMaster) aliveLocked() int {
 	return n
 }
 
-// onChildExit updates the slot whose worker just died: backoff, breaker,
-// and respawn scheduling. Crash bookkeeping happens exactly here (the
-// dispatcher only marks slots dead), so each death is counted once.
+// onChildExit updates the slot whose worker just died, delegating the
+// backoff/breaker/retire bookkeeping to the core. Crash accounting happens
+// exactly here (the dispatcher only marks slots dead), so each death is
+// counted once. A reaped PID with no slot is the standby master exiting —
+// nothing to do.
 func (m *fleetMaster) onChildExit(pid int) {
 	now := m.now()
 	m.mu.Lock()
 	var s *fleetSlot
-	for _, sl := range m.slots {
+	for _, sl := range m.core.slots {
 		if sl.pid == pid {
 			s = sl
 			break
@@ -471,36 +563,8 @@ func (m *fleetMaster) onChildExit(pid int) {
 		return
 	}
 	wfd, sfd := s.dispatchW, s.statusR
-	s.alive = false
-	s.pid = 0
 	s.dispatchW, s.statusR = -1, -1
-	s.inflight = 0
-	s.quarantined = false
-	if m.draining {
-		m.mu.Unlock()
-		m.closeFDs(wfd, sfd)
-		return
-	}
-	m.crashes++
-	if now-s.startedUS < m.cfg.minHealthyUS {
-		s.fastCrashes++
-	} else {
-		s.fastCrashes = 0
-	}
-	if s.probing || s.fastCrashes >= m.cfg.breakerTrips {
-		// Crash-looping: open (or re-open) the breaker. The slot leaves
-		// the fleet until a half-open probe survives; the master keeps
-		// serving on the healthy subset.
-		s.breakerOpen = true
-		s.probing = false
-		s.breakerUntilUS = now + m.cfg.cooldownUS
-	} else {
-		backoff := m.cfg.backoffBase << uint(s.fastCrashes)
-		if backoff > m.cfg.backoffMax {
-			backoff = m.cfg.backoffMax
-		}
-		s.nextSpawnUS = now + backoff
-	}
+	m.core.onExit(s, now)
 	m.mu.Unlock()
 	m.closeFDs(wfd, sfd)
 }
@@ -542,7 +606,7 @@ func (m *fleetMaster) readStatus(s *fleetSlot, pid, fd int) {
 				if s.inflight > 0 {
 					s.inflight--
 				}
-				m.completed++
+				m.core.completed++
 				s.lastProgressUS = now
 			}
 		}
@@ -620,19 +684,31 @@ func (m *fleetMaster) spawnSlot(s *fleetSlot) {
 	s.startedUS = now
 	s.lastProgressUS = now
 	s.quarantined = false
+	s.retiring = false
 	s.nextKillUS = 0
-	m.spawns++
+	m.core.spawns++
 	m.mu.Unlock()
 	_ = m.threader.SpawnThread(func() { m.readStatus(s, pid, sr) })
 }
 
-// maintenance is the master's periodic brain: spawning, breaker probes,
-// wedge quarantine, kill scheduling, scoreboard publication, and the
-// drain trigger.
+// maintenance is the master's periodic brain: it evaluates the
+// "fleet.master.kill" fault point, feeds the core one tick (scaler,
+// breaker probes, wedge quarantine, spawn/kill scheduling), applies the
+// returned actions, heartbeats the standby, and publishes the scoreboard.
 func (m *fleetMaster) maintenance(startUS int64) {
 	stopFile := m.cfg.scoreboard + ".stop"
 	tick := 0
+	hbEvery := int(m.cfg.hbUS / 5000)
+	if hbEvery < 1 {
+		hbEvery = 1
+	}
 	for !m.isStopped() {
+		if !m.alive() {
+			return // killed by chaos or a fault point: the standby takes over
+		}
+		// The handover fault point: a Kill rule here crashes the master at
+		// a deterministic maintenance tick, mid-load.
+		m.faultPoint("fleet.master.kill")
 		now := m.now()
 
 		// Drain trigger: fixed duration or operator stop file.
@@ -647,57 +723,34 @@ func (m *fleetMaster) maintenance(startUS int64) {
 			}
 		}
 
-		var toSpawn []*fleetSlot
 		m.mu.Lock()
-		for _, s := range m.slots {
-			if m.draining {
-				break
-			}
-			// Breaker cooldown over: half-open, schedule one probe.
-			if s.breakerOpen && now >= s.breakerUntilUS {
-				s.breakerOpen = false
-				s.probing = true
-				s.nextSpawnUS = now
-			}
-			// Probe survived long enough: close the breaker for real.
-			if s.probing && s.alive && now-s.startedUS >= m.cfg.minHealthyUS {
-				s.probing = false
-				s.fastCrashes = 0
-			}
-			if !s.alive && !s.breakerOpen && s.pid == 0 && now >= s.nextSpawnUS {
-				toSpawn = append(toSpawn, s)
-			}
-			// Wedge detection: requests held without progress.
-			if s.alive && !s.quarantined && s.inflight > 0 && now-s.lastProgressUS > m.cfg.wedgeUS {
-				s.quarantined = true
-				s.quarantinedAtUS = now
-				s.nextKillUS = now + m.cfg.killGraceUS
-			}
-			// Quarantine exit: progress resumed and credits returned
-			// (e.g. a healed partition delivered the backlog of status
-			// bytes) — rejoin without a kill.
-			if s.quarantined && s.alive && s.inflight == 0 && now-s.lastProgressUS < m.cfg.wedgeUS {
-				s.quarantined = false
-			}
-			// Overdue quarantined worker: kill (retried, since a
-			// partitioned worker's signal RPC times out).
-			if s.quarantined && s.alive && now >= s.nextKillUS {
-				s.nextKillUS = now + m.cfg.killRetryUS
-				select {
-				case m.killCh <- killReq{pid: s.pid, sig: api.SIGKILL, slot: s}:
-				default:
-				}
+		acts := m.core.tick(now, len(m.queue))
+		m.mu.Unlock()
+		for _, s := range acts.spawn {
+			m.spawnSlot(s)
+		}
+		for _, req := range acts.kill {
+			select {
+			case m.killCh <- req:
+			default:
 			}
 		}
-		m.mu.Unlock()
-		for _, s := range toSpawn {
-			m.spawnSlot(s)
+		if tick%hbEvery == 0 {
+			m.heartbeatStandby()
 		}
 		if tick%4 == 0 {
 			m.writeScoreboard()
 		}
 		tick++
-		m.sleep.sleepUS(5000)
+		m.clock.sleepUS(5000)
+	}
+}
+
+// faultPoint routes a named decision point through the personality's
+// fault surface (no-op off-Graphene or without a plan).
+func (m *fleetMaster) faultPoint(name string) {
+	if fp, ok := m.p.(api.FaultPointer); ok {
+		fp.FaultPoint(name)
 	}
 }
 
@@ -710,7 +763,16 @@ func (m *fleetMaster) initiateDrain() {
 		return
 	}
 	m.draining = true
+	m.core.draining = true
 	m.mu.Unlock()
+	// Tell the standby this is a planned shutdown, not a death to take
+	// over from.
+	m.mu.Lock()
+	hbW := m.hbW
+	m.mu.Unlock()
+	if hbW >= 0 {
+		_ = writeAll(m.p, hbW, []byte{'q'})
+	}
 	if fd, err := m.p.Connect(m.cfg.addr); err == nil {
 		_ = m.p.Close(fd)
 	}
@@ -724,7 +786,7 @@ func (m *fleetMaster) drain() {
 	for m.now() < deadline {
 		m.mu.Lock()
 		busy := len(m.queue) > 0
-		for _, s := range m.slots {
+		for _, s := range m.core.slots {
 			if s.alive && s.inflight > 0 {
 				busy = true
 			}
@@ -733,12 +795,12 @@ func (m *fleetMaster) drain() {
 		if !busy {
 			break
 		}
-		m.sleep.sleepUS(5000)
+		m.clock.sleepUS(5000)
 	}
 	// Terminate idle workers; SIGTERM's default disposition is fatal.
 	m.mu.Lock()
 	var live []killReq
-	for _, s := range m.slots {
+	for _, s := range m.core.slots {
 		if s.alive && s.pid > 0 {
 			live = append(live, killReq{pid: s.pid, sig: api.SIGTERM, slot: s})
 		}
@@ -756,7 +818,7 @@ func (m *fleetMaster) drain() {
 		case <-m.supDone:
 		default:
 			if m.now() < waitUntil {
-				m.sleep.sleepUS(5000)
+				m.clock.sleepUS(5000)
 				continue
 			}
 		}
@@ -773,13 +835,17 @@ func (m *fleetMaster) drain() {
 //
 //	gen=… draining=… workers=… alive=… healthy=… quarantined=… breaker=…
 //	spawns=… respawns=… crashes=… dispatched=… completed=… shed=…
-//	passerr=… pids=…
+//	passerr=… target=… scaleups=… scaledowns=… epoch=… takeovers=… pids=…
+//
+// The rename swap is what lets a promoted standby adopt the scoreboard:
+// its first publish atomically replaces the dead primary's last line, so
+// readers never see a torn or stale-generation mix.
 func (m *fleetMaster) writeScoreboard() {
 	m.mu.Lock()
 	m.gen++
 	alive, healthy, quarantined, breaker := 0, 0, 0, 0
 	var pids []string
-	for _, s := range m.slots {
+	for _, s := range m.core.slots {
 		if s.alive {
 			alive++
 			pids = append(pids, strconv.Itoa(s.pid))
@@ -794,7 +860,7 @@ func (m *fleetMaster) writeScoreboard() {
 			breaker++
 		}
 	}
-	respawns := m.spawns - m.cfg.nworkers
+	respawns := m.core.spawns - m.cfg.nworkers
 	if respawns < 0 {
 		respawns = 0
 	}
@@ -809,13 +875,18 @@ func (m *fleetMaster) writeScoreboard() {
 		" healthy=" + strconv.Itoa(healthy) +
 		" quarantined=" + strconv.Itoa(quarantined) +
 		" breaker=" + strconv.Itoa(breaker) +
-		" spawns=" + strconv.Itoa(m.spawns) +
+		" spawns=" + strconv.Itoa(m.core.spawns) +
 		" respawns=" + strconv.Itoa(respawns) +
-		" crashes=" + strconv.Itoa(m.crashes) +
-		" dispatched=" + strconv.Itoa(m.dispatched) +
-		" completed=" + strconv.Itoa(m.completed) +
-		" shed=" + strconv.Itoa(m.shed) +
-		" passerr=" + strconv.Itoa(m.passErr) +
+		" crashes=" + strconv.Itoa(m.core.crashes) +
+		" dispatched=" + strconv.Itoa(m.core.dispatched) +
+		" completed=" + strconv.Itoa(m.core.completed) +
+		" shed=" + strconv.Itoa(m.core.shed) +
+		" passerr=" + strconv.Itoa(m.core.passErr) +
+		" target=" + strconv.Itoa(m.core.target) +
+		" scaleups=" + strconv.Itoa(m.core.scaleUps) +
+		" scaledowns=" + strconv.Itoa(m.core.scaleDowns) +
+		" epoch=" + strconv.FormatInt(m.epoch, 10) +
+		" takeovers=" + strconv.Itoa(m.takeovers) +
 		" pids=" + strings.Join(pids, ",") + "\n"
 	sb := m.cfg.scoreboard
 	m.mu.Unlock()

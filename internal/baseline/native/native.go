@@ -55,7 +55,12 @@ type Kernel struct {
 	nextPID  int
 	programs map[string]api.Program
 
-	listeners map[api.SockAddr]*listenerState
+	listeners map[api.SockAddr]*host.Listener
+
+	// takeoverEpoch backs api.Elector: native has no coordination plane to
+	// elect through, so a monotonic counter in the shared kernel provides
+	// the same fencing guarantee a real election round does on Graphene.
+	takeoverEpoch int64
 
 	sysv *sysvTables
 
@@ -78,7 +83,7 @@ func NewKernel() *Kernel {
 		FS:        host.NewFileSystem(),
 		procs:     make(map[int]*Process),
 		programs:  make(map[string]api.Program),
-		listeners: make(map[api.SockAddr]*listenerState),
+		listeners: make(map[api.SockAddr]*host.Listener),
 		sysv:      newSysvTables(),
 	}
 }
@@ -218,10 +223,9 @@ func (k *Kernel) removeProcess(pid int) {
 	k.mu.Unlock()
 }
 
-// listenerState is a kernel socket listener.
-type listenerState struct {
-	backlog chan *host.Stream
-}
+// Kernel socket listeners reuse host.Listener (shared backlog + co-holder
+// semantics) so listener handle passing behaves identically on every
+// personality; the native kernel just keys them by address in its own map.
 
 // brkBase matches liblinux's data segment origin.
 const brkBase = 0x1000_0000

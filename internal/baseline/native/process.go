@@ -17,7 +17,7 @@ type fdesc struct {
 	kind int // 0 file, 1 pipe, 2 socket, 3 listener, 4 tty, 5 proc
 	file *host.OpenFile
 	str  *host.Stream
-	lst  *listenerState
+	lst  *host.Listener
 	path string
 	data []byte
 
@@ -84,6 +84,25 @@ type Process struct {
 }
 
 var _ api.OS = (*Process)(nil)
+var _ api.FaultPointer = (*Process)(nil)
+var _ api.Elector = (*Process)(nil)
+
+// FaultPoint is a no-op (api.FaultPointer): the native personality has no
+// fault-injection layer — chaos plans target the Graphene host — but apps
+// evaluate their decision points unconditionally, so the surface exists.
+func (p *Process) FaultPoint(string) int { return 0 }
+
+// ElectEpoch bumps the kernel-global takeover epoch (api.Elector). Native
+// has no coordination plane to run an election round through; a monotonic
+// counter in the shared kernel gives adopters the same fencing guarantee.
+func (p *Process) ElectEpoch() (int64, error) {
+	kernelEntry()
+	k := p.kernel
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.takeoverEpoch++
+	return k.takeoverEpoch, nil
+}
 
 // runProgram mirrors liblinux's exec chain.
 func (p *Process) runProgram(prog api.Program, path string, argv []string) int {
@@ -836,7 +855,7 @@ func (p *Process) Listen(addr api.SockAddr) (int, error) {
 		k.mu.Unlock()
 		return 0, api.EADDRINUSE
 	}
-	l := &listenerState{backlog: make(chan *host.Stream, 128)}
+	l := host.NewListener("nativetcp:"+string(addr), p.pid)
 	k.listeners[addr] = l
 	k.mu.Unlock()
 	return p.installFD(&fdesc{kind: fdListener, lst: l, path: string(addr)}), nil
@@ -849,9 +868,9 @@ func (p *Process) Accept(fd int) (int, error) {
 	if !ok || d.kind != fdListener {
 		return 0, api.EBADF
 	}
-	s, ok := <-d.lst.backlog
-	if !ok {
-		return 0, api.EBADF
+	s, err := d.lst.Accept()
+	if err != nil {
+		return 0, err
 	}
 	return p.installFD(&fdesc{kind: fdSocket, str: s, path: d.path}), nil
 }
@@ -867,12 +886,10 @@ func (p *Process) Connect(addr api.SockAddr) (int, error) {
 		return 0, api.ECONNREFUSED
 	}
 	client, server := host.NewStreamPair("nativetcp:"+string(addr), p.pid, 0)
-	select {
-	case l.backlog <- server:
-	default:
+	if err := l.Deliver(server); err != nil {
 		client.Close()
 		server.Close()
-		return 0, api.EAGAIN
+		return 0, err
 	}
 	return p.installFD(&fdesc{kind: fdSocket, str: client, path: string(addr)}), nil
 }
@@ -921,18 +938,26 @@ func (p *Process) PassConnection(overFD, connFD int) error {
 		return api.EBADF
 	}
 	conn, ok := p.getFD(connFD)
-	if !ok || conn.str == nil {
+	if !ok {
 		return api.EBADF
 	}
-	if conn.kind != fdSocket {
-		// Same sender-side check as liblinux: only accepted connections
-		// are passable, so the personalities fail identically.
-		return api.EINVAL
+	switch conn.kind {
+	case fdSocket:
+		if conn.str == nil {
+			return api.EBADF
+		}
+		return over.str.SendHandle(&host.Handle{Kind: host.HandleStream, Stream: conn.str})
+	case fdListener:
+		// Listening sockets pass too (SCM_RIGHTS, unix(7)): the receiver
+		// co-holds the same listening socket — the standby-master handover.
+		return over.str.SendHandle(&host.Handle{Kind: host.HandleListener, Listener: conn.lst})
 	}
-	return over.str.SendHandle(&host.Handle{Kind: host.HandleStream, Stream: conn.str})
+	// Same sender-side check as liblinux: anything else is not passable,
+	// so the personalities fail identically.
+	return api.EINVAL
 }
 
-// ReceiveConnection receives a passed connection.
+// ReceiveConnection receives a passed connection or listening socket.
 func (p *Process) ReceiveConnection(overFD int) (int, error) {
 	kernelEntry()
 	over, ok := p.getFD(overFD)
@@ -943,8 +968,14 @@ func (p *Process) ReceiveConnection(overFD int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	// The sender transferred a reference with the handle.
-	return p.installFD(&fdesc{kind: fdSocket, str: h.Stream, path: h.Stream.Name}), nil
+	switch h.Kind {
+	case host.HandleStream:
+		// The sender transferred a reference with the handle.
+		return p.installFD(&fdesc{kind: fdSocket, str: h.Stream, path: h.Stream.Name}), nil
+	case host.HandleListener:
+		return p.installFD(&fdesc{kind: fdListener, lst: h.Listener, path: h.Listener.Name}), nil
+	}
+	return 0, api.EINVAL
 }
 
 // --- /proc (host kernel implementation: globally visible!) ---

@@ -238,15 +238,20 @@ func MergeTable7JSON(path string, rows []Table7Result) any {
 }
 
 type httpdJSON struct {
-	System  string `json:"system"`
-	OK      int64  `json:"ok"`
-	Shed    int64  `json:"shed"`
-	Errs    int64  `json:"errs"`
-	Kills   int    `json:"kills"`
-	Crashes int    `json:"crashes"`
-	P50US   int64  `json:"p50_us"`
-	P99US   int64  `json:"p99_us"`
-	P999US  int64  `json:"p999_us"`
+	System     string  `json:"system"`
+	Scenario   string  `json:"scenario"`
+	Workers    int     `json:"workers"`
+	RateRPS    int     `json:"rate_rps"`
+	OK         int64   `json:"ok"`
+	Shed       int64   `json:"shed"`
+	Errs       int64   `json:"errs"`
+	Kills      int     `json:"kills"`
+	Crashes    int     `json:"crashes"`
+	P50US      int64   `json:"p50_us"`
+	P99US      int64   `json:"p99_us"`
+	P999US     int64   `json:"p999_us"`
+	ShedRate   float64 `json:"shed_rate"`
+	FailoverMS int64   `json:"failover_ms,omitempty"`
 }
 
 // HTTPDJSON projects fleet serving-continuity rows for WriteJSON.
@@ -254,19 +259,56 @@ func HTTPDJSON(rows []HTTPDResult) any {
 	out := make([]httpdJSON, 0, len(rows))
 	for _, r := range rows {
 		out = append(out, httpdJSON{
-			System: r.System, OK: r.OK, Shed: r.Shed, Errs: r.Errs,
+			System: r.System, Scenario: r.Scenario,
+			Workers: r.Workers, RateRPS: r.RateRPS,
+			OK: r.OK, Shed: r.Shed, Errs: r.Errs,
 			Kills: r.Kills, Crashes: r.Crashes,
 			P50US: r.P50US, P99US: r.P99US, P999US: r.P999US,
+			ShedRate: r.ShedRate, FailoverMS: r.FailoverMS,
 		})
 	}
 	return out
 }
 
 // MergeHTTPDJSON merges fresh fleet rows into the archive at path, keyed
-// by system.
+// by (system, scenario, workers, rate) — the scale sweep adds coordinates
+// without clobbering the chaos rows, and a partial sweep refreshes only
+// the cells it measured. Rows archived before the elastic sweep carry no
+// scenario or coordinate; they normalize to the chaos run at its original
+// sizing (4 workers, 400 rps) before matching. The merged table sorts on
+// (scenario, workers, rate, system) for stable diffs.
 func MergeHTTPDJSON(path string, rows []HTTPDResult) any {
-	return mergeRows(path, HTTPDJSON(rows).([]httpdJSON),
-		func(r httpdJSON) string { return r.System }, nil)
+	merged := mergeRows(path, HTTPDJSON(rows).([]httpdJSON),
+		func(r httpdJSON) string {
+			return fmt.Sprintf("%s|%s|%d|%d", r.System, r.Scenario, r.Workers, r.RateRPS)
+		},
+		func(old []httpdJSON) {
+			for i := range old {
+				if old[i].Scenario == "" {
+					old[i].Scenario = "chaos"
+				}
+				if old[i].Workers == 0 {
+					old[i].Workers = 4
+				}
+				if old[i].RateRPS == 0 {
+					old[i].RateRPS = 400
+				}
+			}
+		})
+	sort.Slice(merged, func(i, j int) bool {
+		a, b := merged[i], merged[j]
+		if a.Scenario != b.Scenario {
+			return a.Scenario < b.Scenario
+		}
+		if a.Workers != b.Workers {
+			return a.Workers < b.Workers
+		}
+		if a.RateRPS != b.RateRPS {
+			return a.RateRPS < b.RateRPS
+		}
+		return a.System < b.System
+	})
+	return merged
 }
 
 // MergeFig5JSON merges freshly measured Figure 5 points into the series

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"path/filepath"
 	"testing"
 
@@ -123,5 +124,50 @@ func TestMergeFig5JSONNormalizesShards(t *testing.T) {
 	}
 	if merged[1].RPCUS != 19 {
 		t.Errorf("archived pre-shard point not replaced: %+v", merged[1])
+	}
+}
+
+// TestMergeHTTPDJSONByCoordinate pins the fleet table's coordinate merge:
+// an archive written before the elastic sweep (system-keyed rows with no
+// scenario/workers/rate) normalizes to the chaos run at its original
+// sizing and is replaced by a re-measured chaos row, while scale-sweep
+// and failover rows land as new coordinates without disturbing anything.
+func TestMergeHTTPDJSONByCoordinate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_httpd.json")
+	// Legacy archive: pre-sweep schema, keyed by system only.
+	if err := WriteJSON(path, []map[string]any{
+		{"system": "Graphene", "ok": 104, "p99_us": 442},
+		{"system": "Linux", "ok": 104, "p99_us": 475},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fresh := []HTTPDResult{
+		{System: "Graphene", Scenario: "chaos", Workers: 4, RateRPS: 400, OK: 200, P99US: 300},
+		{System: "Graphene", Scenario: "scale", Workers: 64, RateRPS: 4000, OK: 5000, P99US: 90_000, ShedRate: 0.01},
+		{System: "Graphene", Scenario: "failover", Workers: 4, RateRPS: 800, OK: 900, FailoverMS: 120},
+	}
+	merged := MergeHTTPDJSON(path, fresh).([]httpdJSON)
+	if len(merged) != 4 {
+		t.Fatalf("merged rows = %d, want 4 (legacy Graphene replaced, legacy Linux kept, 2 new coordinates): %+v", len(merged), merged)
+	}
+	byKey := map[string]httpdJSON{}
+	for _, r := range merged {
+		byKey[fmt.Sprintf("%s|%s|%d|%d", r.System, r.Scenario, r.Workers, r.RateRPS)] = r
+	}
+	if r := byKey["Graphene|chaos|4|400"]; r.OK != 200 {
+		t.Errorf("legacy chaos row not replaced by re-measurement: %+v", r)
+	}
+	if r := byKey["Linux|chaos|4|400"]; r.OK != 104 {
+		t.Errorf("untouched legacy row lost or altered: %+v", r)
+	}
+	if r := byKey["Graphene|scale|64|4000"]; r.P99US != 90_000 || r.ShedRate != 0.01 {
+		t.Errorf("scale coordinate not appended: %+v", r)
+	}
+	if r := byKey["Graphene|failover|4|800"]; r.FailoverMS != 120 {
+		t.Errorf("failover coordinate not appended: %+v", r)
+	}
+	// Stable order: scenario, then workers, then rate, then system.
+	if merged[0].Scenario != "chaos" || merged[len(merged)-1].Scenario != "scale" {
+		t.Errorf("not sorted by coordinate: %+v", merged)
 	}
 }

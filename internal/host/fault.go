@@ -117,6 +117,16 @@ func (fp *FaultPlan) eval(point string) FaultRule {
 	return FaultRule{Action: faultNone}
 }
 
+// Eval counts a hit of point and returns the armed action (the zero
+// FaultAction when nothing fires). Process-less consumers — the fleet
+// supervisor's deterministic simulation harness — evaluate plans directly
+// with the same Nth-hit addressing and Fired() bookkeeping as
+// Picoprocess.Fault, but apply the action themselves: there is no host
+// picoprocess to kill or partition in a simulated world.
+func (fp *FaultPlan) Eval(point string) FaultAction {
+	return fp.eval(point).Action
+}
+
 // Hits returns how many times point has been evaluated.
 func (fp *FaultPlan) Hits(point string) int {
 	fp.mu.Lock()

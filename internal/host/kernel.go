@@ -404,7 +404,7 @@ func (k *Kernel) StreamConnect(p *Picoprocess, name string) (*Stream, error) {
 	if l == nil {
 		return nil, api.ECONNREFUSED
 	}
-	if err := k.Policy().CheckStreamConnect(p, l.OwnerPID); err != nil {
+	if err := k.Policy().CheckStreamConnect(p, l.Owner()); err != nil {
 		return nil, err
 	}
 	s, err := k.streams.connect(name, p.ID)
@@ -423,6 +423,16 @@ func (k *Kernel) StreamAccept(p *Picoprocess, l *Listener) (*Stream, error) {
 	s, err := l.Accept()
 	if err != nil {
 		return nil, err
+	}
+	if p.Dead() {
+		// The acceptor died while parked in the backlog receive (a chaos
+		// kill of a fleet master). The connection belongs to whichever
+		// co-holder is still accepting — put it back rather than strand it
+		// on a corpse.
+		if l.deliver(s) != nil {
+			s.Close()
+		}
+		return nil, api.ESRCH
 	}
 	s.localPID.Store(int64(p.ID))
 	p.registerStream(s)
@@ -449,10 +459,32 @@ func (k *Kernel) StreamClose(p *Picoprocess, s *Stream) {
 	s.Close()
 }
 
-// RemoveListener tears down a named listener.
+// RemoveListener tears down a named listener unconditionally, regardless
+// of co-holders. Explicit server shutdown paths use this; descriptor
+// close and process exit go through ReleaseListener instead.
 func (k *Kernel) RemoveListener(l *Listener) {
 	l.Close()
 	k.streams.remove(l.Name)
+}
+
+// AdoptListener re-homes a received listener handle to p: p becomes a
+// co-holder of the listening socket (as if the fd had been duplicated via
+// SCM_RIGHTS, unix(7)) and tracks it for exit-time release. The name stays
+// registered; connections keep flowing into the shared backlog.
+func (k *Kernel) AdoptListener(p *Picoprocess, l *Listener) {
+	l.addHolder(p.ID)
+	p.registerListener(l)
+}
+
+// ReleaseListener drops p's hold on l. The listener is torn down (pending
+// accepts fail, the name unbinds) only when p was the last holder — a
+// co-held listen socket survives any single holder's death, which is what
+// a hot-standby master relies on to keep accepting after the primary exits.
+func (k *Kernel) ReleaseListener(p *Picoprocess, l *Listener) {
+	p.unregisterListener(l)
+	if l.dropHolder(p.ID) {
+		k.RemoveListener(l)
+	}
 }
 
 // AdoptStream re-homes a received stream endpoint to p (handle passing).

@@ -123,6 +123,14 @@ func (p *Picoprocess) registerListener(l *Listener) {
 	p.mu.Unlock()
 }
 
+// unregisterListener untracks a listener this picoprocess released
+// explicitly (descriptor close), so Exit doesn't release it twice.
+func (p *Picoprocess) unregisterListener(l *Listener) {
+	p.mu.Lock()
+	delete(p.listeners, l)
+	p.mu.Unlock()
+}
+
 // NewThread runs fn as a guest thread of this picoprocess.
 func (p *Picoprocess) NewThread(fn func(tid int)) int {
 	p.mu.Lock()
@@ -160,9 +168,13 @@ func (p *Picoprocess) Exit(code int) {
 	p.mu.Unlock()
 
 	// Listeners first, so no new connection lands between stream teardown
-	// and the name disappearing from the registry.
+	// and the name disappearing from the registry. Release rather than
+	// remove: a listen socket co-held by a standby (listener handle
+	// passing) must survive the primary's death and keep accepting.
 	for _, l := range listeners {
-		p.kernel.RemoveListener(l)
+		if l.dropHolder(p.ID) {
+			p.kernel.RemoveListener(l)
+		}
 	}
 	for _, s := range streams {
 		s.Close()

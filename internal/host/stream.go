@@ -579,17 +579,86 @@ type Handle struct {
 
 // Listener is a named stream server ("pipe.srv:name"): picoprocesses
 // connect by URI and the owner accepts connections.
+//
+// A listener may be co-held by several picoprocesses at once: handle
+// passing (SCM_RIGHTS-style) hands a second process a descriptor to the
+// same listening socket, exactly as a passed listen fd behaves on Linux
+// (unix(7): the descriptor refers to the same open file description).
+// The listener is torn down only when the last holder releases it, which
+// is what lets a hot-standby master adopt a primary's listen socket and
+// keep accepting after the primary dies.
 type Listener struct {
 	Name     string
-	OwnerPID int
+	OwnerPID int // primary holder; guarded by mu, read via Owner()
 
 	mu      sync.Mutex
+	holders map[int]struct{}
 	backlog chan *Stream
 	closed  bool
 }
 
 func newListener(name string, owner int) *Listener {
-	return &Listener{Name: name, OwnerPID: owner, backlog: make(chan *Stream, 128)}
+	return &Listener{
+		Name:     name,
+		OwnerPID: owner,
+		holders:  map[int]struct{}{owner: {}},
+		backlog:  make(chan *Stream, 128),
+	}
+}
+
+// NewListener constructs a standalone listener outside the kernel's stream
+// registry. The baseline personalities keep their own address maps but
+// reuse this type so listener handle passing has one semantics everywhere.
+func NewListener(name string, owner int) *Listener {
+	return newListener(name, owner)
+}
+
+// Owner returns the current primary holder's PID.
+func (l *Listener) Owner() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.OwnerPID
+}
+
+// addHolder records pid as a co-holder of the listening socket.
+func (l *Listener) addHolder(pid int) {
+	l.mu.Lock()
+	if l.holders == nil {
+		l.holders = make(map[int]struct{})
+	}
+	l.holders[pid] = struct{}{}
+	l.mu.Unlock()
+}
+
+// dropHolder releases pid's hold. If pid was the primary and other holders
+// remain, the lowest surviving PID is promoted so connect-time policy
+// checks and stream owner labels track a live process. Returns true when
+// no holders remain and the listener should be torn down.
+func (l *Listener) dropHolder(pid int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.holders, pid)
+	if len(l.holders) == 0 {
+		return true
+	}
+	if l.OwnerPID == pid {
+		next := -1
+		for h := range l.holders {
+			if next < 0 || h < next {
+				next = h
+			}
+		}
+		l.OwnerPID = next
+	}
+	return false
+}
+
+// Holders returns the number of picoprocesses currently holding the
+// listening socket (diagnostics and tests).
+func (l *Listener) Holders() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.holders)
 }
 
 // Accept blocks for the next incoming connection.
@@ -617,6 +686,11 @@ func (l *Listener) Close() {
 		s.ForceClose()
 	}
 }
+
+// Deliver queues an incoming connection on the backlog (exported for the
+// baseline personalities' connect paths, which resolve addresses in their
+// own kernel maps before handing the server endpoint to the listener).
+func (l *Listener) Deliver(s *Stream) error { return l.deliver(s) }
 
 func (l *Listener) deliver(s *Stream) error {
 	l.mu.Lock()
@@ -664,7 +738,7 @@ func (r *streamRegistry) connect(name string, clientPID int) (*Stream, error) {
 	if !ok {
 		return nil, api.ECONNREFUSED
 	}
-	client, server := NewStreamPair(name, clientPID, l.OwnerPID)
+	client, server := NewStreamPair(name, clientPID, l.Owner())
 	client.part, server.part = r.part, r.part
 	if err := l.deliver(server); err != nil {
 		client.Close()

@@ -31,6 +31,11 @@ import (
 // electionWindow is how long candidates collect peers' PIDs.
 const electionWindow = 50 * time.Millisecond
 
+// ElectionWindow exports the settling window so failover consumers (the
+// hot-standby fleet master, the bench harness) can state their budgets in
+// terms of it instead of hard-coding a copy that could drift.
+const ElectionWindow = electionWindow
+
 // electionState tracks one in-flight election round at a helper.
 type electionState struct {
 	mu      sync.Mutex
@@ -371,6 +376,21 @@ func (l *leaderState) installRecoverState(r recoverPayload, fromAddr string) []r
 // electShard.
 func (h *Helper) ElectLeader() (string, error) {
 	return h.electShard(&h.shardGroup)
+}
+
+// ElectEpoch runs one epoch-fenced election round and returns the epoch
+// the plane settled on. This is the standby-master takeover primitive: a
+// standby that detects its primary's death elects through the same
+// machinery as any dead-leader recovery, and uses the returned epoch to
+// fence its adoption of shared state (the scoreboard) — a stale primary's
+// writes carry an older epoch and lose.
+func (h *Helper) ElectEpoch() (int64, error) {
+	if _, err := h.ElectLeader(); err != nil {
+		return 0, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.shardGroup.leaderEpoch, nil
 }
 
 // electShard runs one shard's election round. Every frame in the

@@ -30,11 +30,11 @@ type FDCheckpoint struct {
 // contents travel separately: copy-on-write via bulk IPC for fork, inline
 // in Pages for cross-machine migration.
 type Checkpoint struct {
-	PID         int64
-	PPID        int64
-	PGID        int64
-	ParentAddr  string
-	LeaderAddr  string
+	PID        int64
+	PPID       int64
+	PGID       int64
+	ParentAddr string
+	LeaderAddr string
 	// ShardAddrs is the per-shard coordinator address table when the parent
 	// runs on a sharded namespace plane (nil / single entry = classic
 	// one-coordinator topology; the child then joins via LeaderAddr).

@@ -122,6 +122,29 @@ func (p *Process) PAL() *pal.PAL { return p.pal }
 // Helper exposes the IPC helper (tests and benchmarks).
 func (p *Process) Helper() *ipc.Helper { return p.helper }
 
+// FaultPoint evaluates a named application decision point against the
+// host fault plan (api.FaultPointer). Applications call it unconditionally
+// at points chaos plans may target ("fleet.scale.up", "fleet.master.kill");
+// without a plan it is a cheap no-op. A Kill action terminates the host
+// picoprocess, after which every subsequent PAL call fails ESRCH — the
+// same shape as a host-level kill, so supervision code needs no special
+// case for "killed at a fault point". The returned action code lets the
+// app apply caller-side actions (Drop) itself.
+func (p *Process) FaultPoint(name string) int {
+	return int(p.pal.Proc().Fault(name))
+}
+
+// ElectEpoch runs one epoch-fenced election round through this process's
+// IPC helper (api.Elector): the standby-master takeover path. The round
+// reuses the dead-leader recovery machinery, so a standby promoting itself
+// is indistinguishable, fencing-wise, from any other leader failover.
+func (p *Process) ElectEpoch() (int64, error) {
+	if p.helper == nil {
+		return 0, api.EAGAIN
+	}
+	return p.helper.ElectEpoch()
+}
+
 // Getpid returns the guest PID.
 func (p *Process) Getpid() int { return int(p.pid) }
 
@@ -394,9 +417,24 @@ func (p *Process) shipCheckpoint(store *host.Handle, ck *Checkpoint, handles []*
 	if err := writeSection(parentStream, secFDs, gobBytes(&ckFDSection{FDs: ck.FDs})); err != nil {
 		return fail(err)
 	}
+	// The initial stream's out-of-band buffer is bounded (64 slots) and
+	// the child drains it one AdoptStream at a time during restoreFDs, so
+	// a parent with a large descriptor table — a fleet master holds four
+	// pipe ends per worker — can outrun the receiver. EAGAIN from
+	// SendHandle is flow control, not failure: the attempt is
+	// ref-symmetric, so back off and retry until the child frees a slot
+	// or dies (EPIPE). The deadline mirrors the childReady timeout below.
+	hDeadline := time.Now().Add(10 * time.Second)
 	for _, h := range handles {
-		if err := parentStream.SendHandle(h); err != nil {
-			return fail(err)
+		for {
+			err := parentStream.SendHandle(h)
+			if err == nil {
+				break
+			}
+			if err != api.EAGAIN || time.Now().After(hDeadline) {
+				return fail(err)
+			}
+			time.Sleep(100 * time.Microsecond)
 		}
 	}
 	if zygote == nil {

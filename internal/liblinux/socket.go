@@ -55,17 +55,20 @@ func (p *Process) PassConnection(overFD, connFD int) error {
 	if over.kind != fdPipe && over.kind != fdSocket {
 		return api.ENOTSOCK
 	}
-	if conn.kind != fdSocket {
-		// Only accepted connections travel this path; catching a stray fd
-		// at the sender beats handing the worker a descriptor it cannot
-		// serve (the receiver installs whatever arrives as a socket).
+	if conn.kind != fdSocket && conn.kind != fdListener {
+		// Accepted connections and listening sockets travel this path —
+		// the latter is the standby-master handover (a listen fd passed
+		// via SCM_RIGHTS, unix(7)). Catching any other fd at the sender
+		// beats handing the worker a descriptor it cannot serve.
 		return api.EINVAL
 	}
 	return p.pal.DkSendHandle(over.handle, conn.handle)
 }
 
-// ReceiveConnection receives a connection handle sent by PassConnection,
-// installing it as a new socket descriptor.
+// ReceiveConnection receives a handle sent by PassConnection, installing
+// a stream as a new socket descriptor or a passed listening socket as a
+// listener descriptor (ready for Accept — the receiver co-holds the same
+// listening socket, as with an fd duplicated via SCM_RIGHTS, unix(7)).
 func (p *Process) ReceiveConnection(overFD int) (int, error) {
 	over, ok := p.fds.get(overFD)
 	if !ok {
@@ -75,10 +78,13 @@ func (p *Process) ReceiveConnection(overFD int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if h.Kind != host.HandleStream {
-		return 0, api.EINVAL
+	switch h.Kind {
+	case host.HandleStream:
+		return p.fds.alloc(&fdesc{kind: fdSocket, handle: h, path: h.Stream.Name}), nil
+	case host.HandleListener:
+		return p.fds.alloc(&fdesc{kind: fdListener, handle: h, path: h.Listener.Name}), nil
 	}
-	return p.fds.alloc(&fdesc{kind: fdSocket, handle: h, path: h.Stream.Name}), nil
+	return 0, api.EINVAL
 }
 
 // SpawnThread runs fn as an additional guest thread of this process
@@ -112,3 +118,5 @@ func (p *Process) SandboxCreate(fsView []string) error {
 
 var _ api.OS = (*Process)(nil)
 var _ api.SandboxCreator = (*Process)(nil)
+var _ api.FaultPointer = (*Process)(nil)
+var _ api.Elector = (*Process)(nil)

@@ -595,7 +595,11 @@ func (p *PAL) DkObjectClose(h *host.Handle) error {
 	case host.HandleStream:
 		p.kernel.StreamClose(p.proc, h.Stream)
 	case host.HandleListener:
-		p.kernel.RemoveListener(h.Listener)
+		// Release, not remove: a listen socket passed to a standby
+		// (DkSendHandle/DkReceiveHandle) is co-held, and closing one
+		// descriptor must not unbind the name for the surviving holder —
+		// same as close(2) on one of several SCM_RIGHTS-duplicated fds.
+		p.kernel.ReleaseListener(p.proc, h.Listener)
 	case host.HandleIPCStore:
 		h.Store.Close()
 	}
@@ -754,7 +758,11 @@ func (p *PAL) DkSendHandle(over *host.Handle, h *host.Handle) error {
 }
 
 // DkReceiveHandle receives a handle passed by the stream's peer and adopts
-// any stream endpoint into this picoprocess.
+// any stream or listener endpoint into this picoprocess. A received
+// listener makes this picoprocess a co-holder of the listening socket
+// (unix(7) SCM_RIGHTS semantics: the passed descriptor refers to the same
+// open file description), which is the handover primitive a hot-standby
+// master uses to adopt the primary's listen socket.
 func (p *PAL) DkReceiveHandle(over *host.Handle) (*host.Handle, error) {
 	if over == nil || over.Kind != host.HandleStream {
 		return nil, api.EINVAL
@@ -766,8 +774,11 @@ func (p *PAL) DkReceiveHandle(over *host.Handle) (*host.Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	if h.Kind == host.HandleStream {
+	switch h.Kind {
+	case host.HandleStream:
 		p.kernel.AdoptStream(p.proc, h.Stream)
+	case host.HandleListener:
+		p.kernel.AdoptListener(p.proc, h.Listener)
 	}
 	return h, nil
 }
